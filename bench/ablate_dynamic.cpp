@@ -1,0 +1,73 @@
+// Ablation: static column ownership (the paper) vs dynamic runtime placement
+// (the Agullo et al. / StarPU approach the paper's §VII contrasts with).
+//
+// Under dynamic placement every update task is assigned at dispatch time to
+// the free device with the earliest estimated finish; each such decision
+// costs a "device monitoring" overhead, and tiles migrate to wherever their
+// consumers land. The paper argues its static guide array avoids both costs.
+// This driver sweeps the monitoring overhead to show where each side wins.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+#include "dag/tiled_qr_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  if (!bench::parse_sweep_flags(cli, argc, argv)) return 0;
+  std::vector<std::int64_t> sizes = cli.get_int_list("sizes", {640, 1280, 2560});
+  if (cli.get_bool("quick", false)) sizes = {640, 1280};
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Ablation — static guide array (paper) vs dynamic greedy "
+              "placement (StarPU-style)\n\n");
+
+  Table table({"size", "static_ms", "dyn0us_ms", "dyn5us_ms", "dyn20us_ms",
+               "static_transfers", "dyn5us_transfers"});
+  for (auto n : sizes) {
+    const auto nt = static_cast<std::int32_t>(n / b);
+    core::PlanConfig pc;
+    pc.tile_size = b;
+    pc.count_policy = core::CountPolicy::kAll;
+    pc.main_policy = core::MainPolicy::kFixed;
+    pc.fixed_main = 1;
+    core::Plan plan(platform, nt, nt, pc);
+    dag::TaskGraph g = dag::build_tiled_qr_graph(nt, nt, pc.elim);
+
+    const auto static_result = core::simulate_on_graph(g, plan, platform);
+
+    // Dynamic: T/E stay pinned to the main device (both approaches factor
+    // the panel somewhere fixed); updates are marked for runtime placement.
+    std::vector<std::uint8_t> dyn_assign(g.size());
+    for (dag::task_id t = 0; t < static_cast<dag::task_id>(g.size()); ++t) {
+      const auto step = dag::step_of(g.task(t).op);
+      const bool panel = step == dag::Step::kTriangulation ||
+                         step == dag::Step::kElimination;
+      dyn_assign[t] = panel ? static_cast<std::uint8_t>(plan.main_device())
+                            : sim::kDynamicDevice;
+    }
+    std::vector<double> dyn_ms;
+    std::int64_t dyn5_transfers = 0;
+    for (double overhead : {0.0, 5.0, 20.0}) {
+      sim::SimOptions opts;
+      opts.tile_size = b;
+      opts.monitor_overhead_us = overhead;
+      const auto r = sim::simulate(g, dyn_assign, platform, nt, nt, opts);
+      dyn_ms.push_back(r.makespan_s * 1e3);
+      if (overhead == 5.0) dyn5_transfers = r.transfers;
+    }
+    table.add_row({fmt(n), fmt(static_result.makespan_s * 1e3, 2),
+                   fmt(dyn_ms[0], 2), fmt(dyn_ms[1], 2), fmt(dyn_ms[2], 2),
+                   fmt(static_result.transfers), fmt(dyn5_transfers)});
+  }
+  table.print();
+  std::printf("\nexpected: dynamic placement moves many more tiles and pays "
+              "per-task scheduling\noverhead; the static guide array wins "
+              "once monitoring costs a few microseconds —\nthe paper's §VII "
+              "argument, quantified\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Robustness study: how stable are the paper's scheduling decisions under
+// kernel-timing noise?
+//
+// The device-count choice (Table III) and the distribution advantage
+// (Fig. 10) are derived from mean kernel times; real kernels jitter. This
+// driver perturbs every simulated kernel duration by up to ±jitter and
+// checks (a) whether the predicted-best device count still wins and (b) how
+// much the guide-array advantage moves — evidence that the paper's
+// first-iteration predictions do not sit on a knife edge.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+#include "dag/tiled_qr_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("sizes", "comma-separated matrix sizes", "480,1280,3200");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("jitter", "timing noise amplitudes to sweep", "0,10,25,50");
+  cli.flag("seeds", "noise seeds per configuration", "3");
+  cli.flag("csv", "write results as CSV to this path");
+  cli.flag("quick", "run a reduced sweep");
+  if (!cli.parse(argc, argv)) return 0;
+  std::vector<std::int64_t> sizes = cli.get_int_list("sizes", {480, 1280, 3200});
+  if (cli.get_bool("quick", false)) sizes = {480, 1280};
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+  const auto jitters = cli.get_int_list("jitter", {0, 10, 25, 50});
+  const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Robustness — scheduling decisions under +-jitter%% kernel "
+              "noise (%d seeds each)\n\n",
+              seeds);
+
+  Table table({"size", "jitter", "pred_p", "wins", "makespan_spread"});
+  for (auto n : sizes) {
+    const auto nt = static_cast<std::int32_t>(n / b);
+    core::PlanConfig pc;
+    pc.tile_size = b;
+    pc.main_policy = core::MainPolicy::kFixed;
+    pc.fixed_main = 1;
+    core::Plan probe(platform, nt, nt, pc);
+    const int pred_p = std::min(probe.count_choice().chosen_p, 3);
+    dag::TaskGraph g = dag::build_tiled_qr_graph(nt, nt, pc.elim);
+
+    for (auto j : jitters) {
+      const double jitter = static_cast<double>(j) / 100.0;
+      int wins = 0;
+      double lo = 1e300, hi = 0;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        // Measure all three device counts under the same noise draw.
+        double best = 1e300;
+        int best_p = 0;
+        for (int p = 1; p <= 3; ++p) {
+          core::PlanConfig fixed = pc;
+          fixed.count_policy = core::CountPolicy::kFixed;
+          fixed.fixed_count = p;
+          core::Plan plan(platform, nt, nt, fixed);
+          sim::SimOptions opts;
+          opts.tile_size = b;
+          opts.time_jitter = jitter;
+          opts.jitter_seed = static_cast<std::uint64_t>(seed);
+          const auto assign = plan.assignment(g);
+          const double m =
+              sim::simulate(g, assign, platform, nt, nt, opts).makespan_s;
+          if (m < best) {
+            best = m;
+            best_p = p;
+          }
+          if (p == pred_p) {
+            lo = std::min(lo, m);
+            hi = std::max(hi, m);
+          }
+        }
+        wins += (best_p == pred_p);
+      }
+      table.add_row({fmt(n), fmt(j) + "%", fmt(pred_p) + "G",
+                     fmt(wins) + "/" + fmt(seeds),
+                     fmt((hi / lo - 1) * 100, 1) + "%"});
+    }
+  }
+  table.print();
+  std::printf("\nexpected: the predicted device count keeps winning for "
+              "realistic noise (<=25%%),\nonly degrading near crossover "
+              "sizes under heavy noise\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: ready-queue service order inside each device.
+//
+// The paper does not specify how a device orders its ready tiles; PLASMA-era
+// runtimes use either FIFO worker queues or priority by panel. This driver
+// compares FIFO, panel-major (our default), and critical-path-first service
+// under the paper's schedule, quantifying how much the lookahead into later
+// panels matters.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+#include "dag/tiled_qr_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  if (!bench::parse_sweep_flags(cli, argc, argv)) return 0;
+  std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {640, 1280, 2560, 3840});
+  if (cli.get_bool("quick", false)) sizes = {640, 1280};
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Ablation — device ready-queue policy\n\n");
+
+  Table table({"size", "slots", "fifo_ms", "panel_ms", "critpath_ms",
+               "panel_vs_fifo", "critpath_vs_panel"});
+  for (auto n : sizes) {
+    const auto nt = static_cast<std::int32_t>(n / b);
+    core::PlanConfig pc;
+    pc.tile_size = b;
+    pc.count_policy = core::CountPolicy::kAll;
+    pc.main_policy = core::MainPolicy::kFixed;
+    pc.fixed_main = 1;
+    core::Plan plan(platform, nt, nt, pc);
+    dag::TaskGraph g = dag::build_tiled_qr_graph(nt, nt, pc.elim);
+    const auto assign = plan.assignment(g);
+
+    // "full": the paper node. "1/16": each device's kernel slots cut 16x —
+    // the oversubscribed regime where the backlog (and thus its service
+    // order) exists at all.
+    for (int divisor : {1, 16}) {
+      sim::Platform constrained = platform;
+      for (auto& dev : constrained.devices)
+        dev.slots = std::max(1, dev.slots / divisor);
+      auto run = [&](sim::QueuePolicy policy) {
+        sim::SimOptions opts;
+        opts.tile_size = b;
+        opts.queue_policy = policy;
+        return sim::simulate(g, assign, constrained, nt, nt, opts)
+                   .makespan_s *
+               1e3;
+      };
+      const double fifo = run(sim::QueuePolicy::kFifo);
+      const double panel = run(sim::QueuePolicy::kPanelOrder);
+      const double crit = run(sim::QueuePolicy::kCriticalPath);
+      table.add_row({fmt(n), divisor == 1 ? "full" : "1/16", fmt(fifo, 2),
+                     fmt(panel, 2), fmt(crit, 2),
+                     fmt((fifo / panel - 1) * 100, 1) + "%",
+                     fmt((panel / crit - 1) * 100, 1) + "%"});
+    }
+  }
+  table.print();
+  std::printf("\nexpected: with full kernel slots devices never back up and "
+              "the policy is moot;\nwhen oversubscribed (1/16 slots), "
+              "panel-major priority recovers most of the\ncritical-path "
+              "schedule's benefit over FIFO\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

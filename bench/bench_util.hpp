@@ -1,0 +1,43 @@
+// Shared helpers for the per-figure bench drivers: the Table II environment
+// banner and common CLI plumbing.
+#pragma once
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/platform.hpp"
+
+namespace tqr::bench {
+
+/// Prints the simulated evaluation environment (stands in for the paper's
+/// Table II, which described the authors' physical testbed).
+inline void print_environment(const sim::Platform& platform) {
+  std::printf("simulated environment (paper Table II substitute):\n");
+  for (int d = 0; d < platform.num_devices(); ++d) {
+    const auto& dev = platform.device(d);
+    std::printf("  device %d: %-12s %5d cores, %5d kernel slots\n", d,
+                dev.name.c_str(), dev.cores, dev.slots);
+  }
+  std::printf("  interconnect: shared bus, %.1f GB/s, %.1f us/transfer\n\n",
+              platform.comm.gbytes_per_s, platform.comm.latency_us);
+}
+
+/// Standard flags shared by the sweep drivers. Returns false on --help.
+inline bool parse_sweep_flags(Cli& cli, int argc, char** argv) {
+  cli.flag("sizes", "comma-separated matrix sizes");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("csv", "write results as CSV to this path");
+  cli.flag("quick", "run a reduced sweep");
+  return cli.parse(argc, argv);
+}
+
+inline void maybe_write_csv(const Cli& cli, const Table& table) {
+  const std::string path = cli.get_string("csv", "");
+  if (!path.empty()) {
+    table.write_csv(path);
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+}  // namespace tqr::bench

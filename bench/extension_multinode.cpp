@@ -1,0 +1,68 @@
+// Extension study (paper §VIII future work): scaling tiled QR beyond one
+// node. Sweeps matrix sizes over 1- and 2-node clusters and over inter-node
+// bandwidths, reporting when recruiting the second node's GPUs pays off —
+// the same tradeoff as the paper's device-count optimization, one level up
+// the network hierarchy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("sizes", "comma-separated matrix sizes", "1280,2560,3840,5120");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("inter-bw", "inter-node bandwidths to sweep (GB/s)", "1,4,16");
+  cli.flag("csv", "write results as CSV to this path");
+  cli.flag("quick", "run a reduced sweep");
+  if (!cli.parse(argc, argv)) return 0;
+  std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {1280, 2560, 3840, 5120});
+  if (cli.get_bool("quick", false)) sizes = {1280, 2560};
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+  const auto bws = cli.get_int_list("inter-bw", {1, 4, 16});
+
+  bench::print_environment(sim::paper_cluster(2));
+  std::printf("Extension — 1 node vs 2 nodes, by inter-node bandwidth\n\n");
+
+  Table table({"size", "inter_GBs", "1node_s", "2node_forced_s",
+               "2node_auto_s", "auto_p", "auto_recruits_remote"});
+  for (auto n : sizes) {
+    core::PlanConfig pc;
+    pc.tile_size = b;
+    pc.count_policy = core::CountPolicy::kAll;
+    pc.main_policy = core::MainPolicy::kFixed;
+    pc.fixed_main = 1;
+    const double one =
+        core::simulate_tiled_qr(sim::paper_platform(), n, n, pc)
+            .result.makespan_s;
+    for (auto bw : bws) {
+      sim::Platform c2 = sim::paper_cluster(2);
+      c2.comm.inter_gbytes_per_s = static_cast<double>(bw);
+      // Forced: every device on both nodes participates.
+      const double forced =
+          core::simulate_tiled_qr(c2, n, n, pc).result.makespan_s;
+      // Auto: Algorithm 3 with link-aware Tcomm decides how many devices
+      // (and therefore whether any remote device) to recruit.
+      core::PlanConfig auto_pc = pc;
+      auto_pc.count_policy = core::CountPolicy::kAuto;
+      const auto auto_run = core::simulate_tiled_qr(c2, n, n, auto_pc);
+      bool remote = false;
+      for (int dev : auto_run.plan.participants())
+        remote |= (c2.node(dev) != 0);
+      table.add_row(
+          {fmt(n), fmt(bw), fmt(one, 3), fmt(forced, 3),
+           fmt(auto_run.result.makespan_s, 3),
+           fmt(static_cast<std::int64_t>(auto_run.plan.participants().size())),
+           remote ? "yes" : "no"});
+    }
+  }
+  table.print();
+  std::printf("\nexpected: forcing both nodes is ruinous (per-panel reflector "
+              "broadcasts cross the\nnetwork), and the link-aware Algorithm 3 "
+              "declines remote devices until the network\nis fast enough — "
+              "the paper's Tcomm tradeoff, one level up the hierarchy\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

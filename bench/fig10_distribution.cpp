@@ -1,0 +1,68 @@
+// Fig. 10 reproduction: whole QR time for three tile-distribution policies —
+// the guide array (ours/paper), cores-proportional, and even round-robin —
+// plus the block-distribution ablation.
+//
+// Paper shape at 16000^2: guide array ~21% faster than even and ~10% faster
+// than cores-proportional; small sizes barely differ.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("sizes", "comma-separated matrix sizes",
+           "3200,6400,9600,12800,16000");
+  cli.flag("max-grid", "largest tile grid to materialize", "250");
+  cli.flag("csv", "write results as CSV to this path");
+  cli.flag("quick", "run a reduced sweep");
+  if (!cli.parse(argc, argv)) return 0;
+  std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {3200, 6400, 9600, 12800, 16000});
+  if (cli.get_bool("quick", false)) sizes = {3200, 6400};
+  const std::int64_t max_grid = cli.get_int("max-grid", 250);
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Fig. 10 — QR time (s) by tile distribution policy "
+              "(CPU + 3 GPUs)\n\n");
+
+  const std::pair<const char*, core::DistPolicy> variants[] = {
+      {"guide", core::DistPolicy::kGuideArray},
+      {"cores", core::DistPolicy::kCoresProportional},
+      {"even", core::DistPolicy::kEven},
+      {"block", core::DistPolicy::kBlock},
+  };
+
+  Table table({"size", "tile", "guide", "cores", "even", "block",
+               "guide_vs_even", "guide_vs_cores"});
+  for (auto n : sizes) {
+    std::int64_t b = 16;
+    while (n / b > max_grid) b *= 2;
+    std::vector<double> times;
+    for (const auto& [label, policy] : variants) {
+      core::PlanConfig pc;
+      pc.tile_size = static_cast<int>(b);
+      // Distribute over the three GPUs: under the guide array the CPU's
+      // ratio rounds to zero anyway, and giving the CPU an equal share under
+      // the baselines would measure the CPU's slowness, not the policy.
+      pc.count_policy = core::CountPolicy::kFixed;
+      pc.fixed_count = 3;
+      pc.dist_policy = policy;
+      pc.main_policy = core::MainPolicy::kFixed;
+      pc.fixed_main = 1;  // paper: GTX580 is the main device everywhere
+      times.push_back(
+          core::simulate_tiled_qr(platform, n, n, pc).result.makespan_s);
+    }
+    table.add_row({fmt(n), fmt(b), fmt(times[0], 3), fmt(times[1], 3),
+                   fmt(times[2], 3), fmt(times[3], 3),
+                   fmt((times[2] / times[0] - 1) * 100, 1) + "%",
+                   fmt((times[1] / times[0] - 1) * 100, 1) + "%"});
+  }
+  table.print();
+  std::printf("\npaper at 16000: guide array 21%% faster than even, 10%% "
+              "faster than cores-based\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

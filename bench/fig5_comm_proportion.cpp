@@ -1,0 +1,62 @@
+// Fig. 5 reproduction: proportion of calculation vs communication time,
+// normalized, using the CPU + 3 GPUs, across matrix sizes.
+//
+// Paper shape: > 20% communication for 160..320, < 10% for large sizes
+// (comm volume grows ~M per panel while compute grows ~M^2).
+//
+// Reproduction status (see EXPERIMENTS.md): the small-matrix end reproduces
+// (comm share ~16-20% at 160..320). At the large end our share keeps
+// growing instead of falling below 10%: the paper's implementation batches
+// each panel's reflector broadcast into a few large memcpys whose overhead
+// amortizes with size, while our transfer model keeps per-tile-set
+// granularity (the same granularity that reproduces the Fig. 6 / Table III
+// device-count crossovers). The table below also reports the pure
+// volume-at-bandwidth share, the closest analog of a batched-memcpy
+// measurement, which stays flat-to-falling.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  if (!bench::parse_sweep_flags(cli, argc, argv)) return 0;
+  std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {160, 320, 640, 960, 1280, 1600, 1920, 2240,
+                                 2560, 2880, 3200, 3520, 3840});
+  if (cli.get_bool("quick", false))
+    sizes = {160, 320, 640, 1280, 2560};
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Fig. 5 — calculation vs communication proportion "
+              "(CPU + 3 GPUs)\n\n");
+
+  core::PlanConfig pc;
+  pc.tile_size = b;
+  pc.count_policy = core::CountPolicy::kAll;
+  pc.main_policy = core::MainPolicy::kFixed;
+  pc.fixed_main = 1;  // paper: GTX580 is the main device everywhere
+
+  Table table({"size", "makespan_ms", "comm_ms", "comm_share", "volume_share",
+               "chart"});
+  for (auto n : sizes) {
+    const auto run = core::simulate_tiled_qr(platform, n, n, pc);
+    const double share = run.result.comm_fraction();
+    const double volume_share =
+        static_cast<double>(run.result.bytes_moved) /
+        (platform.comm.gbytes_per_s * 1e9) / run.result.makespan_s;
+    table.add_row({fmt(n), fmt(run.result.makespan_s * 1e3, 2),
+                   fmt(run.result.comm_s * 1e3, 2),
+                   fmt(share * 100, 1) + "%",
+                   fmt(volume_share * 100, 1) + "%", bar(share, 30)});
+  }
+  table.print();
+  std::printf("\npaper: >20%% comm share at 160..320, <10%% for larger "
+              "matrices\n(comm_share = bus occupancy incl. per-transfer "
+              "overhead; volume_share = bytes/bandwidth)\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

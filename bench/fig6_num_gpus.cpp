@@ -1,0 +1,50 @@
+// Fig. 6 reproduction: whole-factorization time vs matrix size for 1, 2 and
+// 3 participating GPUs (fixed device counts, the paper's three curves).
+//
+// Paper shape: 1 GPU wins the smallest sizes, 2 GPUs the mid range
+// (~640..2560), 3 GPUs from ~2720 up.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  if (!bench::parse_sweep_flags(cli, argc, argv)) return 0;
+  std::vector<std::int64_t> sizes = cli.get_int_list("sizes", {});
+  if (sizes.empty())
+    for (std::int64_t n = 160; n <= 4000; n += 160) sizes.push_back(n);
+  if (cli.get_bool("quick", false))
+    sizes = {160, 480, 960, 1600, 2560, 3200, 4000};
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Fig. 6 — QR time (ms) vs matrix size for 1/2/3 GPUs\n\n");
+
+  Table table({"size", "1GPU_ms", "2GPUs_ms", "3GPUs_ms", "winner"});
+  for (auto n : sizes) {
+    std::vector<double> times;
+    for (int p = 1; p <= 3; ++p) {
+      core::PlanConfig pc;
+      pc.tile_size = b;
+      pc.count_policy = core::CountPolicy::kFixed;
+      pc.fixed_count = p;
+      pc.main_policy = core::MainPolicy::kFixed;
+      pc.fixed_main = 1;  // paper: GTX580 is the main device everywhere
+      const auto run = core::simulate_tiled_qr(platform, n, n, pc);
+      times.push_back(run.result.makespan_s * 1e3);
+    }
+    int best = 0;
+    for (int p = 1; p < 3; ++p)
+      if (times[p] < times[best]) best = p;
+    table.add_row({fmt(n), fmt(times[0], 2), fmt(times[1], 2),
+                   fmt(times[2], 2), fmt(best + 1) + "GPU"});
+  }
+  table.print();
+  std::printf("\npaper crossovers: 1G fastest <=480, 2G for 640..2560, 3G "
+              ">=2720\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

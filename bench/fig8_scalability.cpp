@@ -1,0 +1,57 @@
+// Fig. 8 reproduction: scalability — whole QR time versus number of parallel
+// cores (CPU only: 4; +GTX580: 516; +GTX680: 2052; +GTX680: 3588) for five
+// matrix sizes, log-log in the paper.
+//
+// Scale substitution: the paper runs tile 16 up to 16000^2 (a billion-task
+// DAG); we materialize the DAG, so the sweep uses a larger tile for the big
+// sizes, keeping the tile-grid at most --max-grid (default 200). The
+// scalability *shape* (monotone decrease with added devices at every size)
+// is the reproduction target; see EXPERIMENTS.md.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("sizes", "comma-separated matrix sizes",
+           "3200,6400,9600,12800,16000");
+  cli.flag("max-grid", "largest tile grid to materialize", "250");
+  cli.flag("csv", "write results as CSV to this path");
+  cli.flag("quick", "run a reduced sweep");
+  if (!cli.parse(argc, argv)) return 0;
+  std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {3200, 6400, 9600, 12800, 16000});
+  if (cli.get_bool("quick", false)) sizes = {3200, 6400};
+  const std::int64_t max_grid = cli.get_int("max-grid", 250);
+
+  bench::print_environment(sim::paper_platform());
+  std::printf("Fig. 8 — QR time (s) vs parallel cores, per matrix size\n\n");
+
+  Table table({"size", "tile", "cores=4(CPU)", "cores=516(+580)",
+               "cores=2052(+680)", "cores=3588(+680)"});
+  for (auto n : sizes) {
+    // Pick the smallest paper-style tile that keeps the grid materializable.
+    std::int64_t b = 16;
+    while (n / b > max_grid) b *= 2;
+    std::vector<std::string> row{fmt(n), fmt(b)};
+    for (int gpus = 0; gpus <= 3; ++gpus) {
+      const sim::Platform platform = sim::paper_platform_with_gpus(gpus);
+      core::PlanConfig pc;
+      pc.tile_size = static_cast<int>(b);
+      pc.count_policy = core::CountPolicy::kAll;
+      const auto run = core::simulate_tiled_qr(platform, n, n, pc);
+      row.push_back(fmt(run.result.makespan_s, 3));
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf("\npaper (absolute, their testbed): 3200: 19.9 -> 0.28 s; "
+              "6400: 73.5 -> 1.09 s;\n9600: 171.7 -> 2.52 s; 12800: 269.3 -> "
+              "4.24 s; 16000: 462.1 -> 6.87 s\n");
+  std::printf("reproduction target: monotone decrease with added devices at "
+              "every size\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

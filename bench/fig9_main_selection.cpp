@@ -1,0 +1,67 @@
+// Fig. 9 reproduction: whole QR time depending on the main-computing-device
+// choice — GTX580 (Algorithm 2's pick), GTX680, no dedicated main, and CPU.
+//
+// Paper shape at 16000^2: GTX580-as-main ~13% faster than GTX680-as-main and
+// ~5% faster than no-main; CPU-as-main is catastrophically slow (430.6 s vs
+// 6.87 s on their testbed).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/simulate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("sizes", "comma-separated matrix sizes",
+           "3200,6400,9600,12800,16000");
+  cli.flag("max-grid", "largest tile grid to materialize", "250");
+  cli.flag("csv", "write results as CSV to this path");
+  cli.flag("quick", "run a reduced sweep");
+  if (!cli.parse(argc, argv)) return 0;
+  std::vector<std::int64_t> sizes =
+      cli.get_int_list("sizes", {3200, 6400, 9600, 12800, 16000});
+  if (cli.get_bool("quick", false)) sizes = {3200, 6400};
+  const std::int64_t max_grid = cli.get_int("max-grid", 250);
+
+  const sim::Platform platform = sim::paper_platform();
+  bench::print_environment(platform);
+  std::printf("Fig. 9 — QR time (s) by main computing device\n\n");
+
+  struct Variant {
+    const char* label;
+    core::MainPolicy policy;
+    int fixed;
+  };
+  const Variant variants[] = {
+      {"GTX580(ours)", core::MainPolicy::kFixed, 1},
+      {"GTX680", core::MainPolicy::kFixed, 2},
+      {"None", core::MainPolicy::kNone, -1},
+      {"CPU", core::MainPolicy::kFixed, 0},
+  };
+
+  Table table({"size", "tile", "GTX580(ours)", "GTX680", "None", "CPU",
+               "580_vs_680", "580_vs_none"});
+  for (auto n : sizes) {
+    std::int64_t b = 16;
+    while (n / b > max_grid) b *= 2;
+    std::vector<double> times;
+    for (const Variant& v : variants) {
+      core::PlanConfig pc;
+      pc.tile_size = static_cast<int>(b);
+      pc.count_policy = core::CountPolicy::kAll;
+      pc.main_policy = v.policy;
+      pc.fixed_main = v.fixed;
+      times.push_back(
+          core::simulate_tiled_qr(platform, n, n, pc).result.makespan_s);
+    }
+    table.add_row({fmt(n), fmt(b), fmt(times[0], 3), fmt(times[1], 3),
+                   fmt(times[2], 3), fmt(times[3], 3),
+                   fmt((times[1] / times[0] - 1) * 100, 1) + "%",
+                   fmt((times[2] / times[0] - 1) * 100, 1) + "%"});
+  }
+  table.print();
+  std::printf("\npaper at 16000: +13%% picking GTX680 as main, +5%% with no "
+              "dedicated main;\nCPU-as-main ~60x slower\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

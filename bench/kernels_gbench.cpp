@@ -1,0 +1,186 @@
+// google-benchmark microbenches over the functional tile kernels and the
+// supporting layers (graph construction, simulation throughput). Reports
+// flop rates via counters.
+#include <benchmark/benchmark.h>
+
+#include "core/tiled_qr.hpp"
+#include "dag/tiled_qr_dag.hpp"
+#include "la/blocked_qr.hpp"
+#include "la/flops.hpp"
+#include "la/kernels_ib.hpp"
+#include "la/pivoted_qr.hpp"
+#include "la/reference_qr.hpp"
+#include "sim/des.hpp"
+
+namespace {
+
+using namespace tqr;
+using la::Matrix;
+
+void BM_Geqrt(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  const auto src = Matrix<double>::random(b, b, 1);
+  Matrix<double> t(b, b);
+  for (auto _ : state) {
+    Matrix<double> a = src;
+    la::geqrt<double>(a.view(), t.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_geqrt(b) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Geqrt)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Tsqrt(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix<double> r1(b, b);
+  const auto rnd = Matrix<double>::random(b, b, 2);
+  for (la::index_t j = 0; j < b; ++j)
+    for (la::index_t i = 0; i <= j; ++i)
+      r1(i, j) = rnd(i, j) + (i == j ? 2.0 : 0.0);
+  const auto a2_src = Matrix<double>::random(b, b, 3);
+  Matrix<double> t(b, b);
+  for (auto _ : state) {
+    Matrix<double> r = r1, a2 = a2_src;
+    la::tsqrt<double>(r.view(), a2.view(), t.view());
+    benchmark::DoNotOptimize(a2.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_tsqrt(b) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Tsqrt)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Tsmqr(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix<double> r1(b, b);
+  for (la::index_t j = 0; j < b; ++j)
+    for (la::index_t i = 0; i <= j; ++i) r1(i, j) = 1.0 + i + j;
+  Matrix<double> v2 = Matrix<double>::random(b, b, 4);
+  Matrix<double> t(b, b);
+  la::tsqrt<double>(r1.view(), v2.view(), t.view());
+  const auto c1_src = Matrix<double>::random(b, b, 5);
+  const auto c2_src = Matrix<double>::random(b, b, 6);
+  for (auto _ : state) {
+    Matrix<double> c1 = c1_src, c2 = c2_src;
+    la::tsmqr<double>(v2.view(), t.view(), c1.view(), c2.view(),
+                      la::Trans::kTrans);
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_tsmqr(b) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Tsmqr)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Ttqrt(benchmark::State& state) {
+  const int b = static_cast<int>(state.range(0));
+  Matrix<double> r1(b, b), r2(b, b);
+  for (la::index_t j = 0; j < b; ++j)
+    for (la::index_t i = 0; i <= j; ++i) {
+      r1(i, j) = 1.0 + i + j;
+      r2(i, j) = 2.0 + i - j;
+    }
+  Matrix<double> t(b, b);
+  for (auto _ : state) {
+    Matrix<double> x1 = r1, x2 = r2;
+    la::ttqrt<double>(x1.view(), x2.view(), t.view());
+    benchmark::DoNotOptimize(x2.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_ttqrt(b) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Ttqrt)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GeqrtInnerBlocked(benchmark::State& state) {
+  const int b = 64;
+  const int ib = static_cast<int>(state.range(0));
+  const auto src = Matrix<double>::random(b, b, 9);
+  Matrix<double> t(b, b);
+  for (auto _ : state) {
+    Matrix<double> a = src;
+    la::geqrt_ib<double>(a.view(), t.view(), ib);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_geqrt(b) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GeqrtInnerBlocked)->Arg(0)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BlockedQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = Matrix<double>::random(n, n, 10);
+  for (auto _ : state) {
+    la::BlockedQr<double> qr(a, 32);
+    benchmark::DoNotOptimize(&qr);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_qr(n, n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlockedQr)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PivotedQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = Matrix<double>::random(n, n, 11);
+  for (auto _ : state) {
+    la::PivotedQr<double> qr(a);
+    benchmark::DoNotOptimize(&qr);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_qr(n, n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PivotedQr)->Arg(64)->Arg(128);
+
+void BM_TiledQrFactorization(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int b = 16;
+  const auto a = Matrix<double>::random(n, n, 7);
+  for (auto _ : state) {
+    auto f = core::TiledQrFactorization<double>::factor(a, b);
+    benchmark::DoNotOptimize(&f);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_qr(n, n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TiledQrFactorization)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ReferenceQr(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = Matrix<double>::random(n, n, 8);
+  for (auto _ : state) {
+    la::ReferenceQr<double> qr(a);
+    benchmark::DoNotOptimize(&qr);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      la::flops_qr(n, n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceQr)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const int nt = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto g = dag::build_tiled_qr_graph(nt, nt, dag::Elimination::kTt);
+    benchmark::DoNotOptimize(&g);
+    state.counters["tasks"] = static_cast<double>(g.size());
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SimulationThroughput(benchmark::State& state) {
+  const int nt = static_cast<int>(state.range(0));
+  const auto g = dag::build_tiled_qr_graph(nt, nt, dag::Elimination::kTt);
+  const sim::Platform p = sim::paper_platform();
+  std::vector<std::uint8_t> assign(g.size());
+  for (std::size_t t = 0; t < g.size(); ++t)
+    assign[t] = static_cast<std::uint8_t>(1 + (g.task(t).j >= 0
+                                                   ? g.task(t).j % 3
+                                                   : 0));
+  for (auto _ : state) {
+    auto r = sim::simulate(g, assign, p, nt, nt, sim::SimOptions{});
+    benchmark::DoNotOptimize(&r);
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(g.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulationThroughput)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Table I reproduction: number of tiles operated per step for the remaining
+// M x N part of the matrix, comparing the paper's formulas against the task
+// counts our DAGs actually generate (TT variant matches the paper's
+// bookkeeping; TS shown for contrast).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dag/tiled_qr_dag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("grids", "comma-separated remaining grid sizes (square M=N)",
+           "4,8,16,32,64");
+  cli.flag("csv", "write results as CSV to this path");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto grids = cli.get_int_list("grids", {4, 8, 16, 32, 64});
+
+  std::printf("Table I — tiles operated per step, remaining M x N grid\n");
+  std::printf("paper formulas: T=M, E=M, UT=M(N-1), UE=M(N-1)\n\n");
+
+  Table table({"M=N", "variant", "T", "E", "UT", "UE"});
+  for (auto g : grids) {
+    const auto paper = dag::paper_table1_counts(g, g);
+    table.add_row({fmt(g), "paper", fmt(paper.triangulation),
+                   fmt(paper.elimination), fmt(paper.update_triangulation),
+                   fmt(paper.update_elimination)});
+    for (auto elim : {dag::Elimination::kTt, dag::Elimination::kTs}) {
+      const auto ours = dag::panel_step_counts(g, g, elim);
+      table.add_row({fmt(g),
+                     elim == dag::Elimination::kTt ? "ours-TT" : "ours-TS",
+                     fmt(ours.triangulation), fmt(ours.elimination),
+                     fmt(ours.update_triangulation),
+                     fmt(ours.update_elimination)});
+    }
+  }
+  table.print();
+
+  std::printf("\nwhole-factorization kernel totals (square nt x nt grid)\n");
+  Table totals({"nt", "variant", "T", "E", "UT", "UE", "all"});
+  for (auto g : grids) {
+    for (auto elim : {dag::Elimination::kTt, dag::Elimination::kTs}) {
+      const auto c =
+          dag::total_step_counts(static_cast<std::int32_t>(g),
+                                 static_cast<std::int32_t>(g), elim);
+      const auto all = c.triangulation + c.elimination +
+                       c.update_triangulation + c.update_elimination;
+      totals.add_row({fmt(g),
+                      elim == dag::Elimination::kTt ? "TT" : "TS",
+                      fmt(c.triangulation), fmt(c.elimination),
+                      fmt(c.update_triangulation),
+                      fmt(c.update_elimination), fmt(all)});
+    }
+  }
+  totals.print();
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Autotune report: show every decision the paper's optimizer stack makes for
+// a given matrix on a given platform — main-device candidates and pick
+// (Algorithm 2), the Top/Tcomm table and device count (Algorithm 3), and the
+// throughput ratios + guide array (Algorithm 4).
+//
+//   ./autotune_report [--size 1280] [--tile 16] [--gpus 3]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/plan.hpp"
+#include "sim/platform.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("size", "matrix size (multiple of tile)", "1280");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("gpus", "number of GPUs in the node (0-3)", "3");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto n = cli.get_int("size", 1280);
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+  const int gpus = static_cast<int>(cli.get_int("gpus", 3));
+
+  const sim::Platform platform = sim::paper_platform_with_gpus(gpus);
+  const auto nt = static_cast<std::int32_t>(n / b);
+
+  std::printf("autotune report: %lld x %lld matrix, tile %d (%d x %d tiles)\n\n",
+              static_cast<long long>(n), static_cast<long long>(n), b, nt, nt);
+
+  // Step profiles (the Fig. 4 quantities the algorithms consume).
+  const auto profiles =
+      core::profile_platform(platform, b, dag::Elimination::kTt);
+  Table prof({"device", "T_us", "E_us", "U_us", "slots", "upd_tiles/s"});
+  for (const auto& p : profiles) {
+    const auto& dev = platform.device(p.device);
+    prof.add_row({dev.name, fmt(p.kernel.t * 1e6, 1),
+                  fmt(p.kernel.e * 1e6, 1), fmt(p.kernel.ue * 1e6, 1),
+                  fmt(dev.slots), fmt(p.update_throughput, 0)});
+  }
+  std::printf("step profiles (single-kernel times, saturated throughput):\n");
+  prof.print();
+
+  // Algorithm 2.
+  const auto sel = core::select_main_device(profiles, nt, nt);
+  std::printf("\nAlgorithm 2 — main device candidates: ");
+  for (int c : sel.candidates) std::printf("%s ", platform.device(c).name.c_str());
+  std::printf("\n  selected: %s%s\n",
+              platform.device(sel.main_device).name.c_str(),
+              sel.fallback ? " (fallback: no candidate kept up)" : "");
+
+  // Algorithm 3.
+  const auto choice = core::select_device_count(
+      profiles, platform.comm, sel.main_device, nt, nt, b, 4);
+  std::printf("\nAlgorithm 3 — device count (first-iteration prediction):\n");
+  Table count({"p", "devices", "Top_ms", "Tcomm_ms", "T(p)_ms", "chosen"});
+  for (std::size_t p = 1; p <= choice.predicted_time.size(); ++p) {
+    std::string devs;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (i) devs += "+";
+      devs += platform.device(choice.ordered_devices[i]).name;
+    }
+    count.add_row({fmt(static_cast<std::int64_t>(p)), devs,
+                   fmt(choice.predicted_top[p - 1] * 1e3, 3),
+                   fmt(choice.predicted_tcomm[p - 1] * 1e3, 3),
+                   fmt(choice.predicted_time[p - 1] * 1e3, 3),
+                   static_cast<int>(p) == choice.chosen_p ? "<==" : ""});
+  }
+  count.print();
+
+  // Algorithm 4 (via the full plan).
+  core::PlanConfig pc;
+  pc.tile_size = b;
+  core::Plan plan(platform, nt, nt, pc);
+  std::printf("\nAlgorithm 4 — guide array:\n  ratios: ");
+  for (std::size_t i = 0; i < plan.ratios().size(); ++i)
+    std::printf("%s%lld", i ? ":" : "",
+                static_cast<long long>(plan.ratios()[i]));
+  std::printf("\n  guide:  {");
+  for (std::size_t i = 0; i < plan.guide_array().size(); ++i)
+    std::printf("%s%d", i ? ", " : "", plan.guide_array()[i]);
+  std::printf("}\n  first 16 column owners: ");
+  for (std::int32_t c = 0; c < std::min<std::int32_t>(16, nt); ++c)
+    std::printf("%d ", plan.column_owner()[c]);
+  std::printf("\n\n%s\n", plan.summary(platform).c_str());
+  return 0;
+}

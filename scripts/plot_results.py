@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Renders SVG charts from the bench CSVs in results/.
+
+No third-party dependencies: emits hand-rolled SVG line charts, one per
+figure-style bench, mirroring the paper's presentation (log-log where the
+paper uses it). Run scripts/run_all_benches.sh first.
+
+Usage: scripts/plot_results.py [results-dir]
+"""
+import csv
+import math
+import os
+import sys
+
+W, H, PAD = 720, 440, 60
+COLORS = ["#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#e67e22"]
+
+
+def read_csv(path):
+    with open(path) as f:
+        rows = list(csv.reader(f))
+    return rows[0], rows[1:]
+
+
+def numeric(value):
+    try:
+        return float(value.rstrip("%x*"))
+    except ValueError:
+        return None
+
+
+def svg_line_chart(title, xlabel, series, log_y=False, log_x=False):
+    """series: list of (name, [(x, y), ...])."""
+    xs = [p[0] for _, pts in series for p in pts]
+    ys = [p[1] for _, pts in series for p in pts if p[1] > 0]
+    if not xs or not ys:
+        return None
+    tx = (lambda v: math.log10(v)) if log_x else (lambda v: v)
+    ty = (lambda v: math.log10(v)) if log_y else (lambda v: v)
+    x0, x1 = min(map(tx, xs)), max(map(tx, xs))
+    y0, y1 = min(map(ty, ys)), max(map(ty, ys))
+    if x1 == x0:
+        x1 += 1
+    if y1 == y0:
+        y1 += 1
+
+    def px(v):
+        return PAD + (tx(v) - x0) / (x1 - x0) * (W - 2 * PAD)
+
+    def py(v):
+        return H - PAD - (ty(v) - y0) / (y1 - y0) * (H - 2 * PAD)
+
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}">',
+           '<rect width="100%" height="100%" fill="white"/>',
+           f'<text x="{W/2}" y="24" text-anchor="middle" font-family="sans-serif" '
+           f'font-size="16">{title}</text>',
+           f'<line x1="{PAD}" y1="{H-PAD}" x2="{W-PAD}" y2="{H-PAD}" stroke="black"/>',
+           f'<line x1="{PAD}" y1="{PAD}" x2="{PAD}" y2="{H-PAD}" stroke="black"/>',
+           f'<text x="{W/2}" y="{H-16}" text-anchor="middle" '
+           f'font-family="sans-serif" font-size="12">{xlabel}'
+           f'{" (log)" if log_x else ""}</text>']
+    for idx, (name, pts) in enumerate(series):
+        color = COLORS[idx % len(COLORS)]
+        pts = [p for p in pts if p[1] > 0]
+        if not pts:
+            continue
+        path = " ".join(f"{'M' if i == 0 else 'L'}{px(x):.1f},{py(y):.1f}"
+                        for i, (x, y) in enumerate(pts))
+        out.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            out.append(f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" fill="{color}"/>')
+        out.append(f'<rect x="{W-PAD-150}" y="{PAD + 18*idx}" width="12" height="12" fill="{color}"/>')
+        out.append(f'<text x="{W-PAD-132}" y="{PAD + 18*idx + 11}" '
+                   f'font-family="sans-serif" font-size="12">{name}</text>')
+    # Axis extremes.
+    for frac in (0.0, 0.5, 1.0):
+        vx = x0 + frac * (x1 - x0)
+        vy = y0 + frac * (y1 - y0)
+        lx = 10 ** vx if log_x else vx
+        ly = 10 ** vy if log_y else vy
+        out.append(f'<text x="{PAD + frac*(W-2*PAD)}" y="{H-PAD+16}" text-anchor="middle" '
+                   f'font-family="sans-serif" font-size="11">{lx:g}</text>')
+        out.append(f'<text x="{PAD-8}" y="{H-PAD - frac*(H-2*PAD) + 4}" text-anchor="end" '
+                   f'font-family="sans-serif" font-size="11">{ly:g}</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def columns_as_series(header, rows, x_col, y_cols):
+    series = []
+    for col in y_cols:
+        ci = header.index(col)
+        xi = header.index(x_col)
+        pts = []
+        for r in rows:
+            x, y = numeric(r[xi]), numeric(r[ci])
+            if x is not None and y is not None:
+                pts.append((x, y))
+        series.append((col, pts))
+    return series
+
+
+def main():
+    results = sys.argv[1] if len(sys.argv) > 1 else "results"
+    charts = [
+        ("fig6_num_gpus.csv", "Fig. 6 — QR time vs size by GPU count",
+         "size", ["1GPU_ms", "2GPUs_ms", "3GPUs_ms"], False, False),
+        ("fig8_scalability.csv", "Fig. 8 — scalability (log-log)",
+         "size", ["cores=4(CPU)", "cores=516(+580)", "cores=2052(+680)",
+                  "cores=3588(+680)"], True, True),
+        ("fig9_main_selection.csv", "Fig. 9 — main device selection",
+         "size", ["GTX580(ours)", "GTX680", "None", "CPU"], True, False),
+        ("fig10_distribution.csv", "Fig. 10 — tile distribution",
+         "size", ["guide", "cores", "even", "block"], False, False),
+        ("fig5_comm_proportion.csv", "Fig. 5 — makespan and bus time",
+         "size", ["makespan_ms", "comm_ms"], False, False),
+    ]
+    made = 0
+    for fname, title, x_col, y_cols, log_y, log_x in charts:
+        path = os.path.join(results, fname)
+        if not os.path.exists(path):
+            print(f"skip {fname}: not found (run run_all_benches.sh)")
+            continue
+        header, rows = read_csv(path)
+        missing = [c for c in [x_col] + y_cols if c not in header]
+        if missing:
+            print(f"skip {fname}: columns missing {missing}")
+            continue
+        svg = svg_line_chart(title, x_col,
+                             columns_as_series(header, rows, x_col, y_cols),
+                             log_y=log_y, log_x=log_x)
+        if svg is None:
+            print(f"skip {fname}: no numeric data")
+            continue
+        out = os.path.join(results, fname.replace(".csv", ".svg"))
+        with open(out, "w") as f:
+            f.write(svg)
+        made += 1
+        print(f"wrote {out}")
+    print(f"{made} charts rendered")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every bench driver and captures text + CSV outputs under results/.
+# Usage: scripts/run_all_benches.sh [build-dir] [--quick]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+QUICK=""
+if [[ "${2:-}" == "--quick" || "${1:-}" == "--quick" ]]; then
+  QUICK="--quick"
+  [[ "${1:-}" == "--quick" ]] && BUILD_DIR="build"
+fi
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$REPO_DIR/results"
+mkdir -p "$OUT_DIR"
+
+BENCHES=(
+  fig4_kernel_times
+  table1_step_counts
+  fig5_comm_proportion
+  fig6_num_gpus
+  table3_num_devices
+  fig8_scalability
+  fig9_main_selection
+  fig10_distribution
+  ablate_elimination
+  ablate_guide_order
+  ablate_cost_model
+  ablate_scheduling
+  ablate_robustness
+  ablate_tile_size
+  ablate_dynamic
+  extension_multinode
+  extension_choleskyqr
+  extension_spd_solve
+)
+
+SUMMARY="$OUT_DIR/bench_full.txt"
+: > "$SUMMARY"
+for b in "${BENCHES[@]}"; do
+  bin="$REPO_DIR/$BUILD_DIR/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $b (not built)" | tee -a "$SUMMARY"
+    continue
+  fi
+  echo "=== $b ===" | tee -a "$SUMMARY"
+  # Every driver accepts --csv; quick flag where supported.
+  "$bin" $QUICK --csv "$OUT_DIR/$b.csv" >> "$SUMMARY" 2>&1 || {
+    echo "($b exited nonzero)" >> "$SUMMARY"
+  }
+done
+
+echo "wrote $SUMMARY and per-bench CSVs in $OUT_DIR/"

@@ -1,0 +1,105 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace tqr {
+
+Cli& Cli::flag(const std::string& name, const std::string& help,
+               const std::string& default_value) {
+  specs_[name] = Spec{help, default_value};
+  return *this;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  bool want_help = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      want_help = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name, value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      // A following token that is not itself a flag is this flag's value.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (specs_.find(name) == specs_.end())
+      throw InvalidArgument("unknown flag --" + name);
+    values_[name] = value;
+  }
+  if (want_help) {
+    std::printf("usage: %s [flags]\n", program_.c_str());
+    for (const auto& [name, spec] : specs_) {
+      std::printf("  --%-24s %s", name.c_str(), spec.help.c_str());
+      if (!spec.default_value.empty())
+        std::printf(" (default: %s)", spec.default_value.c_str());
+      std::printf("\n");
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Cli::has(const std::string& name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    auto comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoll(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace tqr

@@ -1,0 +1,50 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error by default so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tqr {
+
+class Cli {
+ public:
+  /// Registers a flag with a help string and a default rendered in --help.
+  /// Call before parse(). Returns *this for chaining.
+  Cli& flag(const std::string& name, const std::string& help,
+            const std::string& default_value = "");
+
+  /// Parses argv. Throws tqr::InvalidArgument on unknown or malformed flags.
+  /// If --help is present, prints usage and returns false.
+  bool parse(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Parses a comma-separated list of integers ("160,320,480").
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string default_value;
+  };
+  std::string program_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tqr

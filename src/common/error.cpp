@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tqr::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "tqr internal assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg.c_str());
+  std::abort();
+}
+
+void check_fail(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "tqr check failed at %s:%d: %s\n", file, line,
+               msg.c_str());
+}
+
+}  // namespace tqr::detail

@@ -1,0 +1,60 @@
+// Error handling for the tiledqr library.
+//
+// Library-level contract violations throw tqr::Error (callers can recover);
+// internal invariant failures abort via TQR_ASSERT so that a broken scheduler
+// or kernel never silently produces wrong numerics.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tqr {
+
+/// Base exception for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes dimensions/arguments that violate a kernel or
+/// driver precondition (e.g. non-square tile where a square one is required).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a configuration cannot be satisfied by the platform
+/// (e.g. requesting more devices than exist).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+void check_fail(const char* file, int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace tqr
+
+/// Internal invariant; aborts on failure. Always on (cheap predicates only on
+/// hot paths; heavy checks belong behind TQR_ASSERT_HEAVY).
+#define TQR_ASSERT(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) ::tqr::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Precondition on user-supplied arguments; throws tqr::InvalidArgument.
+#define TQR_REQUIRE(expr, msg)                                   \
+  do {                                                           \
+    if (!(expr)) throw ::tqr::InvalidArgument(msg);              \
+  } while (0)
+
+#ifdef TQR_ENABLE_HEAVY_ASSERTS
+#define TQR_ASSERT_HEAVY(expr, msg) TQR_ASSERT(expr, msg)
+#else
+#define TQR_ASSERT_HEAVY(expr, msg) \
+  do {                              \
+  } while (0)
+#endif

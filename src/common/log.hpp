@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Verbosity is a process-global set once at startup (benches/examples expose
+// a --verbose flag). Hot paths must guard with tqr::log_enabled() so message
+// formatting is skipped entirely when the level is off.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tqr {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global verbosity. Messages above this level are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// Emits one line, prefixed with the level tag. Thread-safe.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_enabled(LogLevel::kError))
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_enabled(LogLevel::kWarn))
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_enabled(LogLevel::kInfo))
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_enabled(LogLevel::kDebug))
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace tqr

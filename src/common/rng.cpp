@@ -1,0 +1,68 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tqr {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0,1) with full double resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  if (n == 0) return 0;
+  const std::uint64_t threshold = -n % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::next_gaussian() {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  // Mix the current state with the stream id through splitmix64 so streams
+  // derived from the same parent are decorrelated.
+  std::uint64_t mix = s_[0] ^ (0x6a09e667f3bcc909ULL + stream);
+  std::uint64_t seed = splitmix64(mix) ^ rotl(s_[3], 13) ^ (stream * 0x9e3779b97f4a7c15ULL);
+  return Rng(seed);
+}
+
+}  // namespace tqr

@@ -1,0 +1,51 @@
+// ASCII table and CSV emitters used by every bench binary to print the
+// rows/series the paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tqr {
+
+/// Column-aligned ASCII table. Cells are strings; add_row with numeric
+/// convenience overloads lives on the caller side via format helpers below.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+  /// Renders as CSV (header + rows), for machine consumption.
+  std::string to_csv() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Writes CSV to a path; creates/truncates. Throws tqr::Error on I/O error.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming to a compact form.
+std::string fmt(double value, int precision = 3);
+
+/// Formats an integer.
+std::string fmt(std::int64_t value);
+inline std::string fmt(int value) { return fmt(static_cast<std::int64_t>(value)); }
+inline std::string fmt(std::size_t value) {
+  return fmt(static_cast<std::int64_t>(value));
+}
+
+/// Renders a simple horizontal bar of width proportional to fraction in
+/// [0,1]; used for in-terminal "figures".
+std::string bar(double fraction, int width = 40);
+
+}  // namespace tqr

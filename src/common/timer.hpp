@@ -1,0 +1,28 @@
+// Wall-clock timing helpers for benches and the real runtime.
+#pragma once
+
+#include <chrono>
+
+namespace tqr {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tqr

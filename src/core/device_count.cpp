@@ -1,0 +1,115 @@
+#include "core/device_count.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/guide_array.hpp"
+
+namespace tqr::core {
+
+DeviceCountChoice select_device_count(
+    const std::vector<DeviceProfile>& profiles, const sim::CommModel& comm,
+    int main_device, std::int64_t m, std::int64_t n, int tile_size,
+    int element_bytes) {
+  // Single-node view: wrap the comm model into a one-node platform shell.
+  sim::Platform shell;
+  shell.devices.resize(profiles.size());
+  shell.comm = comm;
+  return select_device_count(profiles, shell, main_device, m, n, tile_size,
+                             element_bytes);
+}
+
+DeviceCountChoice select_device_count(
+    const std::vector<DeviceProfile>& profiles, const sim::Platform& platform,
+    int main_device, std::int64_t m, std::int64_t n, int tile_size,
+    int element_bytes) {
+  TQR_REQUIRE(!profiles.empty(), "need at least one device");
+  DeviceCountChoice choice;
+
+  // Order by update speed descending, main first.
+  std::vector<const DeviceProfile*> ordered;
+  const DeviceProfile* main_profile = nullptr;
+  for (const auto& p : profiles) {
+    if (p.device == main_device)
+      main_profile = &p;
+    else
+      ordered.push_back(&p);
+  }
+  TQR_REQUIRE(main_profile != nullptr, "main device not in profiles");
+  std::sort(ordered.begin(), ordered.end(),
+            [](const DeviceProfile* a, const DeviceProfile* b) {
+              return a->update_throughput > b->update_throughput;
+            });
+  ordered.insert(ordered.begin(), main_profile);
+  for (const auto* p : ordered) choice.ordered_devices.push_back(p->device);
+
+  const double t_tiles = static_cast<double>(m);
+  const double e_tiles = static_cast<double>(m);
+  const double u_tiles = static_cast<double>(m) * (n - 1);  // per update class
+  const double tile_elems = static_cast<double>(tile_size) * tile_size;
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int p = 1; p <= static_cast<int>(ordered.size()); ++p) {
+    // Update shares among the prefix, by the same integer ratios the guide
+    // array would use.
+    std::vector<double> thr(p);
+    for (int i = 0; i < p; ++i) thr[i] = ordered[i]->update_throughput;
+    const std::vector<std::int64_t> ratios = integer_ratio(thr);
+    double ratio_sum = 0;
+    for (std::int64_t r : ratios) ratio_sum += static_cast<double>(r);
+
+    // Eq. 10: max over devices of their per-device operation time.
+    double top = 0;
+    for (int i = 0; i < p; ++i) {
+      const double share =
+          ratio_sum > 0 ? static_cast<double>(ratios[i]) / ratio_sum : 0;
+      const double update_time =
+          share * u_tiles *
+          (ordered[i]->amortized.ut + ordered[i]->amortized.ue);
+      double dev_time = update_time;
+      if (i == 0) {
+        dev_time += t_tiles * main_profile->amortized.t +
+                    e_tiles * main_profile->amortized.e;
+      }
+      top = std::max(top, dev_time);
+    }
+
+    // Eq. 11 with our link model. Each non-main participant pays the
+    // per-iteration sync overhead, pulls the 3 M T^2 update elements per
+    // panel (~2M coalesced transfers: one per UT pull, one per UE pull);
+    // with p >= 2 the next panel column ((M-1) tiles) returns to the main
+    // device, which pays its own sync.
+    double tcomm = 0;
+    const double elem_bytes = static_cast<double>(element_bytes);
+    for (int i = 1; i < p; ++i) {
+      const sim::LinkParams link =
+          platform.link(main_device, ordered[i]->device);
+      tcomm += link.sync_overhead_us * 1e-6 +
+               2.0 * static_cast<double>(m) * link.latency_us * 1e-6 +
+               3.0 * static_cast<double>(m) * tile_elems * elem_bytes /
+                   (link.gbytes_per_s * 1e9);
+    }
+    if (p >= 2) {
+      // Next panel column returns to the main device from its owner (a
+      // non-main participant; use the second list entry as representative).
+      const sim::LinkParams link =
+          platform.link(ordered[1]->device, main_device);
+      tcomm += link.sync_overhead_us * 1e-6 +
+               static_cast<double>(m - 1) * link.latency_us * 1e-6 +
+               static_cast<double>(m - 1) * tile_elems * elem_bytes /
+                   (link.gbytes_per_s * 1e9);
+    }
+
+    choice.predicted_top.push_back(top);
+    choice.predicted_tcomm.push_back(tcomm);
+    choice.predicted_time.push_back(top + tcomm);
+    if (top + tcomm < best) {
+      best = top + tcomm;
+      choice.chosen_p = p;
+    }
+  }
+  return choice;
+}
+
+}  // namespace tqr::core

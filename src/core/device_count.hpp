@@ -1,0 +1,57 @@
+// Number-of-devices optimization — Algorithm 3 / Eq. 10–11 of the paper.
+//
+// Devices are ordered by descending update speed with the main device moved
+// to the head. For each prefix length p the optimizer estimates the first
+// panel iteration's cost T(p) = Top(p) + Tcomm(p):
+//
+//   Top(p)   = max over participating devices of their per-device work:
+//              the main device runs all T and E plus its update share; the
+//              others run their update shares (Eq. 10);
+//   Tcomm(p) = per extra device, the update matrices produced by T and E
+//              (3 M T^2 elements) plus the next panel column
+//              ((M-1) T^2 elements) crossing the bus (Eq. 11). Our link
+//              model adds the per-transfer latency the DES charges, with
+//              one coalesced transfer per eliminated row.
+//
+// Both terms scale with the tile counts of every later iteration the same
+// way, so the argmin over the first iteration picks the argmin over the
+// whole run — the paper's argument verbatim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/step_profile.hpp"
+#include "sim/platform.hpp"
+
+namespace tqr::core {
+
+struct DeviceCountChoice {
+  /// Device ids ordered: main first, then descending update speed.
+  std::vector<int> ordered_devices;
+  /// Predicted T(p) seconds for p = 1..N (index p-1).
+  std::vector<double> predicted_time;
+  std::vector<double> predicted_top;
+  std::vector<double> predicted_tcomm;
+  /// argmin p (number of participating devices, 1-based).
+  int chosen_p = 1;
+};
+
+/// Runs the optimizer for an m x n tile-grid first iteration.
+/// `main_device` must be one of the profiled devices. Update shares within
+/// a prefix follow the integer-ratio distribution of Algorithm 4.
+/// This overload assumes every device pair shares the intra-node link.
+DeviceCountChoice select_device_count(
+    const std::vector<DeviceProfile>& profiles, const sim::CommModel& comm,
+    int main_device, std::int64_t m, std::int64_t n, int tile_size,
+    int element_bytes);
+
+/// Link-aware overload: per Eq. 11 the transfer term uses speed(m, i), the
+/// link between the main device and each participant — on a multi-node
+/// platform a cross-node participant pays the inter-node network cost.
+DeviceCountChoice select_device_count(
+    const std::vector<DeviceProfile>& profiles, const sim::Platform& platform,
+    int main_device, std::int64_t m, std::int64_t n, int tile_size,
+    int element_bytes);
+
+}  // namespace tqr::core

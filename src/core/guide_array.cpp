@@ -1,0 +1,107 @@
+#include "core/guide_array.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace tqr::core {
+
+std::vector<std::int64_t> integer_ratio(const std::vector<double>& throughputs,
+                                        int quantum) {
+  TQR_REQUIRE(!throughputs.empty(), "integer_ratio: empty input");
+  TQR_REQUIRE(quantum >= 1, "integer_ratio: quantum must be >= 1");
+  double max_thr = 0;
+  for (double t : throughputs) {
+    TQR_REQUIRE(t > 0, "integer_ratio: throughputs must be positive");
+    max_thr = std::max(max_thr, t);
+  }
+  std::vector<std::int64_t> ratios(throughputs.size());
+  for (std::size_t i = 0; i < throughputs.size(); ++i)
+    ratios[i] = static_cast<std::int64_t>(
+        std::llround(throughputs[i] / max_thr * quantum));
+
+  std::int64_t g = 0;
+  for (std::int64_t r : ratios) g = std::gcd(g, r);
+  if (g > 1)
+    for (std::int64_t& r : ratios) r /= g;
+  return ratios;
+}
+
+std::vector<int> generate_guide_array(std::vector<std::int64_t> ratios) {
+  std::int64_t total = 0;
+  for (std::int64_t r : ratios) {
+    TQR_REQUIRE(r >= 0, "guide array ratios must be non-negative");
+    total += r;
+  }
+  TQR_REQUIRE(total > 0, "guide array needs at least one positive ratio");
+  std::vector<int> guide;
+  guide.reserve(static_cast<std::size_t>(total));
+  for (std::int64_t n = 0; n < total; ++n) {
+    // Paper's find_maximum_ratio_value(): first index holding the max.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < ratios.size(); ++i)
+      if (ratios[i] > ratios[best]) best = i;
+    guide.push_back(static_cast<int>(best));
+    --ratios[best];
+  }
+  return guide;
+}
+
+std::vector<int> distribute_columns(const std::vector<int>& guide_array,
+                                    std::int64_t num_columns) {
+  TQR_REQUIRE(!guide_array.empty(), "empty guide array");
+  std::vector<int> owner(num_columns);
+  if (num_columns == 0) return owner;
+  owner[0] = 0;  // main device: first panel is pure T/E (Eq. 12 exception)
+  for (std::int64_t i = 1; i < num_columns; ++i)
+    owner[i] = guide_array[i % guide_array.size()];
+  return owner;
+}
+
+std::vector<int> distribute_columns_even(int num_participants,
+                                         std::int64_t num_columns) {
+  TQR_REQUIRE(num_participants > 0, "need at least one participant");
+  std::vector<int> owner(num_columns);
+  if (num_columns == 0) return owner;
+  owner[0] = 0;
+  for (std::int64_t i = 1; i < num_columns; ++i)
+    owner[i] = static_cast<int>(i % num_participants);
+  return owner;
+}
+
+std::vector<int> distribute_columns_by_cores(const std::vector<int>& cores,
+                                             std::int64_t num_columns) {
+  std::vector<std::int64_t> ratios(cores.begin(), cores.end());
+  std::int64_t g = 0;
+  for (std::int64_t r : ratios) g = std::gcd(g, r);
+  if (g > 1)
+    for (std::int64_t& r : ratios) r /= g;
+  return distribute_columns(generate_guide_array(std::move(ratios)),
+                            num_columns);
+}
+
+std::vector<int> distribute_columns_block(
+    const std::vector<std::int64_t>& ratios, std::int64_t num_columns) {
+  std::int64_t total = 0;
+  for (std::int64_t r : ratios) total += r;
+  TQR_REQUIRE(total > 0, "block distribution needs positive ratios");
+  std::vector<int> owner(num_columns);
+  if (num_columns == 0) return owner;
+  owner[0] = 0;
+  std::int64_t next = 1;
+  for (std::size_t d = 0; d < ratios.size(); ++d) {
+    // Last device absorbs rounding remainder.
+    std::int64_t width =
+        (d + 1 == ratios.size())
+            ? num_columns - next
+            : (num_columns - 1) * ratios[d] / total;
+    for (std::int64_t c = 0; c < width && next < num_columns; ++c)
+      owner[next++] = static_cast<int>(d);
+  }
+  while (next < num_columns) owner[next++] = static_cast<int>(ratios.size()) - 1;
+  return owner;
+}
+
+}  // namespace tqr::core

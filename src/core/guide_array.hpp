@@ -1,0 +1,48 @@
+// Distribution guide array — Algorithm 4 and Eq. 12 of the paper.
+//
+// Update work is distributed by whole tile columns. Each participating
+// device gets an integer ratio proportional to the number of tiles it can
+// update per unit time; the ratios are expanded into a cyclic "guide array"
+// by repeatedly emitting the device with the largest remaining ratio
+// (largest-first so a truncated final cycle favors fast devices). Column i
+// is owned by guide[i mod len]; column 0 always goes to the main device
+// since its only work is T/E.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/step_profile.hpp"
+
+namespace tqr::core {
+
+/// Integer ratio from update throughputs. Throughputs are scaled so the
+/// fastest device maps to `quantum` and rounded; zero-rounded devices drop
+/// out of the update distribution (the paper's CPU effectively receives no
+/// columns on its testbed). The result is reduced by its gcd.
+/// `throughputs[i]` must be > 0; returns one ratio per input.
+std::vector<std::int64_t> integer_ratio(const std::vector<double>& throughputs,
+                                        int quantum = 12);
+
+/// Expands ratios into the cyclic guide array (indices into the ratio
+/// vector), paper Algorithm 4: repeatedly pick the first entry holding the
+/// maximum remaining ratio. Example: ratios {2, 3, 1} -> {1, 0, 1, 0, 1, 2}.
+std::vector<int> generate_guide_array(std::vector<std::int64_t> ratios);
+
+/// Column-to-participant assignment for `num_columns` tile columns:
+/// owner[0] = 0 (the main device is participants[0] by convention),
+/// owner[i] = guide[i % len]. Values index the participant list.
+std::vector<int> distribute_columns(const std::vector<int>& guide_array,
+                                    std::int64_t num_columns);
+
+/// Baseline distributions for the Fig. 10 comparison. Both return
+/// per-column participant indices with column 0 pinned to participant 0.
+std::vector<int> distribute_columns_even(int num_participants,
+                                         std::int64_t num_columns);
+std::vector<int> distribute_columns_by_cores(const std::vector<int>& cores,
+                                             std::int64_t num_columns);
+/// Ablation: contiguous blocks sized by ratio instead of cyclic.
+std::vector<int> distribute_columns_block(
+    const std::vector<std::int64_t>& ratios, std::int64_t num_columns);
+
+}  // namespace tqr::core

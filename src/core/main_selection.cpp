@@ -1,0 +1,74 @@
+#include "core/main_selection.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace tqr::core {
+
+MainSelection select_main_device(const std::vector<DeviceProfile>& profiles,
+                                 std::int64_t m, std::int64_t n) {
+  TQR_REQUIRE(!profiles.empty(), "need at least one device");
+  MainSelection sel;
+  if (profiles.size() == 1) {
+    sel.main_device = profiles[0].device;
+    sel.candidates.push_back(profiles[0].device);
+    return sel;
+  }
+
+  const double t_tiles = static_cast<double>(m);           // Table I: T = M
+  const double e_tiles = static_cast<double>(m);           // Table I: E = M
+  const double u_tiles = static_cast<double>(m) * (n - 1);  // UT = UE
+
+  for (const DeviceProfile& cand : profiles) {
+    // Others' saturated throughput for each update class, tiles/s.
+    double ut_rate = 0, ue_rate = 0;
+    for (const DeviceProfile& other : profiles) {
+      if (other.device == cand.device) continue;
+      ut_rate += 1.0 / other.amortized.ut;
+      ue_rate += 1.0 / other.amortized.ue;
+    }
+    if (ut_rate <= 0 || ue_rate <= 0) continue;
+    // Batch times honor the candidate's real concurrency: a panel of M
+    // tiles cannot use more than M kernel slots.
+    const double t_time = cand.batch_time_s(t_tiles, cand.kernel.t);
+    const double e_time = cand.batch_time_s(e_tiles, cand.kernel.e);
+    const double others_ue = u_tiles / ue_rate;
+    const double others_ut = u_tiles / ut_rate;
+    // Algorithm 2: can_finish_T_before_UE && can_finish_E_before_UT.
+    if (t_time <= others_ue && e_time <= others_ut)
+      sel.candidates.push_back(cand.device);
+  }
+
+  if (sel.candidates.empty()) {
+    // No device keeps up; degrade to the fastest T+E device so the
+    // factorization still runs (the paper does not hit this case on its
+    // testbed; tiny grids do). Tiny panels are latency-bound, so compare
+    // single-kernel times, not saturated amortized times.
+    sel.fallback = true;
+    double best = std::numeric_limits<double>::infinity();
+    for (const DeviceProfile& p : profiles) {
+      const double te = p.kernel.t + p.kernel.e;
+      if (te < best) {
+        best = te;
+        sel.main_device = p.device;
+      }
+    }
+    return sel;
+  }
+
+  // find_minimum_speed_device_id(): slowest *updater* among candidates.
+  double min_speed = std::numeric_limits<double>::infinity();
+  for (int c : sel.candidates) {
+    for (const DeviceProfile& p : profiles) {
+      if (p.device != c) continue;
+      if (p.update_throughput < min_speed) {
+        min_speed = p.update_throughput;
+        sel.main_device = c;
+      }
+    }
+  }
+  return sel;
+}
+
+}  // namespace tqr::core

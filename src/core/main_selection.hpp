@@ -1,0 +1,29 @@
+// Main computing device selection — Algorithm 2 of the paper.
+//
+// The main computing device executes every triangulation (T) and elimination
+// (E); the others run updates, whose inputs all depend on the main device's
+// output. A device is a *candidate* if it can finish the panel's T work
+// before the remaining devices finish their UE share, and its E work before
+// their UT share (first-iteration estimate on an M x N tile grid, Table I
+// counts). Among candidates the paper picks the one with *minimum* update
+// speed: fast updaters are worth more doing updates.
+#pragma once
+
+#include <vector>
+
+#include "core/step_profile.hpp"
+
+namespace tqr::core {
+
+struct MainSelection {
+  int main_device = -1;
+  std::vector<int> candidates;  // device ids that passed both checks
+  /// True when no device passed and we fell back to the fastest T+E device.
+  bool fallback = false;
+};
+
+/// Selects the main device for a first iteration over an m x n tile grid.
+MainSelection select_main_device(const std::vector<DeviceProfile>& profiles,
+                                 std::int64_t m, std::int64_t n);
+
+}  // namespace tqr::core

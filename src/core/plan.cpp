@@ -1,0 +1,156 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tqr::core {
+
+Plan::Plan(const sim::Platform& platform, std::int32_t mt, std::int32_t nt,
+           const PlanConfig& config)
+    : config_(config), mt_(mt), nt_(nt) {
+  TQR_REQUIRE(mt > 0 && nt > 0, "plan needs a non-empty tile grid");
+  const int ndev = platform.num_devices();
+  TQR_REQUIRE(ndev > 0, "plan needs at least one device");
+
+  const std::vector<DeviceProfile> profiles =
+      profile_platform(platform, config.tile_size, config.elim);
+
+  // --- Main device (Algorithm 2 or override). ---
+  switch (config.main_policy) {
+    case MainPolicy::kAuto:
+      main_selection_ = select_main_device(profiles, mt, nt);
+      main_device_ = main_selection_.main_device;
+      break;
+    case MainPolicy::kFixed:
+      if (config.fixed_main < 0 || config.fixed_main >= ndev)
+        throw ConfigError("fixed_main out of range");
+      main_device_ = config.fixed_main;
+      break;
+    case MainPolicy::kNone:
+      // Every participant triangulates/eliminates its own columns; the
+      // "main" slot in the ordered list is the best T/E device so that
+      // device-count ordering stays sensible.
+      main_selection_ = select_main_device(profiles, mt, nt);
+      main_device_ = main_selection_.main_device;
+      break;
+  }
+
+  // --- Number of devices (Algorithm 3 or override). ---
+  count_choice_ = select_device_count(profiles, platform, main_device_, mt,
+                                      nt, config.tile_size,
+                                      config.element_bytes);
+  int p = count_choice_.chosen_p;
+  switch (config.count_policy) {
+    case CountPolicy::kAuto:
+      break;
+    case CountPolicy::kFixed:
+      if (config.fixed_count < 1 ||
+          config.fixed_count > static_cast<int>(
+                                   count_choice_.ordered_devices.size()))
+        throw ConfigError("fixed_count out of range");
+      p = config.fixed_count;
+      break;
+    case CountPolicy::kAll:
+      p = static_cast<int>(count_choice_.ordered_devices.size());
+      break;
+  }
+  participants_.assign(count_choice_.ordered_devices.begin(),
+                       count_choice_.ordered_devices.begin() + p);
+
+  // --- Column distribution (Algorithm 4 or baseline). ---
+  std::vector<double> thr;
+  std::vector<int> cores;
+  for (int dev : participants_) {
+    for (const auto& prof : profiles)
+      if (prof.device == dev) thr.push_back(prof.update_throughput);
+    cores.push_back(platform.device(dev).cores);
+  }
+  switch (config.dist_policy) {
+    case DistPolicy::kGuideArray:
+      ratios_ = integer_ratio(thr);
+      guide_array_ = generate_guide_array(ratios_);
+      column_owner_ = distribute_columns(guide_array_, nt);
+      break;
+    case DistPolicy::kCoresProportional: {
+      column_owner_ = distribute_columns_by_cores(cores, nt);
+      ratios_.assign(cores.begin(), cores.end());
+      break;
+    }
+    case DistPolicy::kEven:
+      column_owner_ =
+          distribute_columns_even(static_cast<int>(participants_.size()), nt);
+      ratios_.assign(participants_.size(), 1);
+      break;
+    case DistPolicy::kBlock:
+      ratios_ = integer_ratio(thr);
+      column_owner_ = distribute_columns_block(ratios_, nt);
+      break;
+  }
+
+  // Guard: every device with at least one positive ratio appears; a device
+  // whose ratio rounded to zero simply receives no update columns, which is
+  // the paper's observed CPU behaviour.
+  TQR_ASSERT(static_cast<std::int64_t>(column_owner_.size()) == nt,
+             "column owner table size mismatch");
+  for (int owner : column_owner_)
+    TQR_ASSERT(owner >= 0 && owner < static_cast<int>(participants_.size()),
+               "column owner out of range");
+}
+
+std::vector<std::uint8_t> Plan::assignment(const dag::TaskGraph& graph) const {
+  std::vector<std::uint8_t> out(graph.size());
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
+    out[t] = static_cast<std::uint8_t>(device_for(graph.task(t)));
+  return out;
+}
+
+std::vector<Plan::MemoryEstimate> Plan::memory_estimates(
+    const sim::Platform& platform) const {
+  const std::size_t tile_bytes =
+      static_cast<std::size_t>(config_.tile_size) * config_.tile_size *
+      config_.element_bytes;
+  std::vector<MemoryEstimate> out;
+  for (std::size_t g = 0; g < participants_.size(); ++g) {
+    std::size_t owned_cols = 0;
+    for (int owner : column_owner_) owned_cols += (owner == static_cast<int>(g));
+    // Resident: owned columns of tiles. Transient: the current panel's
+    // reflector tiles and their two block-reflector planes (3 * mt tiles);
+    // the main device additionally stages the incoming next panel column.
+    std::size_t tiles = owned_cols * static_cast<std::size_t>(mt_) +
+                        3u * static_cast<std::size_t>(mt_);
+    if (g == 0) tiles += static_cast<std::size_t>(mt_);
+    MemoryEstimate est;
+    est.device = participants_[g];
+    est.bytes_needed = tiles * tile_bytes;
+    est.capacity = platform.device(participants_[g]).mem_bytes;
+    est.fits = est.bytes_needed <= est.capacity;
+    out.push_back(est);
+  }
+  return out;
+}
+
+bool Plan::fits_in_memory(const sim::Platform& platform) const {
+  for (const MemoryEstimate& est : memory_estimates(platform))
+    if (!est.fits) return false;
+  return true;
+}
+
+std::string Plan::summary(const sim::Platform& platform) const {
+  std::ostringstream os;
+  os << "plan: main=" << platform.device(main_device_).name << " participants=[";
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    if (i) os << ", ";
+    os << platform.device(participants_[i]).name;
+  }
+  os << "] ratios=[";
+  for (std::size_t i = 0; i < ratios_.size(); ++i) {
+    if (i) os << ":";
+    os << ratios_[i];
+  }
+  os << "] grid=" << mt_ << "x" << nt_ << " b=" << config_.tile_size;
+  return os.str();
+}
+
+}  // namespace tqr::core

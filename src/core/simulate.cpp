@@ -1,0 +1,33 @@
+#include "core/simulate.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::core {
+
+sim::SimResult simulate_on_graph(const dag::TaskGraph& graph, const Plan& plan,
+                                 const sim::Platform& platform) {
+  sim::SimOptions opts;
+  opts.tile_size = plan.config().tile_size;
+  opts.element_bytes = plan.config().element_bytes;
+  // Assignment routes device ids directly (participants hold device ids).
+  std::vector<std::uint8_t> assignment(graph.size());
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
+    assignment[t] =
+        static_cast<std::uint8_t>(plan.device_for(graph.task(t)));
+  return sim::simulate(graph, assignment, platform, plan.mt(), plan.nt(),
+                       opts);
+}
+
+SimRun simulate_tiled_qr(const sim::Platform& platform, std::int64_t rows,
+                         std::int64_t cols, const PlanConfig& config) {
+  TQR_REQUIRE(rows % config.tile_size == 0 && cols % config.tile_size == 0,
+              "matrix size must be a multiple of the tile size");
+  const auto mt = static_cast<std::int32_t>(rows / config.tile_size);
+  const auto nt = static_cast<std::int32_t>(cols / config.tile_size);
+  Plan plan(platform, mt, nt, config);
+  dag::TaskGraph graph = dag::build_tiled_qr_graph(mt, nt, config.elim);
+  sim::SimResult result = simulate_on_graph(graph, plan, platform);
+  return SimRun{std::move(plan), std::move(result)};
+}
+
+}  // namespace tqr::core

@@ -1,0 +1,27 @@
+// Convenience wrappers gluing plan -> graph -> discrete-event simulation.
+// Every bench driver goes through these.
+#pragma once
+
+#include "core/plan.hpp"
+#include "dag/tiled_qr_dag.hpp"
+#include "sim/des.hpp"
+
+namespace tqr::core {
+
+struct SimRun {
+  Plan plan;
+  sim::SimResult result;
+};
+
+/// Simulates a whole factorization of an (n x n elements) matrix under
+/// `config` on `platform`. Builds the graph internally.
+SimRun simulate_tiled_qr(const sim::Platform& platform, std::int64_t rows,
+                         std::int64_t cols, const PlanConfig& config);
+
+/// Simulates an existing graph under an existing plan (reuse the graph when
+/// sweeping policies over one geometry — graph construction dominates
+/// otherwise).
+sim::SimResult simulate_on_graph(const dag::TaskGraph& graph, const Plan& plan,
+                                 const sim::Platform& platform);
+
+}  // namespace tqr::core

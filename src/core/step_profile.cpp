@@ -1,0 +1,32 @@
+#include "core/step_profile.hpp"
+
+namespace tqr::core {
+
+std::vector<DeviceProfile> profile_platform(const sim::Platform& platform,
+                                            int b, dag::Elimination elim) {
+  std::vector<DeviceProfile> profiles;
+  profiles.reserve(platform.num_devices());
+  const dag::Op elim_op =
+      dag::uses_tt_kernels(elim) ? dag::Op::kTtqrt : dag::Op::kTsqrt;
+  const dag::Op ue_op =
+      dag::uses_tt_kernels(elim) ? dag::Op::kTtmqr : dag::Op::kTsmqr;
+  for (int d = 0; d < platform.num_devices(); ++d) {
+    const sim::DeviceSpec& spec = platform.device(d);
+    DeviceProfile p;
+    p.device = d;
+    p.slots = spec.slots;
+    p.kernel.t = spec.kernel_time_s(dag::Op::kGeqrt, b);
+    p.kernel.e = spec.kernel_time_s(elim_op, b);
+    p.kernel.ut = spec.kernel_time_s(dag::Op::kUnmqr, b);
+    p.kernel.ue = spec.kernel_time_s(ue_op, b);
+    p.amortized.t = p.kernel.t / spec.slots;
+    p.amortized.e = p.kernel.e / spec.slots;
+    p.amortized.ut = p.kernel.ut / spec.slots;
+    p.amortized.ue = p.kernel.ue / spec.slots;
+    p.update_throughput = 2.0 / (p.amortized.ut + p.amortized.ue);
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+}  // namespace tqr::core

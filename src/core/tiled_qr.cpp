@@ -1,0 +1,209 @@
+#include "core/tiled_qr.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::core {
+
+template <typename T>
+void execute_task(const dag::Task& task, la::TiledMatrix<T>& a,
+                  la::TiledMatrix<T>& tg, la::TiledMatrix<T>& te,
+                  la::index_t inner_block) {
+  using dag::Op;
+  switch (task.op) {
+    case Op::kGeqrt:
+      la::geqrt_ib<T>(a.tile(task.i, task.k), tg.tile(task.i, task.k),
+                      inner_block);
+      break;
+    case Op::kUnmqr:
+      la::unmqr_ib<T>(a.tile(task.i, task.k), tg.tile(task.i, task.k),
+                      a.tile(task.i, task.j), la::Trans::kTrans,
+                      inner_block);
+      break;
+    case Op::kTsqrt:
+      la::tsqrt_ib<T>(a.tile(task.p, task.k), a.tile(task.i, task.k),
+                      te.tile(task.i, task.k), inner_block);
+      break;
+    case Op::kTsmqr:
+      la::tsmqr_ib<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
+                      a.tile(task.p, task.j), a.tile(task.i, task.j),
+                      la::Trans::kTrans, inner_block);
+      break;
+    case Op::kTtqrt:
+      la::ttqrt<T>(a.tile(task.p, task.k), a.tile(task.i, task.k),
+                   te.tile(task.i, task.k));
+      break;
+    case Op::kTtmqr:
+      la::ttmqr<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
+                   a.tile(task.p, task.j), a.tile(task.i, task.j),
+                   la::Trans::kTrans);
+      break;
+    default:
+      TQR_ASSERT(false, "non-QR task routed to the QR driver");
+  }
+}
+
+template <typename T>
+TiledQrFactorization<T> TiledQrFactorization<T>::factor(
+    const la::Matrix<T>& a, int b, const Options& options) {
+  TQR_REQUIRE(a.rows() >= a.cols(), "tiled QR requires rows >= cols");
+  la::TiledMatrix<T> tiles = la::TiledMatrix<T>::from_dense(a, b);
+  la::TiledMatrix<T> tg(tiles.rows(), tiles.cols(), b);
+  la::TiledMatrix<T> te(tiles.rows(), tiles.cols(), b);
+  dag::TaskGraph graph = dag::build_tiled_qr_graph(
+      tiles.tile_rows(), tiles.tile_cols(), options.elim);
+
+  if (options.plan == nullptr) {
+    for (const dag::Task& task : graph.tasks())
+      execute_task<T>(task, tiles, tg, te, options.inner_block);
+  } else {
+    const Plan& plan = *options.plan;
+    TQR_REQUIRE(plan.mt() == tiles.tile_rows() &&
+                    plan.nt() == tiles.tile_cols(),
+                "plan grid does not match matrix");
+    // Device groups are the participants; route tasks with the plan and let
+    // the DAG executor enforce dependences.
+    const int groups = static_cast<int>(plan.participants().size());
+    // Map device id -> group index for routing.
+    std::vector<int> group_of(16, -1);
+    for (int g = 0; g < groups; ++g) group_of[plan.participants()[g]] = g;
+
+    runtime::DagExecutor::Options exec_opts;
+    exec_opts.num_devices = groups;
+    exec_opts.threads_per_device.assign(
+        groups, std::max(1, options.threads_per_device));
+    exec_opts.trace = options.trace;
+    runtime::DagExecutor::run(
+        graph,
+        [&](dag::task_id, const dag::Task& task) {
+          const int dev = plan.device_for(task);
+          const int g = group_of[dev];
+          TQR_ASSERT(g >= 0, "task routed to a non-participating device");
+          return g;
+        },
+        [&](dag::task_id, const dag::Task& task, int) {
+          execute_task<T>(task, tiles, tg, te, options.inner_block);
+        },
+        exec_opts);
+  }
+  return TiledQrFactorization<T>(std::move(tiles), std::move(tg),
+                                 std::move(te), std::move(graph),
+                                 options.elim, options.inner_block);
+}
+
+template <typename T>
+la::Matrix<T> TiledQrFactorization<T>::r() const {
+  const std::int32_t n = a_.cols();
+  la::Matrix<T> out(n, n);
+  for (std::int32_t j = 0; j < n; ++j)
+    for (std::int32_t i = 0; i <= j; ++i) out(i, j) = a_.at(i, j);
+  return out;
+}
+
+template <typename T>
+void TiledQrFactorization<T>::apply_q(la::MatrixView<T> c,
+                                      la::Trans trans) const {
+  TQR_REQUIRE(c.rows == a_.rows(), "apply_q: row mismatch");
+  const int b = a_.tile_size();
+  auto row_block = [&](std::int32_t i) {
+    return c.block(i * b, 0, b, c.cols);
+  };
+  auto apply_one = [&](const dag::Task& task) {
+    switch (task.op) {
+      case dag::Op::kGeqrt:
+        la::unmqr_ib<T>(a_.tile(task.i, task.k), tg_.tile(task.i, task.k),
+                        row_block(task.i), trans, inner_block_);
+        break;
+      case dag::Op::kTsqrt:
+        la::tsmqr_ib<T>(a_.tile(task.i, task.k), te_.tile(task.i, task.k),
+                        row_block(task.p), row_block(task.i), trans,
+                        inner_block_);
+        break;
+      case dag::Op::kTtqrt:
+        la::ttmqr<T>(a_.tile(task.i, task.k), te_.tile(task.i, task.k),
+                     row_block(task.p), row_block(task.i), trans);
+        break;
+      default:
+        break;  // update tasks carry no reflectors
+    }
+  };
+  const auto& tasks = graph_.tasks();
+  if (trans == la::Trans::kTrans) {
+    // Q^T = P_last ... P_first: forward replay.
+    for (const dag::Task& task : tasks) apply_one(task);
+  } else {
+    // Q = P_first^{-1} ... : reverse replay.
+    for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) apply_one(*it);
+  }
+}
+
+template <typename T>
+la::Matrix<T> TiledQrFactorization<T>::form_q() const {
+  la::Matrix<T> q = la::Matrix<T>::identity(a_.rows());
+  apply_q(q.view(), la::Trans::kNoTrans);
+  return q;
+}
+
+template <typename T>
+la::Matrix<T> TiledQrFactorization<T>::form_q_thin() const {
+  la::Matrix<T> q(a_.rows(), a_.cols());
+  for (std::int32_t i = 0; i < a_.cols(); ++i) q(i, i) = T(1);
+  apply_q(q.view(), la::Trans::kNoTrans);
+  return q;
+}
+
+template <typename T>
+la::Matrix<T> TiledQrFactorization<T>::solve_refined(
+    const la::Matrix<T>& a, const la::Matrix<T>& rhs, int iterations) const {
+  TQR_REQUIRE(a.rows() == a_.rows() && a.cols() == a_.cols(),
+              "solve_refined: matrix shape does not match the factorization");
+  la::Matrix<T> x = solve(rhs);
+  for (int it = 0; it < iterations; ++it) {
+    la::Matrix<T> resid = rhs;
+    la::gemm<T>(la::Trans::kNoTrans, la::Trans::kNoTrans, T(-1), a.view(),
+                x.view(), T(1), resid.view());
+    la::Matrix<T> dx = solve(resid);
+    for (std::int32_t j = 0; j < x.cols(); ++j)
+      for (std::int32_t i = 0; i < x.rows(); ++i) x(i, j) += dx(i, j);
+  }
+  return x;
+}
+
+template <typename T>
+la::Matrix<T> TiledQrFactorization<T>::solve(const la::Matrix<T>& rhs) const {
+  TQR_REQUIRE(rhs.rows() == a_.rows(), "solve: rhs row mismatch");
+  la::Matrix<T> qtb = rhs;
+  apply_q(qtb.view(), la::Trans::kTrans);
+  const std::int32_t n = a_.cols();
+  la::Matrix<T> x(n, rhs.cols());
+  la::copy<T>(qtb.block(0, 0, n, rhs.cols()), x.view());
+  la::Matrix<T> rr = r();
+  la::trsm_left<T>(la::UpLo::kUpper, la::Trans::kNoTrans, la::Diag::kNonUnit,
+                   rr.view(), x.view());
+  return x;
+}
+
+template <typename T>
+la::Matrix<T> qr_solve(const la::Matrix<T>& a, const la::Matrix<T>& b,
+                       int tile_size, dag::Elimination elim) {
+  typename TiledQrFactorization<T>::Options opts;
+  opts.elim = elim;
+  return TiledQrFactorization<T>::factor(a, tile_size, opts).solve(b);
+}
+
+// Explicit instantiations.
+template void execute_task<float>(const dag::Task&, la::TiledMatrix<float>&,
+                                  la::TiledMatrix<float>&,
+                                  la::TiledMatrix<float>&, la::index_t);
+template void execute_task<double>(const dag::Task&, la::TiledMatrix<double>&,
+                                   la::TiledMatrix<double>&,
+                                   la::TiledMatrix<double>&, la::index_t);
+template class TiledQrFactorization<float>;
+template class TiledQrFactorization<double>;
+template la::Matrix<float> qr_solve<float>(const la::Matrix<float>&,
+                                           const la::Matrix<float>&, int,
+                                           dag::Elimination);
+template la::Matrix<double> qr_solve<double>(const la::Matrix<double>&,
+                                             const la::Matrix<double>&, int,
+                                             dag::Elimination);
+
+}  // namespace tqr::core

@@ -1,0 +1,106 @@
+// Tiled QR factorization driver — the library's main functional entry point.
+//
+// TiledQrFactorization<T> owns the factored tile storage (the matrix tiles
+// plus the two block-reflector planes) and the task graph that produced it,
+// so Q can be re-applied by replaying the factor tasks. Factorization can
+// run sequentially (deterministic order) or on the host thread pool routed
+// exactly like the device schedule (runtime::DagExecutor + core::Plan),
+// which is how tests prove schedule-independence of the numerics.
+#pragma once
+
+#include <optional>
+
+#include "core/plan.hpp"
+#include "dag/graph.hpp"
+#include "dag/tiled_qr_dag.hpp"
+#include "la/checks.hpp"
+#include "la/kernels_ib.hpp"
+#include "la/tiled_matrix.hpp"
+#include "runtime/dag_executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace tqr::core {
+
+/// Executes one task against tile storage. Exposed so executors, tests, and
+/// the examples can drive custom schedules. inner_block > 0 uses the
+/// PLASMA-style ib-blocked kernels for the GEQRT/UNMQR/TS families.
+template <typename T>
+void execute_task(const dag::Task& task, la::TiledMatrix<T>& a,
+                  la::TiledMatrix<T>& tg, la::TiledMatrix<T>& te,
+                  la::index_t inner_block = 0);
+
+template <typename T>
+class TiledQrFactorization {
+ public:
+  struct Options {
+    dag::Elimination elim = dag::Elimination::kTt;
+    /// Inner blocking width for the tile kernels (0 = unblocked). Purely a
+    /// locality knob; the factorization is numerically valid either way.
+    la::index_t inner_block = 0;
+    /// When set, run on the host pool with this many slave threads per
+    /// participating device group, routed by `plan`; otherwise sequential.
+    const Plan* plan = nullptr;
+    int threads_per_device = 1;
+    runtime::Trace* trace = nullptr;
+  };
+
+  /// Factors `a` (rows >= cols, both multiples of b).
+  static TiledQrFactorization factor(const la::Matrix<T>& a, int b,
+                                     const Options& options = {});
+
+  std::int32_t rows() const { return a_.rows(); }
+  std::int32_t cols() const { return a_.cols(); }
+  int tile_size() const { return a_.tile_size(); }
+  dag::Elimination elimination() const { return elim_; }
+  la::index_t inner_block() const { return inner_block_; }
+  const dag::TaskGraph& graph() const { return graph_; }
+  const la::TiledMatrix<T>& tiles() const { return a_; }
+
+  /// The n x n upper-triangular R factor.
+  la::Matrix<T> r() const;
+
+  /// Applies Q (kNoTrans) or Q^T (kTrans) to c in place; c.rows == rows().
+  void apply_q(la::MatrixView<T> c, la::Trans trans) const;
+
+  /// Forms Q explicitly (m x m). Quadratic memory; intended for
+  /// verification and small problems.
+  la::Matrix<T> form_q() const;
+
+  /// Economy-size Q: the first n columns (m x n), enough for thin QR uses.
+  la::Matrix<T> form_q_thin() const;
+
+  /// Least-squares / linear solve via R^{-1} (Q^T b)(0:n).
+  la::Matrix<T> solve(const la::Matrix<T>& rhs) const;
+
+  /// solve() followed by `iterations` rounds of iterative refinement
+  /// (x += solve(rhs - A x)); needs the original matrix back. Worthwhile in
+  /// single precision or for ill-conditioned systems.
+  la::Matrix<T> solve_refined(const la::Matrix<T>& a,
+                              const la::Matrix<T>& rhs,
+                              int iterations = 1) const;
+
+ private:
+  TiledQrFactorization(la::TiledMatrix<T> a, la::TiledMatrix<T> tg,
+                       la::TiledMatrix<T> te, dag::TaskGraph graph,
+                       dag::Elimination elim, la::index_t inner_block)
+      : a_(std::move(a)),
+        tg_(std::move(tg)),
+        te_(std::move(te)),
+        graph_(std::move(graph)),
+        elim_(elim),
+        inner_block_(inner_block) {}
+
+  la::TiledMatrix<T> a_;
+  la::TiledMatrix<T> tg_;  // geqrt block-reflector factors
+  la::TiledMatrix<T> te_;  // elimination block-reflector factors
+  dag::TaskGraph graph_;
+  dag::Elimination elim_;
+  la::index_t inner_block_ = 0;
+};
+
+/// One-call convenience: QR-based least-squares solve of A x = b.
+template <typename T>
+la::Matrix<T> qr_solve(const la::Matrix<T>& a, const la::Matrix<T>& b, int
+                       tile_size, dag::Elimination elim = dag::Elimination::kTt);
+
+}  // namespace tqr::core

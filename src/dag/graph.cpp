@@ -1,0 +1,150 @@
+#include "dag/graph.hpp"
+
+#include <algorithm>
+#include <span>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tqr::dag {
+
+double TaskGraph::critical_path(
+    const std::function<double(const Task&)>& weight) const {
+  std::vector<double> finish(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (task_id t = 0; t < static_cast<task_id>(tasks_.size()); ++t) {
+    double start = 0.0;
+    for (auto it = predecessors_begin(t); it != predecessors_end(t); ++it)
+      start = std::max(start, finish[*it]);
+    finish[t] = start + weight(tasks_[t]);
+    best = std::max(best, finish[t]);
+  }
+  return best;
+}
+
+std::array<std::int64_t, 4> TaskGraph::step_counts() const {
+  std::array<std::int64_t, 4> counts{0, 0, 0, 0};
+  for (const auto& t : tasks_)
+    ++counts[static_cast<std::size_t>(step_of(t.op))];
+  return counts;
+}
+
+std::string TaskGraph::to_dot(std::size_t max_tasks) const {
+  TQR_REQUIRE(tasks_.size() <= max_tasks,
+              "graph too large for DOT export; raise max_tasks explicitly");
+  std::ostringstream os;
+  os << "digraph tiledqr {\n  rankdir=TB;\n";
+  for (task_id t = 0; t < static_cast<task_id>(tasks_.size()); ++t) {
+    os << "  t" << t << " [label=\"" << to_string(tasks_[t]) << "\"];\n";
+  }
+  for (task_id t = 0; t < static_cast<task_id>(tasks_.size()); ++t)
+    for (auto it = successors_begin(t); it != successors_end(t); ++it)
+      os << "  t" << t << " -> t" << *it << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool TaskGraph::validate() const {
+  const auto n = static_cast<task_id>(tasks_.size());
+  if (succ_offset_.size() != tasks_.size() + 1 ||
+      pred_offset_.size() != tasks_.size() + 1)
+    return false;
+  std::vector<std::int32_t> indeg(tasks_.size(), 0);
+  for (task_id t = 0; t < n; ++t) {
+    for (auto it = successors_begin(t); it != successors_end(t); ++it) {
+      if (*it <= t || *it >= n) return false;  // must respect topo order
+      ++indeg[*it];
+    }
+    for (auto it = predecessors_begin(t); it != predecessors_end(t); ++it)
+      if (*it >= t || *it < 0) return false;
+  }
+  for (task_id t = 0; t < n; ++t) {
+    if (indeg[t] != indegree_[t]) return false;
+    if (pred_offset_[t + 1] - pred_offset_[t] != indegree_[t]) return false;
+  }
+  return true;
+}
+
+TaskGraph::Builder::Builder(std::int32_t mt, std::int32_t nt)
+    : mt_(mt), nt_(nt) {
+  TQR_REQUIRE(mt > 0 && nt > 0, "tile grid must be non-empty");
+  const std::size_t n_resources = 4u * mt * nt;
+  last_writer_.assign(n_resources, -1);
+  readers_.assign(n_resources, {});
+}
+
+std::int32_t TaskGraph::Builder::resource(std::int32_t kind, std::int32_t i,
+                                          std::int32_t j) const {
+  TQR_ASSERT(i >= 0 && i < mt_ && j >= 0 && j < nt_, "resource out of range");
+  return (kind * mt_ + i) * nt_ + j;
+}
+
+task_id TaskGraph::Builder::add_task(const Task& task, const Access* accesses,
+                                     std::size_t count) {
+  const auto id = static_cast<task_id>(tasks_.size());
+  tasks_.push_back(task);
+
+  dep_scratch_.clear();
+  for (const Access& acc : std::span<const Access>(accesses, count)) {
+    const bool reads = acc.mode != Mode::kWrite;
+    const bool writes = acc.mode != Mode::kRead;
+    if (reads || writes) {
+      const task_id w = last_writer_[acc.resource];
+      if (w >= 0) dep_scratch_.push_back(w);  // RAW / WAW
+    }
+    if (writes) {
+      for (task_id r : readers_[acc.resource])
+        if (r != id) dep_scratch_.push_back(r);  // WAR
+    }
+  }
+  // Apply state updates after collecting deps so RW accesses do not
+  // self-depend.
+  for (const Access& acc : std::span<const Access>(accesses, count)) {
+    const bool reads = acc.mode != Mode::kWrite;
+    const bool writes = acc.mode != Mode::kRead;
+    if (writes) {
+      last_writer_[acc.resource] = id;
+      readers_[acc.resource].clear();
+    } else if (reads) {
+      readers_[acc.resource].push_back(id);
+    }
+  }
+
+  std::sort(dep_scratch_.begin(), dep_scratch_.end());
+  dep_scratch_.erase(std::unique(dep_scratch_.begin(), dep_scratch_.end()),
+                     dep_scratch_.end());
+  for (task_id d : dep_scratch_) edges_.emplace_back(d, id);
+  return id;
+}
+
+TaskGraph TaskGraph::Builder::build() && {
+  TaskGraph g;
+  g.tasks_ = std::move(tasks_);
+  const auto n = static_cast<task_id>(g.tasks_.size());
+
+  g.indegree_.assign(g.tasks_.size(), 0);
+  g.succ_offset_.assign(g.tasks_.size() + 1, 0);
+  g.pred_offset_.assign(g.tasks_.size() + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    ++g.succ_offset_[from + 1];
+    ++g.pred_offset_[to + 1];
+    ++g.indegree_[to];
+  }
+  for (task_id t = 0; t < n; ++t) {
+    g.succ_offset_[t + 1] += g.succ_offset_[t];
+    g.pred_offset_[t + 1] += g.pred_offset_[t];
+  }
+  g.succ_.resize(edges_.size());
+  g.pred_.resize(edges_.size());
+  std::vector<std::int64_t> sfill(g.succ_offset_.begin(),
+                                  g.succ_offset_.end() - 1);
+  std::vector<std::int64_t> pfill(g.pred_offset_.begin(),
+                                  g.pred_offset_.end() - 1);
+  for (const auto& [from, to] : edges_) {
+    g.succ_[sfill[from]++] = to;
+    g.pred_[pfill[to]++] = from;
+  }
+  return g;
+}
+
+}  // namespace tqr::dag

@@ -1,0 +1,72 @@
+// Whole-tile data accesses of each task, at transfer granularity.
+//
+// The dependence builder in graph.hpp splits tiles into sub-parts to expose
+// parallelism; data *movement* happens at whole-tile granularity (a tile is
+// one contiguous buffer), which is what this table describes. Planes:
+//   kA  - the matrix tile (i, j)
+//   kTg - the geqrt block-reflector factor of tile (i, j)
+//   kTe - the ts/ttqrt block-reflector factor of tile (i, j)
+#pragma once
+
+#include <cstdint>
+
+#include "dag/task.hpp"
+
+namespace tqr::dag {
+
+enum class Plane : std::uint8_t { kA = 0, kTg = 1, kTe = 2 };
+
+struct TileAccess {
+  Plane plane;
+  std::int16_t i;
+  std::int16_t j;
+  bool read;   // task needs the current contents
+  bool write;  // task produces new contents
+};
+
+/// Fills `out` (capacity >= 5) and returns the access count.
+inline int tile_accesses(const Task& t, TileAccess out[5]) {
+  switch (t.op) {
+    case Op::kGeqrt:
+      out[0] = {Plane::kA, t.i, t.k, true, true};
+      out[1] = {Plane::kTg, t.i, t.k, false, true};
+      return 2;
+    case Op::kUnmqr:
+      out[0] = {Plane::kA, t.i, t.k, true, false};
+      out[1] = {Plane::kTg, t.i, t.k, true, false};
+      out[2] = {Plane::kA, t.i, t.j, true, true};
+      return 3;
+    case Op::kTsqrt:
+    case Op::kTtqrt:
+      out[0] = {Plane::kA, t.p, t.k, true, true};
+      out[1] = {Plane::kA, t.i, t.k, true, true};
+      out[2] = {Plane::kTe, t.i, t.k, false, true};
+      return 3;
+    case Op::kTsmqr:
+    case Op::kTtmqr:
+      out[0] = {Plane::kA, t.i, t.k, true, false};
+      out[1] = {Plane::kTe, t.i, t.k, true, false};
+      out[2] = {Plane::kA, t.p, t.j, true, true};
+      out[3] = {Plane::kA, t.i, t.j, true, true};
+      return 4;
+    case Op::kPotrf:
+      out[0] = {Plane::kA, t.k, t.k, true, true};
+      return 1;
+    case Op::kTrsm:
+      out[0] = {Plane::kA, t.k, t.k, true, false};
+      out[1] = {Plane::kA, t.i, t.k, true, true};
+      return 2;
+    case Op::kSyrk:
+      out[0] = {Plane::kA, t.i, t.k, true, false};
+      out[1] = {Plane::kA, t.i, t.i, true, true};
+      return 2;
+    case Op::kGemm:
+      out[0] = {Plane::kA, t.i, t.k, true, false};
+      out[1] = {Plane::kA, t.p, t.k, true, false};
+      out[2] = {Plane::kA, t.i, t.j, true, true};
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace tqr::dag

@@ -1,0 +1,58 @@
+#include "dag/tiled_cholesky_dag.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::dag {
+
+TaskGraph build_tiled_cholesky_graph(std::int32_t nt) {
+  TQR_REQUIRE(nt > 0, "tile grid must be non-empty");
+  TQR_REQUIRE(nt < 32768, "tile grid exceeds task coordinates");
+  TaskGraph::Builder b(nt, nt);
+  using Mode = TaskGraph::Builder::Mode;
+
+  for (std::int32_t k = 0; k < nt; ++k) {
+    b.add_task(Task{Op::kPotrf, static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(k), -1},
+               {{b.lower(k, k), Mode::kReadWrite}});
+    for (std::int32_t i = k + 1; i < nt; ++i) {
+      b.add_task(Task{Op::kTrsm, static_cast<std::int16_t>(k),
+                      static_cast<std::int16_t>(i),
+                      static_cast<std::int16_t>(k), -1},
+                 {{b.lower(k, k), Mode::kRead},
+                  {b.lower(i, k), Mode::kReadWrite}});
+    }
+    for (std::int32_t i = k + 1; i < nt; ++i) {
+      // j = i: the update targets column i, which is what routes it to the
+      // column's owner under the paper's distribution.
+      b.add_task(Task{Op::kSyrk, static_cast<std::int16_t>(k),
+                      static_cast<std::int16_t>(i),
+                      static_cast<std::int16_t>(i),
+                      static_cast<std::int16_t>(i)},
+                 {{b.lower(i, k), Mode::kRead},
+                  {b.lower(i, i), Mode::kReadWrite}});
+      for (std::int32_t j = k + 1; j < i; ++j) {
+        // A(i, j) -= A(i, k) A(j, k)^T; p carries the second source row j.
+        b.add_task(Task{Op::kGemm, static_cast<std::int16_t>(k),
+                        static_cast<std::int16_t>(i),
+                        static_cast<std::int16_t>(j),
+                        static_cast<std::int16_t>(j)},
+                   {{b.lower(i, k), Mode::kRead},
+                    {b.lower(j, k), Mode::kRead},
+                    {b.lower(i, j), Mode::kReadWrite}});
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+CholeskyCounts cholesky_task_counts(std::int64_t nt) {
+  CholeskyCounts c;
+  c.potrf = nt;
+  c.trsm = nt * (nt - 1) / 2;
+  c.syrk = nt * (nt - 1) / 2;
+  c.gemm = nt * (nt - 1) * (nt - 2) / 6;
+  return c;
+}
+
+}  // namespace tqr::dag

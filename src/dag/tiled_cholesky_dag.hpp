@@ -1,0 +1,26 @@
+// Tiled Cholesky task graph (right-looking, lower triangular) — the second
+// factorization scheduled by this framework. The paper's step split carries
+// over directly: POTRF is the serial panel work (T), the TRSM panel solves
+// are the elimination-class column work (E), and SYRK/GEMM form the big
+// parallel trailing update (UE), so the main-device policy and the guide
+// array apply unchanged.
+#pragma once
+
+#include "dag/graph.hpp"
+#include "dag/task.hpp"
+
+namespace tqr::dag {
+
+/// Builds the factorization graph for an nt x nt tile grid (SPD matrix).
+TaskGraph build_tiled_cholesky_graph(std::int32_t nt);
+
+/// Kernel counts for the whole factorization of an nt x nt grid.
+struct CholeskyCounts {
+  std::int64_t potrf = 0;
+  std::int64_t trsm = 0;
+  std::int64_t syrk = 0;
+  std::int64_t gemm = 0;
+};
+CholeskyCounts cholesky_task_counts(std::int64_t nt);
+
+}  // namespace tqr::dag

@@ -1,0 +1,165 @@
+#include "dag/tiled_qr_dag.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tqr::dag {
+
+namespace {
+
+using Builder = TaskGraph::Builder;
+using Mode = Builder::Mode;
+
+void build_ts_panel(Builder& b, std::int32_t k, std::int32_t mt,
+                    std::int32_t nt) {
+  // Triangulate the diagonal tile.
+  b.add_task(Task{Op::kGeqrt, static_cast<std::int16_t>(k),
+                  static_cast<std::int16_t>(k), static_cast<std::int16_t>(k),
+                  -1},
+             {{b.upper(k, k), Mode::kReadWrite},
+              {b.lower(k, k), Mode::kReadWrite},
+              {b.t_geqrt(k, k), Mode::kWrite}});
+  // Update row k to the right (reads only the V part of the diagonal tile,
+  // so it overlaps with the elimination chain below).
+  for (std::int32_t j = k + 1; j < nt; ++j) {
+    b.add_task(Task{Op::kUnmqr, static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(k), static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(j)},
+               {{b.lower(k, k), Mode::kRead},
+                {b.t_geqrt(k, k), Mode::kRead},
+                {b.upper(k, j), Mode::kReadWrite},
+                {b.lower(k, j), Mode::kReadWrite}});
+  }
+  // Fold every lower tile into the diagonal R.
+  for (std::int32_t i = k + 1; i < mt; ++i) {
+    b.add_task(Task{Op::kTsqrt, static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(i), static_cast<std::int16_t>(k),
+                    -1},
+               {{b.upper(k, k), Mode::kReadWrite},
+                {b.upper(i, k), Mode::kReadWrite},
+                {b.lower(i, k), Mode::kReadWrite},
+                {b.t_elim(i, k), Mode::kWrite}});
+    for (std::int32_t j = k + 1; j < nt; ++j) {
+      b.add_task(
+          Task{Op::kTsmqr, static_cast<std::int16_t>(k),
+               static_cast<std::int16_t>(i), static_cast<std::int16_t>(k),
+               static_cast<std::int16_t>(j)},
+          {{b.upper(i, k), Mode::kRead},
+           {b.lower(i, k), Mode::kRead},
+           {b.t_elim(i, k), Mode::kRead},
+           {b.upper(k, j), Mode::kReadWrite},
+           {b.lower(k, j), Mode::kReadWrite},
+           {b.upper(i, j), Mode::kReadWrite},
+           {b.lower(i, j), Mode::kReadWrite}});
+    }
+  }
+}
+
+void build_tt_panel(Builder& b, std::int32_t k, std::int32_t mt,
+                    std::int32_t nt, bool tree) {
+  // Triangulate every remaining tile in the panel column...
+  for (std::int32_t i = k; i < mt; ++i) {
+    b.add_task(Task{Op::kGeqrt, static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(i), static_cast<std::int16_t>(i),
+                    -1},
+               {{b.upper(i, k), Mode::kReadWrite},
+                {b.lower(i, k), Mode::kReadWrite},
+                {b.t_geqrt(i, k), Mode::kWrite}});
+    // ...and update its row to the right.
+    for (std::int32_t j = k + 1; j < nt; ++j) {
+      b.add_task(Task{Op::kUnmqr, static_cast<std::int16_t>(k),
+                      static_cast<std::int16_t>(i),
+                      static_cast<std::int16_t>(i),
+                      static_cast<std::int16_t>(j)},
+                 {{b.lower(i, k), Mode::kRead},
+                  {b.t_geqrt(i, k), Mode::kRead},
+                  {b.upper(i, j), Mode::kReadWrite},
+                  {b.lower(i, j), Mode::kReadWrite}});
+    }
+  }
+  // Combine the triangles: either a binary tree (at distance d, tile p
+  // absorbs tile p + d) or a flat sequential fold into the diagonal.
+  auto combine = [&](std::int32_t p, std::int32_t i) {
+    b.add_task(Task{Op::kTtqrt, static_cast<std::int16_t>(k),
+                    static_cast<std::int16_t>(i),
+                    static_cast<std::int16_t>(p), -1},
+               {{b.upper(p, k), Mode::kReadWrite},
+                {b.upper(i, k), Mode::kReadWrite},
+                {b.t_elim(i, k), Mode::kWrite}});
+    for (std::int32_t j = k + 1; j < nt; ++j) {
+      b.add_task(
+          Task{Op::kTtmqr, static_cast<std::int16_t>(k),
+               static_cast<std::int16_t>(i), static_cast<std::int16_t>(p),
+               static_cast<std::int16_t>(j)},
+          {{b.upper(i, k), Mode::kRead},
+           {b.t_elim(i, k), Mode::kRead},
+           {b.upper(p, j), Mode::kReadWrite},
+           {b.lower(p, j), Mode::kReadWrite},
+           {b.upper(i, j), Mode::kReadWrite},
+           {b.lower(i, j), Mode::kReadWrite}});
+    }
+  };
+  if (tree) {
+    for (std::int32_t d = 1; k + d < mt; d *= 2)
+      for (std::int32_t p = k; p + d < mt; p += 2 * d) combine(p, p + d);
+  } else {
+    for (std::int32_t i = k + 1; i < mt; ++i) combine(k, i);
+  }
+}
+
+}  // namespace
+
+TaskGraph build_tiled_qr_graph(std::int32_t mt, std::int32_t nt,
+                               Elimination elim) {
+  TQR_REQUIRE(mt > 0 && nt > 0, "tile grid must be non-empty");
+  TQR_REQUIRE(mt < 32768 && nt < 32768, "tile grid exceeds task coordinates");
+  Builder b(mt, nt);
+  const std::int32_t panels = std::min(mt, nt);
+  for (std::int32_t k = 0; k < panels; ++k) {
+    if (elim == Elimination::kTs)
+      build_ts_panel(b, k, mt, nt);
+    else
+      build_tt_panel(b, k, mt, nt, elim == Elimination::kTt);
+  }
+  return std::move(b).build();
+}
+
+StepCounts panel_step_counts(std::int64_t m, std::int64_t n,
+                             Elimination elim) {
+  StepCounts c;
+  if (elim == Elimination::kTs) {
+    c.triangulation = 1;
+    c.elimination = m - 1;
+    c.update_triangulation = n - 1;
+    c.update_elimination = (m - 1) * (n - 1);
+  } else {
+    // kTt and kTtFlat triangulate every panel tile and do m-1 combines;
+    // only the combine *ordering* differs.
+    c.triangulation = m;
+    c.elimination = m - 1;
+    c.update_triangulation = m * (n - 1);
+    c.update_elimination = (m - 1) * (n - 1);
+  }
+  return c;
+}
+
+StepCounts paper_table1_counts(std::int64_t m, std::int64_t n) {
+  return StepCounts{m, m, m * (n - 1), m * (n - 1)};
+}
+
+StepCounts total_step_counts(std::int32_t mt, std::int32_t nt,
+                             Elimination elim) {
+  StepCounts total;
+  const std::int32_t panels = std::min(mt, nt);
+  for (std::int32_t k = 0; k < panels; ++k) {
+    const StepCounts c = panel_step_counts(mt - k, nt - k, elim);
+    total.triangulation += c.triangulation;
+    total.elimination += c.elimination;
+    total.update_triangulation += c.update_triangulation;
+    total.update_elimination += c.update_elimination;
+  }
+  return total;
+}
+
+}  // namespace tqr::dag

@@ -1,0 +1,254 @@
+// Small BLAS-like kernel layer, written from scratch.
+//
+// These are straightforward cache-friendly loops, not a tuned BLAS: they are
+// the functional substrate under the tile kernels; performance in the paper's
+// evaluation is reproduced by the device timing model in src/sim, not by the
+// host flop rate. Loop orders are chosen for column-major locality (j-k-i for
+// gemm). All routines validate shapes with TQR_REQUIRE.
+#pragma once
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+enum class Trans { kNoTrans, kTrans };
+enum class UpLo { kUpper, kLower };
+enum class Diag { kUnit, kNonUnit };
+
+/// y += alpha * x (vectors expressed as n x 1 views).
+template <typename T>
+void axpy(T alpha, ConstMatrixView<T> x, MatrixView<T> y) {
+  TQR_REQUIRE(x.rows == y.rows && x.cols == 1 && y.cols == 1,
+              "axpy: shape mismatch");
+  for (index_t i = 0; i < x.rows; ++i) y(i, 0) += alpha * x(i, 0);
+}
+
+/// Dot product of two column vectors.
+template <typename T>
+T dot(ConstMatrixView<T> x, ConstMatrixView<T> y) {
+  TQR_REQUIRE(x.rows == y.rows && x.cols == 1 && y.cols == 1,
+              "dot: shape mismatch");
+  T acc = T(0);
+  for (index_t i = 0; i < x.rows; ++i) acc += x(i, 0) * y(i, 0);
+  return acc;
+}
+
+/// Euclidean norm of a column vector with scaling to avoid overflow.
+template <typename T>
+T nrm2(ConstMatrixView<T> x) {
+  TQR_REQUIRE(x.cols == 1, "nrm2: expected a column vector");
+  T scale = T(0), ssq = T(1);
+  for (index_t i = 0; i < x.rows; ++i) {
+    T xi = std::abs(x(i, 0));
+    if (xi == T(0)) continue;
+    if (scale < xi) {
+      ssq = T(1) + ssq * (scale / xi) * (scale / xi);
+      scale = xi;
+    } else {
+      ssq += (xi / scale) * (xi / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+/// C = alpha * op(A) * op(B) + beta * C.
+template <typename T>
+void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const index_t m = c.rows, n = c.cols;
+  const index_t k = (ta == Trans::kNoTrans) ? a.cols : a.rows;
+  TQR_REQUIRE(((ta == Trans::kNoTrans) ? a.rows : a.cols) == m,
+              "gemm: A/C row mismatch");
+  TQR_REQUIRE(((tb == Trans::kNoTrans) ? b.rows : b.cols) == k,
+              "gemm: inner dimension mismatch");
+  TQR_REQUIRE(((tb == Trans::kNoTrans) ? b.cols : b.rows) == n,
+              "gemm: B/C column mismatch");
+
+  for (index_t j = 0; j < n; ++j) {
+    if (beta == T(0)) {
+      for (index_t i = 0; i < m; ++i) c(i, j) = T(0);
+    } else if (beta != T(1)) {
+      for (index_t i = 0; i < m; ++i) c(i, j) *= beta;
+    }
+  }
+  if (alpha == T(0)) return;
+
+  if (ta == Trans::kNoTrans && tb == Trans::kNoTrans) {
+    // j-k-i: streams down columns of A and C.
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p) {
+        const T bpj = alpha * b(p, j);
+        if (bpj == T(0)) continue;
+        for (index_t i = 0; i < m; ++i) c(i, j) += a(i, p) * bpj;
+      }
+  } else if (ta == Trans::kTrans && tb == Trans::kNoTrans) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        T acc = T(0);
+        for (index_t p = 0; p < k; ++p) acc += a(p, i) * b(p, j);
+        c(i, j) += alpha * acc;
+      }
+  } else if (ta == Trans::kNoTrans && tb == Trans::kTrans) {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p) {
+        const T bpj = alpha * b(j, p);
+        if (bpj == T(0)) continue;
+        for (index_t i = 0; i < m; ++i) c(i, j) += a(i, p) * bpj;
+      }
+  } else {
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i) {
+        T acc = T(0);
+        for (index_t p = 0; p < k; ++p) acc += a(p, i) * b(j, p);
+        c(i, j) += alpha * acc;
+      }
+  }
+}
+
+/// B = op(A) * B with A triangular (left side). In-place.
+template <typename T>
+void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+               MatrixView<T> b) {
+  const index_t m = b.rows, n = b.cols;
+  TQR_REQUIRE(a.rows == m && a.cols == m, "trmm_left: A must be m x m");
+  const bool unit = (diag == Diag::kUnit);
+
+  // op(A) is effectively lower triangular when (lower, no-trans) or
+  // (upper, trans). Row i of a lower op(A)*B reads B rows <= i, so iterating
+  // i bottom-up keeps in-place updates correct; upper is the mirror image.
+  const bool effective_lower =
+      (uplo == UpLo::kLower) == (trans == Trans::kNoTrans);
+  auto op_a = [&](index_t i, index_t p) {
+    return (trans == Trans::kNoTrans) ? a(i, p) : a(p, i);
+  };
+
+  for (index_t j = 0; j < n; ++j) {
+    if (effective_lower) {
+      for (index_t i = m - 1; i >= 0; --i) {
+        T acc = unit ? b(i, j) : op_a(i, i) * b(i, j);
+        for (index_t p = 0; p < i; ++p) acc += op_a(i, p) * b(p, j);
+        b(i, j) = acc;
+      }
+    } else {
+      for (index_t i = 0; i < m; ++i) {
+        T acc = unit ? b(i, j) : op_a(i, i) * b(i, j);
+        for (index_t p = i + 1; p < m; ++p) acc += op_a(i, p) * b(p, j);
+        b(i, j) = acc;
+      }
+    }
+  }
+}
+
+/// Solves op(A) * X = B in place (X overwrites B), A triangular.
+template <typename T>
+void trsm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+               MatrixView<T> b) {
+  const index_t m = b.rows, n = b.cols;
+  TQR_REQUIRE(a.rows == m && a.cols == m, "trsm_left: A must be m x m");
+  const bool unit = (diag == Diag::kUnit);
+  const bool effective_upper =
+      (uplo == UpLo::kUpper) == (trans == Trans::kNoTrans);
+
+  for (index_t j = 0; j < n; ++j) {
+    if (effective_upper) {
+      // Back substitution.
+      for (index_t i = m - 1; i >= 0; --i) {
+        T acc = b(i, j);
+        for (index_t p = i + 1; p < m; ++p) {
+          const T aip = (trans == Trans::kNoTrans) ? a(i, p) : a(p, i);
+          acc -= aip * b(p, j);
+        }
+        b(i, j) = unit ? acc : acc / a(i, i);
+      }
+    } else {
+      // Forward substitution.
+      for (index_t i = 0; i < m; ++i) {
+        T acc = b(i, j);
+        for (index_t p = 0; p < i; ++p) {
+          const T aip = (trans == Trans::kNoTrans) ? a(i, p) : a(p, i);
+          acc -= aip * b(p, j);
+        }
+        b(i, j) = unit ? acc : acc / a(i, i);
+      }
+    }
+  }
+}
+
+/// Solves X * op(A) = B in place (X overwrites B), A triangular (right side).
+template <typename T>
+void trsm_right(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+                MatrixView<T> b) {
+  const index_t m = b.rows, n = b.cols;
+  TQR_REQUIRE(a.rows == n && a.cols == n, "trsm_right: A must be n x n");
+  const bool unit = (diag == Diag::kUnit);
+  // X op(A) = B column-by-column: column j of X depends on columns p of X
+  // with op(A)(p, j) != 0, p != j. Effective upper op(A): p < j => forward
+  // sweep; effective lower: backward sweep.
+  const bool effective_upper =
+      (uplo == UpLo::kUpper) == (trans == Trans::kNoTrans);
+  auto op_a = [&](index_t i, index_t j) {
+    return (trans == Trans::kNoTrans) ? a(i, j) : a(j, i);
+  };
+  for (index_t jj = 0; jj < n; ++jj) {
+    const index_t j = effective_upper ? jj : n - 1 - jj;
+    const index_t lo = effective_upper ? 0 : j + 1;
+    const index_t hi = effective_upper ? j : n;
+    for (index_t p = lo; p < hi; ++p) {
+      const T apj = op_a(p, j);
+      if (apj == T(0)) continue;
+      for (index_t i = 0; i < m; ++i) b(i, j) -= b(i, p) * apj;
+    }
+    if (!unit) {
+      const T ajj = op_a(j, j);
+      for (index_t i = 0; i < m; ++i) b(i, j) /= ajj;
+    }
+  }
+}
+
+/// Symmetric rank-k update on the lower triangle:
+/// C := alpha * op(A) op(A)^T + beta * C (only C's lower triangle written).
+template <typename T>
+void syrk_lower(Trans trans, T alpha, ConstMatrixView<T> a, T beta,
+                MatrixView<T> c) {
+  const index_t n = c.rows;
+  TQR_REQUIRE(c.cols == n, "syrk_lower: C must be square");
+  const index_t k = (trans == Trans::kNoTrans) ? a.cols : a.rows;
+  TQR_REQUIRE(((trans == Trans::kNoTrans) ? a.rows : a.cols) == n,
+              "syrk_lower: A dimension mismatch");
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      T acc = T(0);
+      for (index_t p = 0; p < k; ++p) {
+        const T aip = (trans == Trans::kNoTrans) ? a(i, p) : a(p, i);
+        const T ajp = (trans == Trans::kNoTrans) ? a(j, p) : a(p, j);
+        acc += aip * ajp;
+      }
+      c(i, j) = alpha * acc + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+}
+
+/// Frobenius norm.
+template <typename T>
+double norm_frobenius(ConstMatrixView<T> a) {
+  double acc = 0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) {
+      double v = static_cast<double>(a(i, j));
+      acc += v * v;
+    }
+  return std::sqrt(acc);
+}
+
+/// Max absolute entry.
+template <typename T>
+double norm_max(ConstMatrixView<T> a) {
+  double acc = 0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i)
+      acc = std::max(acc, std::abs(static_cast<double>(a(i, j))));
+  return acc;
+}
+
+}  // namespace tqr::la

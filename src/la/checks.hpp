@@ -1,0 +1,51 @@
+// Numerical verification helpers used by tests, examples, and benches.
+#pragma once
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+/// ||Q^T Q - I||_F / n: orthogonality residual.
+template <typename T>
+double orthogonality_residual(ConstMatrixView<T> q) {
+  TQR_REQUIRE(q.rows == q.cols, "orthogonality check expects square Q");
+  const index_t n = q.rows;
+  Matrix<T> gram(n, n);
+  gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), q, q, T(0), gram.view());
+  for (index_t i = 0; i < n; ++i) gram(i, i) -= T(1);
+  return norm_frobenius<T>(gram.view()) / static_cast<double>(n);
+}
+
+/// ||A - Q R||_F / ||A||_F: reconstruction residual.
+template <typename T>
+double reconstruction_residual(ConstMatrixView<T> a, ConstMatrixView<T> q,
+                               ConstMatrixView<T> r) {
+  Matrix<T> qr(a.rows, a.cols);
+  gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), q, r, T(0), qr.view());
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) qr(i, j) -= a(i, j);
+  const double denom = norm_frobenius<T>(a);
+  return norm_frobenius<T>(qr.view()) / (denom > 0 ? denom : 1.0);
+}
+
+/// Max |strictly-lower-triangular entry| of R relative to ||R||_F — tiled QR
+/// must leave an upper-triangular R behind.
+template <typename T>
+double lower_triangle_residual(ConstMatrixView<T> r) {
+  double acc = 0;
+  for (index_t j = 0; j < r.cols; ++j)
+    for (index_t i = j + 1; i < r.rows; ++i)
+      acc = std::max(acc, std::abs(static_cast<double>(r(i, j))));
+  const double denom = norm_frobenius<T>(r);
+  return acc / (denom > 0 ? denom : 1.0);
+}
+
+/// Machine-epsilon-scaled tolerance for residual assertions: c * eps * n.
+template <typename T>
+double residual_tolerance(index_t n, double c = 50.0) {
+  return c * static_cast<double>(std::numeric_limits<T>::epsilon()) *
+         static_cast<double>(n);
+}
+
+}  // namespace tqr::la

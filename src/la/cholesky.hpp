@@ -1,0 +1,105 @@
+// Cholesky factorization and CholeskyQR — the alternative QR method the
+// paper's §II names alongside Householder reflections.
+//
+// CholeskyQR computes R from the Gram matrix (A^T A = R^T R) and
+// Q = A R^{-1}; it is gemm/syrk-rich and embarrassingly parallel, but its
+// orthogonality error grows like kappa(A)^2 * eps. CholeskyQR2 repeats the
+// step once on Q, recovering machine-precision orthogonality whenever
+// kappa(A)^2 * eps < 1. The test suite demonstrates exactly this accuracy
+// boundary against the Householder kernels, which is the reason the paper's
+// method of choice is Householder.
+#pragma once
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+/// In-place lower Cholesky factorization (A = L L^T; strictly-upper part of
+/// `a` is ignored and left untouched). Throws tqr::Error if a pivot is not
+/// positive (matrix not numerically SPD). `nb` > 0 selects the blocked
+/// right-looking variant.
+template <typename T>
+void potrf_lower(MatrixView<T> a, index_t nb = 0) {
+  const index_t n = a.rows;
+  TQR_REQUIRE(a.cols == n, "potrf: square matrix expected");
+  if (nb <= 0 || nb >= n) {
+    // Unblocked left-looking.
+    for (index_t j = 0; j < n; ++j) {
+      T diag = a(j, j);
+      for (index_t p = 0; p < j; ++p) diag -= a(j, p) * a(j, p);
+      if (!(diag > T(0)))
+        throw Error("potrf: matrix is not positive definite at pivot " +
+                    std::to_string(j));
+      const T ljj = std::sqrt(diag);
+      a(j, j) = ljj;
+      for (index_t i = j + 1; i < n; ++i) {
+        T acc = a(i, j);
+        for (index_t p = 0; p < j; ++p) acc -= a(i, p) * a(j, p);
+        a(i, j) = acc / ljj;
+      }
+    }
+    return;
+  }
+  // Blocked right-looking: factor panel, solve sub-panel, update trailing.
+  for (index_t k = 0; k < n; k += nb) {
+    const index_t w = std::min(nb, n - k);
+    auto akk = a.block(k, k, w, w);
+    potrf_lower<T>(akk, 0);
+    const index_t rest = n - k - w;
+    if (rest > 0) {
+      auto a21 = a.block(k + w, k, rest, w);
+      // L21 = A21 L11^{-T}  <=>  L21 * L11^T = A21 (right solve, L^T upper).
+      trsm_right<T>(UpLo::kLower, Trans::kTrans, Diag::kNonUnit,
+                    ConstMatrixView<T>(akk), a21);
+      // A22 -= L21 L21^T (lower triangle only).
+      auto a22 = a.block(k + w, k + w, rest, rest);
+      syrk_lower<T>(Trans::kNoTrans, T(-1), ConstMatrixView<T>(a21), T(1),
+                    a22);
+    }
+  }
+}
+
+/// Result of a CholeskyQR factorization: thin Q (m x n) and R (n x n).
+template <typename T>
+struct CholeskyQrResult {
+  Matrix<T> q;
+  Matrix<T> r;
+};
+
+/// One CholeskyQR pass. Throws tqr::Error when the Gram matrix loses
+/// positive definiteness (kappa(A) ~ 1/sqrt(eps) or worse).
+template <typename T>
+CholeskyQrResult<T> cholesky_qr(const Matrix<T>& a, index_t nb = 32) {
+  const index_t m = a.rows(), n = a.cols();
+  TQR_REQUIRE(m >= n, "cholesky_qr: require rows >= cols");
+  // G = A^T A (lower triangle suffices).
+  Matrix<T> g(n, n);
+  syrk_lower<T>(Trans::kTrans, T(1), a.view(), T(0), g.view());
+  potrf_lower<T>(g.view(), nb);
+  // R = L^T.
+  Matrix<T> r(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = g(j, i);
+  // Q = A R^{-1}.
+  Matrix<T> q = a;
+  trsm_right<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, r.view(),
+                q.view());
+  return CholeskyQrResult<T>{std::move(q), std::move(r)};
+}
+
+/// CholeskyQR2: a second pass on Q restores orthogonality to machine
+/// precision (for kappa(A)^2 * eps < 1); R accumulates as R2 * R1.
+template <typename T>
+CholeskyQrResult<T> cholesky_qr2(const Matrix<T>& a, index_t nb = 32) {
+  CholeskyQrResult<T> first = cholesky_qr<T>(a, nb);
+  CholeskyQrResult<T> second = cholesky_qr<T>(first.q, nb);
+  Matrix<T> r(a.cols(), a.cols());
+  gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), second.r.view(),
+          first.r.view(), T(0), r.view());
+  return CholeskyQrResult<T>{std::move(second.q), std::move(r)};
+}
+
+}  // namespace tqr::la

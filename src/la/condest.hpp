@@ -1,0 +1,83 @@
+// 1-norm condition estimation for triangular factors (Hager/Higham-style
+// power iteration on |R^{-1}|), used to diagnose solve quality without
+// forming inverses.
+#pragma once
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+/// ||R||_1 for an upper-triangular R (max absolute column sum).
+template <typename T>
+double triangular_norm1(ConstMatrixView<T> r) {
+  TQR_REQUIRE(r.rows == r.cols, "triangular_norm1: square input expected");
+  double best = 0;
+  for (index_t j = 0; j < r.cols; ++j) {
+    double col = 0;
+    for (index_t i = 0; i <= j; ++i)
+      col += std::abs(static_cast<double>(r(i, j)));
+    best = std::max(best, col);
+  }
+  return best;
+}
+
+/// Estimates ||R^{-1}||_1 for an upper-triangular R via a few rounds of
+/// Hager's algorithm (each round costs two triangular solves). Exact for
+/// n == 1; a lower bound within a small factor in general.
+template <typename T>
+double estimate_inverse_norm1(ConstMatrixView<T> r, int max_iter = 5) {
+  TQR_REQUIRE(r.rows == r.cols, "estimate_inverse_norm1: square expected");
+  const index_t n = r.rows;
+  if (n == 0) return 0;
+  for (index_t i = 0; i < n; ++i)
+    TQR_REQUIRE(r(i, i) != T(0), "singular triangular factor");
+
+  Matrix<T> x(n, 1);
+  for (index_t i = 0; i < n; ++i) x(i, 0) = T(1) / static_cast<T>(n);
+  double est = 0;
+  index_t last_sign_change = -1;
+  for (int it = 0; it < max_iter; ++it) {
+    // y = R^{-1} x.
+    Matrix<T> y = x;
+    trsm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, r, y.view());
+    double norm_y = 0;
+    for (index_t i = 0; i < n; ++i)
+      norm_y += std::abs(static_cast<double>(y(i, 0)));
+    est = std::max(est, norm_y);
+
+    // z = R^{-T} sign(y).
+    Matrix<T> z(n, 1);
+    for (index_t i = 0; i < n; ++i)
+      z(i, 0) = y(i, 0) >= T(0) ? T(1) : T(-1);
+    trsm_left<T>(UpLo::kUpper, Trans::kTrans, Diag::kNonUnit, r, z.view());
+    // Next x: e_j at the largest |z| component.
+    index_t jmax = 0;
+    double zmax = -1;
+    for (index_t i = 0; i < n; ++i) {
+      const double zi = std::abs(static_cast<double>(z(i, 0)));
+      if (zi > zmax) {
+        zmax = zi;
+        jmax = i;
+      }
+    }
+    if (jmax == last_sign_change) break;  // converged
+    last_sign_change = jmax;
+    x.view().fill(T(0));
+    x(jmax, 0) = T(1);
+  }
+  return est;
+}
+
+/// kappa_1(R) estimate = ||R||_1 * est ||R^{-1}||_1. For the R of a QR
+/// factorization this estimates kappa of the original matrix (Q is
+/// orthogonal, so kappa_2(A) = kappa_2(R); the 1-norm estimate tracks it
+/// within a factor of n).
+template <typename T>
+double estimate_condition1(ConstMatrixView<T> r) {
+  return triangular_norm1<T>(r) * estimate_inverse_norm1<T>(r);
+}
+
+}  // namespace tqr::la

@@ -1,0 +1,64 @@
+// Floating-point operation counts per tile kernel.
+//
+// Used by (a) the device timing model in src/sim — a device's kernel time is
+// latency + flops / effective_rate — and (b) the google-benchmark drivers to
+// report flop rates. Counts follow the standard PLASMA/LAPACK working notes
+// for square b x b tiles; lower-order terms are kept where they matter for
+// the small tile sizes the paper sweeps (4..28).
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+/// GEQRT on a b x b tile, including the block-reflector factor build.
+inline double flops_geqrt(index_t b) {
+  const double n = b;
+  // Factorization 4/3 n^3 + T-factor build ~ n^3/3.
+  return (4.0 / 3.0) * n * n * n + (1.0 / 3.0) * n * n * n;
+}
+
+/// UNMQR applying a b-reflector Q to a b x b tile.
+inline double flops_unmqr(index_t b) {
+  const double n = b;
+  // W = V^T C (n^3), W = T W (n^3/2... triangular: n^2*n/2), C -= V W (n^3),
+  // each multiply-add pair counted as 2 flops.
+  return 2.0 * n * n * n + n * n * n + 2.0 * n * n * n;
+}
+
+/// TSQRT of [R1; A2] with b x b tiles (dense V2).
+inline double flops_tsqrt(index_t b) {
+  const double n = b;
+  // Per column k: reflector ~2n, trailing update 4n(n-k), T column ~2nk.
+  return 3.0 * n * n * n;
+}
+
+/// TSMQR applying a TS Q to a b x b tile pair.
+inline double flops_tsmqr(index_t b) {
+  const double n = b;
+  // V2^T C2 (2n^3) + T W (n^3) + C2 -= V2 W (2n^3) + C1 ops (2n^2).
+  return 5.0 * n * n * n;
+}
+
+/// TTQRT of [R1; R2] with both triangular (V2 triangular: half the work).
+inline double flops_ttqrt(index_t b) {
+  const double n = b;
+  return 1.5 * n * n * n;
+}
+
+/// TTMQR applying a TT Q (triangular V2) to a tile pair.
+inline double flops_ttmqr(index_t b) {
+  const double n = b;
+  return 3.0 * n * n * n;
+}
+
+/// Whole-factorization count for an m x n matrix (untiled Householder),
+/// the classical 2mn^2 - 2n^3/3.
+inline double flops_qr(index_t m, index_t n) {
+  const double dm = m, dn = n;
+  return 2.0 * dm * dn * dn - (2.0 / 3.0) * dn * dn * dn;
+}
+
+}  // namespace tqr::la

@@ -1,0 +1,111 @@
+// Structured test-matrix generators.
+//
+// The paper evaluates on uniform random matrices; a credible QR library must
+// also survive matrices that stress orthogonality and conditioning. These
+// generators are used by the property-test sweeps and are part of the public
+// API for users building their own benchmarks.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+/// Random orthogonal matrix: product of n Householder reflections applied to
+/// the identity (Stewart's method, unnormalized but orthogonal to machine
+/// precision).
+template <typename T>
+Matrix<T> random_orthogonal(index_t n, std::uint64_t seed) {
+  Matrix<T> q = Matrix<T>::identity(n);
+  Rng rng(seed);
+  std::vector<T> v(n);
+  for (index_t k = 0; k < n; ++k) {
+    // Random unit reflector.
+    T norm2 = T(0);
+    for (index_t i = 0; i < n; ++i) {
+      v[i] = static_cast<T>(rng.next_gaussian());
+      norm2 += v[i] * v[i];
+    }
+    if (norm2 == T(0)) continue;
+    const T scale = T(2) / norm2;
+    // Q <- (I - 2 v v^T / ||v||^2) Q, applied row-wise.
+    for (index_t j = 0; j < n; ++j) {
+      T dot = T(0);
+      for (index_t i = 0; i < n; ++i) dot += v[i] * q(i, j);
+      const T w = scale * dot;
+      for (index_t i = 0; i < n; ++i) q(i, j) -= w * v[i];
+    }
+  }
+  return q;
+}
+
+/// Matrix with prescribed singular-value decay: A = U diag(s) V^T where
+/// s_i = cond^{-i/(n-1)}; cond is the 2-norm condition number.
+template <typename T>
+Matrix<T> random_with_condition(index_t n, double cond, std::uint64_t seed) {
+  TQR_REQUIRE(cond >= 1.0, "condition number must be >= 1");
+  Matrix<T> u = random_orthogonal<T>(n, seed);
+  Matrix<T> v = random_orthogonal<T>(n, seed + 1);
+  // Scale columns of U by the singular values, then multiply by V^T.
+  for (index_t j = 0; j < n; ++j) {
+    const double s =
+        n > 1 ? std::pow(cond, -static_cast<double>(j) / (n - 1)) : 1.0;
+    for (index_t i = 0; i < n; ++i) u(i, j) *= static_cast<T>(s);
+  }
+  Matrix<T> a(n, n);
+  gemm<T>(Trans::kNoTrans, Trans::kTrans, T(1), u.view(), v.view(), T(0),
+          a.view());
+  return a;
+}
+
+/// Row-graded matrix: row i scaled by 10^{-decades * i / (n-1)}. Stresses
+/// the column-norm computations in the Householder sweep.
+template <typename T>
+Matrix<T> graded_rows(index_t rows, index_t cols, double decades,
+                      std::uint64_t seed) {
+  Matrix<T> a = Matrix<T>::random(rows, cols, seed);
+  for (index_t i = 0; i < rows; ++i) {
+    const double s =
+        rows > 1 ? std::pow(10.0, -decades * i / (rows - 1)) : 1.0;
+    for (index_t j = 0; j < cols; ++j) a(i, j) *= static_cast<T>(s);
+  }
+  return a;
+}
+
+/// Vandermonde-style design matrix on Chebyshev-spaced points in [-1, 1]
+/// (moderately ill-conditioned; the tall-skinny regression workload).
+template <typename T>
+Matrix<T> vandermonde(index_t rows, index_t cols) {
+  Matrix<T> a(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    const double t =
+        std::cos(M_PI * (2.0 * i + 1) / (2.0 * rows));  // Chebyshev nodes
+    double p = 1.0;
+    for (index_t j = 0; j < cols; ++j) {
+      a(i, j) = static_cast<T>(p);
+      p *= t;
+    }
+  }
+  return a;
+}
+
+/// Rank-deficient matrix: random of rank r < min(m, n), built as a product
+/// of random m x r and r x n factors.
+template <typename T>
+Matrix<T> random_rank_deficient(index_t rows, index_t cols, index_t rank,
+                                std::uint64_t seed) {
+  TQR_REQUIRE(rank >= 0 && rank <= std::min(rows, cols),
+              "rank out of range");
+  Matrix<T> left = Matrix<T>::random(rows, rank, seed);
+  Matrix<T> right = Matrix<T>::random(rank, cols, seed + 1);
+  Matrix<T> a(rows, cols);
+  if (rank > 0)
+    gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), left.view(),
+            right.view(), T(0), a.view());
+  return a;
+}
+
+}  // namespace tqr::la

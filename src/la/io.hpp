@@ -1,0 +1,28 @@
+// Matrix file I/O: MatrixMarket dense-array text format (interchange with
+// SciPy/Octave/Julia) and a fast binary format for large matrices.
+#pragma once
+
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+/// Writes `a` as a MatrixMarket dense array ("%%MatrixMarket matrix array
+/// real general"). Throws tqr::Error on I/O failure.
+void write_matrix_market(const std::string& path, ConstMatrixView<double> a);
+
+/// Reads a MatrixMarket dense array file. Coordinate-format files and
+/// non-real fields are rejected with tqr::Error.
+Matrix<double> read_matrix_market(const std::string& path);
+
+/// Binary format: 8-byte magic "TQRMAT01", int64 rows, int64 cols, then
+/// rows*cols doubles column-major. Endianness is the writer's (native).
+void write_binary(const std::string& path, ConstMatrixView<double> a);
+Matrix<double> read_binary(const std::string& path);
+
+/// Dispatches on extension: ".mtx" -> MatrixMarket, anything else binary.
+void write_matrix(const std::string& path, ConstMatrixView<double> a);
+Matrix<double> read_matrix(const std::string& path);
+
+}  // namespace tqr::la

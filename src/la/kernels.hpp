@@ -1,0 +1,283 @@
+// Tile kernels for tiled QR factorization (PLASMA-style semantics).
+//
+// All kernels use the compact-WY representation: a factored tile stores the
+// Householder vectors V (unit diagonal implicit) together with an upper
+// triangular block-reflector factor Tf such that
+//
+//   Q  = I - V * Tf  * V^T            (product H_0 H_1 ... H_{k-1})
+//   Q^T= I - V * Tf^T * V^T
+//
+// Kernel glossary (paper step in parentheses):
+//   geqrt  (T,  triangulation)          QR of one tile; R + V in place, Tf out
+//   unmqr  (UT, update for triang.)     apply Q/Q^T of a geqrt tile to a tile
+//   tsqrt  (E,  TS elimination)         QR of [R1 (triangular); A2 (square)]
+//   tsmqr  (UE, TS update)              apply a tsqrt Q/Q^T to a tile pair
+//   ttqrt  (E,  TT elimination)         QR of [R1; R2], both triangular
+//   ttmqr  (UE, TT update)              apply a ttqrt Q/Q^T to a tile pair
+//
+// TS kernels store V2 densely in the eliminated tile; TT kernels keep V2
+// upper-triangular, which is what makes tree (TT) elimination cheaper per
+// level. The structured top part of V (identity columns) is always implicit.
+//
+// Numerical contract (asserted by the test suite): for random tiles,
+// reconstruction and orthogonality residuals are O(eps * n).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+namespace detail {
+
+/// Householder generation on [alpha; x]: returns tau and beta, scales x into
+/// the reflector tail v (v0 = 1 implicit). tau == 0 means H = I.
+template <typename T>
+T larfg(T& alpha, MatrixView<T> x, T& beta) {
+  const T xnorm = nrm2<T>(x);
+  if (xnorm == T(0)) {
+    beta = alpha;
+    return T(0);
+  }
+  beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const T tau = (beta - alpha) / beta;
+  const T scale = T(1) / (alpha - beta);
+  for (index_t i = 0; i < x.rows; ++i) x(i, 0) *= scale;
+  alpha = beta;
+  return tau;
+}
+
+}  // namespace detail
+
+/// QR factorization of an m x n tile (m >= n), in place.
+/// On exit: upper triangle of `a` holds R; below-diagonal holds the
+/// Householder vectors V (unit diagonal implicit); `t` (n x n) holds the
+/// upper-triangular block reflector factor.
+template <typename T>
+void geqrt(MatrixView<T> a, MatrixView<T> t) {
+  const index_t m = a.rows, n = a.cols;
+  TQR_REQUIRE(m >= n, "geqrt: require rows >= cols");
+  TQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T factor too small");
+  t.block(0, 0, n, n).fill(T(0));
+  std::vector<T> z(n);
+
+  for (index_t k = 0; k < n; ++k) {
+    T beta;
+    const T tau =
+        detail::larfg(a(k, k), a.block(k + 1, k, m - k - 1, 1), beta);
+    t(k, k) = tau;
+    if (tau == T(0)) continue;
+
+    // Trailing update: A(k:m, k+1:n) <- H_k * A(k:m, k+1:n).
+    for (index_t j = k + 1; j < n; ++j) {
+      T w = a(k, j);
+      for (index_t i = k + 1; i < m; ++i) w += a(i, k) * a(i, j);
+      w *= tau;
+      a(k, j) -= w;
+      for (index_t i = k + 1; i < m; ++i) a(i, j) -= w * a(i, k);
+    }
+
+    // Tf(0:k, k) = -tau * Tf(0:k, 0:k) * (V(:, 0:k)^T v_k).
+    if (k > 0) {
+      for (index_t p = 0; p < k; ++p) {
+        T acc = a(k, p);  // row k of V column p (v_k has 1 at row k)
+        for (index_t i = k + 1; i < m; ++i) acc += a(i, p) * a(i, k);
+        z[p] = acc;
+      }
+      for (index_t p = 0; p < k; ++p) {
+        T acc = T(0);
+        for (index_t q = p; q < k; ++q) acc += t(p, q) * z[q];
+        t(p, k) = -tau * acc;
+      }
+    }
+  }
+}
+
+/// Applies the Q of a geqrt-factored tile to C from the left.
+/// `v` is the factored tile (m x k, reflectors below the diagonal),
+/// `t` its block reflector factor (k x k). trans == kTrans applies Q^T.
+template <typename T>
+void unmqr(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
+           Trans trans) {
+  const index_t m = c.rows, n = c.cols, k = v.cols;
+  TQR_REQUIRE(v.rows == m, "unmqr: V/C row mismatch");
+  TQR_REQUIRE(t.rows >= k && t.cols >= k, "unmqr: T factor too small");
+
+  // W = V^T C, with V unit lower trapezoidal (garbage above diagonal of the
+  // stored tile must be ignored).
+  Matrix<T> w(k, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = 0; p < k; ++p) {
+      T acc = c(p, j);
+      for (index_t i = p + 1; i < m; ++i) acc += v(i, p) * c(i, j);
+      w(p, j) = acc;
+    }
+
+  // W = op(Tf) W. Q uses Tf, Q^T uses Tf^T.
+  trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
+                                                      : Trans::kTrans,
+               Diag::kNonUnit, t.block(0, 0, k, k), w.view());
+
+  // C -= V W.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = 0; p < k; ++p) {
+      const T wpj = w(p, j);
+      if (wpj == T(0)) continue;
+      c(p, j) -= wpj;
+      for (index_t i = p + 1; i < m; ++i) c(i, j) -= v(i, p) * wpj;
+    }
+}
+
+/// TS (triangle-on-top-of-square) QR: factors [R1; A2] where R1 (b x b) is
+/// upper triangular and A2 (m2 x b) is dense. On exit R1 holds the new R
+/// (only its upper triangle is read or written, so the V of a geqrt-factored
+/// diagonal tile survives underneath), A2 holds the dense reflector block V2,
+/// and `t` the block reflector factor.
+template <typename T>
+void tsqrt(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t) {
+  const index_t b = r1.cols, m2 = a2.rows;
+  TQR_REQUIRE(r1.rows >= b, "tsqrt: R1 must be at least b x b");
+  TQR_REQUIRE(a2.cols == b, "tsqrt: A2 column mismatch");
+  TQR_REQUIRE(t.rows >= b && t.cols >= b, "tsqrt: T factor too small");
+  t.block(0, 0, b, b).fill(T(0));
+  std::vector<T> z(b);
+
+  for (index_t k = 0; k < b; ++k) {
+    T beta;
+    const T tau = detail::larfg(r1(k, k), a2.block(0, k, m2, 1), beta);
+    t(k, k) = tau;
+    if (tau == T(0)) continue;
+
+    // Trailing update: rows touched are row k of R1 and all of A2.
+    for (index_t j = k + 1; j < b; ++j) {
+      T w = r1(k, j);
+      for (index_t i = 0; i < m2; ++i) w += a2(i, k) * a2(i, j);
+      w *= tau;
+      r1(k, j) -= w;
+      for (index_t i = 0; i < m2; ++i) a2(i, j) -= w * a2(i, k);
+    }
+
+    // Tf column; the structured identity top of V contributes nothing
+    // (e_p . e_k = 0 for p != k).
+    if (k > 0) {
+      for (index_t p = 0; p < k; ++p) {
+        T acc = T(0);
+        for (index_t i = 0; i < m2; ++i) acc += a2(i, p) * a2(i, k);
+        z[p] = acc;
+      }
+      for (index_t p = 0; p < k; ++p) {
+        T acc = T(0);
+        for (index_t q = p; q < k; ++q) acc += t(p, q) * z[q];
+        t(p, k) = -tau * acc;
+      }
+    }
+  }
+}
+
+/// Applies the Q of a tsqrt factorization to the stacked pair [C1; C2].
+/// `v2` is the dense reflector block from tsqrt (m2 x b), `t` its factor.
+template <typename T>
+void tsmqr(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
+           MatrixView<T> c2, Trans trans) {
+  const index_t b = v2.cols, n = c1.cols, m2 = v2.rows;
+  TQR_REQUIRE(c1.rows == b, "tsmqr: C1 must have b rows");
+  TQR_REQUIRE(c2.rows == m2 && c2.cols == n, "tsmqr: C2 shape mismatch");
+  TQR_REQUIRE(t.rows >= b && t.cols >= b, "tsmqr: T factor too small");
+
+  // W = C1 + V2^T C2.
+  Matrix<T> w(b, n);
+  copy<T>(c1, w.view());
+  gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), v2, c2, T(1), w.view());
+
+  // W = op(Tf) W.
+  trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
+                                                      : Trans::kTrans,
+               Diag::kNonUnit, t.block(0, 0, b, b), w.view());
+
+  // [C1; C2] -= [I; V2] W.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < b; ++i) c1(i, j) -= w(i, j);
+  gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(-1), v2, w.view(), T(1), c2);
+}
+
+/// TT (triangle-on-top-of-triangle) QR: factors [R1; R2] with both tiles
+/// upper triangular. On exit R1 holds the new R, R2 holds the
+/// upper-triangular reflector block V2, `t` the block reflector factor.
+/// Column k of V2 has support rows 0..k, which is what the update kernel
+/// exploits relative to the dense TS case.
+template <typename T>
+void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
+  const index_t b = r1.cols;
+  TQR_REQUIRE(r1.rows >= b && r2.rows >= b && r2.cols == b,
+              "ttqrt: tiles must be b x b");
+  TQR_REQUIRE(t.rows >= b && t.cols >= b, "ttqrt: T factor too small");
+  t.block(0, 0, b, b).fill(T(0));
+  std::vector<T> z(b);
+
+  for (index_t k = 0; k < b; ++k) {
+    T beta;
+    const T tau = detail::larfg(r1(k, k), r2.block(0, k, k + 1, 1), beta);
+    t(k, k) = tau;
+    if (tau == T(0)) continue;
+
+    for (index_t j = k + 1; j < b; ++j) {
+      T w = r1(k, j);
+      for (index_t i = 0; i <= k; ++i) w += r2(i, k) * r2(i, j);
+      w *= tau;
+      r1(k, j) -= w;
+      for (index_t i = 0; i <= k; ++i) r2(i, j) -= w * r2(i, k);
+    }
+
+    if (k > 0) {
+      for (index_t p = 0; p < k; ++p) {
+        T acc = T(0);
+        for (index_t i = 0; i <= p; ++i) acc += r2(i, p) * r2(i, k);
+        z[p] = acc;
+      }
+      for (index_t p = 0; p < k; ++p) {
+        T acc = T(0);
+        for (index_t q = p; q < k; ++q) acc += t(p, q) * z[q];
+        t(p, k) = -tau * acc;
+      }
+    }
+  }
+}
+
+/// Applies the Q of a ttqrt factorization to the stacked pair [C1; C2].
+/// `v2` is the upper-triangular reflector block from ttqrt.
+template <typename T>
+void ttmqr(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
+           MatrixView<T> c2, Trans trans) {
+  const index_t b = v2.cols, n = c1.cols;
+  TQR_REQUIRE(c1.rows == b && c2.rows == b && c2.cols == n,
+              "ttmqr: tiles must be b x b / b x n");
+  TQR_REQUIRE(t.rows >= b && t.cols >= b, "ttmqr: T factor too small");
+
+  // W = C1 + V2^T C2 with V2 upper triangular (support rows 0..j in col j).
+  Matrix<T> w(b, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t p = 0; p < b; ++p) {
+      T acc = c1(p, j);
+      for (index_t i = 0; i <= p; ++i) acc += v2(i, p) * c2(i, j);
+      w(p, j) = acc;
+    }
+
+  trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
+                                                      : Trans::kTrans,
+               Diag::kNonUnit, t.block(0, 0, b, b), w.view());
+
+  // [C1; C2] -= [I; V2] W, with V2 upper triangular.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < b; ++i) c1(i, j) -= w(i, j);
+    for (index_t i = 0; i < b; ++i) {
+      T acc = T(0);
+      for (index_t p = i; p < b; ++p) acc += v2(i, p) * w(p, j);
+      c2(i, j) -= acc;
+    }
+  }
+}
+
+}  // namespace tqr::la

@@ -1,0 +1,95 @@
+// LU factorization with partial pivoting (getrf/getrs-style) — the general
+// square-system baseline rounding out the factorization family (QR for
+// least squares and orthogonality, Cholesky for SPD, LU for general square
+// solves at 1/2 the Cholesky-QR flop count).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+template <typename T>
+class LuFactorization {
+ public:
+  /// Factors P A = L U in place; throws tqr::Error on exact singularity.
+  explicit LuFactorization(Matrix<T> a) : a_(std::move(a)), piv_(a_.rows()) {
+    const index_t n = a_.rows();
+    TQR_REQUIRE(a_.cols() == n, "LU expects a square matrix");
+    for (index_t i = 0; i < n; ++i) piv_[i] = i;
+    for (index_t k = 0; k < n; ++k) {
+      // Partial pivot: largest magnitude in column k at or below the
+      // diagonal.
+      index_t p = k;
+      double best = std::abs(static_cast<double>(a_(k, k)));
+      for (index_t i = k + 1; i < n; ++i) {
+        const double v = std::abs(static_cast<double>(a_(i, k)));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      if (best == 0.0)
+        throw Error("LU: matrix is singular at column " + std::to_string(k));
+      if (p != k) {
+        for (index_t j = 0; j < n; ++j) std::swap(a_(k, j), a_(p, j));
+        std::swap(piv_[k], piv_[p]);
+        ++swaps_;
+      }
+      const T pivot = a_(k, k);
+      for (index_t i = k + 1; i < n; ++i) {
+        const T l = a_(i, k) / pivot;
+        a_(i, k) = l;
+        for (index_t j = k + 1; j < n; ++j) a_(i, j) -= l * a_(k, j);
+      }
+    }
+  }
+
+  index_t order() const { return a_.rows(); }
+  /// Row permutation: row i of the factored matrix came from original row
+  /// permutation()[i].
+  const std::vector<index_t>& permutation() const { return piv_; }
+
+  /// Solves A x = rhs.
+  Matrix<T> solve(const Matrix<T>& rhs) const {
+    const index_t n = a_.rows();
+    TQR_REQUIRE(rhs.rows() == n, "solve: rhs row mismatch");
+    // Apply the permutation, then the two triangular solves.
+    Matrix<T> x(n, rhs.cols());
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < rhs.cols(); ++j) x(i, j) = rhs(piv_[i], j);
+    trsm_left<T>(UpLo::kLower, Trans::kNoTrans, Diag::kUnit, a_.view(),
+                 x.view());
+    trsm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, a_.view(),
+                 x.view());
+    return x;
+  }
+
+  /// det(A) = (-1)^swaps * prod(U diagonal). Returned in log-magnitude +
+  /// sign form to dodge overflow.
+  struct Determinant {
+    double log_abs = 0;
+    int sign = 1;  // 0 when singular (never produced; factor throws first)
+    double value() const { return sign * std::exp(log_abs); }
+  };
+  Determinant determinant() const {
+    Determinant d;
+    d.sign = (swaps_ % 2 == 0) ? 1 : -1;
+    for (index_t i = 0; i < a_.rows(); ++i) {
+      const double u = static_cast<double>(a_(i, i));
+      if (u < 0) d.sign = -d.sign;
+      d.log_abs += std::log(std::abs(u));
+    }
+    return d;
+  }
+
+ private:
+  Matrix<T> a_;  // L below (unit diag implicit), U on/above the diagonal
+  std::vector<index_t> piv_;
+  int swaps_ = 0;
+};
+
+}  // namespace tqr::la

@@ -1,0 +1,151 @@
+// Column-pivoted Householder QR (LAPACK geqp3-style, unblocked):
+// A P = Q R with |R(0,0)| >= |R(1,1)| >= ... — the rank-revealing
+// factorization the library offers for rank-deficient or ill-determined
+// systems (the tiled factorization assumes full rank; this is the
+// diagnosing companion).
+#pragma once
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+template <typename T>
+class PivotedQr {
+ public:
+  explicit PivotedQr(Matrix<T> a)
+      : a_(std::move(a)), tau_(a_.cols()), perm_(a_.cols()) {
+    const index_t m = a_.rows(), n = a_.cols();
+    TQR_REQUIRE(m >= n, "PivotedQr: require rows >= cols");
+    for (index_t j = 0; j < n; ++j) perm_[j] = j;
+
+    // Residual column norms, recomputed honestly per step (O(mn^2) total
+    // for the norm work; this is the reference rank-revealer, not a tuned
+    // kernel).
+    auto av = a_.view();
+    for (index_t k = 0; k < n; ++k) {
+      // Pivot: residual column with the largest tail norm.
+      index_t best = k;
+      T best_norm = T(-1);
+      for (index_t j = k; j < n; ++j) {
+        const T norm =
+            nrm2<T>(ConstMatrixView<T>(av.block(k, j, m - k, 1)));
+        if (norm > best_norm) {
+          best_norm = norm;
+          best = j;
+        }
+      }
+      if (best != k) {
+        for (index_t i = 0; i < m; ++i) std::swap(av(i, k), av(i, best));
+        std::swap(perm_[k], perm_[best]);
+      }
+
+      // Householder step, identical to the reference sweep.
+      T alpha = av(k, k);
+      auto tail = av.block(k + 1, k, m - k - 1, 1);
+      const T xnorm = nrm2<T>(ConstMatrixView<T>(tail));
+      if (xnorm == T(0) && alpha == T(0)) {
+        tau_[k] = T(0);
+        continue;
+      }
+      if (xnorm == T(0)) {
+        tau_[k] = T(0);
+        continue;
+      }
+      const T beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+      tau_[k] = (beta - alpha) / beta;
+      const T scale = T(1) / (alpha - beta);
+      for (index_t i = 0; i < tail.rows; ++i) tail(i, 0) *= scale;
+      av(k, k) = beta;
+      for (index_t j = k + 1; j < n; ++j) {
+        T w = av(k, j);
+        for (index_t i = k + 1; i < m; ++i) w += av(i, k) * av(i, j);
+        w *= tau_[k];
+        av(k, j) -= w;
+        for (index_t i = k + 1; i < m; ++i) av(i, j) -= w * av(i, k);
+      }
+    }
+  }
+
+  index_t rows() const { return a_.rows(); }
+  index_t cols() const { return a_.cols(); }
+
+  /// Column permutation: factored column j came from original column
+  /// permutation()[j] (A P = QR with P e_j = e_perm[j]).
+  const std::vector<index_t>& permutation() const { return perm_; }
+
+  Matrix<T> r() const {
+    const index_t n = a_.cols();
+    Matrix<T> out(n, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= j; ++i) out(i, j) = a_(i, j);
+    return out;
+  }
+
+  /// Applies Q^T (kTrans) or Q (kNoTrans) to c in place.
+  void apply_q(MatrixView<T> c, Trans trans) const {
+    const index_t m = a_.rows(), n = a_.cols();
+    TQR_REQUIRE(c.rows == m, "apply_q: row mismatch");
+    const bool forward = (trans == Trans::kTrans);
+    for (index_t s = 0; s < n; ++s) {
+      const index_t k = forward ? s : n - 1 - s;
+      if (tau_[k] == T(0)) continue;
+      for (index_t j = 0; j < c.cols; ++j) {
+        T w = c(k, j);
+        for (index_t i = k + 1; i < m; ++i) w += a_(i, k) * c(i, j);
+        w *= tau_[k];
+        c(k, j) -= w;
+        for (index_t i = k + 1; i < m; ++i) c(i, j) -= w * a_(i, k);
+      }
+    }
+  }
+
+  /// Numerical rank: largest k with |R(k,k)| > tol * |R(0,0)|.
+  index_t rank(double rel_tol = 1e-10) const {
+    const index_t n = a_.cols();
+    const double r00 = std::abs(static_cast<double>(a_(0, 0)));
+    if (r00 == 0) return 0;
+    index_t rank = 0;
+    for (index_t k = 0; k < n; ++k) {
+      if (std::abs(static_cast<double>(a_(k, k))) > rel_tol * r00)
+        rank = k + 1;
+      else
+        break;
+    }
+    return rank;
+  }
+
+  /// Basic (rank-r) least-squares solution: minimize ||A x - b|| using only
+  /// the leading rank columns; free variables set to zero.
+  Matrix<T> solve(const Matrix<T>& b, double rel_tol = 1e-10) const {
+    TQR_REQUIRE(b.rows() == a_.rows(), "solve: rhs row mismatch");
+    const index_t n = a_.cols();
+    const index_t r = rank(rel_tol);
+    TQR_REQUIRE(r > 0, "matrix is numerically zero");
+    Matrix<T> qtb = b;
+    apply_q(qtb.view(), Trans::kTrans);
+    // Solve the leading r x r triangular system.
+    Matrix<T> y(r, b.cols());
+    copy<T>(ConstMatrixView<T>(qtb.view()).block(0, 0, r, b.cols()),
+            y.view());
+    Matrix<T> rr(r, r);
+    for (index_t j = 0; j < r; ++j)
+      for (index_t i = 0; i <= j; ++i) rr(i, j) = a_(i, j);
+    trsm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, rr.view(),
+                 y.view());
+    // Un-permute.
+    Matrix<T> x(n, b.cols());
+    for (index_t k = 0; k < r; ++k)
+      for (index_t j = 0; j < b.cols(); ++j) x(perm_[k], j) = y(k, j);
+    return x;
+  }
+
+ private:
+  Matrix<T> a_;
+  std::vector<T> tau_;
+  std::vector<index_t> perm_;
+};
+
+}  // namespace tqr::la

@@ -1,0 +1,108 @@
+// Reference (untiled) Householder QR — Algorithm 1 of the paper.
+//
+// This is the baseline the tiled algorithm is verified against: factor() is
+// the straight left-to-right reflector sweep, and the class can apply Q/Q^T,
+// form Q explicitly, extract R, and solve least-squares systems. It is
+// deliberately simple; it serves as numerical ground truth in the test suite
+// and as the sequential baseline in benches.
+#pragma once
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+template <typename T>
+class ReferenceQr {
+ public:
+  /// Factors a (m >= n required); stores R in the upper triangle and the
+  /// Householder vectors below the diagonal, LAPACK geqrf-style.
+  explicit ReferenceQr(Matrix<T> a) : a_(std::move(a)), tau_(a_.cols()) {
+    const index_t m = a_.rows(), n = a_.cols();
+    TQR_REQUIRE(m >= n, "ReferenceQr: require rows >= cols");
+    auto av = a_.view();
+    for (index_t k = 0; k < n; ++k) {
+      // Generate reflector for column k.
+      T alpha = av(k, k);
+      auto tail = av.block(k + 1, k, m - k - 1, 1);
+      const T xnorm = nrm2<T>(ConstMatrixView<T>(tail));
+      if (xnorm == T(0)) {
+        tau_[k] = T(0);
+        continue;
+      }
+      const T beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+      tau_[k] = (beta - alpha) / beta;
+      const T scale = T(1) / (alpha - beta);
+      for (index_t i = 0; i < tail.rows; ++i) tail(i, 0) *= scale;
+      av(k, k) = beta;
+      // Apply to the trailing submatrix.
+      for (index_t j = k + 1; j < n; ++j) {
+        T w = av(k, j);
+        for (index_t i = k + 1; i < m; ++i) w += av(i, k) * av(i, j);
+        w *= tau_[k];
+        av(k, j) -= w;
+        for (index_t i = k + 1; i < m; ++i) av(i, j) -= w * av(i, k);
+      }
+    }
+  }
+
+  index_t rows() const { return a_.rows(); }
+  index_t cols() const { return a_.cols(); }
+
+  /// R factor (n x n upper triangular).
+  Matrix<T> r() const {
+    const index_t n = a_.cols();
+    Matrix<T> out(n, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= j; ++i) out(i, j) = a_(i, j);
+    return out;
+  }
+
+  /// Applies Q^T (trans) or Q (no-trans) to C in place (C has m rows).
+  void apply_q(MatrixView<T> c, Trans trans) const {
+    const index_t m = a_.rows(), n = a_.cols();
+    TQR_REQUIRE(c.rows == m, "apply_q: row mismatch");
+    // Q^T = H_{n-1} ... H_0, Q = H_0 ... H_{n-1}; H_k symmetric.
+    const bool forward = (trans == Trans::kTrans);
+    for (index_t s = 0; s < n; ++s) {
+      const index_t k = forward ? s : n - 1 - s;
+      if (tau_[k] == T(0)) continue;
+      for (index_t j = 0; j < c.cols; ++j) {
+        T w = c(k, j);
+        for (index_t i = k + 1; i < m; ++i) w += a_(i, k) * c(i, j);
+        w *= tau_[k];
+        c(k, j) -= w;
+        for (index_t i = k + 1; i < m; ++i) c(i, j) -= w * a_(i, k);
+      }
+    }
+  }
+
+  /// Forms Q explicitly (m x m orthogonal).
+  Matrix<T> q() const {
+    Matrix<T> out = Matrix<T>::identity(a_.rows());
+    apply_q(out.view(), Trans::kNoTrans);
+    return out;
+  }
+
+  /// Least-squares solve min ||A x - b||: x = R^{-1} (Q^T b)(0:n).
+  Matrix<T> solve(const Matrix<T>& b) const {
+    const index_t n = a_.cols();
+    TQR_REQUIRE(b.rows() == a_.rows(), "solve: rhs row mismatch");
+    Matrix<T> qtb = b;
+    apply_q(qtb.view(), Trans::kTrans);
+    Matrix<T> x(n, b.cols());
+    copy<T>(qtb.block(0, 0, n, b.cols()), x.view());
+    Matrix<T> rr = r();
+    trsm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit,
+                 rr.view(), x.view());
+    return x;
+  }
+
+ private:
+  Matrix<T> a_;
+  std::vector<T> tau_;
+};
+
+}  // namespace tqr::la

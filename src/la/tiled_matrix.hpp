@@ -1,0 +1,115 @@
+// Tile-major storage for tiled algorithms.
+//
+// A TiledMatrix partitions an m x n matrix into b x b tiles, each stored
+// contiguously (column-major inside the tile). Tile-contiguous storage is
+// what makes per-tile device transfers a single contiguous copy — the
+// communication model in src/sim charges exactly these b*b*sizeof(T) blocks,
+// matching Eq. 11 of the paper.
+//
+// Matrix dimensions must be multiples of the tile size; pad_to_tiles() embeds
+// an arbitrary matrix into the smallest padded one (identity diagonal on the
+// pad so QR of the padded matrix restricts to QR of the original).
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+
+template <typename T>
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+
+  /// Zero-initialized rows x cols matrix with tile size b.
+  TiledMatrix(index_t rows, index_t cols, index_t b)
+      : rows_(rows), cols_(cols), b_(b) {
+    TQR_REQUIRE(b > 0, "tile size must be positive");
+    TQR_REQUIRE(rows % b == 0 && cols % b == 0,
+                "matrix dimensions must be multiples of the tile size "
+                "(use pad_to_tiles)");
+    mt_ = rows / b;
+    nt_ = cols / b;
+    data_.assign(static_cast<std::size_t>(mt_) * nt_ * b * b, T(0));
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t tile_size() const { return b_; }
+  index_t tile_rows() const { return mt_; }  // number of tile rows (M)
+  index_t tile_cols() const { return nt_; }  // number of tile columns (N)
+
+  /// Mutable view of tile (i, j); contiguous, ld == b.
+  MatrixView<T> tile(index_t i, index_t j) {
+    return MatrixView<T>{tile_data(i, j), b_, b_, b_};
+  }
+  ConstMatrixView<T> tile(index_t i, index_t j) const {
+    return ConstMatrixView<T>{tile_data(i, j), b_, b_, b_};
+  }
+
+  /// Raw pointer to a tile's storage (used by the transfer accounting).
+  T* tile_data(index_t i, index_t j) {
+    TQR_ASSERT(i >= 0 && i < mt_ && j >= 0 && j < nt_, "tile out of range");
+    return data_.data() +
+           (static_cast<std::size_t>(j) * mt_ + i) * b_ * b_;
+  }
+  const T* tile_data(index_t i, index_t j) const {
+    TQR_ASSERT(i >= 0 && i < mt_ && j >= 0 && j < nt_, "tile out of range");
+    return data_.data() +
+           (static_cast<std::size_t>(j) * mt_ + i) * b_ * b_;
+  }
+
+  /// Bytes in one tile; the unit of every device-to-device transfer.
+  std::size_t tile_bytes() const {
+    return static_cast<std::size_t>(b_) * b_ * sizeof(T);
+  }
+
+  /// Element access across tile boundaries (slow; for tests/conversion).
+  T& at(index_t i, index_t j) {
+    return tile(i / b_, j / b_)(i % b_, j % b_);
+  }
+  const T& at(index_t i, index_t j) const {
+    return tile(i / b_, j / b_)(i % b_, j % b_);
+  }
+
+  /// Conversion from/to dense column-major layout.
+  static TiledMatrix from_dense(ConstMatrixView<T> a, index_t b) {
+    TiledMatrix t(a.rows, a.cols, b);
+    for (index_t j = 0; j < a.cols; ++j)
+      for (index_t i = 0; i < a.rows; ++i) t.at(i, j) = a(i, j);
+    return t;
+  }
+  static TiledMatrix from_dense(const Matrix<T>& a, index_t b) {
+    return from_dense(a.view(), b);
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> a(rows_, cols_);
+    for (index_t j = 0; j < cols_; ++j)
+      for (index_t i = 0; i < rows_; ++i) a(i, j) = at(i, j);
+    return a;
+  }
+
+ private:
+  index_t rows_ = 0, cols_ = 0, b_ = 0, mt_ = 0, nt_ = 0;
+  std::vector<T> data_;
+};
+
+/// Embeds `a` into the smallest (ceil to tile) padded matrix. The pad block
+/// gets an identity diagonal, so the padded matrix stays full-rank and its QR
+/// factors restrict to those of `a` (R's leading block is R of `a` up to the
+/// pad columns).
+template <typename T>
+Matrix<T> pad_to_tiles(ConstMatrixView<T> a, index_t b) {
+  const index_t pr = (a.rows + b - 1) / b * b;
+  const index_t pc = (a.cols + b - 1) / b * b;
+  Matrix<T> p(pr, pc);
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) p(i, j) = a(i, j);
+  for (index_t d = 0; d + a.cols < pc && d + a.rows < pr; ++d)
+    p(a.rows + d, a.cols + d) = T(1);
+  return p;
+}
+
+}  // namespace tqr::la

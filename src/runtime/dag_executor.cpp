@@ -1,0 +1,155 @@
+#include "runtime/dag_executor.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tqr::runtime {
+
+namespace {
+
+/// Shared run state for one execution.
+struct RunState {
+  const dag::TaskGraph& graph;
+  const DagExecutor::Affinity& affinity;
+  const DagExecutor::Kernel& kernel;
+  Trace* trace;
+
+  std::vector<std::atomic<std::int32_t>> remaining;  // per-task deps left
+  std::atomic<std::int64_t> tasks_left;
+
+  // Per-device ready queues. With panel_priority the deque is kept sorted
+  // ascending by task id (panel-major order); otherwise FIFO.
+  struct DeviceQueue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<dag::task_id> ready;
+  };
+  std::vector<DeviceQueue> queues;
+  bool panel_priority = false;
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  Timer clock;
+
+  RunState(const dag::TaskGraph& g, const DagExecutor::Affinity& a,
+           const DagExecutor::Kernel& k, Trace* t, int num_devices)
+      : graph(g),
+        affinity(a),
+        kernel(k),
+        trace(t),
+        remaining(g.size()),
+        tasks_left(static_cast<std::int64_t>(g.size())),
+        queues(num_devices) {}
+
+  void push_ready(dag::task_id t) {
+    const int dev = affinity(t, graph.task(t));
+    TQR_ASSERT(dev >= 0 && dev < static_cast<int>(queues.size()),
+               "affinity returned an out-of-range device");
+    {
+      std::lock_guard<std::mutex> lock(queues[dev].mutex);
+      auto& q = queues[dev].ready;
+      if (panel_priority) {
+        q.insert(std::upper_bound(q.begin(), q.end(), t), t);
+      } else {
+        q.push_back(t);
+      }
+    }
+    queues[dev].cv.notify_one();
+  }
+
+  void record_failure(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error) error = e;
+    failed.store(true, std::memory_order_release);
+    // Unblock everyone.
+    for (auto& q : queues) q.cv.notify_all();
+  }
+
+  bool done() const { return tasks_left.load(std::memory_order_acquire) == 0; }
+
+  void worker(int dev) {
+    auto& q = queues[dev];
+    for (;;) {
+      dag::task_id t = -1;
+      {
+        std::unique_lock<std::mutex> lock(q.mutex);
+        q.cv.wait(lock, [&] {
+          return !q.ready.empty() || done() ||
+                 failed.load(std::memory_order_acquire);
+        });
+        if (failed.load(std::memory_order_acquire)) return;
+        if (q.ready.empty()) {
+          if (done()) return;
+          continue;
+        }
+        t = q.ready.front();
+        q.ready.pop_front();
+      }
+
+      const dag::Task& task = graph.task(t);
+      TraceEvent ev;
+      ev.task = t;
+      ev.op = task.op;
+      ev.device = dev;
+      ev.start_s = clock.seconds();
+      try {
+        kernel(t, task, dev);
+      } catch (...) {
+        record_failure(std::current_exception());
+        return;
+      }
+      ev.end_s = clock.seconds();
+      if (trace) trace->record(ev);
+
+      // Release successors.
+      for (auto it = graph.successors_begin(t); it != graph.successors_end(t);
+           ++it) {
+        if (remaining[*it].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          push_ready(*it);
+      }
+      if (tasks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task: wake every device so idle workers can exit.
+        for (auto& other : queues) other.cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+double DagExecutor::run(const dag::TaskGraph& graph, const Affinity& affinity,
+                        const Kernel& kernel, const Options& options) {
+  TQR_REQUIRE(options.num_devices > 0, "need at least one device group");
+  std::vector<int> threads = options.threads_per_device;
+  if (threads.empty()) threads.assign(options.num_devices, 1);
+  TQR_REQUIRE(static_cast<int>(threads.size()) == options.num_devices,
+              "threads_per_device size must equal num_devices");
+
+  if (graph.size() == 0) return 0.0;
+
+  RunState state(graph, affinity, kernel, options.trace, options.num_devices);
+  state.panel_priority = options.panel_priority;
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
+    state.remaining[t].store(graph.indegree(t), std::memory_order_relaxed);
+
+  // Seed initially-ready tasks before spawning workers.
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
+    if (graph.indegree(t) == 0) state.push_ready(t);
+
+  std::vector<std::thread> pool;
+  for (int dev = 0; dev < options.num_devices; ++dev)
+    for (int s = 0; s < threads[dev]; ++s)
+      pool.emplace_back([&state, dev] { state.worker(dev); });
+  for (auto& th : pool) th.join();
+
+  if (state.error) std::rethrow_exception(state.error);
+  TQR_ASSERT(state.done(), "executor exited with tasks pending");
+  return state.clock.seconds();
+}
+
+}  // namespace tqr::runtime

@@ -1,0 +1,55 @@
+// Dependence-driven host execution of a TaskGraph.
+//
+// Mirrors the paper's Fig. 7 system structure: a manager (the calling
+// thread) owns dependence bookkeeping implicitly via atomic counters; each
+// *computing thread group* models one device and serves that device's ready
+// queue. A device group can have several slave threads (the paper's CPU
+// computing thread spawns CPU slave threads; a GPU computing thread feeds
+// one GPU).
+//
+// The kernel callback receives (task_id, task, device); device is the index
+// of the computing-thread group the task was routed to by the affinity
+// function — the same routing the simulator uses, so a functional run and a
+// simulated run of one plan execute identical schedules up to timing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "runtime/trace.hpp"
+
+namespace tqr::runtime {
+
+class DagExecutor {
+ public:
+  /// Routes a task to a device group; must return a value in
+  /// [0, num_devices).
+  using Affinity = std::function<int(dag::task_id, const dag::Task&)>;
+  /// Executes the kernel for a task on the routed device group.
+  using Kernel = std::function<void(dag::task_id, const dag::Task&, int)>;
+
+  struct Options {
+    int num_devices = 1;
+    /// Serve ready queues lowest-task-id-first (panel-major priority, the
+    /// order the simulator uses) instead of FIFO.
+    bool panel_priority = false;
+    /// Slave threads per device group (>= 1 each). Size must equal
+    /// num_devices; empty means one thread per device.
+    std::vector<int> threads_per_device;
+    /// Optional trace sink (may be nullptr).
+    Trace* trace = nullptr;
+  };
+
+  /// Runs the whole graph; returns wall-clock seconds. Throws whatever the
+  /// kernel throws (first exception wins; execution stops draining).
+  static double run(const dag::TaskGraph& graph, const Affinity& affinity,
+                    const Kernel& kernel, const Options& options);
+};
+
+}  // namespace tqr::runtime

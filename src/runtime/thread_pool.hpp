@@ -1,0 +1,43 @@
+// Fixed-size thread pool used for host-side parallel kernel execution.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tqr::runtime {
+
+/// Plain FIFO worker pool. Submitted jobs run on any worker thread.
+/// wait_idle() blocks until every submitted job has finished.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe from any thread, including workers.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tqr::runtime

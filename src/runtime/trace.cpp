@@ -1,0 +1,50 @@
+#include "runtime/trace.hpp"
+
+#include <sstream>
+
+namespace tqr::runtime {
+
+std::vector<double> Trace::busy_per_device(int num_devices) const {
+  std::vector<double> busy(num_devices, 0.0);
+  for (const auto& e : events_)
+    if (e.device >= 0 && e.device < num_devices)
+      busy[e.device] += e.end_s - e.start_s;
+  return busy;
+}
+
+std::vector<double> Trace::busy_per_step() const {
+  std::vector<double> busy(4, 0.0);
+  for (const auto& e : events_)
+    busy[static_cast<std::size_t>(dag::step_of(e.op))] += e.end_s - e.start_s;
+  return busy;
+}
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << dag::op_name(e.op) << "\",\"cat\":\""
+       << dag::step_name(dag::step_of(e.op)) << "\",\"ph\":\"X\",\"ts\":"
+       << e.start_s * 1e6 << ",\"dur\":" << (e.end_s - e.start_s) * 1e6
+       << ",\"pid\":" << e.device << ",\"tid\":" << e.device
+       << ",\"args\":{\"task\":" << e.task << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Trace::to_csv() const {
+  std::ostringstream os;
+  os << "task,op,step,device,start_s,end_s\n";
+  for (const auto& e : events_) {
+    os << e.task << ',' << dag::op_name(e.op) << ','
+       << dag::step_name(dag::step_of(e.op)) << ',' << e.device << ','
+       << e.start_s << ',' << e.end_s << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tqr::runtime

@@ -1,0 +1,59 @@
+// Execution trace: per-task records collected by both the real executor and
+// the discrete-event simulator, so the same analysis/reporting code serves
+// measured and simulated runs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dag/task.hpp"
+
+namespace tqr::runtime {
+
+struct TraceEvent {
+  std::int32_t task = -1;
+  dag::Op op = dag::Op::kGeqrt;
+  std::int32_t device = -1;
+  double start_s = 0;  // seconds since run start (wall or simulated)
+  double end_s = 0;
+};
+
+/// Thread-safe append-only event collector.
+class Trace {
+ public:
+  void record(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(e);
+  }
+
+  /// Reserve to avoid reallocation churn on big runs.
+  void reserve(std::size_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.reserve(n);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Busy seconds per device id (index = device).
+  std::vector<double> busy_per_device(int num_devices) const;
+
+  /// Busy seconds per paper step (T/E/UT/UE).
+  std::vector<double> busy_per_step() const;
+
+  /// CSV dump: task,op,step,device,start,end.
+  std::string to_csv() const;
+
+  /// Chrome tracing JSON (chrome://tracing / Perfetto "traceEvents" array):
+  /// one complete event per task, device as pid/tid, microsecond
+  /// timestamps. Load the file directly in a trace viewer.
+  std::string to_chrome_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tqr::runtime

@@ -1,0 +1,321 @@
+#include "sim/des.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dag/task_accesses.hpp"
+
+namespace tqr::sim {
+
+namespace {
+
+/// Copy-tracking entry for one tile: which devices hold a valid copy.
+/// Device count is <= 16 on any platform we model (4 cluster nodes), so a
+/// 16-bit mask suffices.
+struct TileState {
+  std::uint16_t valid_mask = 0;
+  std::int8_t owner = -1;  // device of the latest write; -1 = host origin
+};
+
+struct FinishEvent {
+  double time;
+  dag::task_id task;
+  bool operator>(const FinishEvent& o) const {
+    return time > o.time || (time == o.time && task > o.task);
+  }
+};
+
+class Des {
+ public:
+  Des(const dag::TaskGraph& graph, const std::vector<std::uint8_t>& assignment,
+      const Platform& platform, std::int32_t mt, std::int32_t nt,
+      const SimOptions& options)
+      : graph_(graph),
+        assignment_(assignment),
+        platform_(platform),
+        mt_(mt),
+        nt_(nt),
+        opt_(options) {
+    TQR_REQUIRE(assignment.size() == graph.size(),
+                "assignment must cover every task");
+    TQR_REQUIRE(platform.num_devices() >= 1 && platform.num_devices() <= 16,
+                "simulator supports 1..16 devices");
+    const int ndev = platform.num_devices();
+    free_slots_.resize(ndev);
+    ready_.resize(ndev + 1);  // trailing queue holds dynamic tasks
+    for (int d = 0; d < ndev; ++d) free_slots_[d] = platform.device(d).slots;
+    build_priorities();
+    tiles_.assign(3u * mt_ * nt_, TileState{});
+    actual_device_.assign(graph.size(), 0);
+    for (std::size_t t = 0; t < graph.size(); ++t)
+      actual_device_[t] = assignment[t];
+    bus_free_.assign(static_cast<std::size_t>(platform.num_nodes()) + 1, 0.0);
+    panel_synced_.assign(static_cast<std::size_t>(std::min(mt_, nt_)) * ndev,
+                         false);
+    remaining_.resize(graph.size());
+    result_.busy_s.assign(ndev, 0.0);
+    result_.tasks = static_cast<std::int64_t>(graph.size());
+  }
+
+  SimResult run() {
+    for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph_.size());
+         ++t) {
+      remaining_[t] = graph_.indegree(t);
+      if (remaining_[t] == 0) push_ready(t);
+    }
+
+    std::int64_t completed = 0;
+    double now = 0.0;
+    dispatch_all(now);
+    while (!events_.empty()) {
+      const FinishEvent ev = events_.top();
+      events_.pop();
+      now = ev.time;
+      ++completed;
+      const int dev = actual_device_[ev.task];
+      TQR_ASSERT(dev >= 0 && dev < platform_.num_devices(),
+                 "finish event for a task without a resolved device");
+      ++free_slots_[dev];
+      for (auto it = graph_.successors_begin(ev.task);
+           it != graph_.successors_end(ev.task); ++it) {
+        if (--remaining_[*it] == 0) push_ready(*it);
+      }
+      dispatch_all(now);
+    }
+    TQR_ASSERT(completed == static_cast<std::int64_t>(graph_.size()),
+               "simulation finished with tasks pending (cyclic graph?)");
+    result_.makespan_s = now;
+    return std::move(result_);
+  }
+
+ private:
+  std::size_t tile_index(dag::Plane plane, std::int32_t i,
+                         std::int32_t j) const {
+    return (static_cast<std::size_t>(plane) * mt_ + i) * nt_ + j;
+  }
+
+  void dispatch_all(double now) {
+    for (int d = 0; d < platform_.num_devices(); ++d) {
+      while (free_slots_[d] > 0 && !ready_[d].empty()) {
+        const dag::task_id t = ready_[d].top().task;
+        ready_[d].pop();
+        dispatch(t, d, now);
+      }
+    }
+    // Dynamic tasks: greedy earliest-estimated-finish placement across the
+    // devices that still have free slots.
+    auto& shared = ready_[platform_.num_devices()];
+    while (!shared.empty()) {
+      const dag::task_id t = shared.top().task;
+      const int dev = pick_dynamic_device(t);
+      if (dev < 0) break;  // no free slot anywhere; wait for a finish event
+      shared.pop();
+      dispatch(t, dev, now, /*dynamic=*/true);
+    }
+  }
+
+  /// Estimated-finish greedy choice for a dynamic task; -1 if no device has
+  /// a free slot.
+  int pick_dynamic_device(dag::task_id t) const {
+    const dag::Task& task = graph_.task(t);
+    dag::TileAccess acc[5];
+    const int n_acc = dag::tile_accesses(task, acc);
+    const std::size_t tile_bytes = static_cast<std::size_t>(opt_.tile_size) *
+                                   opt_.tile_size * opt_.element_bytes;
+    int best = -1;
+    double best_score = 0;
+    for (int d = 0; d < platform_.num_devices(); ++d) {
+      if (free_slots_[d] <= 0) continue;
+      double score = platform_.device(d).kernel_time_s(task.op,
+                                                       opt_.tile_size);
+      for (int a = 0; a < n_acc; ++a) {
+        if (!acc[a].read) continue;
+        const TileState& ts =
+            tiles_[tile_index(acc[a].plane, acc[a].i, acc[a].j)];
+        if (ts.owner >= 0 && !(ts.valid_mask & (1u << d)))
+          score += platform_.link(ts.owner, d).transfer_time_s(tile_bytes);
+      }
+      if (best < 0 || score < best_score) {
+        best = d;
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  void push_ready(dag::task_id t) {
+    const int queue = assignment_[t] == kDynamicDevice
+                          ? platform_.num_devices()
+                          : assignment_[t];
+    double key = 0;
+    switch (opt_.queue_policy) {
+      case QueuePolicy::kPanelOrder:
+        key = static_cast<double>(t);
+        break;
+      case QueuePolicy::kFifo:
+        key = static_cast<double>(fifo_counter_++);
+        break;
+      case QueuePolicy::kCriticalPath:
+        // Longest remaining path served first => smaller key wins, so
+        // negate. Ties broken by task id via ReadyEntry::operator<.
+        key = -priority_[t];
+        break;
+    }
+    ready_[queue].push(ReadyEntry{key, t});
+  }
+
+  void build_priorities() {
+    if (opt_.queue_policy != QueuePolicy::kCriticalPath) return;
+    // Longest path from each task to a sink, weighted by its own device's
+    // kernel time. Tasks are topologically ordered, so one reverse sweep.
+    priority_.assign(graph_.size(), 0.0);
+    for (dag::task_id t = static_cast<dag::task_id>(graph_.size()) - 1;
+         t >= 0; --t) {
+      double succ_max = 0;
+      for (auto it = graph_.successors_begin(t);
+           it != graph_.successors_end(t); ++it)
+        succ_max = std::max(succ_max, priority_[*it]);
+      priority_[t] =
+          succ_max + platform_.device(assignment_[t])
+                         .kernel_time_s(graph_.task(t).op, opt_.tile_size);
+    }
+  }
+
+  void dispatch(dag::task_id t, int dev, double now, bool dynamic = false) {
+    const dag::Task& task = graph_.task(t);
+    actual_device_[t] = static_cast<std::uint8_t>(dev);
+
+    // Gather missing input tiles, grouped by source device so that pulls
+    // from one source coalesce into a single transfer (one latency charge).
+    dag::TileAccess acc[5];
+    const int n_acc = dag::tile_accesses(task, acc);
+    std::array<std::size_t, 16> bytes_by_src{};
+    const std::size_t tile_bytes = static_cast<std::size_t>(opt_.tile_size) *
+                                   opt_.tile_size * opt_.element_bytes;
+    for (int a = 0; a < n_acc; ++a) {
+      if (!acc[a].read) continue;
+      TileState& ts = tiles_[tile_index(acc[a].plane, acc[a].i, acc[a].j)];
+      if (ts.owner < 0) {
+        // Tile has never been touched: it starts resident on its initial
+        // device (the one running this first-touch task); no transfer.
+        continue;
+      }
+      if (ts.valid_mask & (1u << dev)) continue;
+      bytes_by_src[static_cast<int>(ts.owner)] += tile_bytes;
+      ts.valid_mask |= static_cast<std::uint16_t>(1u << dev);
+    }
+
+    double data_ready = now;
+    for (int src = 0; src < platform_.num_devices(); ++src) {
+      if (bytes_by_src[src] == 0 || src == dev) continue;
+      // Intra-node pulls ride the source node's bus; cross-node pulls ride
+      // the single shared inter-node network channel.
+      const bool intra = platform_.node(src) == platform_.node(dev);
+      const LinkParams link = platform_.link(src, dev);
+      double dur = link.transfer_time_s(bytes_by_src[src]);
+      // First remote pull of this panel by this device pays the
+      // per-iteration synchronization/launch overhead.
+      const std::size_t sync_key =
+          static_cast<std::size_t>(task.k) * platform_.num_devices() + dev;
+      if (!panel_synced_[sync_key]) {
+        panel_synced_[sync_key] = true;
+        dur += link.sync_overhead_us * 1e-6;
+      }
+      double& channel =
+          intra ? bus_free_[platform_.node(src)] : bus_free_.back();
+      const double start = std::max(channel, now);
+      channel = start + dur;
+      data_ready = std::max(data_ready, channel);
+      result_.comm_s += dur;
+      ++result_.transfers;
+      result_.bytes_moved += static_cast<std::int64_t>(bytes_by_src[src]);
+    }
+
+    // Update ownership: written tiles now live (only) here.
+    for (int a = 0; a < n_acc; ++a) {
+      TileState& ts = tiles_[tile_index(acc[a].plane, acc[a].i, acc[a].j)];
+      if (acc[a].write) {
+        ts.owner = static_cast<std::int8_t>(dev);
+        ts.valid_mask = static_cast<std::uint16_t>(1u << dev);
+      } else if (acc[a].read && ts.owner < 0) {
+        // First touch as read-only: becomes resident here.
+        ts.owner = static_cast<std::int8_t>(dev);
+        ts.valid_mask |= static_cast<std::uint16_t>(1u << dev);
+      }
+    }
+
+    double dur =
+        platform_.device(dev).kernel_time_s(task.op, opt_.tile_size);
+    if (dynamic) dur += opt_.monitor_overhead_us * 1e-6;
+    if (opt_.time_jitter > 0) {
+      // Deterministic per-task factor in [1 - jitter, 1 + jitter].
+      std::uint64_t h = opt_.jitter_seed ^ (static_cast<std::uint64_t>(t) *
+                                            0x9e3779b97f4a7c15ULL);
+      const double u =
+          static_cast<double>(tqr::splitmix64(h) >> 11) * 0x1.0p-53;
+      dur *= 1.0 + opt_.time_jitter * (2.0 * u - 1.0);
+    }
+    const double start = data_ready;
+    const double finish = start + dur;
+    result_.busy_s[dev] += dur;
+    result_.step_busy_s[static_cast<std::size_t>(dag::step_of(task.op))] +=
+        dur;
+    if (opt_.trace) {
+      runtime::TraceEvent e;
+      e.task = t;
+      e.op = task.op;
+      e.device = dev;
+      e.start_s = start;
+      e.end_s = finish;
+      opt_.trace->record(e);
+    }
+    --free_slots_[dev];
+    events_.push(FinishEvent{finish, t});
+  }
+
+  const dag::TaskGraph& graph_;
+  const std::vector<std::uint8_t>& assignment_;
+  const Platform& platform_;
+  const std::int32_t mt_, nt_;
+  const SimOptions opt_;
+
+  std::vector<int> free_slots_;
+  // Min-heap keyed by the queue policy; ties broken by task id.
+  struct ReadyEntry {
+    double key;
+    dag::task_id task;
+    bool operator>(const ReadyEntry& o) const {
+      return key > o.key || (key == o.key && task > o.task);
+    }
+  };
+  using ReadyQueue = std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                                         std::greater<ReadyEntry>>;
+  std::vector<ReadyQueue> ready_;
+  std::vector<double> priority_;
+  std::int64_t fifo_counter_ = 0;
+  std::vector<TileState> tiles_;
+  // Device each task actually ran on (== assignment except dynamic tasks).
+  std::vector<std::uint8_t> actual_device_;
+  // (panel, device) -> first remote pull already paid the sync overhead.
+  std::vector<bool> panel_synced_;
+  std::vector<std::int32_t> remaining_;
+  std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                      std::greater<FinishEvent>>
+      events_;
+  // One intra-node bus per node plus a trailing inter-node network channel.
+  std::vector<double> bus_free_;
+  SimResult result_;
+};
+
+}  // namespace
+
+SimResult simulate(const dag::TaskGraph& graph,
+                   const std::vector<std::uint8_t>& assignment,
+                   const Platform& platform, std::int32_t mt, std::int32_t nt,
+                   const SimOptions& options) {
+  return Des(graph, assignment, platform, mt, nt, options).run();
+}
+
+}  // namespace tqr::sim

@@ -1,0 +1,59 @@
+#include "sim/device.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::sim {
+
+double kernel_flops(dag::Op op, int b) {
+  using dag::Op;
+  switch (op) {
+    case Op::kGeqrt:
+      return la::flops_geqrt(b);
+    case Op::kUnmqr:
+      return la::flops_unmqr(b);
+    case Op::kTsqrt:
+      return la::flops_tsqrt(b);
+    case Op::kTsmqr:
+      return la::flops_tsmqr(b);
+    case Op::kTtqrt:
+      return la::flops_ttqrt(b);
+    case Op::kTtmqr:
+      return la::flops_ttmqr(b);
+    case Op::kPotrf:
+      return b * static_cast<double>(b) * b / 3.0;
+    case Op::kTrsm:
+      return b * static_cast<double>(b) * b;
+    case Op::kSyrk:
+      return b * static_cast<double>(b) * b;
+    case Op::kGemm:
+      return 2.0 * b * static_cast<double>(b) * b;
+  }
+  return 0;
+}
+
+double DeviceSpec::kernel_time_s(dag::Op op, int b) const {
+  TQR_REQUIRE(b > 0, "tile size must be positive");
+  const KernelTiming* t = nullptr;
+  switch (dag::step_of(op)) {
+    case dag::Step::kTriangulation:
+      t = &geqrt;
+      break;
+    case dag::Step::kElimination:
+      t = &elim;
+      break;
+    case dag::Step::kUpdateTriangulation:
+    case dag::Step::kUpdateElimination:
+      t = &update;
+      break;
+  }
+  const double us = t->latency_us + t->linear_us_per_dim * b +
+                    kernel_flops(op, b) / t->flops_per_us;
+  return us * 1e-6;
+}
+
+double DeviceSpec::update_throughput_per_s(int b) const {
+  // UE dominates update volume; use the TS update kernel as representative.
+  return slots / kernel_time_s(dag::Op::kTsmqr, b);
+}
+
+}  // namespace tqr::sim

@@ -1,0 +1,63 @@
+// Device performance models for the simulated heterogeneous platform.
+//
+// Substitution note (see DESIGN.md §2): this container has no GPUs, so the
+// paper's i7-3820 / GTX580 / GTX680 devices are modeled. A device executes a
+// tile kernel in
+//
+//   time_us(op, b) = latency_us + linear_us_per_dim * b + flops(op, b) / rate
+//
+// which captures the regimes visible in the paper's Fig. 4: launch-latency
+// bound at tiny tiles, memory/linear bound across the 4..28 sweep, and
+// flop bound once tiles grow. `slots` is the number of tile kernels the
+// device can serve concurrently (cores for the CPU; core count for GPUs,
+// standing in for the batched many-tile kernels the paper launches).
+// Aggregate update throughput = slots / kernel_time, the quantity driving
+// the guide-array ratios and Eq. 10.
+#pragma once
+
+#include <string>
+
+#include "dag/task.hpp"
+#include "la/flops.hpp"
+
+namespace tqr::sim {
+
+enum class DeviceKind : std::uint8_t { kCpu, kGpu };
+
+/// One operation-class timing curve.
+struct KernelTiming {
+  double latency_us = 0;
+  double linear_us_per_dim = 0;
+  double flops_per_us = 1;  // effective single-kernel flop rate
+};
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kCpu;
+  int cores = 1;
+  /// Concurrent tile kernels (queueing servers in the simulator).
+  int slots = 1;
+  /// Local memory capacity (bytes); bounds how many tiles a device can hold
+  /// (the paper's §VIII "very large matrix" future-work concern).
+  std::size_t mem_bytes = std::size_t{1} << 34;
+
+  KernelTiming geqrt;
+  KernelTiming elim;    // tsqrt/ttqrt share a curve; flops differ
+  KernelTiming update;  // unmqr/tsmqr/ttmqr share a curve; flops differ
+
+  /// Single-kernel time in seconds for op on a b x b tile (Fig. 4 model).
+  double kernel_time_s(dag::Op op, int b) const;
+
+  /// Per-tile amortized time when the device is saturated
+  /// (kernel_time / slots) — the paper's time_i(op) in Eq. 10.
+  double amortized_time_s(dag::Op op, int b) const {
+    return kernel_time_s(op, b) / slots;
+  }
+
+  /// Tiles of `step` updated per second when saturated (drives Alg. 4).
+  double update_throughput_per_s(int b) const;
+};
+
+double kernel_flops(dag::Op op, int b);
+
+}  // namespace tqr::sim

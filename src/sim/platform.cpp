@@ -1,0 +1,79 @@
+#include "sim/platform.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::sim {
+
+DeviceSpec make_cpu_i7_3820() {
+  DeviceSpec d;
+  d.name = "CPU-i7-3820";
+  d.kind = DeviceKind::kCpu;
+  d.cores = 4;
+  d.slots = 4;  // one single-threaded tile kernel per core
+  d.mem_bytes = std::size_t{32} << 30;  // Table II: 32 GB main memory
+  // Fig. 4(c): slowest per-kernel device across the whole 4..28 sweep.
+  d.geqrt = {0.5, 70.0, 50.0};
+  d.elim = {0.5, 45.0, 150.0};
+  d.update = {0.5, 22.0, 400.0};
+  return d;
+}
+
+DeviceSpec make_gtx580() {
+  DeviceSpec d;
+  d.name = "GTX580";
+  d.kind = DeviceKind::kGpu;
+  d.cores = 512;
+  d.slots = 512;
+  d.mem_bytes = std::size_t{1536} << 20;  // 1.5 GB GDDR5
+  // Fig. 4(a): fastest single kernels of the three devices (higher clock,
+  // Fermi hot-clock shaders) — which is exactly why it wins main duty.
+  d.geqrt = {8.0, 5.0, 110.0};
+  d.elim = {8.0, 3.0, 280.0};
+  d.update = {8.0, 1.5, 1500.0};
+  return d;
+}
+
+DeviceSpec make_gtx680() {
+  DeviceSpec d;
+  d.name = "GTX680";
+  d.kind = DeviceKind::kGpu;
+  d.cores = 1536;
+  d.slots = 1536;
+  d.mem_bytes = std::size_t{2048} << 20;  // 2 GB GDDR5
+  // Fig. 4(b): single kernels slower than the GTX580 (Kepler dropped the
+  // shader hot clock), but 3x the cores => ~3x the saturated update
+  // throughput, making it the update workhorse.
+  d.geqrt = {10.0, 6.5, 85.0};
+  d.elim = {10.0, 4.0, 215.0};
+  d.update = {10.0, 1.5, 3000.0};
+  return d;
+}
+
+Platform paper_platform() { return paper_platform_with_gpus(3); }
+
+Platform paper_platform_with_gpus(int num_gpus) {
+  TQR_REQUIRE(num_gpus >= 0 && num_gpus <= 3, "paper node has 3 GPUs");
+  Platform p;
+  p.devices.push_back(make_cpu_i7_3820());
+  if (num_gpus >= 1) p.devices.push_back(make_gtx580());
+  if (num_gpus >= 2) p.devices.push_back(make_gtx680());
+  if (num_gpus >= 3) p.devices.push_back(make_gtx680());
+  p.comm = CommModel{};
+  return p;
+}
+
+Platform paper_cluster(int nodes) {
+  TQR_REQUIRE(nodes >= 1 && nodes <= 4, "cluster supports 1..4 nodes");
+  Platform p;
+  p.comm = CommModel{};
+  for (int n = 0; n < nodes; ++n) {
+    const Platform node = paper_platform();
+    for (const DeviceSpec& d : node.devices) {
+      p.devices.push_back(d);
+      p.node_of.push_back(n);
+    }
+  }
+  return p;
+}
+
+}  // namespace tqr::sim

@@ -1,0 +1,111 @@
+// Heterogeneous platform description: devices + interconnect.
+//
+// The preset reproduces the paper's Table II testbed: one i7-3820 (4 cores),
+// one GTX580 (512 cores), two GTX680 (1536 cores each), connected by PCIe.
+// Timing constants are calibrated so that (a) single-kernel curves match the
+// shape and ordering of the paper's Fig. 4 and (b) the device-count
+// crossovers of Fig. 6 / Table III fall in the paper's size ranges.
+#pragma once
+
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace tqr::sim {
+
+/// Link model: transfer of n bytes costs latency + n / bandwidth, and the
+/// first pull a device makes for a given panel additionally pays
+/// sync_overhead_us (per-iteration launch/synchronization cost — the paper's
+/// implementation synchronizes and re-launches its batched update kernels
+/// once per panel per device). With shared_bus (default, PCIe through one
+/// root complex, matching the paper's additive Eq. 11) all transfers
+/// serialize on one bus resource.
+struct CommModel {
+  double latency_us = 0.5;
+  double gbytes_per_s = 3.0;
+  double sync_overhead_us = 15.0;
+  bool shared_bus = true;
+
+  // Inter-node network (multi-node extension, the paper's §VIII future
+  // work). Used for transfers between devices on different nodes; defaults
+  // model a commodity interconnect, an order of magnitude slower than PCIe.
+  double inter_latency_us = 25.0;
+  double inter_gbytes_per_s = 1.0;
+  double inter_sync_overhead_us = 50.0;
+
+  double transfer_time_s(std::size_t bytes) const {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (gbytes_per_s * 1e9);
+  }
+  double inter_transfer_time_s(std::size_t bytes) const {
+    return inter_latency_us * 1e-6 +
+           static_cast<double>(bytes) / (inter_gbytes_per_s * 1e9);
+  }
+};
+
+/// Effective parameters of the link between two devices.
+struct LinkParams {
+  double latency_us = 0;
+  double gbytes_per_s = 1;
+  double sync_overhead_us = 0;
+
+  double transfer_time_s(std::size_t bytes) const {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (gbytes_per_s * 1e9);
+  }
+};
+
+struct Platform {
+  std::vector<DeviceSpec> devices;
+  CommModel comm;
+  /// Node membership per device; empty = single node. Devices on different
+  /// nodes communicate over the (slower) inter-node network.
+  std::vector<int> node_of;
+
+  int num_devices() const { return static_cast<int>(devices.size()); }
+  const DeviceSpec& device(int d) const { return devices[d]; }
+
+  int node(int d) const {
+    return node_of.empty() ? 0 : node_of[static_cast<std::size_t>(d)];
+  }
+  int num_nodes() const {
+    int n = 0;
+    for (int d = 0; d < num_devices(); ++d) n = n > node(d) ? n : node(d);
+    return n + 1;
+  }
+
+  /// Parameters of the link a (src -> dst) transfer rides on.
+  LinkParams link(int src, int dst) const {
+    if (node(src) == node(dst))
+      return LinkParams{comm.latency_us, comm.gbytes_per_s,
+                        comm.sync_overhead_us};
+    return LinkParams{comm.inter_latency_us, comm.inter_gbytes_per_s,
+                      comm.inter_sync_overhead_us};
+  }
+
+  /// Total parallel cores (the paper's Fig. 8 x-axis).
+  int total_cores() const {
+    int n = 0;
+    for (const auto& d : devices) n += d.cores;
+    return n;
+  }
+};
+
+/// Device presets calibrated against the paper's Fig. 4 curves.
+DeviceSpec make_cpu_i7_3820();
+DeviceSpec make_gtx580();
+DeviceSpec make_gtx680();
+
+/// The paper's full Table II node: [CPU, GTX580, GTX680, GTX680].
+/// Device indices: 0 = CPU, 1 = GTX580, 2 = GTX680 (a), 3 = GTX680 (b).
+Platform paper_platform();
+
+/// Sub-platform with the CPU and the first `num_gpus` GPUs, preserving the
+/// paper's ordering (GTX580 first). num_gpus in [0, 3].
+Platform paper_platform_with_gpus(int num_gpus);
+
+/// Multi-node extension (paper §VIII future work): `nodes` copies of the
+/// paper node connected by the inter-node network.
+Platform paper_cluster(int nodes);
+
+}  // namespace tqr::sim

@@ -1,0 +1,102 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tqr {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli;
+  cli.flag("size", "matrix size");
+  std::vector<std::string> args{"prog", "--size=640"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("size", 0), 640);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  Cli cli;
+  cli.flag("size", "matrix size");
+  std::vector<std::string> args{"prog", "--size", "320"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("size", 0), 320);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  Cli cli;
+  cli.flag("verbose", "chatty");
+  std::vector<std::string> args{"prog", "--verbose"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  Cli cli;
+  cli.flag("x", "");
+  std::vector<std::string> args{"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("x", 7), 7);
+  EXPECT_EQ(cli.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(cli.get_string("x", "d"), "d");
+  EXPECT_FALSE(cli.get_bool("x", false));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  std::vector<std::string> args{"prog", "--nope=1"};
+  auto argv = make_argv(args);
+  EXPECT_THROW(cli.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli;
+  cli.flag("size", "matrix size", "16");
+  std::vector<std::string> args{"prog", "--help"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, IntListParsing) {
+  Cli cli;
+  cli.flag("sizes", "list");
+  std::vector<std::string> args{"prog", "--sizes=160,320,480"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int_list("sizes", {}),
+            (std::vector<std::int64_t>{160, 320, 480}));
+}
+
+TEST(Cli, IntListFallback) {
+  Cli cli;
+  cli.flag("sizes", "list");
+  std::vector<std::string> args{"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int_list("sizes", {1, 2}),
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  Cli cli;
+  cli.flag("a", "");
+  std::vector<std::string> args{"prog", "pos1", "--a=1", "pos2"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+}  // namespace
+}  // namespace tqr

@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tqr {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, CsvHasCommasAndNewlines) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, DoublePrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 3), "1.000");
+}
+
+TEST(Fmt, Integer) {
+  EXPECT_EQ(fmt(std::int64_t{-42}), "-42");
+  EXPECT_EQ(fmt(0), "0");
+}
+
+TEST(Bar, WidthProportional) {
+  EXPECT_EQ(bar(0.0, 10), "..........");
+  EXPECT_EQ(bar(1.0, 10), "##########");
+  EXPECT_EQ(bar(0.5, 10), "#####.....");
+}
+
+TEST(Bar, ClampsOutOfRange) {
+  EXPECT_EQ(bar(-1.0, 4), "....");
+  EXPECT_EQ(bar(2.0, 4), "####");
+}
+
+}  // namespace
+}  // namespace tqr

@@ -1,0 +1,97 @@
+#include "core/device_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+
+namespace tqr::core {
+namespace {
+
+DeviceCountChoice choose(std::int64_t m, int b = 16) {
+  const sim::Platform p = sim::paper_platform();
+  const auto profiles = profile_platform(p, b, dag::Elimination::kTt);
+  return select_device_count(profiles, p.comm, /*main=*/1, m, m, b, 4);
+}
+
+TEST(DeviceCount, OrderedListMainFirstThenUpdateSpeed) {
+  const auto c = choose(100);
+  ASSERT_EQ(c.ordered_devices.size(), 4u);
+  EXPECT_EQ(c.ordered_devices[0], 1);  // GTX580 (main)
+  // Then the two GTX680s, CPU last.
+  EXPECT_TRUE(c.ordered_devices[1] == 2 || c.ordered_devices[1] == 3);
+  EXPECT_TRUE(c.ordered_devices[2] == 2 || c.ordered_devices[2] == 3);
+  EXPECT_EQ(c.ordered_devices[3], 0);
+}
+
+TEST(DeviceCount, PredictionVectorsComplete) {
+  const auto c = choose(50);
+  EXPECT_EQ(c.predicted_time.size(), 4u);
+  EXPECT_EQ(c.predicted_top.size(), 4u);
+  EXPECT_EQ(c.predicted_tcomm.size(), 4u);
+  for (double t : c.predicted_time) EXPECT_GT(t, 0);
+}
+
+TEST(DeviceCount, TcommZeroForSingleDevice) {
+  const auto c = choose(50);
+  EXPECT_DOUBLE_EQ(c.predicted_tcomm[0], 0.0);
+  EXPECT_GT(c.predicted_tcomm[1], 0.0);
+}
+
+TEST(DeviceCount, TcommMonotoneInDeviceCount) {
+  const auto c = choose(100);
+  for (std::size_t p = 1; p < c.predicted_tcomm.size(); ++p)
+    EXPECT_GE(c.predicted_tcomm[p], c.predicted_tcomm[p - 1]);
+}
+
+TEST(DeviceCount, TopNonIncreasingUpToThreeGpus) {
+  // Adding a GPU can only offload update work in the model.
+  const auto c = choose(150);
+  EXPECT_GE(c.predicted_top[0], c.predicted_top[1]);
+  EXPECT_GE(c.predicted_top[1], c.predicted_top[2]);
+}
+
+TEST(DeviceCount, SmallMatrixPrefersFewDevices) {
+  // Table III: tiny sizes -> a single GPU wins.
+  const auto c = choose(160 / 16);
+  EXPECT_EQ(c.chosen_p, 1);
+}
+
+TEST(DeviceCount, LargeMatrixPrefersThreeGpus) {
+  // Table III: >= ~2720 -> all three GPUs win. CPU (p=4) should not add
+  // value beyond 3 GPUs.
+  const auto c = choose(4000 / 16);
+  EXPECT_EQ(c.chosen_p, 3);
+}
+
+TEST(DeviceCount, MidMatrixPrefersTwoGpus) {
+  const auto c = choose(1280 / 16);
+  EXPECT_EQ(c.chosen_p, 2);
+}
+
+TEST(DeviceCount, ChosenPMinimizesPrediction) {
+  for (std::int64_t m : {10, 40, 80, 150, 250}) {
+    const auto c = choose(m);
+    const double chosen = c.predicted_time[c.chosen_p - 1];
+    for (double t : c.predicted_time) EXPECT_LE(chosen, t + 1e-15);
+  }
+}
+
+TEST(DeviceCount, CrossoverMonotone) {
+  // The chosen device count never decreases as matrices grow.
+  int prev = 1;
+  for (std::int64_t m = 10; m <= 250; m += 10) {
+    const auto c = choose(m);
+    EXPECT_GE(c.chosen_p, prev) << "m=" << m;
+    prev = c.chosen_p;
+  }
+}
+
+TEST(DeviceCount, UnknownMainRejected) {
+  const sim::Platform p = sim::paper_platform();
+  const auto profiles = profile_platform(p, 16, dag::Elimination::kTt);
+  EXPECT_THROW(select_device_count(profiles, p.comm, 9, 10, 10, 16, 4),
+               tqr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::core

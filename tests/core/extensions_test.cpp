@@ -1,0 +1,249 @@
+// Tests for the extension features: measured host profiles (autotune),
+// memory-capacity planning, economy Q, iterative refinement, and the
+// TT-flat elimination variant.
+#include <gtest/gtest.h>
+
+#include "core/autotune.hpp"
+#include "core/plan.hpp"
+#include "core/simulate.hpp"
+#include "core/tiled_qr.hpp"
+#include "la/checks.hpp"
+#include "sim/platform.hpp"
+
+namespace tqr::core {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+// --- measured host profiles (autotune) --------------------------------------
+
+TEST(Autotune, MeasuredProfileIsPositiveAndComplete) {
+  MeasureOptions opts;
+  opts.tile_size = 16;
+  opts.repetitions = 3;
+  const DeviceProfile p = measure_host_profile(7, opts);
+  EXPECT_EQ(p.device, 7);
+  EXPECT_GT(p.kernel.t, 0);
+  EXPECT_GT(p.kernel.e, 0);
+  EXPECT_GT(p.kernel.ut, 0);
+  EXPECT_GT(p.kernel.ue, 0);
+  EXPECT_GT(p.update_throughput, 0);
+}
+
+TEST(Autotune, SlotsScaleAmortizedTimes) {
+  MeasureOptions opts;
+  opts.tile_size = 8;
+  opts.repetitions = 3;
+  opts.slots = 4;
+  const DeviceProfile p = measure_host_profile(0, opts);
+  EXPECT_NEAR(p.amortized.ue, p.kernel.ue / 4, p.kernel.ue * 1e-9);
+}
+
+TEST(Autotune, LargerTilesTakeLonger) {
+  MeasureOptions small, big;
+  small.tile_size = 8;
+  big.tile_size = 32;
+  small.repetitions = big.repetitions = 3;
+  const DeviceProfile ps = measure_host_profile(0, small);
+  const DeviceProfile pb = measure_host_profile(0, big);
+  EXPECT_GT(pb.kernel.t, ps.kernel.t);
+  EXPECT_GT(pb.kernel.ue, ps.kernel.ue);
+}
+
+TEST(Autotune, MeasuredProfileDrivesSelectionAlgorithms) {
+  // A measured host profile must be a drop-in for the paper's algorithms:
+  // combine it with modeled GPUs and run main selection + device count.
+  MeasureOptions opts;
+  opts.tile_size = 16;
+  opts.repetitions = 2;
+  opts.slots = 4;
+  DeviceProfile host = measure_host_profile(0, opts);
+
+  const sim::Platform gpus = sim::paper_platform();
+  auto profiles = profile_platform(gpus, 16, dag::Elimination::kTt);
+  profiles[0] = host;  // replace the modeled CPU with the measured host
+  const auto sel = select_main_device(profiles, 100, 100);
+  EXPECT_GE(sel.main_device, 0);
+  const auto count = select_device_count(profiles, gpus.comm,
+                                         sel.main_device, 100, 100, 16, 4);
+  EXPECT_GE(count.chosen_p, 1);
+  EXPECT_EQ(count.predicted_time.size(), profiles.size());
+}
+
+TEST(Autotune, InvalidOptionsRejected) {
+  MeasureOptions opts;
+  opts.tile_size = 0;
+  EXPECT_THROW(measure_host_profile(0, opts), tqr::InvalidArgument);
+  opts.tile_size = 8;
+  opts.repetitions = 0;
+  EXPECT_THROW(measure_host_profile(0, opts), tqr::InvalidArgument);
+}
+
+// --- memory planning ---------------------------------------------------------
+
+TEST(MemoryPlanning, EstimatesCoverEveryParticipant) {
+  const sim::Platform platform = sim::paper_platform();
+  PlanConfig pc;
+  pc.tile_size = 16;
+  pc.count_policy = CountPolicy::kAll;
+  Plan plan(platform, 100, 100, pc);
+  const auto est = plan.memory_estimates(platform);
+  ASSERT_EQ(est.size(), plan.participants().size());
+  for (const auto& e : est) {
+    EXPECT_GT(e.bytes_needed, 0u);
+    EXPECT_GT(e.capacity, 0u);
+  }
+}
+
+TEST(MemoryPlanning, SmallProblemFits) {
+  const sim::Platform platform = sim::paper_platform();
+  PlanConfig pc;
+  pc.tile_size = 16;
+  Plan plan(platform, 40, 40, pc);
+  EXPECT_TRUE(plan.fits_in_memory(platform));
+}
+
+TEST(MemoryPlanning, HugeProblemOverflowsGpuMemory) {
+  // 64000^2 single precision ~ 16 GB of tiles; a 1.5 GB GTX580 owning ~1/7
+  // of the columns cannot hold them (the paper's §VIII caveat).
+  const sim::Platform platform = sim::paper_platform();
+  PlanConfig pc;
+  pc.tile_size = 64;
+  pc.count_policy = CountPolicy::kAll;
+  Plan plan(platform, 1000, 1000, pc);
+  EXPECT_FALSE(plan.fits_in_memory(platform));
+}
+
+TEST(MemoryPlanning, FootprintGrowsWithOwnedColumns) {
+  const sim::Platform platform = sim::paper_platform();
+  PlanConfig pc;
+  pc.tile_size = 16;
+  pc.count_policy = CountPolicy::kFixed;
+  pc.fixed_count = 3;
+  Plan plan(platform, 211, 211, pc);
+  const auto est = plan.memory_estimates(platform);
+  // Participant 1 (a GTX680, ratio 3) owns ~3x participant 0's columns.
+  EXPECT_GT(est[1].bytes_needed, 2 * est[0].bytes_needed);
+}
+
+// --- economy Q and refinement ------------------------------------------------
+
+TEST(EconomyQ, ThinQHasOrthonormalColumns) {
+  const int m = 64, n = 16, b = 8;
+  auto a = Matrix<double>::random(m, n, 5);
+  auto f = TiledQrFactorization<double>::factor(a, b);
+  auto q1 = f.form_q_thin();
+  EXPECT_EQ(q1.rows(), m);
+  EXPECT_EQ(q1.cols(), n);
+  Matrix<double> gram(n, n);
+  la::gemm<double>(la::Trans::kTrans, la::Trans::kNoTrans, 1.0, q1.view(),
+                   q1.view(), 0.0, gram.view());
+  for (index_t i = 0; i < n; ++i) gram(i, i) -= 1.0;
+  EXPECT_LT(la::norm_frobenius<double>(gram.view()), 1e-12);
+}
+
+TEST(EconomyQ, ThinQTimesRReconstructsA) {
+  const int m = 48, n = 16, b = 8;
+  auto a = Matrix<double>::random(m, n, 6);
+  auto f = TiledQrFactorization<double>::factor(a, b);
+  auto q1 = f.form_q_thin();
+  auto r = f.r();
+  Matrix<double> qr(m, n);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, q1.view(),
+                   r.view(), 0.0, qr.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(qr(i, j), a(i, j), 1e-10);
+}
+
+TEST(Refinement, ImprovesIllConditionedSolve) {
+  const int n = 32, b = 8;
+  // Graded matrix: rows scaled over 6 orders of magnitude.
+  auto a = Matrix<double>::random(n, n, 7);
+  for (index_t i = 0; i < n; ++i) {
+    const double s = std::pow(10.0, -6.0 * i / (n - 1));
+    for (index_t j = 0; j < n; ++j) a(i, j) *= s;
+    a(i, i) += s;
+  }
+  auto x_true = Matrix<double>::random(n, 1, 8);
+  Matrix<double> rhs(n, 1);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   x_true.view(), 0.0, rhs.view());
+  auto f = TiledQrFactorization<double>::factor(a, b);
+  auto x0 = f.solve(rhs);
+  auto x2 = f.solve_refined(a, rhs, 2);
+  auto err = [&](const Matrix<double>& x) {
+    double e = 0;
+    for (index_t i = 0; i < n; ++i)
+      e = std::max(e, std::abs(x(i, 0) - x_true(i, 0)));
+    return e;
+  };
+  EXPECT_LE(err(x2), err(x0) * 1.5 + 1e-14);  // never much worse
+  EXPECT_LT(err(x2), 1e-8);                   // and genuinely accurate
+}
+
+TEST(Refinement, ShapeMismatchRejected) {
+  auto a = Matrix<double>::random(16, 16, 9);
+  auto f = TiledQrFactorization<double>::factor(a, 8);
+  auto wrong = Matrix<double>::random(24, 16, 10);
+  auto rhs = Matrix<double>::random(16, 1, 11);
+  EXPECT_THROW(f.solve_refined(wrong, rhs), tqr::InvalidArgument);
+}
+
+// --- TT-flat elimination variant ----------------------------------------------
+
+TEST(TtFlat, FactorizationIsCorrect) {
+  const int n = 40, b = 8;
+  auto a = Matrix<double>::random(n, n, 12);
+  typename TiledQrFactorization<double>::Options opts;
+  opts.elim = dag::Elimination::kTtFlat;
+  auto f = TiledQrFactorization<double>::factor(a, b, opts);
+  auto q = f.form_q();
+  EXPECT_LT(la::orthogonality_residual<double>(q.view()),
+            la::residual_tolerance<double>(n));
+  auto r = f.r();
+  Matrix<double> r_full(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r_full(i, j) = r(i, j);
+  EXPECT_LT(la::reconstruction_residual<double>(a.view(), q.view(),
+                                                r_full.view()),
+            la::residual_tolerance<double>(n));
+}
+
+TEST(TtFlat, SameKernelCountsAsTree) {
+  const auto tree = dag::total_step_counts(12, 12, dag::Elimination::kTt);
+  const auto flat = dag::total_step_counts(12, 12, dag::Elimination::kTtFlat);
+  EXPECT_EQ(tree.triangulation, flat.triangulation);
+  EXPECT_EQ(tree.elimination, flat.elimination);
+  EXPECT_EQ(tree.update_elimination, flat.update_elimination);
+  const auto gt = dag::build_tiled_qr_graph(12, 12, dag::Elimination::kTt);
+  const auto gf = dag::build_tiled_qr_graph(12, 12, dag::Elimination::kTtFlat);
+  EXPECT_EQ(gt.size(), gf.size());
+}
+
+TEST(TtFlat, TreeHasShorterCriticalPathThanFlat) {
+  const auto unit = [](const dag::Task&) { return 1.0; };
+  const auto gt = dag::build_tiled_qr_graph(32, 2, dag::Elimination::kTt);
+  const auto gf = dag::build_tiled_qr_graph(32, 2, dag::Elimination::kTtFlat);
+  EXPECT_LT(gt.critical_path(unit), gf.critical_path(unit));
+}
+
+TEST(TtFlat, SimulatesEndToEnd) {
+  PlanConfig pc;
+  pc.tile_size = 16;
+  pc.elim = dag::Elimination::kTtFlat;
+  pc.count_policy = CountPolicy::kAll;
+  const auto run = simulate_tiled_qr(sim::paper_platform(), 640, 640, pc);
+  EXPECT_GT(run.result.makespan_s, 0);
+}
+
+TEST(TtFlat, EliminationNameTable) {
+  EXPECT_STREQ(dag::elimination_name(dag::Elimination::kTs), "TS");
+  EXPECT_STREQ(dag::elimination_name(dag::Elimination::kTt), "TT");
+  EXPECT_STREQ(dag::elimination_name(dag::Elimination::kTtFlat), "TT-flat");
+  EXPECT_FALSE(dag::uses_tt_kernels(dag::Elimination::kTs));
+  EXPECT_TRUE(dag::uses_tt_kernels(dag::Elimination::kTtFlat));
+}
+
+}  // namespace
+}  // namespace tqr::core

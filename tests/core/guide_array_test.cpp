@@ -1,0 +1,123 @@
+#include "core/guide_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tqr::core {
+namespace {
+
+TEST(IntegerRatio, PaperExampleEightTwelveFour) {
+  // Paper §IV-C: devices updating 8, 12, 4 tiles per unit time -> 2:3:1.
+  const auto r = integer_ratio({8.0, 12.0, 4.0});
+  EXPECT_EQ(r, (std::vector<std::int64_t>{2, 3, 1}));
+}
+
+TEST(IntegerRatio, EqualThroughputsGiveOnes) {
+  const auto r = integer_ratio({5.0, 5.0, 5.0});
+  EXPECT_EQ(r, (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(IntegerRatio, NegligibleDeviceRoundsToZero) {
+  // A device ~1000x slower than the fastest gets no update columns — the
+  // paper's CPU case.
+  const auto r = integer_ratio({1000.0, 1.0});
+  EXPECT_EQ(r[1], 0);
+  EXPECT_GT(r[0], 0);
+}
+
+TEST(IntegerRatio, GcdReduced) {
+  const auto r = integer_ratio({10.0, 20.0});  // -> 6:12 before gcd
+  const std::int64_t g = std::gcd(r[0], r[1]);
+  EXPECT_EQ(g, 1);
+  EXPECT_EQ(r[1], 2 * r[0]);
+}
+
+TEST(IntegerRatio, RejectsNonPositive) {
+  EXPECT_THROW(integer_ratio({1.0, 0.0}), tqr::InvalidArgument);
+  EXPECT_THROW(integer_ratio({}), tqr::InvalidArgument);
+}
+
+TEST(GuideArray, PaperExampleTwoThreeOne) {
+  // Paper §IV-C: ratio 2:3:1 -> {1, 0, 1, 0, 1, 2}.
+  const auto g = generate_guide_array({2, 3, 1});
+  EXPECT_EQ(g, (std::vector<int>{1, 0, 1, 0, 1, 2}));
+}
+
+TEST(GuideArray, LengthIsRatioSum) {
+  EXPECT_EQ(generate_guide_array({4, 2, 3}).size(), 9u);
+}
+
+TEST(GuideArray, EachDeviceAppearsExactlyRatioTimes) {
+  const std::vector<std::int64_t> ratios{3, 5, 2};
+  const auto g = generate_guide_array(ratios);
+  std::vector<int> counts(3, 0);
+  for (int d : g) ++counts[d];
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 5);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(GuideArray, LargerRatioAppearsFirst) {
+  const auto g = generate_guide_array({1, 4});
+  EXPECT_EQ(g.front(), 1);
+}
+
+TEST(GuideArray, ZeroRatioDeviceNeverAppears) {
+  const auto g = generate_guide_array({2, 0, 1});
+  for (int d : g) EXPECT_NE(d, 1);
+}
+
+TEST(GuideArray, AllZeroRejected) {
+  EXPECT_THROW(generate_guide_array({0, 0}), tqr::InvalidArgument);
+}
+
+TEST(DistributeColumns, FirstColumnPinnedToMain) {
+  const auto owner = distribute_columns({1, 0, 2}, 7);
+  EXPECT_EQ(owner[0], 0);
+}
+
+TEST(DistributeColumns, CyclesThroughGuide) {
+  // guide {1, 0} over 5 columns: col0 -> main(0), then i%2.
+  const auto owner = distribute_columns({1, 0}, 5);
+  EXPECT_EQ(owner, (std::vector<int>{0, 0, 1, 0, 1}));
+}
+
+TEST(DistributeColumns, ShareConvergesToRatio) {
+  const auto guide = generate_guide_array({1, 3});
+  const auto owner = distribute_columns(guide, 4001);
+  std::int64_t dev1 = 0;
+  for (int o : owner) dev1 += (o == 1);
+  EXPECT_NEAR(static_cast<double>(dev1) / 4001, 0.75, 0.01);
+}
+
+TEST(DistributeColumnsEven, RoundRobin) {
+  const auto owner = distribute_columns_even(3, 7);
+  EXPECT_EQ(owner, (std::vector<int>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(DistributeColumnsByCores, ProportionalToCores) {
+  const auto owner = distribute_columns_by_cores({512, 1536}, 4001);
+  std::int64_t big = 0;
+  for (int o : owner) big += (o == 1);
+  EXPECT_NEAR(static_cast<double>(big) / 4001, 0.75, 0.01);
+}
+
+TEST(DistributeColumnsBlock, ContiguousBlocks) {
+  const auto owner = distribute_columns_block({1, 1}, 9);
+  // After the pinned first column, device 0 then device 1 in one block each.
+  EXPECT_EQ(owner[0], 0);
+  for (std::size_t i = 1; i < owner.size(); ++i)
+    EXPECT_GE(owner[i], owner[i - 1]);
+  std::int64_t d1 = 0;
+  for (int o : owner) d1 += (o == 1);
+  EXPECT_EQ(d1, 4);
+}
+
+TEST(DistributeColumns, SingleColumnGrid) {
+  EXPECT_EQ(distribute_columns({0, 1}, 1), (std::vector<int>{0}));
+  EXPECT_EQ(distribute_columns_even(2, 0), (std::vector<int>{}));
+}
+
+}  // namespace
+}  // namespace tqr::core

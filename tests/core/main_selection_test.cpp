@@ -1,0 +1,88 @@
+#include "core/main_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+
+namespace tqr::core {
+namespace {
+
+std::vector<DeviceProfile> paper_profiles(int b = 16) {
+  return profile_platform(sim::paper_platform(), b, dag::Elimination::kTt);
+}
+
+TEST(MainSelection, PaperPlatformPicksGtx580) {
+  // §VI-B: "Therefore, our selection is GTX580" (device index 1).
+  const auto sel = select_main_device(paper_profiles(), 200, 200);
+  EXPECT_EQ(sel.main_device, 1);
+  EXPECT_FALSE(sel.fallback);
+}
+
+TEST(MainSelection, CpuNeverACandidateOnPaperPlatform) {
+  // "the triangulation and elimination speed of the CPU is too slow".
+  const auto sel = select_main_device(paper_profiles(), 200, 200);
+  for (int c : sel.candidates) EXPECT_NE(c, 0);
+}
+
+TEST(MainSelection, BothGpuKindsAreCandidatesOnLargeGrids) {
+  const auto sel = select_main_device(paper_profiles(), 500, 500);
+  EXPECT_NE(std::find(sel.candidates.begin(), sel.candidates.end(), 1),
+            sel.candidates.end());
+  EXPECT_NE(std::find(sel.candidates.begin(), sel.candidates.end(), 2),
+            sel.candidates.end());
+}
+
+TEST(MainSelection, PicksMinimumUpdateSpeedCandidate) {
+  // Among candidates the *slowest updater* is chosen so fast updaters stay
+  // on update duty: with two candidate GPUs, the GTX580 (slower updates)
+  // must win over the GTX680.
+  const auto profiles = paper_profiles();
+  const auto sel = select_main_device(profiles, 300, 300);
+  ASSERT_GE(sel.candidates.size(), 2u);
+  double winner_thr = 0;
+  for (const auto& p : profiles)
+    if (p.device == sel.main_device) winner_thr = p.update_throughput;
+  for (int c : sel.candidates) {
+    for (const auto& p : profiles) {
+      if (p.device == c) {
+        EXPECT_GE(p.update_throughput, winner_thr);
+      }
+    }
+  }
+}
+
+TEST(MainSelection, SingleDeviceIsTrivialMain) {
+  const auto profiles =
+      profile_platform(sim::paper_platform_with_gpus(0), 16,
+                       dag::Elimination::kTt);
+  const auto sel = select_main_device(profiles, 10, 10);
+  EXPECT_EQ(sel.main_device, 0);
+}
+
+TEST(MainSelection, FallbackPicksFastestTePlusE) {
+  // Two identical slow updaters with huge T/E cost: nobody passes the
+  // candidate test on a large grid => fallback to best T+E device.
+  DeviceProfile a, b;
+  a.device = 0;
+  a.slots = 1;
+  a.kernel = {1.0, 1.0, 1e-6, 1e-6};
+  a.amortized = a.kernel;
+  a.update_throughput = 2e6 / 2;
+  b.device = 1;
+  b.slots = 1;
+  b.kernel = {2.0, 2.0, 1e-6, 1e-6};
+  b.amortized = b.kernel;
+  b.update_throughput = 2e6 / 2;
+  const auto sel = select_main_device({a, b}, 1000, 1000);
+  EXPECT_TRUE(sel.fallback);
+  EXPECT_EQ(sel.main_device, 0);
+}
+
+TEST(MainSelection, TinyGridStillReturnsADevice) {
+  const auto sel = select_main_device(paper_profiles(), 2, 2);
+  EXPECT_GE(sel.main_device, 0);
+  EXPECT_LE(sel.main_device, 3);
+}
+
+}  // namespace
+}  // namespace tqr::core

@@ -1,0 +1,91 @@
+#include "core/min_norm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+
+namespace tqr::core {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+TEST(MinNorm, SatisfiesTheConstraints) {
+  const index_t m = 16, n = 48, b = 8;
+  auto a = Matrix<double>::random(m, n, 1);
+  auto rhs = Matrix<double>::random(m, 1, 2);
+  auto x = min_norm_solve<double>(a, rhs, b);
+  ASSERT_EQ(x.rows(), n);
+  Matrix<double> ax(m, 1);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   x.view(), 0.0, ax.view());
+  for (index_t i = 0; i < m; ++i) EXPECT_NEAR(ax(i, 0), rhs(i, 0), 1e-9);
+}
+
+TEST(MinNorm, SolutionIsInRowSpace) {
+  // The minimum-norm solution lies in range(A^T): its component orthogonal
+  // to every row of A must vanish. Equivalent check: x = A^T w for some w,
+  // i.e. the residual of projecting x onto range(A^T) is zero. Verify via
+  // x ⟂ null(A): for any z with A z = 0, x^T z = 0.
+  const index_t m = 8, n = 24, b = 8;
+  auto a = Matrix<double>::random(m, n, 3);
+  auto rhs = Matrix<double>::random(m, 1, 4);
+  auto x = min_norm_solve<double>(a, rhs, b);
+
+  // Build a null-space vector: take a random v, subtract its row-space
+  // component using the same LQ machinery (project via min_norm of A v).
+  auto v = Matrix<double>::random(n, 1, 5);
+  Matrix<double> av(m, 1);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   v.view(), 0.0, av.view());
+  auto v_row = min_norm_solve<double>(a, av, b);  // row-space part of v
+  Matrix<double> z(n, 1);
+  for (index_t i = 0; i < n; ++i) z(i, 0) = v(i, 0) - v_row(i, 0);
+  // z is (numerically) in the null space:
+  Matrix<double> az(m, 1);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   z.view(), 0.0, az.view());
+  EXPECT_LT(la::norm_max<double>(az.view()), 1e-9);
+  // and x is orthogonal to it:
+  double dot = 0;
+  for (index_t i = 0; i < n; ++i) dot += x(i, 0) * z(i, 0);
+  EXPECT_NEAR(dot, 0.0, 1e-9);
+}
+
+TEST(MinNorm, SmallerNormThanAnyPerturbedSolution) {
+  const index_t m = 8, n = 16, b = 8;
+  auto a = Matrix<double>::random(m, n, 6);
+  auto rhs = Matrix<double>::random(m, 1, 7);
+  auto x = min_norm_solve<double>(a, rhs, b);
+  const double norm_x = la::norm_frobenius<double>(x.view());
+  // Any x + z with z in null(A) also solves the system but must be longer.
+  auto v = Matrix<double>::random(n, 1, 8);
+  Matrix<double> av(m, 1);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   v.view(), 0.0, av.view());
+  auto v_row = min_norm_solve<double>(a, av, b);
+  Matrix<double> alt = x;
+  for (index_t i = 0; i < n; ++i) alt(i, 0) += v(i, 0) - v_row(i, 0);
+  EXPECT_GT(la::norm_frobenius<double>(alt.view()), norm_x);
+}
+
+TEST(MinNorm, MultipleRightHandSides) {
+  const index_t m = 16, n = 32, b = 8;
+  auto a = Matrix<double>::random(m, n, 9);
+  auto rhs = Matrix<double>::random(m, 3, 10);
+  auto x = min_norm_solve<double>(a, rhs, b);
+  Matrix<double> ax(m, 3);
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   x.view(), 0.0, ax.view());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(ax(i, j), rhs(i, j), 1e-9);
+}
+
+TEST(MinNorm, TallMatrixRejected) {
+  auto a = Matrix<double>::random(16, 8, 11);
+  auto rhs = Matrix<double>::random(16, 1, 12);
+  EXPECT_THROW(min_norm_solve<double>(a, rhs, 8), tqr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::core

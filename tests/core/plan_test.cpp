@@ -1,0 +1,168 @@
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/tiled_qr_dag.hpp"
+#include "sim/platform.hpp"
+
+namespace tqr::core {
+namespace {
+
+PlanConfig default_config() {
+  PlanConfig c;
+  c.tile_size = 16;
+  return c;
+}
+
+TEST(Plan, AutoPolicySelectsGtx580MainOnPaperPlatform) {
+  Plan plan(sim::paper_platform(), 100, 100, default_config());
+  EXPECT_EQ(plan.main_device(), 1);
+  EXPECT_EQ(plan.participants()[0], 1);
+}
+
+TEST(Plan, FixedMainOverride) {
+  PlanConfig c = default_config();
+  c.main_policy = MainPolicy::kFixed;
+  c.fixed_main = 2;
+  Plan plan(sim::paper_platform(), 50, 50, c);
+  EXPECT_EQ(plan.main_device(), 2);
+}
+
+TEST(Plan, FixedMainOutOfRangeThrows) {
+  PlanConfig c = default_config();
+  c.main_policy = MainPolicy::kFixed;
+  c.fixed_main = 7;
+  EXPECT_THROW(Plan(sim::paper_platform(), 50, 50, c), ConfigError);
+}
+
+TEST(Plan, FixedCountControlsParticipants) {
+  PlanConfig c = default_config();
+  c.count_policy = CountPolicy::kFixed;
+  c.fixed_count = 2;
+  Plan plan(sim::paper_platform(), 50, 50, c);
+  EXPECT_EQ(plan.participants().size(), 2u);
+}
+
+TEST(Plan, AllPolicyUsesEveryDevice) {
+  PlanConfig c = default_config();
+  c.count_policy = CountPolicy::kAll;
+  Plan plan(sim::paper_platform(), 50, 50, c);
+  EXPECT_EQ(plan.participants().size(), 4u);
+}
+
+TEST(Plan, ColumnZeroOwnedByMain) {
+  Plan plan(sim::paper_platform(), 64, 64, default_config());
+  EXPECT_EQ(plan.column_owner()[0], 0);
+}
+
+TEST(Plan, ColumnOwnersWithinParticipants) {
+  PlanConfig c = default_config();
+  c.count_policy = CountPolicy::kAll;
+  Plan plan(sim::paper_platform(), 80, 80, c);
+  for (int owner : plan.column_owner()) {
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, static_cast<int>(plan.participants().size()));
+  }
+}
+
+TEST(Plan, DeviceForRoutesPanelWorkToMain) {
+  Plan plan(sim::paper_platform(), 40, 40, default_config());
+  dag::Task geqrt;
+  geqrt.op = dag::Op::kGeqrt;
+  geqrt.k = 3;
+  geqrt.i = 5;
+  EXPECT_EQ(plan.device_for(geqrt), plan.main_device());
+  dag::Task ttqrt;
+  ttqrt.op = dag::Op::kTtqrt;
+  ttqrt.k = 3;
+  ttqrt.i = 6;
+  ttqrt.p = 3;
+  EXPECT_EQ(plan.device_for(ttqrt), plan.main_device());
+}
+
+TEST(Plan, DeviceForRoutesUpdatesToColumnOwner) {
+  Plan plan(sim::paper_platform(), 40, 40, default_config());
+  dag::Task up;
+  up.op = dag::Op::kTtmqr;
+  up.k = 0;
+  up.i = 2;
+  up.p = 0;
+  for (std::int16_t j = 1; j < 40; ++j) {
+    up.j = j;
+    EXPECT_EQ(plan.device_for(up),
+              plan.participants()[plan.column_owner()[j]]);
+  }
+}
+
+TEST(Plan, NoneMainPolicyRoutesPanelWorkToColumnOwner) {
+  PlanConfig c = default_config();
+  c.main_policy = MainPolicy::kNone;
+  c.count_policy = CountPolicy::kAll;
+  Plan plan(sim::paper_platform(), 40, 40, c);
+  dag::Task geqrt;
+  geqrt.op = dag::Op::kGeqrt;
+  geqrt.i = 7;
+  bool saw_non_main = false;
+  for (std::int16_t k = 0; k < 40; ++k) {
+    geqrt.k = k;
+    const int dev = plan.device_for(geqrt);
+    EXPECT_EQ(dev, plan.participants()[plan.column_owner()[k]]);
+    if (dev != plan.main_device()) saw_non_main = true;
+  }
+  EXPECT_TRUE(saw_non_main);
+}
+
+TEST(Plan, GuideArrayDistributionFavorsGtx680s) {
+  PlanConfig c = default_config();
+  c.count_policy = CountPolicy::kFixed;
+  c.fixed_count = 3;  // 580 + both 680s
+  Plan plan(sim::paper_platform(), 701, 701, c);
+  std::vector<int> count(3, 0);
+  for (int o : plan.column_owner()) ++count[o];
+  // Each 680 should own roughly 3x the 580's columns.
+  EXPECT_GT(count[1], 2 * count[0]);
+  EXPECT_GT(count[2], 2 * count[0]);
+}
+
+TEST(Plan, EvenDistributionBalanced) {
+  PlanConfig c = default_config();
+  c.count_policy = CountPolicy::kFixed;
+  c.fixed_count = 3;
+  c.dist_policy = DistPolicy::kEven;
+  Plan plan(sim::paper_platform(), 601, 601, c);
+  std::vector<int> count(3, 0);
+  for (int o : plan.column_owner()) ++count[o];
+  EXPECT_NEAR(count[0], count[1], 2);
+  EXPECT_NEAR(count[1], count[2], 2);
+}
+
+TEST(Plan, AssignmentCoversGraphWithParticipatingDevices) {
+  Plan plan(sim::paper_platform(), 12, 12, default_config());
+  dag::TaskGraph g =
+      dag::build_tiled_qr_graph(12, 12, default_config().elim);
+  const auto assign = plan.assignment(g);
+  ASSERT_EQ(assign.size(), g.size());
+  for (auto d : assign) {
+    bool found = false;
+    for (int p : plan.participants()) found |= (p == d);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Plan, SummaryMentionsMainAndGrid) {
+  const sim::Platform p = sim::paper_platform();
+  Plan plan(p, 10, 10, default_config());
+  const std::string s = plan.summary(p);
+  EXPECT_NE(s.find("GTX580"), std::string::npos);
+  EXPECT_NE(s.find("10x10"), std::string::npos);
+}
+
+TEST(Plan, SingleDevicePlatform) {
+  Plan plan(sim::paper_platform_with_gpus(0), 8, 8, default_config());
+  EXPECT_EQ(plan.main_device(), 0);
+  EXPECT_EQ(plan.participants().size(), 1u);
+  for (int o : plan.column_owner()) EXPECT_EQ(o, 0);
+}
+
+}  // namespace
+}  // namespace tqr::core

@@ -1,0 +1,159 @@
+#include "core/qr_updater.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+#include "la/reference_qr.hpp"
+
+namespace tqr::core {
+namespace {
+
+using la::index_t;
+using la::Matrix;
+
+/// Stacks blocks vertically for batch-vs-streaming comparisons.
+Matrix<double> vstack(const std::vector<Matrix<double>>& blocks) {
+  index_t rows = 0;
+  for (const auto& b : blocks) rows += b.rows();
+  Matrix<double> out(rows, blocks[0].cols());
+  index_t at = 0;
+  for (const auto& b : blocks) {
+    for (index_t j = 0; j < b.cols(); ++j)
+      for (index_t i = 0; i < b.rows(); ++i) out(at + i, j) = b(i, j);
+    at += b.rows();
+  }
+  return out;
+}
+
+TEST(QrUpdater, SingleBlockMatchesDirectQr) {
+  const index_t m = 24, n = 8;
+  auto a = Matrix<double>::random(m, n, 1);
+  auto b = Matrix<double>::random(m, 1, 2);
+  QrUpdater<double> upd(n, 1);
+  upd.absorb(a, b);
+  auto x = upd.solve();
+  la::ReferenceQr<double> ref(a);
+  auto x_ref = ref.solve(b);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, 0), x_ref(i, 0), 1e-10);
+}
+
+TEST(QrUpdater, StreamingMatchesBatchSolution) {
+  const index_t n = 6;
+  std::vector<Matrix<double>> as, bs;
+  QrUpdater<double> upd(n, 1);
+  for (int blk = 0; blk < 5; ++blk) {
+    const index_t rows = blk == 0 ? n : 3 + blk;  // ragged blocks
+    as.push_back(Matrix<double>::random(rows, n, 10 + blk));
+    bs.push_back(Matrix<double>::random(rows, 1, 20 + blk));
+    upd.absorb(as.back(), bs.back());
+  }
+  auto x = upd.solve();
+  auto a_all = vstack(as);
+  auto b_all = vstack(bs);
+  la::ReferenceQr<double> ref(a_all);
+  auto x_ref = ref.solve(b_all);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, 0), x_ref(i, 0), 1e-9);
+  EXPECT_EQ(upd.rows_absorbed(), a_all.rows());
+}
+
+TEST(QrUpdater, RMatchesBatchRUpToSigns) {
+  const index_t n = 5;
+  QrUpdater<double> upd(n, 0);
+  std::vector<Matrix<double>> as;
+  for (int blk = 0; blk < 3; ++blk) {
+    as.push_back(Matrix<double>::random(n, n, 30 + blk));
+    // absorb() consumes its input; keep the original for the batch check.
+    upd.absorb(as.back(), Matrix<double>(n, 0));
+  }
+  la::ReferenceQr<double> ref(vstack(as));
+  auto r_ref = ref.r();
+  const auto& r = upd.r();
+  for (index_t i = 0; i < n; ++i) {
+    const double sign = (r(i, i) >= 0) == (r_ref(i, i) >= 0) ? 1.0 : -1.0;
+    for (index_t j = i; j < n; ++j)
+      EXPECT_NEAR(r(i, j), sign * r_ref(i, j), 1e-9);
+  }
+}
+
+TEST(QrUpdater, GramEqualsNormalEquationsMatrix) {
+  const index_t n = 4;
+  QrUpdater<double> upd(n, 0);
+  std::vector<Matrix<double>> as;
+  for (int blk = 0; blk < 3; ++blk) {
+    as.push_back(Matrix<double>::random(n + blk, n, 40 + blk));
+    upd.absorb(as.back(), Matrix<double>(n + blk, 0));
+  }
+  auto a_all = vstack(as);
+  Matrix<double> ata(n, n);
+  la::gemm<double>(la::Trans::kTrans, la::Trans::kNoTrans, 1.0, a_all.view(),
+                   a_all.view(), 0.0, ata.view());
+  auto g = upd.gram();
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) EXPECT_NEAR(g(i, j), ata(i, j), 1e-9);
+}
+
+TEST(QrUpdater, SolutionConvergesAsDataAccumulates) {
+  // Noisy observations of a fixed linear model: the streaming solution
+  // should approach the true coefficients as blocks accumulate.
+  const index_t n = 4;
+  Rng rng(99);
+  Matrix<double> coef(n, 1);
+  for (index_t i = 0; i < n; ++i) coef(i, 0) = rng.next_double(-1, 1);
+  QrUpdater<double> upd(n, 1);
+  double err_early = -1;
+  for (int blk = 0; blk < 50; ++blk) {
+    const index_t rows = 8;
+    auto a = Matrix<double>::random(rows, n, 500 + blk);
+    Matrix<double> b(rows, 1);
+    Rng noise(600 + blk);
+    for (index_t i = 0; i < rows; ++i) {
+      double yi = 0;
+      for (index_t j = 0; j < n; ++j) yi += a(i, j) * coef(j, 0);
+      b(i, 0) = yi + 0.01 * noise.next_gaussian();
+    }
+    upd.absorb(a, b);
+    if (blk == 1) {
+      auto x = upd.solve();
+      err_early = 0;
+      for (index_t i = 0; i < n; ++i)
+        err_early = std::max(err_early, std::abs(x(i, 0) - coef(i, 0)));
+    }
+  }
+  auto x = upd.solve();
+  double err_late = 0;
+  for (index_t i = 0; i < n; ++i)
+    err_late = std::max(err_late, std::abs(x(i, 0) - coef(i, 0)));
+  EXPECT_LT(err_late, err_early);
+  EXPECT_LT(err_late, 0.01);
+}
+
+TEST(QrUpdater, RejectsMisshapenInputs) {
+  QrUpdater<double> upd(4, 1);
+  auto a = Matrix<double>::random(6, 3, 1);  // wrong column count
+  auto b = Matrix<double>::random(6, 1, 2);
+  EXPECT_THROW(upd.absorb(a.view(), b.view()), tqr::InvalidArgument);
+  auto a2 = Matrix<double>::random(2, 4, 3);  // first block too short
+  auto b2 = Matrix<double>::random(2, 1, 4);
+  EXPECT_THROW(upd.absorb(a2.view(), b2.view()), tqr::InvalidArgument);
+  EXPECT_THROW(upd.solve(), tqr::InvalidArgument);  // nothing absorbed
+}
+
+TEST(QrUpdater, ShortBlocksAllowedAfterSeeding) {
+  const index_t n = 5;
+  QrUpdater<double> upd(n, 1);
+  auto a0 = Matrix<double>::random(n, n, 7);
+  auto b0 = Matrix<double>::random(n, 1, 8);
+  upd.absorb(a0, b0);
+  // Single-row updates are the classic RLS step.
+  for (int i = 0; i < 10; ++i) {
+    auto a = Matrix<double>::random(1, n, 70 + i);
+    auto b = Matrix<double>::random(1, 1, 80 + i);
+    upd.absorb(a, b);
+  }
+  EXPECT_EQ(upd.rows_absorbed(), n + 10);
+  auto x = upd.solve();
+  EXPECT_EQ(x.rows(), n);
+}
+
+}  // namespace
+}  // namespace tqr::core

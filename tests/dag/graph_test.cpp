@@ -1,0 +1,173 @@
+#include "dag/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tqr::dag {
+namespace {
+
+using Builder = TaskGraph::Builder;
+using Mode = Builder::Mode;
+
+Task dummy(int k) {
+  Task t;
+  t.op = Op::kGeqrt;
+  t.k = static_cast<std::int16_t>(k);
+  return t;
+}
+
+TEST(GraphBuilder, RawDependency) {
+  Builder b(2, 2);
+  const auto w = b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  const auto r = b.add_task(dummy(1), {{b.upper(0, 0), Mode::kRead}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_EQ(g.indegree(w), 0);
+  EXPECT_EQ(g.indegree(r), 1);
+  EXPECT_EQ(*g.predecessors_begin(r), w);
+}
+
+TEST(GraphBuilder, ConcurrentReadersShareOneWriter) {
+  Builder b(2, 2);
+  const auto w = b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  const auto r1 = b.add_task(dummy(1), {{b.upper(0, 0), Mode::kRead}});
+  const auto r2 = b.add_task(dummy(2), {{b.upper(0, 0), Mode::kRead}});
+  TaskGraph g = std::move(b).build();
+  // Readers depend only on the writer, not on each other.
+  EXPECT_EQ(g.indegree(r1), 1);
+  EXPECT_EQ(g.indegree(r2), 1);
+  EXPECT_EQ(g.out_degree(w), 2);
+}
+
+TEST(GraphBuilder, WarDependency) {
+  Builder b(2, 2);
+  b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  const auto r = b.add_task(dummy(1), {{b.upper(0, 0), Mode::kRead}});
+  const auto w2 = b.add_task(dummy(2), {{b.upper(0, 0), Mode::kWrite}});
+  TaskGraph g = std::move(b).build();
+  // The second writer must wait for the reader (and transitively the first
+  // writer).
+  bool depends_on_reader = false;
+  for (auto it = g.predecessors_begin(w2); it != g.predecessors_end(w2); ++it)
+    if (*it == r) depends_on_reader = true;
+  EXPECT_TRUE(depends_on_reader);
+}
+
+TEST(GraphBuilder, WawDependency) {
+  Builder b(2, 2);
+  const auto w1 = b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  const auto w2 = b.add_task(dummy(1), {{b.upper(0, 0), Mode::kWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_EQ(g.indegree(w2), 1);
+  EXPECT_EQ(*g.predecessors_begin(w2), w1);
+}
+
+TEST(GraphBuilder, ReadWriteSelfDoesNotSelfDepend) {
+  Builder b(2, 2);
+  const auto t = b.add_task(dummy(0), {{b.upper(1, 1), Mode::kReadWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_EQ(g.indegree(t), 0);
+}
+
+TEST(GraphBuilder, RwChainsSerialize) {
+  Builder b(2, 2);
+  const auto a = b.add_task(dummy(0), {{b.upper(0, 0), Mode::kReadWrite}});
+  const auto c = b.add_task(dummy(1), {{b.upper(0, 0), Mode::kReadWrite}});
+  const auto d = b.add_task(dummy(2), {{b.upper(0, 0), Mode::kReadWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_EQ(g.indegree(a), 0);
+  EXPECT_EQ(*g.predecessors_begin(c), a);
+  EXPECT_EQ(*g.predecessors_begin(d), c);
+}
+
+TEST(GraphBuilder, DistinctResourcesIndependent) {
+  Builder b(2, 2);
+  b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  const auto t2 = b.add_task(dummy(1), {{b.lower(0, 0), Mode::kWrite}});
+  const auto t3 = b.add_task(dummy(2), {{b.t_geqrt(0, 0), Mode::kWrite}});
+  const auto t4 = b.add_task(dummy(3), {{b.t_elim(0, 0), Mode::kWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_EQ(g.indegree(t2), 0);
+  EXPECT_EQ(g.indegree(t3), 0);
+  EXPECT_EQ(g.indegree(t4), 0);
+}
+
+TEST(GraphBuilder, DuplicateDependenciesDeduplicated) {
+  Builder b(2, 2);
+  const auto w = b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite},
+                                       {b.lower(0, 0), Mode::kWrite}});
+  const auto r = b.add_task(dummy(1), {{b.upper(0, 0), Mode::kRead},
+                                       {b.lower(0, 0), Mode::kRead}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_EQ(g.indegree(r), 1);
+  EXPECT_EQ(g.out_degree(w), 1);
+}
+
+TEST(TaskGraph, ValidateAcceptsWellFormedGraph) {
+  Builder b(2, 2);
+  b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  b.add_task(dummy(1), {{b.upper(0, 0), Mode::kReadWrite}});
+  b.add_task(dummy(2), {{b.upper(0, 0), Mode::kRead}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(TaskGraph, CriticalPathOfChain) {
+  Builder b(2, 2);
+  for (int i = 0; i < 5; ++i)
+    b.add_task(dummy(i), {{b.upper(0, 0), Mode::kReadWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_DOUBLE_EQ(g.critical_path([](const Task&) { return 2.0; }), 10.0);
+}
+
+TEST(TaskGraph, CriticalPathOfIndependentTasks) {
+  Builder b(2, 2);
+  b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  b.add_task(dummy(1), {{b.upper(0, 1), Mode::kWrite}});
+  b.add_task(dummy(2), {{b.upper(1, 0), Mode::kWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_DOUBLE_EQ(g.critical_path([](const Task&) { return 3.0; }), 3.0);
+}
+
+TEST(TaskGraph, DotExportContainsNodesAndEdges) {
+  Builder b(2, 2);
+  b.add_task(dummy(0), {{b.upper(0, 0), Mode::kWrite}});
+  b.add_task(dummy(1), {{b.upper(0, 0), Mode::kRead}});
+  TaskGraph g = std::move(b).build();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+TEST(TaskGraph, DotExportRejectsHugeGraphs) {
+  Builder b(2, 2);
+  for (int i = 0; i < 10; ++i)
+    b.add_task(dummy(i), {{b.upper(0, 0), Mode::kReadWrite}});
+  TaskGraph g = std::move(b).build();
+  EXPECT_THROW(g.to_dot(5), tqr::InvalidArgument);
+}
+
+TEST(TaskToString, FormatsCoordinates) {
+  Task t;
+  t.op = Op::kTsmqr;
+  t.k = 1;
+  t.i = 3;
+  t.p = 1;
+  t.j = 4;
+  const std::string s = to_string(t);
+  EXPECT_NE(s.find("TSMQR"), std::string::npos);
+  EXPECT_NE(s.find("i=3"), std::string::npos);
+  EXPECT_NE(s.find("j=4"), std::string::npos);
+}
+
+TEST(StepOf, MapsOpsToPaperSteps) {
+  EXPECT_EQ(step_of(Op::kGeqrt), Step::kTriangulation);
+  EXPECT_EQ(step_of(Op::kTsqrt), Step::kElimination);
+  EXPECT_EQ(step_of(Op::kTtqrt), Step::kElimination);
+  EXPECT_EQ(step_of(Op::kUnmqr), Step::kUpdateTriangulation);
+  EXPECT_EQ(step_of(Op::kTsmqr), Step::kUpdateElimination);
+  EXPECT_EQ(step_of(Op::kTtmqr), Step::kUpdateElimination);
+}
+
+}  // namespace
+}  // namespace tqr::dag

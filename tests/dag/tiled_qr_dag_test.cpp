@@ -1,0 +1,177 @@
+#include "dag/tiled_qr_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dag/task_accesses.hpp"
+#include "la/flops.hpp"
+
+namespace tqr::dag {
+namespace {
+
+TEST(TiledQrDag, SingleTileIsOneGeqrt) {
+  TaskGraph g = build_tiled_qr_graph(1, 1, Elimination::kTs);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.task(0).op, Op::kGeqrt);
+}
+
+class GridSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, Elimination>> {};
+
+TEST_P(GridSizes, TaskCountMatchesClosedForm) {
+  const auto [mt, nt, elim] = GetParam();
+  TaskGraph g = build_tiled_qr_graph(mt, nt, elim);
+  const StepCounts total = total_step_counts(mt, nt, elim);
+  const auto counts = g.step_counts();
+  EXPECT_EQ(counts[0], total.triangulation);
+  EXPECT_EQ(counts[1], total.elimination);
+  EXPECT_EQ(counts[2], total.update_triangulation);
+  EXPECT_EQ(counts[3], total.update_elimination);
+}
+
+TEST_P(GridSizes, GraphIsValidDag) {
+  const auto [mt, nt, elim] = GetParam();
+  TaskGraph g = build_tiled_qr_graph(mt, nt, elim);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST_P(GridSizes, ExactlyMinMtNtRootPanels) {
+  const auto [mt, nt, elim] = GetParam();
+  TaskGraph g = build_tiled_qr_graph(mt, nt, elim);
+  int max_panel = -1;
+  for (const Task& t : g.tasks()) max_panel = std::max(max_panel, int(t.k));
+  EXPECT_EQ(max_panel + 1, std::min(mt, nt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, GridSizes,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(Elimination::kTs, Elimination::kTt)));
+
+TEST(TiledQrDag, TsPanelCounts) {
+  const StepCounts c = panel_step_counts(5, 4, Elimination::kTs);
+  EXPECT_EQ(c.triangulation, 1);
+  EXPECT_EQ(c.elimination, 4);
+  EXPECT_EQ(c.update_triangulation, 3);
+  EXPECT_EQ(c.update_elimination, 12);
+}
+
+TEST(TiledQrDag, TtPanelCountsMatchPaperTable1Shape) {
+  // Table I: T = M, E = M, UT = M(N-1), UE = M(N-1) — the TT variant up to
+  // the M vs M-1 elimination/update distinction.
+  const std::int64_t m = 6, n = 5;
+  const StepCounts ours = panel_step_counts(m, n, Elimination::kTt);
+  const StepCounts paper = paper_table1_counts(m, n);
+  EXPECT_EQ(ours.triangulation, paper.triangulation);
+  EXPECT_EQ(ours.elimination, paper.elimination - 1);
+  EXPECT_EQ(ours.update_triangulation, paper.update_triangulation);
+  EXPECT_EQ(ours.update_elimination, (m - 1) * (n - 1));
+}
+
+TEST(TiledQrDag, TtHasLowerCriticalPathThanTs) {
+  // The binary elimination tree shortens the per-panel chain from O(M) to
+  // O(log M). Weighted by kernel flops (TT kernels are also cheaper), the
+  // critical path must be clearly smaller on a tall grid.
+  const auto flops = [](const Task& t) {
+    switch (t.op) {
+      case Op::kGeqrt:
+        return la::flops_geqrt(16);
+      case Op::kUnmqr:
+        return la::flops_unmqr(16);
+      case Op::kTsqrt:
+        return la::flops_tsqrt(16);
+      case Op::kTsmqr:
+        return la::flops_tsmqr(16);
+      case Op::kTtqrt:
+        return la::flops_ttqrt(16);
+      case Op::kTtmqr:
+        return la::flops_ttmqr(16);
+      default:
+        return 0.0;
+    }
+  };
+  TaskGraph ts = build_tiled_qr_graph(32, 4, Elimination::kTs);
+  TaskGraph tt = build_tiled_qr_graph(32, 4, Elimination::kTt);
+  EXPECT_LT(tt.critical_path(flops), 0.8 * ts.critical_path(flops));
+}
+
+TEST(TiledQrDag, TsHasFewerTasksThanTt) {
+  TaskGraph ts = build_tiled_qr_graph(8, 8, Elimination::kTs);
+  TaskGraph tt = build_tiled_qr_graph(8, 8, Elimination::kTt);
+  EXPECT_LT(ts.size(), tt.size());
+}
+
+TEST(TiledQrDag, FirstTaskIsPanelZeroGeqrt) {
+  for (Elimination e : {Elimination::kTs, Elimination::kTt}) {
+    TaskGraph g = build_tiled_qr_graph(4, 4, e);
+    EXPECT_EQ(g.task(0).op, Op::kGeqrt);
+    EXPECT_EQ(g.task(0).k, 0);
+    EXPECT_EQ(g.indegree(0), 0);
+  }
+}
+
+TEST(TiledQrDag, UnmqrOverlapsEliminationChain) {
+  // The UNMQR of panel 0 reads only the V part of the diagonal tile, so it
+  // must NOT depend on any TSQRT (which mutates only the R part).
+  TaskGraph g = build_tiled_qr_graph(3, 3, Elimination::kTs);
+  for (task_id t = 0; t < static_cast<task_id>(g.size()); ++t) {
+    if (g.task(t).op != Op::kUnmqr || g.task(t).k != 0) continue;
+    for (auto it = g.predecessors_begin(t); it != g.predecessors_end(t); ++it)
+      EXPECT_NE(g.task(*it).op, Op::kTsqrt)
+          << "UNMQR should not wait on TSQRT";
+  }
+}
+
+TEST(TiledQrDag, RectangularGrids) {
+  // Tall and wide grids build valid graphs with the right panel count.
+  TaskGraph tall = build_tiled_qr_graph(10, 3, Elimination::kTt);
+  TaskGraph wide = build_tiled_qr_graph(3, 10, Elimination::kTs);
+  EXPECT_TRUE(tall.validate());
+  EXPECT_TRUE(wide.validate());
+}
+
+TEST(TiledQrDag, RejectsEmptyGrid) {
+  EXPECT_THROW(build_tiled_qr_graph(0, 3, Elimination::kTs),
+               tqr::InvalidArgument);
+}
+
+TEST(TaskAccesses, GeqrtTouchesTileAndFactor) {
+  Task t;
+  t.op = Op::kGeqrt;
+  t.k = 1;
+  t.i = 2;
+  TileAccess acc[5];
+  const int n = tile_accesses(t, acc);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(acc[0].plane, Plane::kA);
+  EXPECT_TRUE(acc[0].read);
+  EXPECT_TRUE(acc[0].write);
+  EXPECT_EQ(acc[1].plane, Plane::kTg);
+  EXPECT_FALSE(acc[1].read);
+}
+
+TEST(TaskAccesses, TsmqrReadsReflectorWritesTargets) {
+  Task t;
+  t.op = Op::kTsmqr;
+  t.k = 0;
+  t.i = 2;
+  t.p = 0;
+  t.j = 3;
+  TileAccess acc[5];
+  const int n = tile_accesses(t, acc);
+  ASSERT_EQ(n, 4);
+  // Reflector tile read-only.
+  EXPECT_TRUE(acc[0].read);
+  EXPECT_FALSE(acc[0].write);
+  // Both target tiles read-write.
+  EXPECT_TRUE(acc[2].write);
+  EXPECT_TRUE(acc[3].write);
+  EXPECT_EQ(acc[3].i, 2);
+  EXPECT_EQ(acc[3].j, 3);
+}
+
+}  // namespace
+}  // namespace tqr::dag

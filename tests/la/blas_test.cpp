@@ -1,0 +1,259 @@
+#include "la/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/matrix.hpp"
+
+namespace tqr::la {
+namespace {
+
+Matrix<double> naive_mm(const Matrix<double>& a, const Matrix<double>& b,
+                        bool ta, bool tb) {
+  const index_t m = ta ? a.cols() : a.rows();
+  const index_t k = ta ? a.rows() : a.cols();
+  const index_t n = tb ? b.rows() : b.cols();
+  Matrix<double> c(m, n);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (index_t p = 0; p < k; ++p) {
+        const double av = ta ? a(p, i) : a(i, p);
+        const double bv = tb ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+class GemmVariants : public ::testing::TestWithParam<std::pair<Trans, Trans>> {
+};
+
+TEST_P(GemmVariants, MatchesNaiveReference) {
+  const auto [ta, tb] = GetParam();
+  const index_t m = 7, k = 5, n = 6;
+  auto a = (ta == Trans::kNoTrans) ? Matrix<double>::random(m, k, 1)
+                                   : Matrix<double>::random(k, m, 1);
+  auto b = (tb == Trans::kNoTrans) ? Matrix<double>::random(k, n, 2)
+                                   : Matrix<double>::random(n, k, 2);
+  Matrix<double> c(m, n);
+  gemm<double>(ta, tb, 1.0, a.view(), b.view(), 0.0, c.view());
+  auto ref = naive_mm(a, b, ta == Trans::kTrans, tb == Trans::kTrans);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransCombos, GemmVariants,
+    ::testing::Values(std::pair{Trans::kNoTrans, Trans::kNoTrans},
+                      std::pair{Trans::kTrans, Trans::kNoTrans},
+                      std::pair{Trans::kNoTrans, Trans::kTrans},
+                      std::pair{Trans::kTrans, Trans::kTrans}));
+
+TEST(Gemm, AlphaBetaScaling) {
+  auto a = Matrix<double>::random(4, 4, 3);
+  auto b = Matrix<double>::random(4, 4, 4);
+  Matrix<double> c(4, 4);
+  c.view().fill(1.0);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 2.0, a.view(), b.view(), 3.0,
+               c.view());
+  auto ref = naive_mm(a, b, false, false);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i)
+      EXPECT_NEAR(c(i, j), 2.0 * ref(i, j) + 3.0, 1e-12);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  auto a = Matrix<double>::random(3, 3, 5);
+  auto b = Matrix<double>::random(3, 3, 6);
+  Matrix<double> c(3, 3);
+  c.view().fill(std::numeric_limits<double>::quiet_NaN());
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(), b.view(), 0.0,
+               c.view());
+  auto ref = naive_mm(a, b, false, false);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+}
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  Matrix<double> a(3, 4), b(5, 2), c(3, 2);
+  EXPECT_THROW(gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(),
+                            b.view(), 0.0, c.view()),
+               InvalidArgument);
+}
+
+// trmm against explicit triangular multiply.
+class TrmmVariants
+    : public ::testing::TestWithParam<std::tuple<UpLo, Trans, Diag>> {};
+
+TEST_P(TrmmVariants, MatchesExplicitTriangularProduct) {
+  const auto [uplo, trans, diag] = GetParam();
+  const index_t m = 6, n = 4;
+  auto a_full = Matrix<double>::random(m, m, 11);
+  // Build the explicit triangular operator.
+  Matrix<double> tri(m, m);
+  for (index_t j = 0; j < m; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      const bool keep = (uplo == UpLo::kUpper) ? (i <= j) : (i >= j);
+      tri(i, j) = keep ? a_full(i, j) : 0.0;
+      if (i == j && diag == Diag::kUnit) tri(i, j) = 1.0;
+    }
+  auto b = Matrix<double>::random(m, n, 12);
+  Matrix<double> expect(m, n);
+  gemm<double>(trans, Trans::kNoTrans, 1.0, tri.view(), b.view(), 0.0,
+               expect.view());
+
+  Matrix<double> got = b;
+  trmm_left<double>(uplo, trans, diag, a_full.view(), got.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_NEAR(got(i, j), expect(i, j), 1e-12)
+          << "at (" << i << "," << j << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TrmmVariants,
+    ::testing::Combine(::testing::Values(UpLo::kUpper, UpLo::kLower),
+                       ::testing::Values(Trans::kNoTrans, Trans::kTrans),
+                       ::testing::Values(Diag::kUnit, Diag::kNonUnit)));
+
+class TrsmVariants
+    : public ::testing::TestWithParam<std::tuple<UpLo, Trans, Diag>> {};
+
+TEST_P(TrsmVariants, SolveThenMultiplyRoundTrips) {
+  const auto [uplo, trans, diag] = TrsmVariants::GetParam();
+  const index_t m = 6, n = 3;
+  auto a = Matrix<double>::random(m, m, 21);
+  for (index_t i = 0; i < m; ++i) a(i, i) += 4.0;  // well-conditioned
+  auto b = Matrix<double>::random(m, n, 22);
+  Matrix<double> x = b;
+  trsm_left<double>(uplo, trans, diag, a.view(), x.view());
+  // Multiply back: op(tri(A)) * x should equal b.
+  Matrix<double> back = x;
+  trmm_left<double>(uplo, trans, diag, a.view(), back.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(back(i, j), b(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TrsmVariants,
+    ::testing::Combine(::testing::Values(UpLo::kUpper, UpLo::kLower),
+                       ::testing::Values(Trans::kNoTrans, Trans::kTrans),
+                       ::testing::Values(Diag::kUnit, Diag::kNonUnit)));
+
+TEST(VectorOps, DotAndAxpy) {
+  Matrix<double> x(4, 1), y(4, 1);
+  for (index_t i = 0; i < 4; ++i) {
+    x(i, 0) = i + 1;  // 1 2 3 4
+    y(i, 0) = 1.0;
+  }
+  EXPECT_DOUBLE_EQ(dot<double>(x.view(), y.view()), 10.0);
+  axpy<double>(2.0, x.view(), y.view());
+  EXPECT_DOUBLE_EQ(y(3, 0), 9.0);
+}
+
+TEST(VectorOps, Nrm2MatchesHypot) {
+  Matrix<double> x(3, 1);
+  x(0, 0) = 3;
+  x(1, 0) = 4;
+  x(2, 0) = 12;
+  EXPECT_NEAR(nrm2<double>(x.view()), 13.0, 1e-12);
+}
+
+TEST(VectorOps, Nrm2AvoidsOverflow) {
+  Matrix<double> x(2, 1);
+  x(0, 0) = 1e200;
+  x(1, 0) = 1e200;
+  EXPECT_NEAR(nrm2<double>(x.view()), std::sqrt(2.0) * 1e200, 1e188);
+}
+
+TEST(Norms, FrobeniusOfIdentity) {
+  auto id = Matrix<double>::identity(9);
+  EXPECT_NEAR(norm_frobenius<double>(id.view()), 3.0, 1e-12);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix<double> m(2, 2);
+  m(0, 0) = -5;
+  m(1, 1) = 3;
+  EXPECT_DOUBLE_EQ(norm_max<double>(m.view()), 5.0);
+}
+
+}  // namespace
+}  // namespace tqr::la
+
+namespace tqr::la {
+namespace {
+
+class TrsmRightVariants
+    : public ::testing::TestWithParam<std::tuple<UpLo, Trans, Diag>> {};
+
+TEST_P(TrsmRightVariants, SolveThenMultiplyRoundTrips) {
+  const auto [uplo, trans, diag] = GetParam();
+  const index_t m = 5, n = 6;
+  auto a = Matrix<double>::random(n, n, 31);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  auto b = Matrix<double>::random(m, n, 32);
+  Matrix<double> x = b;
+  trsm_right<double>(uplo, trans, diag, a.view(), x.view());
+  // Multiply back: X * op(tri(A)) must equal B. Build op(tri(A)) densely.
+  Matrix<double> tri(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      const bool keep = (uplo == UpLo::kUpper) ? (i <= j) : (i >= j);
+      tri(i, j) = keep ? a(i, j) : 0.0;
+      if (i == j && diag == Diag::kUnit) tri(i, j) = 1.0;
+    }
+  Matrix<double> back(m, n);
+  gemm<double>(Trans::kNoTrans, trans, 1.0, x.view(), tri.view(), 0.0,
+               back.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(back(i, j), b(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TrsmRightVariants,
+    ::testing::Combine(::testing::Values(UpLo::kUpper, UpLo::kLower),
+                       ::testing::Values(Trans::kNoTrans, Trans::kTrans),
+                       ::testing::Values(Diag::kUnit, Diag::kNonUnit)));
+
+TEST(SyrkLower, MatchesGemmOnLowerTriangle) {
+  const index_t n = 6, k = 4;
+  auto a = Matrix<double>::random(n, k, 33);
+  Matrix<double> c(n, n);
+  c.view().fill(2.0);
+  Matrix<double> expect = c;
+  syrk_lower<double>(Trans::kNoTrans, 1.5, a.view(), 0.5, c.view());
+  Matrix<double> aat(n, n);
+  gemm<double>(Trans::kNoTrans, Trans::kTrans, 1.0, a.view(), a.view(), 0.0,
+               aat.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) {
+      if (i >= j)
+        EXPECT_NEAR(c(i, j), 1.5 * aat(i, j) + 0.5 * 2.0, 1e-12);
+      else
+        EXPECT_EQ(c(i, j), 2.0);  // strictly-upper untouched
+    }
+}
+
+TEST(SyrkLower, TransposedInput) {
+  const index_t n = 5, k = 7;
+  auto a = Matrix<double>::random(k, n, 34);
+  Matrix<double> c(n, n);
+  syrk_lower<double>(Trans::kTrans, 1.0, a.view(), 0.0, c.view());
+  Matrix<double> ata(n, n);
+  gemm<double>(Trans::kTrans, Trans::kNoTrans, 1.0, a.view(), a.view(), 0.0,
+               ata.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) EXPECT_NEAR(c(i, j), ata(i, j), 1e-12);
+}
+
+TEST(SyrkLower, ShapeMismatchRejected) {
+  Matrix<double> a(4, 3), c(5, 5);
+  EXPECT_THROW(
+      syrk_lower<double>(Trans::kNoTrans, 1.0, a.view(), 0.0, c.view()),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::la

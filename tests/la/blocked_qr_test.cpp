@@ -1,0 +1,70 @@
+#include "la/blocked_qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+#include "la/reference_qr.hpp"
+
+namespace tqr::la {
+namespace {
+
+class PanelWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(PanelWidths, FactorsToMachinePrecision) {
+  const index_t m = 40, n = 24;
+  const index_t nb = GetParam();
+  auto a = Matrix<double>::random(m, n, 300 + nb);
+  BlockedQr<double> qr(a, nb);
+  auto q = qr.q();
+  EXPECT_LT(orthogonality_residual<double>(q.view()),
+            residual_tolerance<double>(m));
+  auto r = qr.r();
+  Matrix<double> r_full(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r_full(i, j) = r(i, j);
+  EXPECT_LT(reconstruction_residual<double>(a.view(), q.view(),
+                                            r_full.view()),
+            residual_tolerance<double>(m));
+}
+
+TEST_P(PanelWidths, MatchesReferenceSolve) {
+  const index_t n = 24;
+  const index_t nb = GetParam();
+  auto a = Matrix<double>::random(n, n, 400 + nb);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  auto rhs = Matrix<double>::random(n, 2, 401);
+  BlockedQr<double> qr(a, nb);
+  ReferenceQr<double> ref(a);
+  auto x = qr.solve(rhs);
+  auto x_ref = ref.solve(rhs);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(x(i, j), x_ref(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PanelWidths,
+                         ::testing::Values(1, 2, 4, 8, 24, 64));
+
+TEST(BlockedQr, ApplyQRoundTrips) {
+  auto a = Matrix<double>::random(20, 12, 5);
+  BlockedQr<double> qr(a, 4);
+  auto c0 = Matrix<double>::random(20, 3, 6);
+  Matrix<double> c = c0;
+  qr.apply_q(c.view(), Trans::kTrans);
+  qr.apply_q(c.view(), Trans::kNoTrans);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 20; ++i) EXPECT_NEAR(c(i, j), c0(i, j), 1e-10);
+}
+
+TEST(BlockedQr, WideMatrixRejected) {
+  auto a = Matrix<double>::random(4, 8, 7);
+  EXPECT_THROW(BlockedQr<double>(a, 4), InvalidArgument);
+}
+
+TEST(BlockedQr, InvalidPanelWidthRejected) {
+  auto a = Matrix<double>::random(8, 8, 8);
+  EXPECT_THROW(BlockedQr<double>(a, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::la

@@ -1,0 +1,153 @@
+#include "la/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+#include "la/generators.hpp"
+#include "la/reference_qr.hpp"
+
+namespace tqr::la {
+namespace {
+
+Matrix<double> random_spd(index_t n, std::uint64_t seed, double shift = 1.0) {
+  auto b = Matrix<double>::random(n, n, seed);
+  Matrix<double> a(n, n);
+  gemm<double>(Trans::kNoTrans, Trans::kTrans, 1.0, b.view(), b.view(), 0.0,
+               a.view());
+  for (index_t i = 0; i < n; ++i) a(i, i) += shift;
+  return a;
+}
+
+class PotrfBlocks : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrfBlocks, FactorReassembles) {
+  const index_t n = 24;
+  const index_t nb = GetParam();
+  auto a = random_spd(n, 1);
+  Matrix<double> l = a;
+  potrf_lower<double>(l.view(), nb);
+  // Rebuild lower * lower^T and compare the lower triangle of A.
+  Matrix<double> lower(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) lower(i, j) = l(i, j);
+  Matrix<double> llt(n, n);
+  gemm<double>(Trans::kNoTrans, Trans::kTrans, 1.0, lower.view(),
+               lower.view(), 0.0, llt.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      EXPECT_NEAR(llt(i, j), a(i, j), 1e-10) << i << "," << j;
+}
+
+TEST_P(PotrfBlocks, BlockedMatchesUnblocked) {
+  const index_t n = 20;
+  auto a = random_spd(n, 2);
+  Matrix<double> plain = a, blocked = a;
+  potrf_lower<double>(plain.view(), 0);
+  potrf_lower<double>(blocked.view(), GetParam());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      EXPECT_NEAR(blocked(i, j), plain(i, j), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, PotrfBlocks, ::testing::Values(1, 3, 8, 64));
+
+TEST(Potrf, RejectsIndefiniteMatrix) {
+  Matrix<double> a = Matrix<double>::identity(4);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(potrf_lower<double>(a.view()), Error);
+}
+
+TEST(Potrf, LeavesUpperTriangleUntouched) {
+  const index_t n = 8;
+  auto a = random_spd(n, 3);
+  Matrix<double> marked = a;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) marked(i, j) = 777.0;
+  potrf_lower<double>(marked.view(), 4);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) EXPECT_EQ(marked(i, j), 777.0);
+}
+
+TEST(CholeskyQr, WellConditionedMatchesHouseholder) {
+  const index_t m = 40, n = 12;
+  auto a = Matrix<double>::random(m, n, 4);
+  auto cqr = cholesky_qr<double>(a);
+  // Q orthonormal columns, Q R = A.
+  Matrix<double> gram(n, n);
+  gemm<double>(Trans::kTrans, Trans::kNoTrans, 1.0, cqr.q.view(),
+               cqr.q.view(), 0.0, gram.view());
+  for (index_t i = 0; i < n; ++i) gram(i, i) -= 1.0;
+  EXPECT_LT(norm_frobenius<double>(gram.view()), 1e-10);
+  Matrix<double> qr(m, n);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, cqr.q.view(),
+               cqr.r.view(), 0.0, qr.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) EXPECT_NEAR(qr(i, j), a(i, j), 1e-10);
+  // R matches the Householder R up to signs.
+  ReferenceQr<double> ref(a);
+  auto r_ref = ref.r();
+  for (index_t i = 0; i < n; ++i) {
+    const double sign =
+        (cqr.r(i, i) >= 0) == (r_ref(i, i) >= 0) ? 1.0 : -1.0;
+    for (index_t j = i; j < n; ++j)
+      EXPECT_NEAR(cqr.r(i, j), sign * r_ref(i, j), 1e-9);
+  }
+}
+
+TEST(CholeskyQr, OrthogonalityDegradesQuadraticallyWithCondition) {
+  // The known defect: ||Q^T Q - I|| ~ kappa^2 eps, vs ~eps for Householder.
+  const index_t n = 24;
+  double prev = 0;
+  for (double cond : {1e2, 1e4, 1e6}) {
+    auto a = random_with_condition<double>(n, cond, 10);
+    auto cqr = cholesky_qr<double>(a);
+    Matrix<double> gram(n, n);
+    gemm<double>(Trans::kTrans, Trans::kNoTrans, 1.0, cqr.q.view(),
+                 cqr.q.view(), 0.0, gram.view());
+    for (index_t i = 0; i < n; ++i) gram(i, i) -= 1.0;
+    const double err = norm_frobenius<double>(gram.view());
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+  // At kappa = 1e6 the error should be visibly worse than machine eps.
+  EXPECT_GT(prev, 1e-8);
+}
+
+TEST(CholeskyQr, BreaksDownNearSqrtEpsCondition) {
+  // kappa ~ 1e9 => Gram matrix numerically indefinite => clean failure.
+  auto a = random_with_condition<double>(24, 1e9, 11);
+  EXPECT_THROW(cholesky_qr<double>(a), Error);
+}
+
+TEST(CholeskyQr2, RestoresMachinePrecisionOrthogonality) {
+  const index_t n = 24;
+  for (double cond : {1e2, 1e4, 1e6}) {
+    auto a = random_with_condition<double>(n, cond, 12);
+    auto cqr2 = cholesky_qr2<double>(a);
+    Matrix<double> gram(n, n);
+    gemm<double>(Trans::kTrans, Trans::kNoTrans, 1.0, cqr2.q.view(),
+                 cqr2.q.view(), 0.0, gram.view());
+    for (index_t i = 0; i < n; ++i) gram(i, i) -= 1.0;
+    EXPECT_LT(norm_frobenius<double>(gram.view()), 1e-12) << "cond=" << cond;
+    // And A = Q R still holds.
+    Matrix<double> qr(n, n);
+    gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, cqr2.q.view(),
+                 cqr2.r.view(), 0.0, qr.view());
+    const double denom = norm_frobenius<double>(a.view());
+    double err = 0;
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i) {
+        const double d = qr(i, j) - a(i, j);
+        err += d * d;
+      }
+    EXPECT_LT(std::sqrt(err) / denom, 1e-11) << "cond=" << cond;
+  }
+}
+
+TEST(CholeskyQr, WideMatrixRejected) {
+  auto a = Matrix<double>::random(4, 8, 13);
+  EXPECT_THROW(cholesky_qr<double>(a), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::la

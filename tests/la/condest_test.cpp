@@ -1,0 +1,78 @@
+#include "la/condest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/generators.hpp"
+#include "la/reference_qr.hpp"
+
+namespace tqr::la {
+namespace {
+
+TEST(CondEst, IdentityHasConditionOne) {
+  auto id = Matrix<double>::identity(12);
+  EXPECT_NEAR(estimate_condition1<double>(id.view()), 1.0, 1e-12);
+}
+
+TEST(CondEst, DiagonalMatrixExact) {
+  // kappa_1 of diag(d) is max|d| / min|d|.
+  Matrix<double> d(6, 6);
+  const double vals[6] = {8.0, 4.0, 2.0, 1.0, 0.5, 0.25};
+  for (index_t i = 0; i < 6; ++i) d(i, i) = vals[i];
+  EXPECT_NEAR(estimate_condition1<double>(d.view()), 8.0 / 0.25, 1e-9);
+}
+
+TEST(CondEst, Norm1OfUpperTriangular) {
+  Matrix<double> r(3, 3);
+  r(0, 0) = 1;
+  r(0, 1) = -2;
+  r(1, 1) = 3;
+  r(0, 2) = 1;
+  r(1, 2) = 1;
+  r(2, 2) = -4;
+  EXPECT_DOUBLE_EQ(triangular_norm1<double>(r.view()), 6.0);  // col 2
+}
+
+TEST(CondEst, TracksConstructedConditionNumber) {
+  // QR of a matrix with known kappa_2: the R factor's 1-norm condition
+  // estimate must land within a factor ~n of the construction.
+  for (double cond : {1e2, 1e5, 1e8}) {
+    const index_t n = 24;
+    auto a = random_with_condition<double>(n, cond, 17);
+    ReferenceQr<double> qr(a);
+    auto r = qr.r();
+    const double est = estimate_condition1<double>(r.view());
+    EXPECT_GT(est, cond / 50) << "cond=" << cond;
+    EXPECT_LT(est, cond * 50) << "cond=" << cond;
+  }
+}
+
+TEST(CondEst, EstimateIsLowerBoundedByExactForSmallCases) {
+  // For n = 1 the estimate is exact.
+  Matrix<double> r(1, 1);
+  r(0, 0) = 0.5;
+  EXPECT_NEAR(estimate_inverse_norm1<double>(r.view()), 2.0, 1e-12);
+}
+
+TEST(CondEst, SingularFactorRejected) {
+  Matrix<double> r = Matrix<double>::identity(4);
+  r(2, 2) = 0.0;
+  EXPECT_THROW(estimate_inverse_norm1<double>(r.view()), InvalidArgument);
+}
+
+TEST(CondEst, MonotoneInGrading) {
+  // More decades of row grading => larger condition estimate of R.
+  double prev = 0;
+  for (double decades : {1.0, 3.0, 6.0}) {
+    auto a = graded_rows<double>(16, 16, decades, 23);
+    for (index_t i = 0; i < 16; ++i)
+      a(i, i) += std::pow(10.0, -decades * i / 15.0);
+    ReferenceQr<double> qr(a);
+    auto r = qr.r();
+    const double est = estimate_condition1<double>(r.view());
+    EXPECT_GT(est, prev);
+    prev = est;
+  }
+}
+
+}  // namespace
+}  // namespace tqr::la

@@ -1,0 +1,136 @@
+// Single-precision coverage sweep: the paper evaluates in float, so every
+// factorization path must hold its backward-error bounds at float epsilon,
+// not just double.
+#include <gtest/gtest.h>
+
+#include "core/tiled_cholesky.hpp"
+#include "core/tiled_qr.hpp"
+#include "la/blocked_qr.hpp"
+#include "la/checks.hpp"
+#include "la/cholesky.hpp"
+#include "la/reference_qr.hpp"
+
+namespace tqr::la {
+namespace {
+
+Matrix<float> random_f(index_t m, index_t n, std::uint64_t seed) {
+  return Matrix<float>::random(m, n, seed);
+}
+
+struct FloatCase {
+  int n;
+  int b;
+  dag::Elimination elim;
+};
+
+void PrintTo(const FloatCase& c, std::ostream* os) {
+  *os << c.n << "/b" << c.b << "/" << dag::elimination_name(c.elim);
+}
+
+class FloatTiledQr : public ::testing::TestWithParam<FloatCase> {};
+
+TEST_P(FloatTiledQr, BackwardStableAtFloatEpsilon) {
+  const FloatCase c = GetParam();
+  auto a = random_f(c.n, c.n, 4000 + c.n + c.b);
+  typename core::TiledQrFactorization<float>::Options opts;
+  opts.elim = c.elim;
+  auto f = core::TiledQrFactorization<float>::factor(a, c.b, opts);
+  auto q = f.form_q();
+  EXPECT_LT(orthogonality_residual<float>(q.view()),
+            residual_tolerance<float>(c.n));
+  auto r = f.r();
+  Matrix<float> r_full(c.n, c.n);
+  for (index_t j = 0; j < c.n; ++j)
+    for (index_t i = 0; i <= j; ++i) r_full(i, j) = r(i, j);
+  EXPECT_LT(reconstruction_residual<float>(a.view(), q.view(),
+                                           r_full.view()),
+            residual_tolerance<float>(c.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FloatTiledQr,
+    ::testing::Values(FloatCase{16, 4, dag::Elimination::kTs},
+                      FloatCase{32, 8, dag::Elimination::kTt},
+                      FloatCase{32, 8, dag::Elimination::kTtFlat},
+                      FloatCase{48, 16, dag::Elimination::kTt},
+                      FloatCase{64, 16, dag::Elimination::kTs}));
+
+TEST(FloatPaths, ReferenceQrFloat) {
+  auto a = random_f(32, 20, 1);
+  ReferenceQr<float> qr(a);
+  auto q = qr.q();
+  EXPECT_LT(orthogonality_residual<float>(q.view()),
+            residual_tolerance<float>(32));
+}
+
+TEST(FloatPaths, BlockedQrFloat) {
+  auto a = random_f(40, 24, 2);
+  BlockedQr<float> qr(a, 8);
+  auto q = qr.q();
+  EXPECT_LT(orthogonality_residual<float>(q.view()),
+            residual_tolerance<float>(40));
+}
+
+TEST(FloatPaths, CholeskyQr2Float) {
+  const index_t m = 64, n = 16;
+  auto a = random_f(m, n, 3);
+  auto r = cholesky_qr2<float>(a);
+  Matrix<float> gram(n, n);
+  gemm<float>(Trans::kTrans, Trans::kNoTrans, 1.0f, r.q.view(), r.q.view(),
+              0.0f, gram.view());
+  for (index_t i = 0; i < n; ++i) gram(i, i) -= 1.0f;
+  EXPECT_LT(norm_frobenius<float>(gram.view()),
+            residual_tolerance<float>(m));
+}
+
+TEST(FloatPaths, SolveAccuracyScalesWithEpsilon) {
+  // The float solve error should sit near float epsilon * kappa, far above
+  // the double solve error for the same system — a sanity check that both
+  // instantiations genuinely run in their own precision.
+  const index_t n = 32, b = 8;
+  auto ad = Matrix<double>::random(n, n, 4);
+  for (index_t i = 0; i < n; ++i) ad(i, i) += 4.0;
+  Matrix<float> af(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) af(i, j) = static_cast<float>(ad(i, j));
+  auto xd_true = Matrix<double>::random(n, 1, 5);
+  Matrix<double> bd(n, 1);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, ad.view(),
+               xd_true.view(), 0.0, bd.view());
+  Matrix<float> bf(n, 1);
+  for (index_t i = 0; i < n; ++i) bf(i, 0) = static_cast<float>(bd(i, 0));
+
+  auto fd = core::TiledQrFactorization<double>::factor(ad, b);
+  auto ff = core::TiledQrFactorization<float>::factor(af, b);
+  auto xd = fd.solve(bd);
+  auto xf = ff.solve(bf);
+  double err_d = 0, err_f = 0;
+  for (index_t i = 0; i < n; ++i) {
+    err_d = std::max(err_d, std::abs(xd(i, 0) - xd_true(i, 0)));
+    err_f = std::max(err_f,
+                     std::abs(static_cast<double>(xf(i, 0)) - xd_true(i, 0)));
+  }
+  EXPECT_LT(err_d, 1e-12);
+  EXPECT_GT(err_f, err_d * 100);  // float genuinely float
+  EXPECT_LT(err_f, 1e-3);        // but still accurate at its own scale
+}
+
+TEST(FloatPaths, TiledCholeskyFloatSolve) {
+  const index_t n = 32, b = 8;
+  auto bd = Matrix<float>::random(n, n, 6);
+  Matrix<float> a(n, n);
+  gemm<float>(Trans::kNoTrans, Trans::kTrans, 1.0f, bd.view(), bd.view(),
+              0.0f, a.view());
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<float>(n);
+  auto x_true = Matrix<float>::random(n, 1, 7);
+  Matrix<float> rhs(n, 1);
+  gemm<float>(Trans::kNoTrans, Trans::kNoTrans, 1.0f, a.view(),
+              x_true.view(), 0.0f, rhs.view());
+  auto f = core::TiledCholesky<float>::factor(a, b);
+  auto x = f.solve(rhs);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(x(i, 0), x_true(i, 0), 5e-3f);
+}
+
+}  // namespace
+}  // namespace tqr::la

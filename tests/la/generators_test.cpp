@@ -1,0 +1,94 @@
+#include "la/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+#include "la/reference_qr.hpp"
+
+namespace tqr::la {
+namespace {
+
+TEST(Generators, RandomOrthogonalIsOrthogonal) {
+  for (index_t n : {1, 4, 16, 33}) {
+    auto q = random_orthogonal<double>(n, 11 + n);
+    EXPECT_LT(orthogonality_residual<double>(q.view()),
+              residual_tolerance<double>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Generators, RandomOrthogonalDeterministicInSeed) {
+  auto a = random_orthogonal<double>(8, 5);
+  auto b = random_orthogonal<double>(8, 5);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(a(i, j), b(i, j));
+}
+
+TEST(Generators, ConditionNumberRealized) {
+  const index_t n = 24;
+  const double cond = 1e6;
+  auto a = random_with_condition<double>(n, cond, 3);
+  // sigma_max ~ 1 (largest column of U scaled by 1): check via norms of
+  // A x over random probes bounded by ~1, and R's diagonal from QR decays
+  // to ~1/cond.
+  ReferenceQr<double> qr(a);
+  auto r = qr.r();
+  double dmax = 0, dmin = 1e300;
+  for (index_t i = 0; i < n; ++i) {
+    dmax = std::max(dmax, std::abs(r(i, i)));
+    dmin = std::min(dmin, std::abs(r(i, i)));
+  }
+  EXPECT_GT(dmax / dmin, cond / 100);  // realized spread near requested
+  EXPECT_LT(dmax / dmin, cond * 100);
+}
+
+TEST(Generators, ConditionOneIsWellConditioned) {
+  auto a = random_with_condition<double>(16, 1.0, 4);
+  // cond 1 => orthogonal matrix.
+  EXPECT_LT(orthogonality_residual<double>(a.view()), 1e-12);
+}
+
+TEST(Generators, ConditionBelowOneRejected) {
+  EXPECT_THROW(random_with_condition<double>(8, 0.5, 1), InvalidArgument);
+}
+
+TEST(Generators, GradedRowsSpanRequestedDecades) {
+  const index_t n = 32;
+  auto a = graded_rows<double>(n, n, 6.0, 7);
+  double first = 0, last = 0;
+  for (index_t j = 0; j < n; ++j) {
+    first = std::max(first, std::abs(a(0, j)));
+    last = std::max(last, std::abs(a(n - 1, j)));
+  }
+  EXPECT_GT(first / last, 1e4);  // roughly 10^6 modulo random magnitudes
+}
+
+TEST(Generators, VandermondeFirstColumnOnes) {
+  auto a = vandermonde<double>(20, 5);
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(a(i, 0), 1.0);
+  // Nodes in [-1, 1] => all entries bounded by 1.
+  EXPECT_LE(norm_max<double>(a.view()), 1.0 + 1e-12);
+}
+
+TEST(Generators, RankDeficientHasRequestedRank) {
+  const index_t n = 16, r = 5;
+  auto a = random_rank_deficient<double>(n, n, r, 9);
+  ReferenceQr<double> qr(a);
+  auto rr = qr.r();
+  int numerically_nonzero = 0;
+  for (index_t i = 0; i < n; ++i)
+    if (std::abs(rr(i, i)) > 1e-10) ++numerically_nonzero;
+  EXPECT_EQ(numerically_nonzero, r);
+}
+
+TEST(Generators, RankZeroIsZeroMatrix) {
+  auto a = random_rank_deficient<double>(6, 6, 0, 2);
+  EXPECT_EQ(norm_max<double>(a.view()), 0.0);
+}
+
+TEST(Generators, RankOutOfRangeRejected) {
+  EXPECT_THROW(random_rank_deficient<double>(4, 4, 5, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::la

@@ -1,0 +1,94 @@
+#include "la/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+#include "la/generators.hpp"
+
+namespace tqr::la {
+namespace {
+
+TEST(Lu, SolveRecoversKnownSolution) {
+  const index_t n = 24;
+  auto a = Matrix<double>::random(n, n, 1);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 3.0;
+  auto x_true = Matrix<double>::random(n, 2, 2);
+  Matrix<double> b(n, 2);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(),
+               x_true.view(), 0.0, b.view());
+  LuFactorization<double> lu(a);
+  auto x = lu.solve(b);
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, j), x_true(i, j), 1e-9);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = 0;  a(0, 1) = 2;  a(0, 2) = 1;
+  a(1, 0) = 1;  a(1, 1) = 1;  a(1, 2) = 1;
+  a(2, 0) = 4;  a(2, 1) = 0;  a(2, 2) = 3;
+  Matrix<double> b(3, 1);
+  b(0, 0) = 3;  b(1, 0) = 3;  b(2, 0) = 7;  // x = (1,1,1)
+  LuFactorization<double> lu(a);
+  auto x = lu.solve(b);
+  for (index_t i = 0; i < 3; ++i) EXPECT_NEAR(x(i, 0), 1.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix<double> a(4, 4);
+  for (index_t j = 0; j < 4; ++j) {
+    a(0, j) = j + 1.0;
+    a(1, j) = 2.0 * (j + 1.0);  // row 1 = 2 * row 0
+    a(2, j) = j * j + 1.0;
+    a(3, j) = 1.0;
+  }
+  EXPECT_THROW(LuFactorization<double>{a}, Error);
+}
+
+TEST(Lu, NonSquareRejected) {
+  Matrix<double> a(3, 5);
+  EXPECT_THROW(LuFactorization<double>{a}, InvalidArgument);
+}
+
+TEST(Lu, DeterminantOfDiagonalMatrix) {
+  Matrix<double> a = Matrix<double>::identity(4);
+  a(0, 0) = 2.0;
+  a(1, 1) = -3.0;
+  a(2, 2) = 0.5;
+  LuFactorization<double> lu(a);
+  EXPECT_NEAR(lu.determinant().value(), 2.0 * -3.0 * 0.5 * 1.0, 1e-12);
+}
+
+TEST(Lu, DeterminantOfOrthogonalMatrixIsUnitMagnitude) {
+  auto q = random_orthogonal<double>(12, 5);
+  LuFactorization<double> lu(q);
+  EXPECT_NEAR(std::abs(lu.determinant().value()), 1.0, 1e-9);
+}
+
+TEST(Lu, PermutationIsAPermutation) {
+  auto a = Matrix<double>::random(16, 16, 7);
+  LuFactorization<double> lu(a);
+  std::vector<bool> seen(16, false);
+  for (index_t p : lu.permutation()) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 16);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Lu, AgreesWithQrSolveOnIllConditioned) {
+  const index_t n = 16;
+  auto a = random_with_condition<double>(n, 1e8, 9);
+  auto b = Matrix<double>::random(n, 1, 10);
+  LuFactorization<double> lu(a);
+  auto x_lu = lu.solve(b);
+  // Residual check rather than solution comparison (kappa amplifies x).
+  Matrix<double> resid = b;
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, -1.0, a.view(),
+               x_lu.view(), 1.0, resid.view());
+  EXPECT_LT(norm_max<double>(resid.view()), 1e-7);
+}
+
+}  // namespace
+}  // namespace tqr::la

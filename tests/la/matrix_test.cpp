@@ -1,0 +1,119 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tqr::la {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix<double> m(3, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, ElementAccessRoundTrips) {
+  Matrix<double> m(4, 4);
+  m(1, 2) = 3.5;
+  m(3, 0) = -1.0;
+  EXPECT_EQ(m(1, 2), 3.5);
+  EXPECT_EQ(m(3, 0), -1.0);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = 4;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+  EXPECT_EQ(m.data()[3], 4);
+}
+
+TEST(Matrix, IdentityHasUnitDiagonal) {
+  auto id = Matrix<float>::identity(5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 5; ++i)
+      EXPECT_EQ(id(i, j), i == j ? 1.0f : 0.0f);
+}
+
+TEST(Matrix, RandomIsDeterministicInSeed) {
+  auto a = Matrix<double>::random(6, 6, 42);
+  auto b = Matrix<double>::random(6, 6, 42);
+  auto c = Matrix<double>::random(6, 6, 43);
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 6; ++i) EXPECT_EQ(a(i, j), b(i, j));
+  int diff = 0;
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 6; ++i)
+      if (a(i, j) != c(i, j)) ++diff;
+  EXPECT_GT(diff, 30);
+}
+
+TEST(Matrix, RandomEntriesBounded) {
+  auto a = Matrix<double>::random(20, 20, 1);
+  for (index_t j = 0; j < 20; ++j)
+    for (index_t i = 0; i < 20; ++i) {
+      EXPECT_GE(a(i, j), -1.0);
+      EXPECT_LT(a(i, j), 1.0);
+    }
+}
+
+TEST(MatrixView, BlockSharesStorage) {
+  Matrix<double> m(4, 4);
+  auto blk = m.view().block(1, 1, 2, 2);
+  blk(0, 0) = 9.0;
+  EXPECT_EQ(m(1, 1), 9.0);
+  EXPECT_EQ(blk.ld, 4);
+}
+
+TEST(MatrixView, NestedBlocks) {
+  Matrix<double> m(6, 6);
+  auto outer = m.view().block(1, 1, 4, 4);
+  auto inner = outer.block(1, 1, 2, 2);
+  inner(0, 0) = 5.0;
+  EXPECT_EQ(m(2, 2), 5.0);
+}
+
+TEST(MatrixView, FillAndIdentity) {
+  Matrix<double> m(3, 3);
+  m.view().fill(2.0);
+  EXPECT_EQ(m(2, 2), 2.0);
+  m.view().set_identity();
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(1, 0), 0.0);
+}
+
+TEST(MatrixView, ColIsSingleColumn) {
+  Matrix<double> m(4, 3);
+  m(2, 1) = 7.0;
+  auto c = m.view().col(1);
+  EXPECT_EQ(c.rows, 4);
+  EXPECT_EQ(c.cols, 1);
+  EXPECT_EQ(c(2, 0), 7.0);
+}
+
+TEST(ConstMatrixView, ImplicitFromMutable) {
+  Matrix<double> m(2, 2);
+  m(0, 1) = 4.0;
+  MatrixView<double> mv = m.view();
+  ConstMatrixView<double> cv = mv;
+  EXPECT_EQ(cv(0, 1), 4.0);
+}
+
+TEST(Copy, CopiesAllElements) {
+  auto src = Matrix<double>::random(5, 3, 2);
+  Matrix<double> dst(5, 3);
+  copy<double>(src.view(), dst.view());
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 5; ++i) EXPECT_EQ(dst(i, j), src(i, j));
+}
+
+TEST(Copy, ShapeMismatchThrows) {
+  Matrix<double> a(2, 2), b(3, 2);
+  EXPECT_THROW(copy<double>(a.view(), b.view()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::la

@@ -1,0 +1,103 @@
+#include "la/pivoted_qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+#include "la/generators.hpp"
+
+namespace tqr::la {
+namespace {
+
+TEST(PivotedQr, ReconstructsWithPermutation) {
+  const index_t m = 20, n = 12;
+  auto a = Matrix<double>::random(m, n, 1);
+  PivotedQr<double> qr(a);
+  // Q R = A P: column j of QR equals original column perm[j].
+  Matrix<double> q = Matrix<double>::identity(m);
+  qr.apply_q(q.view(), Trans::kNoTrans);
+  auto r = qr.r();
+  Matrix<double> r_full(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r_full(i, j) = r(i, j);
+  Matrix<double> qr_prod(m, n);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, q.view(),
+               r_full.view(), 0.0, qr_prod.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_NEAR(qr_prod(i, j), a(i, qr.permutation()[j]), 1e-10);
+}
+
+TEST(PivotedQr, DiagonalOfRNonIncreasing) {
+  auto a = Matrix<double>::random(24, 24, 2);
+  PivotedQr<double> qr(a);
+  auto r = qr.r();
+  for (index_t k = 1; k < 24; ++k)
+    EXPECT_LE(std::abs(r(k, k)), std::abs(r(k - 1, k - 1)) + 1e-12);
+}
+
+TEST(PivotedQr, RevealsExactRank) {
+  for (index_t rank : {1, 3, 7, 12}) {
+    auto a = random_rank_deficient<double>(24, 16, rank, 100 + rank);
+    PivotedQr<double> qr(a);
+    EXPECT_EQ(qr.rank(1e-8), rank) << "target rank " << rank;
+  }
+}
+
+TEST(PivotedQr, FullRankMatrixHasFullRank) {
+  auto a = random_with_condition<double>(16, 1e6, 3);
+  PivotedQr<double> qr(a);
+  EXPECT_EQ(qr.rank(1e-10), 16);
+}
+
+TEST(PivotedQr, SolveFullRankMatchesDirect) {
+  const index_t n = 16;
+  auto a = Matrix<double>::random(n, n, 4);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  auto x_true = Matrix<double>::random(n, 1, 5);
+  Matrix<double> b(n, 1);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(),
+               x_true.view(), 0.0, b.view());
+  PivotedQr<double> qr(a);
+  auto x = qr.solve(b);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, 0), x_true(i, 0), 1e-9);
+}
+
+TEST(PivotedQr, RankDeficientSolveIsConsistent) {
+  // For a consistent rank-deficient system the basic solution must still
+  // satisfy A x = b.
+  const index_t m = 16, n = 12, rank = 5;
+  auto a = random_rank_deficient<double>(m, n, rank, 6);
+  auto w = Matrix<double>::random(n, 1, 7);
+  Matrix<double> b(m, 1);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(), w.view(),
+               0.0, b.view());  // b in range(A) by construction
+  PivotedQr<double> qr(a);
+  auto x = qr.solve(b, 1e-8);
+  Matrix<double> ax(m, 1);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(), x.view(),
+               0.0, ax.view());
+  for (index_t i = 0; i < m; ++i) EXPECT_NEAR(ax(i, 0), b(i, 0), 1e-8);
+}
+
+TEST(PivotedQr, ZeroMatrixHasRankZeroAndSolveThrows) {
+  Matrix<double> a(8, 8);
+  PivotedQr<double> qr(a);
+  EXPECT_EQ(qr.rank(), 0);
+  Matrix<double> b(8, 1);
+  EXPECT_THROW(qr.solve(b), InvalidArgument);
+}
+
+TEST(PivotedQr, PermutationIsAPermutation) {
+  auto a = Matrix<double>::random(16, 10, 8);
+  PivotedQr<double> qr(a);
+  std::vector<bool> seen(10, false);
+  for (index_t p : qr.permutation()) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 10);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+}  // namespace
+}  // namespace tqr::la

@@ -1,0 +1,100 @@
+#include "la/reference_qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/checks.hpp"
+
+namespace tqr::la {
+namespace {
+
+class RefQrSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RefQrSizes, FactorsCorrectly) {
+  const auto [m, n] = GetParam();
+  auto a = Matrix<double>::random(m, n, 1000 + m * 31 + n);
+  ReferenceQr<double> qr(a);
+
+  auto q = qr.q();
+  EXPECT_LT(orthogonality_residual<double>(q.view()),
+            residual_tolerance<double>(m));
+
+  auto r = qr.r();
+  // Extend R to m x n for reconstruction (zero rows below n).
+  Matrix<double> r_full(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r_full(i, j) = r(i, j);
+  EXPECT_LT(
+      reconstruction_residual<double>(a.view(), q.view(), r_full.view()),
+      residual_tolerance<double>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RefQrSizes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{4, 4},
+                                           std::pair{16, 16},
+                                           std::pair{32, 32},
+                                           std::pair{20, 12},
+                                           std::pair{64, 8}));
+
+TEST(ReferenceQr, RIsUpperTriangular) {
+  auto a = Matrix<double>::random(10, 10, 3);
+  ReferenceQr<double> qr(a);
+  auto r = qr.r();
+  EXPECT_LT(lower_triangle_residual<double>(r.view()), 1e-14);
+}
+
+TEST(ReferenceQr, QtQApplicationRoundTrips) {
+  auto a = Matrix<double>::random(12, 12, 4);
+  ReferenceQr<double> qr(a);
+  auto c0 = Matrix<double>::random(12, 5, 5);
+  Matrix<double> c = c0;
+  qr.apply_q(c.view(), Trans::kTrans);
+  qr.apply_q(c.view(), Trans::kNoTrans);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 12; ++i) EXPECT_NEAR(c(i, j), c0(i, j), 1e-10);
+}
+
+TEST(ReferenceQr, SolvesSquareSystem) {
+  const index_t n = 16;
+  auto a = Matrix<double>::random(n, n, 6);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;  // well-conditioned
+  auto x_true = Matrix<double>::random(n, 1, 7);
+  Matrix<double> b(n, 1);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(), x_true.view(),
+               0.0, b.view());
+  ReferenceQr<double> qr(a);
+  auto x = qr.solve(b);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, 0), x_true(i, 0), 1e-9);
+}
+
+TEST(ReferenceQr, LeastSquaresResidualOrthogonalToRange) {
+  // Overdetermined system: residual r = b - A x must satisfy A^T r = 0.
+  const index_t m = 20, n = 6;
+  auto a = Matrix<double>::random(m, n, 8);
+  auto b = Matrix<double>::random(m, 1, 9);
+  ReferenceQr<double> qr(a);
+  auto x = qr.solve(b);
+  Matrix<double> resid = b;
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, -1.0, a.view(), x.view(),
+               1.0, resid.view());
+  Matrix<double> atr(n, 1);
+  gemm<double>(Trans::kTrans, Trans::kNoTrans, 1.0, a.view(), resid.view(),
+               0.0, atr.view());
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(atr(i, 0), 0.0, 1e-9);
+}
+
+TEST(ReferenceQr, WideMatrixRejected) {
+  Matrix<double> a(3, 5);
+  EXPECT_THROW(ReferenceQr<double>{a}, InvalidArgument);
+}
+
+TEST(ReferenceQr, RankDeficientColumnStillFactors) {
+  const index_t n = 8;
+  auto a = Matrix<double>::random(n, n, 10);
+  for (index_t i = 0; i < n; ++i) a(i, 3) = 0.0;  // zero column
+  ReferenceQr<double> qr(a);
+  auto q = qr.q();
+  EXPECT_LT(orthogonality_residual<double>(q.view()), 1e-10);
+}
+
+}  // namespace
+}  // namespace tqr::la

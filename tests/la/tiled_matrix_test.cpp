@@ -1,0 +1,81 @@
+#include "la/tiled_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tqr::la {
+namespace {
+
+TEST(TiledMatrix, GeometryAccessors) {
+  TiledMatrix<double> t(12, 8, 4);
+  EXPECT_EQ(t.rows(), 12);
+  EXPECT_EQ(t.cols(), 8);
+  EXPECT_EQ(t.tile_size(), 4);
+  EXPECT_EQ(t.tile_rows(), 3);
+  EXPECT_EQ(t.tile_cols(), 2);
+  EXPECT_EQ(t.tile_bytes(), 4u * 4u * sizeof(double));
+}
+
+TEST(TiledMatrix, NonDivisibleSizeRejected) {
+  EXPECT_THROW(TiledMatrix<double>(10, 8, 4), InvalidArgument);
+  EXPECT_THROW(TiledMatrix<double>(8, 10, 4), InvalidArgument);
+}
+
+TEST(TiledMatrix, DenseRoundTrip) {
+  auto dense = Matrix<double>::random(12, 12, 17);
+  auto tiled = TiledMatrix<double>::from_dense(dense, 4);
+  auto back = tiled.to_dense();
+  for (index_t j = 0; j < 12; ++j)
+    for (index_t i = 0; i < 12; ++i) EXPECT_EQ(back(i, j), dense(i, j));
+}
+
+TEST(TiledMatrix, AtMatchesDense) {
+  auto dense = Matrix<double>::random(8, 8, 18);
+  auto tiled = TiledMatrix<double>::from_dense(dense, 4);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(tiled.at(i, j), dense(i, j));
+}
+
+TEST(TiledMatrix, TilesAreContiguousColumnMajor) {
+  TiledMatrix<double> t(8, 8, 4);
+  auto tile = t.tile(1, 1);
+  tile(0, 0) = 1.0;
+  tile(3, 3) = 2.0;
+  const double* base = t.tile_data(1, 1);
+  EXPECT_EQ(base[0], 1.0);
+  EXPECT_EQ(base[15], 2.0);
+  EXPECT_EQ(tile.ld, 4);
+}
+
+TEST(TiledMatrix, TileViewWritesVisibleThroughAt) {
+  TiledMatrix<double> t(8, 8, 4);
+  t.tile(1, 0)(2, 3) = 5.5;
+  EXPECT_EQ(t.at(4 + 2, 3), 5.5);
+}
+
+TEST(PadToTiles, AlreadyAlignedUnchanged) {
+  auto a = Matrix<double>::random(8, 8, 19);
+  auto p = pad_to_tiles<double>(a.view(), 4);
+  EXPECT_EQ(p.rows(), 8);
+  EXPECT_EQ(p.cols(), 8);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(p(i, j), a(i, j));
+}
+
+TEST(PadToTiles, PadsUpAndEmbedsIdentity) {
+  auto a = Matrix<double>::random(6, 5, 20);
+  auto p = pad_to_tiles<double>(a.view(), 4);
+  EXPECT_EQ(p.rows(), 8);
+  EXPECT_EQ(p.cols(), 8);
+  // Original block preserved.
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = 0; i < 6; ++i) EXPECT_EQ(p(i, j), a(i, j));
+  // Identity diagonal on the pad.
+  EXPECT_EQ(p(6, 5), 1.0);
+  EXPECT_EQ(p(7, 6), 1.0);
+  // Rest of pad zero.
+  EXPECT_EQ(p(0, 7), 0.0);
+  EXPECT_EQ(p(7, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace tqr::la

@@ -1,0 +1,68 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace tqr::runtime {
+namespace {
+
+TEST(ThreadPool, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, JobsCanSubmitJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    counter.fetch_add(1);
+    pool.submit([&] { counter.fetch_add(10); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, ZeroThreadsRejected) {
+  EXPECT_THROW(ThreadPool{0}, tqr::InvalidArgument);
+}
+
+TEST(ThreadPool, SizeReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ManyWaitIdleCycles) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsCleanly) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) pool.submit([&] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 8);
+}
+
+}  // namespace
+}  // namespace tqr::runtime

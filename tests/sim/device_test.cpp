@@ -1,0 +1,127 @@
+#include "sim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+
+namespace tqr::sim {
+namespace {
+
+TEST(DeviceModel, KernelTimePositiveAndMonotoneInTileSize) {
+  for (const DeviceSpec& d :
+       {make_cpu_i7_3820(), make_gtx580(), make_gtx680()}) {
+    for (dag::Op op : {dag::Op::kGeqrt, dag::Op::kTsqrt, dag::Op::kTtqrt,
+                       dag::Op::kUnmqr, dag::Op::kTsmqr, dag::Op::kTtmqr}) {
+      double prev = 0;
+      for (int b = 4; b <= 64; b += 4) {
+        const double t = d.kernel_time_s(op, b);
+        EXPECT_GT(t, 0) << d.name;
+        EXPECT_GT(t, prev) << d.name << " op not monotone at b=" << b;
+        prev = t;
+      }
+    }
+  }
+}
+
+TEST(DeviceModel, Fig4Ordering_TriangulationSlowerThanUpdate) {
+  // Fig. 4: on every device T > E > UT/UE per single tile.
+  for (const DeviceSpec& d :
+       {make_cpu_i7_3820(), make_gtx580(), make_gtx680()}) {
+    for (int b : {8, 16, 28}) {
+      const double t = d.kernel_time_s(dag::Op::kGeqrt, b);
+      const double e = d.kernel_time_s(dag::Op::kTsqrt, b);
+      const double u = d.kernel_time_s(dag::Op::kTsmqr, b);
+      EXPECT_GT(t, e) << d.name << " b=" << b;
+      EXPECT_GT(e, u) << d.name << " b=" << b;
+    }
+  }
+}
+
+TEST(DeviceModel, Fig4Ordering_CpuSlowestPerKernel) {
+  const auto cpu = make_cpu_i7_3820();
+  const auto g580 = make_gtx580();
+  const auto g680 = make_gtx680();
+  for (int b : {8, 16, 28}) {
+    for (dag::Op op : {dag::Op::kGeqrt, dag::Op::kTsqrt, dag::Op::kTsmqr}) {
+      EXPECT_GT(cpu.kernel_time_s(op, b), g580.kernel_time_s(op, b));
+      EXPECT_GT(cpu.kernel_time_s(op, b), g680.kernel_time_s(op, b));
+    }
+  }
+}
+
+TEST(DeviceModel, Fig4Ordering_Gtx580FasterKernelsThanGtx680) {
+  // Per single kernel the GTX580 beats the GTX680 on T and E — the paper's
+  // rationale for picking it as the main computing device.
+  const auto g580 = make_gtx580();
+  const auto g680 = make_gtx680();
+  for (int b : {8, 16, 28}) {
+    EXPECT_LT(g580.kernel_time_s(dag::Op::kGeqrt, b),
+              g680.kernel_time_s(dag::Op::kGeqrt, b));
+    EXPECT_LT(g580.kernel_time_s(dag::Op::kTsqrt, b),
+              g680.kernel_time_s(dag::Op::kTsqrt, b));
+  }
+}
+
+TEST(DeviceModel, Gtx680UpdateThroughputRoughlyTripleGtx580) {
+  // 3x the cores must buy ~3x saturated update throughput (guide ratio).
+  const double r580 = make_gtx580().update_throughput_per_s(16);
+  const double r680 = make_gtx680().update_throughput_per_s(16);
+  EXPECT_GT(r680 / r580, 2.0);
+  EXPECT_LT(r680 / r580, 4.5);
+}
+
+TEST(DeviceModel, CpuUpdateThroughputNegligible) {
+  const double rcpu = make_cpu_i7_3820().update_throughput_per_s(16);
+  const double r580 = make_gtx580().update_throughput_per_s(16);
+  EXPECT_LT(rcpu, r580 / 100);
+}
+
+TEST(DeviceModel, TtEliminationCheaperThanTs) {
+  for (const DeviceSpec& d : {make_gtx580(), make_gtx680()}) {
+    EXPECT_LT(d.kernel_time_s(dag::Op::kTtqrt, 16),
+              d.kernel_time_s(dag::Op::kTsqrt, 16));
+    EXPECT_LT(d.kernel_time_s(dag::Op::kTtmqr, 16),
+              d.kernel_time_s(dag::Op::kTsmqr, 16));
+  }
+}
+
+TEST(DeviceModel, AmortizedIsKernelOverSlots) {
+  const auto d = make_gtx580();
+  EXPECT_DOUBLE_EQ(d.amortized_time_s(dag::Op::kTsmqr, 16),
+                   d.kernel_time_s(dag::Op::kTsmqr, 16) / d.slots);
+}
+
+TEST(KernelFlops, MatchesFlopTables) {
+  EXPECT_DOUBLE_EQ(kernel_flops(dag::Op::kGeqrt, 16), la::flops_geqrt(16));
+  EXPECT_DOUBLE_EQ(kernel_flops(dag::Op::kTtmqr, 16), la::flops_ttmqr(16));
+}
+
+TEST(Platform, PaperPlatformShape) {
+  const Platform p = paper_platform();
+  ASSERT_EQ(p.num_devices(), 4);
+  EXPECT_EQ(p.device(0).kind, DeviceKind::kCpu);
+  EXPECT_EQ(p.device(1).name, "GTX580");
+  EXPECT_EQ(p.device(2).name, "GTX680");
+  EXPECT_EQ(p.device(3).name, "GTX680");
+  // Fig. 8's x axis: 4, 516, 2052, 3588 cores.
+  EXPECT_EQ(p.total_cores(), 3588);
+  EXPECT_EQ(paper_platform_with_gpus(0).total_cores(), 4);
+  EXPECT_EQ(paper_platform_with_gpus(1).total_cores(), 516);
+  EXPECT_EQ(paper_platform_with_gpus(2).total_cores(), 2052);
+}
+
+TEST(Platform, GpuCountOutOfRangeRejected) {
+  EXPECT_THROW(paper_platform_with_gpus(4), tqr::InvalidArgument);
+  EXPECT_THROW(paper_platform_with_gpus(-1), tqr::InvalidArgument);
+}
+
+TEST(CommModel, TransferTimeLatencyPlusBandwidth) {
+  CommModel c;
+  c.latency_us = 10.0;
+  c.gbytes_per_s = 1.0;
+  EXPECT_NEAR(c.transfer_time_s(0), 10e-6, 1e-12);
+  EXPECT_NEAR(c.transfer_time_s(1000000000), 1.0 + 10e-6, 1e-9);
+}
+
+}  // namespace
+}  // namespace tqr::sim

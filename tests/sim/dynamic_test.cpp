@@ -1,0 +1,104 @@
+// Dynamic (runtime) task placement in the simulator.
+#include <gtest/gtest.h>
+
+#include "core/simulate.hpp"
+#include "dag/tiled_qr_dag.hpp"
+#include "sim/des.hpp"
+
+namespace tqr::sim {
+namespace {
+
+std::vector<std::uint8_t> dynamic_updates(const dag::TaskGraph& g, int main) {
+  std::vector<std::uint8_t> assign(g.size());
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(g.size()); ++t) {
+    const auto step = dag::step_of(g.task(t).op);
+    const bool panel = step == dag::Step::kTriangulation ||
+                       step == dag::Step::kElimination;
+    assign[t] = panel ? static_cast<std::uint8_t>(main) : kDynamicDevice;
+  }
+  return assign;
+}
+
+TEST(DynamicPlacement, CompletesEveryTask) {
+  dag::TaskGraph g = dag::build_tiled_qr_graph(8, 8, dag::Elimination::kTt);
+  const Platform p = paper_platform();
+  const auto assign = dynamic_updates(g, 1);
+  const auto r = simulate(g, assign, p, 8, 8, SimOptions{});
+  EXPECT_EQ(r.tasks, static_cast<std::int64_t>(g.size()));
+  EXPECT_GT(r.makespan_s, 0);
+}
+
+TEST(DynamicPlacement, UsesMultipleDevices) {
+  dag::TaskGraph g = dag::build_tiled_qr_graph(12, 12, dag::Elimination::kTt);
+  const Platform p = paper_platform();
+  const auto assign = dynamic_updates(g, 1);
+  runtime::Trace trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  simulate(g, assign, p, 12, 12, opts);
+  std::vector<int> per_device(p.num_devices(), 0);
+  for (const auto& e : trace.events()) ++per_device[e.device];
+  int used = 0;
+  for (int c : per_device) used += (c > 0);
+  EXPECT_GE(used, 2);
+}
+
+TEST(DynamicPlacement, RespectsDependences) {
+  dag::TaskGraph g = dag::build_tiled_qr_graph(6, 6, dag::Elimination::kTs);
+  const Platform p = paper_platform();
+  const auto assign = dynamic_updates(g, 1);
+  runtime::Trace trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  simulate(g, assign, p, 6, 6, opts);
+  std::vector<double> start(g.size()), end(g.size());
+  for (const auto& e : trace.events()) {
+    start[e.task] = e.start_s;
+    end[e.task] = e.end_s;
+  }
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(g.size()); ++t)
+    for (auto it = g.predecessors_begin(t); it != g.predecessors_end(t); ++it)
+      EXPECT_GE(start[t], end[*it] - 1e-15);
+}
+
+TEST(DynamicPlacement, MonitorOverheadSlowsItDown) {
+  dag::TaskGraph g = dag::build_tiled_qr_graph(10, 10, dag::Elimination::kTt);
+  const Platform p = paper_platform();
+  const auto assign = dynamic_updates(g, 1);
+  SimOptions cheap, pricey;
+  cheap.monitor_overhead_us = 0;
+  pricey.monitor_overhead_us = 50;
+  const auto fast = simulate(g, assign, p, 10, 10, cheap);
+  const auto slow = simulate(g, assign, p, 10, 10, pricey);
+  EXPECT_GT(slow.makespan_s, fast.makespan_s);
+}
+
+TEST(DynamicPlacement, PinnedTasksStayPinned) {
+  dag::TaskGraph g = dag::build_tiled_qr_graph(6, 6, dag::Elimination::kTt);
+  const Platform p = paper_platform();
+  const auto assign = dynamic_updates(g, 1);
+  runtime::Trace trace;
+  SimOptions opts;
+  opts.trace = &trace;
+  simulate(g, assign, p, 6, 6, opts);
+  for (const auto& e : trace.events()) {
+    const auto step = dag::step_of(e.op);
+    if (step == dag::Step::kTriangulation ||
+        step == dag::Step::kElimination) {
+      EXPECT_EQ(e.device, 1) << "panel task migrated";
+    }
+  }
+}
+
+TEST(DynamicPlacement, DeterministicAcrossRuns) {
+  dag::TaskGraph g = dag::build_tiled_qr_graph(8, 8, dag::Elimination::kTt);
+  const Platform p = paper_platform();
+  const auto assign = dynamic_updates(g, 1);
+  const auto a = simulate(g, assign, p, 8, 8, SimOptions{});
+  const auto b = simulate(g, assign, p, 8, 8, SimOptions{});
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.transfers, b.transfers);
+}
+
+}  // namespace
+}  // namespace tqr::sim

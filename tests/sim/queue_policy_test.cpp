@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/simulate.hpp"
+#include "dag/tiled_qr_dag.hpp"
+#include "sim/des.hpp"
+
+namespace tqr::sim {
+namespace {
+
+struct Scenario {
+  dag::TaskGraph graph;
+  Platform platform;
+  std::vector<std::uint8_t> assignment;
+  std::int32_t nt;
+};
+
+Scenario constrained_scenario(int nt) {
+  Scenario s{dag::build_tiled_qr_graph(nt, nt, dag::Elimination::kTt),
+          paper_platform(),
+          {},
+          nt};
+  for (auto& dev : s.platform.devices) dev.slots = std::max(1, dev.slots / 32);
+  core::PlanConfig pc;
+  pc.tile_size = 16;
+  pc.count_policy = core::CountPolicy::kAll;
+  pc.main_policy = core::MainPolicy::kFixed;
+  pc.fixed_main = 1;
+  core::Plan plan(s.platform, nt, nt, pc);
+  s.assignment = plan.assignment(s.graph);
+  return s;
+}
+
+double run_policy(const Scenario& s, QueuePolicy policy) {
+  SimOptions opts;
+  opts.tile_size = 16;
+  opts.queue_policy = policy;
+  return simulate(s.graph, s.assignment, s.platform, s.nt, s.nt, opts)
+      .makespan_s;
+}
+
+TEST(QueuePolicy, AllPoliciesProduceValidBoundedMakespans) {
+  const Scenario s = constrained_scenario(10);
+  // Serial upper bound on the slowest device.
+  double serial = 0;
+  for (const auto& t : s.graph.tasks())
+    serial += s.platform.device(0).kernel_time_s(t.op, 16);
+  for (QueuePolicy p : {QueuePolicy::kPanelOrder, QueuePolicy::kFifo,
+                        QueuePolicy::kCriticalPath}) {
+    const double m = run_policy(s, p);
+    EXPECT_GT(m, 0);
+    EXPECT_LT(m, serial);
+  }
+}
+
+TEST(QueuePolicy, DeterministicPerPolicy) {
+  const Scenario s = constrained_scenario(8);
+  for (QueuePolicy p : {QueuePolicy::kPanelOrder, QueuePolicy::kFifo,
+                        QueuePolicy::kCriticalPath}) {
+    EXPECT_DOUBLE_EQ(run_policy(s, p), run_policy(s, p));
+  }
+}
+
+TEST(QueuePolicy, CriticalPathAtLeastAsGoodWhenOversubscribed) {
+  // Not a theorem for general DAGs, but on the tiled QR DAGs we sweep the
+  // longest-path-first order should never lose noticeably to panel order.
+  for (int nt : {8, 12, 16}) {
+    const Scenario s = constrained_scenario(nt);
+    const double panel = run_policy(s, QueuePolicy::kPanelOrder);
+    const double crit = run_policy(s, QueuePolicy::kCriticalPath);
+    EXPECT_LE(crit, panel * 1.02) << "nt=" << nt;
+  }
+}
+
+TEST(QueuePolicy, PoliciesAgreeWhenSlotsAreAbundant) {
+  // With the full paper platform nothing ever queues, so all policies land
+  // on the same makespan.
+  const int nt = 10;
+  Scenario s{dag::build_tiled_qr_graph(nt, nt, dag::Elimination::kTt),
+          paper_platform(),
+          {},
+          nt};
+  core::PlanConfig pc;
+  pc.tile_size = 16;
+  pc.count_policy = core::CountPolicy::kAll;
+  pc.main_policy = core::MainPolicy::kFixed;
+  pc.fixed_main = 1;
+  core::Plan plan(s.platform, nt, nt, pc);
+  s.assignment = plan.assignment(s.graph);
+  const double a = run_policy(s, QueuePolicy::kPanelOrder);
+  const double b = run_policy(s, QueuePolicy::kFifo);
+  const double c = run_policy(s, QueuePolicy::kCriticalPath);
+  EXPECT_NEAR(a, b, a * 1e-6);
+  EXPECT_NEAR(a, c, a * 1e-6);
+}
+
+}  // namespace
+}  // namespace tqr::sim

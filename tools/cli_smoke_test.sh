@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the tqr CLI, registered with ctest.
+# Usage: cli_smoke_test.sh /path/to/tqr
+set -euo pipefail
+
+TQR="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+cd "$DIR"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# gen: both formats, several classes.
+"$TQR" gen --out A.mtx --rows 64 --class illcond --cond 1e4 --seed 3 \
+  | grep -q "wrote A.mtx" || fail "gen mtx"
+"$TQR" gen --out b.bin --rows 64 --cols 1 --seed 4 \
+  | grep -q "wrote b.bin" || fail "gen bin"
+head -1 A.mtx | grep -q "%%MatrixMarket" || fail "mtx header"
+
+# factor: residuals at machine precision.
+out=$("$TQR" factor --in A.mtx --r R.mtx --q Q.bin)
+echo "$out" | grep -q "wrote R to R.mtx" || fail "factor outputs"
+echo "$out" | grep -Eq 'Q\^T Q - I.*e-1[4-9]' || fail "orthogonality residual: $out"
+
+# solve: QR and Cholesky methods.
+"$TQR" solve --in A.mtx --rhs b.bin --out x.mtx --refine 1 \
+  | grep -Eq 'A\^T \(b - A x\).*e-(0[7-9]|1[0-9])' || fail "qr solve residual"
+# solve with chol must reject a non-SPD input cleanly (exit code 2).
+set +e
+"$TQR" solve --in A.mtx --rhs b.bin --method chol > /dev/null 2>&1
+rc=$?
+set -e
+[[ $rc -eq 2 || $rc -eq 0 ]] || fail "chol solve exit code $rc"
+
+# simulate + plan run and print the expected sections.
+"$TQR" simulate --size 640 --gpus 3 | grep -q "makespan" || fail "simulate"
+"$TQR" plan --size 640 | grep -q "memory estimates" || fail "plan"
+"$TQR" plan --size 1280 --nodes 2 | grep -q "GTX680" || fail "cluster plan"
+
+# usage errors exit 1.
+set +e
+"$TQR" bogus > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "unknown command exit"
+"$TQR" gen > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "missing flag exit"
+set -e
+
+echo "cli smoke test passed"

@@ -1,0 +1,307 @@
+// tqr — command-line front end to the tiledqr library.
+//
+//   tqr gen      --out A.mtx --rows 512 --cols 512 [--class uniform] [--seed 1]
+//   tqr factor   --in A.mtx [--tile 16] [--elim tt] [--q Q.bin] [--r R.mtx]
+//   tqr solve    --in A.mtx --rhs b.mtx --out x.mtx [--tile 16] [--refine 1]
+//   tqr simulate --size 3200 [--tile 16] [--gpus 3] [--nodes 1] [--fixed-p N]
+//   tqr plan     --size 3200 [--tile 16] [--gpus 3]
+//
+// Matrix files: *.mtx = MatrixMarket dense array; anything else = tiledqr
+// binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/simulate.hpp"
+#include "core/tiled_cholesky.hpp"
+#include "core/tiled_qr.hpp"
+#include "la/checks.hpp"
+#include "la/generators.hpp"
+#include "la/io.hpp"
+
+namespace {
+
+using namespace tqr;
+
+dag::Elimination parse_elim(const std::string& name) {
+  if (name == "ts") return dag::Elimination::kTs;
+  if (name == "tt") return dag::Elimination::kTt;
+  if (name == "ttflat") return dag::Elimination::kTtFlat;
+  throw InvalidArgument("unknown elimination '" + name +
+                        "' (expected ts|tt|ttflat)");
+}
+
+int cmd_gen(int argc, char** argv) {
+  Cli cli;
+  cli.flag("out", "output matrix path (required)");
+  cli.flag("rows", "rows", "256");
+  cli.flag("cols", "cols (default: rows)");
+  cli.flag("class",
+           "uniform|orthogonal|illcond|graded|vandermonde|rankdef",
+           "uniform");
+  cli.flag("seed", "rng seed", "1");
+  cli.flag("cond", "condition number for illcond", "1e8");
+  cli.flag("rank", "rank for rankdef (default cols/2)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) throw InvalidArgument("gen: --out is required");
+  const auto rows = static_cast<la::index_t>(cli.get_int("rows", 256));
+  const auto cols = static_cast<la::index_t>(cli.get_int("cols", rows));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string cls = cli.get_string("class", "uniform");
+
+  la::Matrix<double> a;
+  if (cls == "uniform") {
+    a = la::Matrix<double>::random(rows, cols, seed);
+  } else if (cls == "orthogonal") {
+    TQR_REQUIRE(rows == cols, "orthogonal requires a square matrix");
+    a = la::random_orthogonal<double>(rows, seed);
+  } else if (cls == "illcond") {
+    TQR_REQUIRE(rows == cols, "illcond requires a square matrix");
+    a = la::random_with_condition<double>(rows, cli.get_double("cond", 1e8),
+                                          seed);
+  } else if (cls == "graded") {
+    a = la::graded_rows<double>(rows, cols, 6.0, seed);
+  } else if (cls == "vandermonde") {
+    a = la::vandermonde<double>(rows, cols);
+  } else if (cls == "rankdef") {
+    a = la::random_rank_deficient<double>(
+        rows, cols, static_cast<la::index_t>(cli.get_int("rank", cols / 2)),
+        seed);
+  } else {
+    throw InvalidArgument("unknown matrix class '" + cls + "'");
+  }
+  la::write_matrix(out, a.view());
+  std::printf("wrote %s (%d x %d, class %s)\n", out.c_str(), a.rows(),
+              a.cols(), cls.c_str());
+  return 0;
+}
+
+int cmd_factor(int argc, char** argv) {
+  Cli cli;
+  cli.flag("in", "input matrix (required)");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("ib", "inner blocking (0 = off)", "0");
+  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("q", "write explicit Q here");
+  cli.flag("r", "write R here");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string in = cli.get_string("in", "");
+  if (in.empty()) throw InvalidArgument("factor: --in is required");
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+
+  la::Matrix<double> a = la::read_matrix(in);
+  la::Matrix<double> padded = la::pad_to_tiles<double>(a.view(), b);
+  const bool was_padded =
+      padded.rows() != a.rows() || padded.cols() != a.cols();
+
+  typename core::TiledQrFactorization<double>::Options opts;
+  opts.elim = parse_elim(cli.get_string("elim", "tt"));
+  opts.inner_block = static_cast<la::index_t>(cli.get_int("ib", 0));
+  auto f = core::TiledQrFactorization<double>::factor(padded, b, opts);
+
+  auto q = f.form_q();
+  auto r = f.r();
+  la::Matrix<double> r_full(padded.rows(), padded.cols());
+  for (la::index_t j = 0; j < padded.cols(); ++j)
+    for (la::index_t i = 0; i <= j && i < padded.rows(); ++i)
+      r_full(i, j) = r(i, j);
+  std::printf("factored %s: %d x %d, tile %d%s, %zu kernels\n", in.c_str(),
+              a.rows(), a.cols(), b, was_padded ? " (padded)" : "",
+              f.graph().size());
+  std::printf("||Q^T Q - I||_F / n     = %.3e\n",
+              la::orthogonality_residual<double>(q.view()));
+  std::printf("||A - Q R||_F / ||A||_F = %.3e\n",
+              la::reconstruction_residual<double>(padded.view(), q.view(),
+                                                  r_full.view()));
+  const std::string q_path = cli.get_string("q", "");
+  if (!q_path.empty()) {
+    la::write_matrix(q_path, q.view());
+    std::printf("wrote Q to %s\n", q_path.c_str());
+  }
+  const std::string r_path = cli.get_string("r", "");
+  if (!r_path.empty()) {
+    la::write_matrix(r_path, r.view());
+    std::printf("wrote R to %s\n", r_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  Cli cli;
+  cli.flag("in", "matrix A (required)");
+  cli.flag("rhs", "right-hand side b (required)");
+  cli.flag("out", "solution output path");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("refine", "iterative refinement steps", "0");
+  cli.flag("method", "qr (least squares) or chol (SPD systems)", "qr");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::string in = cli.get_string("in", "");
+  const std::string rhs_path = cli.get_string("rhs", "");
+  if (in.empty() || rhs_path.empty())
+    throw InvalidArgument("solve: --in and --rhs are required");
+  const int b = static_cast<int>(cli.get_int("tile", 16));
+
+  la::Matrix<double> a = la::read_matrix(in);
+  la::Matrix<double> rhs = la::read_matrix(rhs_path);
+  TQR_REQUIRE(rhs.rows() == a.rows(), "rhs rows must match the matrix");
+  TQR_REQUIRE(a.rows() % b == 0 && a.cols() % b == 0,
+              "matrix dimensions must be multiples of the tile size "
+              "(repack with `tqr gen` or choose another --tile)");
+
+  const std::string method = cli.get_string("method", "qr");
+  const int refine = static_cast<int>(cli.get_int("refine", 0));
+  la::Matrix<double> x;
+  if (method == "chol") {
+    auto f = core::TiledCholesky<double>::factor(a, b);
+    x = f.solve(rhs);
+  } else if (method == "qr") {
+    auto f = core::TiledQrFactorization<double>::factor(a, b);
+    x = refine > 0 ? f.solve_refined(a, rhs, refine) : f.solve(rhs);
+  } else {
+    throw InvalidArgument("unknown --method '" + method + "'");
+  }
+
+  // Report the least-squares optimality residual.
+  la::Matrix<double> resid = rhs;
+  la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, -1.0, a.view(),
+                   x.view(), 1.0, resid.view());
+  la::Matrix<double> atr(a.cols(), rhs.cols());
+  la::gemm<double>(la::Trans::kTrans, la::Trans::kNoTrans, 1.0, a.view(),
+                   resid.view(), 0.0, atr.view());
+  std::printf("solved %d x %d system, %d rhs, %d refinement steps\n",
+              a.rows(), a.cols(), rhs.cols(), refine);
+  std::printf("||A^T (b - A x)||_max = %.3e\n",
+              la::norm_max<double>(atr.view()));
+  const std::string out = cli.get_string("out", "");
+  if (!out.empty()) {
+    la::write_matrix(out, x.view());
+    std::printf("wrote x to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+core::PlanConfig plan_config_from(const Cli& cli) {
+  core::PlanConfig pc;
+  pc.tile_size = static_cast<int>(cli.get_int("tile", 16));
+  pc.elim = parse_elim(cli.get_string("elim", "tt"));
+  const std::int64_t fixed_p = cli.get_int("fixed-p", 0);
+  if (fixed_p > 0) {
+    pc.count_policy = core::CountPolicy::kFixed;
+    pc.fixed_count = static_cast<int>(fixed_p);
+  }
+  return pc;
+}
+
+sim::Platform platform_from(const Cli& cli) {
+  const int nodes = static_cast<int>(cli.get_int("nodes", 1));
+  if (nodes > 1) return sim::paper_cluster(nodes);
+  return sim::paper_platform_with_gpus(
+      static_cast<int>(cli.get_int("gpus", 3)));
+}
+
+int cmd_simulate(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "matrix size", "3200");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("gpus", "GPUs in the node (0-3)", "3");
+  cli.flag("nodes", "cluster nodes (1-4)", "1");
+  cli.flag("fixed-p", "force participating device count");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("size", 3200);
+  const sim::Platform platform = platform_from(cli);
+  const core::PlanConfig pc = plan_config_from(cli);
+
+  const auto run = core::simulate_tiled_qr(platform, n, n, pc);
+  std::printf("%s\n", run.plan.summary(platform).c_str());
+  std::printf("makespan        %.3f ms\n", run.result.makespan_s * 1e3);
+  std::printf("tasks           %lld\n",
+              static_cast<long long>(run.result.tasks));
+  std::printf("transfers       %lld (%.1f MB, %.2f ms bus)\n",
+              static_cast<long long>(run.result.transfers),
+              run.result.bytes_moved / 1e6, run.result.comm_s * 1e3);
+  for (std::size_t d = 0; d < run.result.busy_s.size(); ++d)
+    std::printf("busy[%-12s] %.3f ms\n",
+                platform.device(static_cast<int>(d)).name.c_str(),
+                run.result.busy_s[d] * 1e3);
+  if (!run.plan.fits_in_memory(platform))
+    std::printf("WARNING: plan exceeds a device's memory capacity "
+                "(see `tqr plan`)\n");
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  Cli cli;
+  cli.flag("size", "matrix size", "3200");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("gpus", "GPUs in the node (0-3)", "3");
+  cli.flag("nodes", "cluster nodes (1-4)", "1");
+  cli.flag("fixed-p", "force participating device count");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("size", 3200);
+  const sim::Platform platform = platform_from(cli);
+  const core::PlanConfig pc = plan_config_from(cli);
+  const auto nt = static_cast<std::int32_t>(n / pc.tile_size);
+  core::Plan plan(platform, nt, nt, pc);
+
+  std::printf("%s\n\n", plan.summary(platform).c_str());
+  Table count({"p", "Top_ms", "Tcomm_ms", "T(p)_ms"});
+  const auto& choice = plan.count_choice();
+  for (std::size_t p = 1; p <= choice.predicted_time.size(); ++p)
+    count.add_row({fmt(static_cast<std::int64_t>(p)),
+                   fmt(choice.predicted_top[p - 1] * 1e3, 3),
+                   fmt(choice.predicted_tcomm[p - 1] * 1e3, 3),
+                   fmt(choice.predicted_time[p - 1] * 1e3, 3)});
+  count.print();
+
+  std::printf("\nmemory estimates:\n");
+  Table mem({"device", "needed_MB", "capacity_MB", "fits"});
+  for (const auto& est : plan.memory_estimates(platform))
+    mem.add_row({platform.device(est.device).name,
+                 fmt(est.bytes_needed / 1048576.0, 1),
+                 fmt(est.capacity / 1048576.0, 1),
+                 est.fits ? "yes" : "NO"});
+  mem.print();
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: tqr <command> [flags]\n"
+      "commands:\n"
+      "  gen       generate a test matrix file\n"
+      "  factor    tiled QR factorization of a matrix file\n"
+      "  solve     least-squares solve A x = b\n"
+      "  simulate  simulate a factorization on the modeled platform\n"
+      "  plan      show scheduling decisions (Algorithms 2-4) and memory\n"
+      "run `tqr <command> --help` for per-command flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
+    if (cmd == "factor") return cmd_factor(argc - 1, argv + 1);
+    if (cmd == "solve") return cmd_solve(argc - 1, argv + 1);
+    if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (cmd == "plan") return cmd_plan(argc - 1, argv + 1);
+    usage();
+    return 1;
+  } catch (const tqr::InvalidArgument& e) {
+    std::fprintf(stderr, "tqr: %s\n", e.what());
+    return 1;
+  } catch (const tqr::Error& e) {
+    std::fprintf(stderr, "tqr: %s\n", e.what());
+    return 2;
+  }
+}
