@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_cost_model.cpp" "bench/CMakeFiles/ablate_cost_model.dir/ablate_cost_model.cpp.o" "gcc" "bench/CMakeFiles/ablate_cost_model.dir/ablate_cost_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/tqr_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tqr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tqr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cost_model.dir/ablate_cost_model.cpp.o"
+  "CMakeFiles/ablate_cost_model.dir/ablate_cost_model.cpp.o.d"
+  "ablate_cost_model"
+  "ablate_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_dynamic.dir/ablate_dynamic.cpp.o"
+  "CMakeFiles/ablate_dynamic.dir/ablate_dynamic.cpp.o.d"
+  "ablate_dynamic"
+  "ablate_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_elimination.dir/ablate_elimination.cpp.o"
+  "CMakeFiles/ablate_elimination.dir/ablate_elimination.cpp.o.d"
+  "ablate_elimination"
+  "ablate_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_guide_order.dir/ablate_guide_order.cpp.o"
+  "CMakeFiles/ablate_guide_order.dir/ablate_guide_order.cpp.o.d"
+  "ablate_guide_order"
+  "ablate_guide_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_guide_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_robustness.dir/ablate_robustness.cpp.o"
+  "CMakeFiles/ablate_robustness.dir/ablate_robustness.cpp.o.d"
+  "ablate_robustness"
+  "ablate_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

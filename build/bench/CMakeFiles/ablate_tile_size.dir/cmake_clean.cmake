@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_tile_size.dir/ablate_tile_size.cpp.o"
+  "CMakeFiles/ablate_tile_size.dir/ablate_tile_size.cpp.o.d"
+  "ablate_tile_size"
+  "ablate_tile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_tile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_choleskyqr.dir/extension_choleskyqr.cpp.o"
+  "CMakeFiles/extension_choleskyqr.dir/extension_choleskyqr.cpp.o.d"
+  "extension_choleskyqr"
+  "extension_choleskyqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_choleskyqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

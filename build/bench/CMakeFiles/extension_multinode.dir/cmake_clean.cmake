@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multinode.dir/extension_multinode.cpp.o"
+  "CMakeFiles/extension_multinode.dir/extension_multinode.cpp.o.d"
+  "extension_multinode"
+  "extension_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

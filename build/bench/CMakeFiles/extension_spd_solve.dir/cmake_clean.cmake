@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_spd_solve.dir/extension_spd_solve.cpp.o"
+  "CMakeFiles/extension_spd_solve.dir/extension_spd_solve.cpp.o.d"
+  "extension_spd_solve"
+  "extension_spd_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_spd_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

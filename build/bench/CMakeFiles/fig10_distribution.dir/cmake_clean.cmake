@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_distribution.dir/fig10_distribution.cpp.o"
+  "CMakeFiles/fig10_distribution.dir/fig10_distribution.cpp.o.d"
+  "fig10_distribution"
+  "fig10_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_kernel_times.dir/fig4_kernel_times.cpp.o"
+  "CMakeFiles/fig4_kernel_times.dir/fig4_kernel_times.cpp.o.d"
+  "fig4_kernel_times"
+  "fig4_kernel_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_kernel_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_comm_proportion.dir/fig5_comm_proportion.cpp.o"
+  "CMakeFiles/fig5_comm_proportion.dir/fig5_comm_proportion.cpp.o.d"
+  "fig5_comm_proportion"
+  "fig5_comm_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_comm_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

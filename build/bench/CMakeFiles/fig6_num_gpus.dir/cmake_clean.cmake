@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_num_gpus.dir/fig6_num_gpus.cpp.o"
+  "CMakeFiles/fig6_num_gpus.dir/fig6_num_gpus.cpp.o.d"
+  "fig6_num_gpus"
+  "fig6_num_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_num_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

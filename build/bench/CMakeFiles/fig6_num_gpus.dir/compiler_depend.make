@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_num_gpus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_main_selection.dir/fig9_main_selection.cpp.o"
+  "CMakeFiles/fig9_main_selection.dir/fig9_main_selection.cpp.o.d"
+  "fig9_main_selection"
+  "fig9_main_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_main_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_gbench.dir/kernels_gbench.cpp.o"
+  "CMakeFiles/kernels_gbench.dir/kernels_gbench.cpp.o.d"
+  "kernels_gbench"
+  "kernels_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kernels_gbench.
+# This may be replaced when dependencies are built.

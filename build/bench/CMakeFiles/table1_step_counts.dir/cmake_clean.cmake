@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_step_counts.dir/table1_step_counts.cpp.o"
+  "CMakeFiles/table1_step_counts.dir/table1_step_counts.cpp.o.d"
+  "table1_step_counts"
+  "table1_step_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_step_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

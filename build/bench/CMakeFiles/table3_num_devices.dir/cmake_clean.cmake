@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_num_devices.dir/table3_num_devices.cpp.o"
+  "CMakeFiles/table3_num_devices.dir/table3_num_devices.cpp.o.d"
+  "table3_num_devices"
+  "table3_num_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_num_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_report.dir/autotune_report.cpp.o"
+  "CMakeFiles/autotune_report.dir/autotune_report.cpp.o.d"
+  "autotune_report"
+  "autotune_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_solve.dir/hetero_solve.cpp.o"
+  "CMakeFiles/hetero_solve.dir/hetero_solve.cpp.o.d"
+  "hetero_solve"
+  "hetero_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_ridge.dir/kernel_ridge.cpp.o"
+  "CMakeFiles/kernel_ridge.dir/kernel_ridge.cpp.o.d"
+  "kernel_ridge"
+  "kernel_ridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_ridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_rls.dir/streaming_rls.cpp.o"
+  "CMakeFiles/streaming_rls.dir/streaming_rls.cpp.o.d"
+  "streaming_rls"
+  "streaming_rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tall_skinny.dir/tall_skinny.cpp.o"
+  "CMakeFiles/tall_skinny.dir/tall_skinny.cpp.o.d"
+  "tall_skinny"
+  "tall_skinny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tall_skinny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tall_skinny.
+# This may be replaced when dependencies are built.

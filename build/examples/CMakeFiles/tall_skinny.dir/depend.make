@@ -1,0 +1,2 @@
+# Empty dependencies file for tall_skinny.
+# This may be replaced when dependencies are built.

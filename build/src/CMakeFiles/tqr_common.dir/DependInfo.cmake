@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/tqr_common.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/tqr_common.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/tqr_common.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/tqr_common.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/tqr_common.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/tqr_common.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tqr_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tqr_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/tqr_common.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/tqr_common.dir/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

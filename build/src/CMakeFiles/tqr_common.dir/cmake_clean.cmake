@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr_common.dir/common/cli.cpp.o"
+  "CMakeFiles/tqr_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/tqr_common.dir/common/error.cpp.o"
+  "CMakeFiles/tqr_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/tqr_common.dir/common/log.cpp.o"
+  "CMakeFiles/tqr_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/tqr_common.dir/common/rng.cpp.o"
+  "CMakeFiles/tqr_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/tqr_common.dir/common/table.cpp.o"
+  "CMakeFiles/tqr_common.dir/common/table.cpp.o.d"
+  "libtqr_common.a"
+  "libtqr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtqr_common.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/tqr_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/device_count.cpp" "src/core/CMakeFiles/tqr_core.dir/device_count.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/device_count.cpp.o.d"
+  "/root/repo/src/core/guide_array.cpp" "src/core/CMakeFiles/tqr_core.dir/guide_array.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/guide_array.cpp.o.d"
+  "/root/repo/src/core/main_selection.cpp" "src/core/CMakeFiles/tqr_core.dir/main_selection.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/main_selection.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/tqr_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/simulate.cpp" "src/core/CMakeFiles/tqr_core.dir/simulate.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/simulate.cpp.o.d"
+  "/root/repo/src/core/step_profile.cpp" "src/core/CMakeFiles/tqr_core.dir/step_profile.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/step_profile.cpp.o.d"
+  "/root/repo/src/core/tiled_cholesky.cpp" "src/core/CMakeFiles/tqr_core.dir/tiled_cholesky.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/tiled_cholesky.cpp.o.d"
+  "/root/repo/src/core/tiled_qr.cpp" "src/core/CMakeFiles/tqr_core.dir/tiled_qr.cpp.o" "gcc" "src/core/CMakeFiles/tqr_core.dir/tiled_qr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tqr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/tqr_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tqr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tqr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tqr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr_core.dir/autotune.cpp.o"
+  "CMakeFiles/tqr_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/device_count.cpp.o"
+  "CMakeFiles/tqr_core.dir/device_count.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/guide_array.cpp.o"
+  "CMakeFiles/tqr_core.dir/guide_array.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/main_selection.cpp.o"
+  "CMakeFiles/tqr_core.dir/main_selection.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/plan.cpp.o"
+  "CMakeFiles/tqr_core.dir/plan.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/simulate.cpp.o"
+  "CMakeFiles/tqr_core.dir/simulate.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/step_profile.cpp.o"
+  "CMakeFiles/tqr_core.dir/step_profile.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/tiled_cholesky.cpp.o"
+  "CMakeFiles/tqr_core.dir/tiled_cholesky.cpp.o.d"
+  "CMakeFiles/tqr_core.dir/tiled_qr.cpp.o"
+  "CMakeFiles/tqr_core.dir/tiled_qr.cpp.o.d"
+  "libtqr_core.a"
+  "libtqr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

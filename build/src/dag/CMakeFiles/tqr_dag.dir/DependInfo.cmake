@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/graph.cpp" "src/dag/CMakeFiles/tqr_dag.dir/graph.cpp.o" "gcc" "src/dag/CMakeFiles/tqr_dag.dir/graph.cpp.o.d"
+  "/root/repo/src/dag/tiled_cholesky_dag.cpp" "src/dag/CMakeFiles/tqr_dag.dir/tiled_cholesky_dag.cpp.o" "gcc" "src/dag/CMakeFiles/tqr_dag.dir/tiled_cholesky_dag.cpp.o.d"
+  "/root/repo/src/dag/tiled_qr_dag.cpp" "src/dag/CMakeFiles/tqr_dag.dir/tiled_qr_dag.cpp.o" "gcc" "src/dag/CMakeFiles/tqr_dag.dir/tiled_qr_dag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr_dag.dir/graph.cpp.o"
+  "CMakeFiles/tqr_dag.dir/graph.cpp.o.d"
+  "CMakeFiles/tqr_dag.dir/tiled_cholesky_dag.cpp.o"
+  "CMakeFiles/tqr_dag.dir/tiled_cholesky_dag.cpp.o.d"
+  "CMakeFiles/tqr_dag.dir/tiled_qr_dag.cpp.o"
+  "CMakeFiles/tqr_dag.dir/tiled_qr_dag.cpp.o.d"
+  "libtqr_dag.a"
+  "libtqr_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

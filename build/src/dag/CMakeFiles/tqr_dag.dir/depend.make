@@ -1,0 +1,2 @@
+# Empty dependencies file for tqr_dag.
+# This may be replaced when dependencies are built.

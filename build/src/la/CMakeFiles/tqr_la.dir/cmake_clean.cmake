@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr_la.dir/instantiations.cpp.o"
+  "CMakeFiles/tqr_la.dir/instantiations.cpp.o.d"
+  "CMakeFiles/tqr_la.dir/io.cpp.o"
+  "CMakeFiles/tqr_la.dir/io.cpp.o.d"
+  "libtqr_la.a"
+  "libtqr_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

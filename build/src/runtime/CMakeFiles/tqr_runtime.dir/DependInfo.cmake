@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/analysis.cpp" "src/runtime/CMakeFiles/tqr_runtime.dir/analysis.cpp.o" "gcc" "src/runtime/CMakeFiles/tqr_runtime.dir/analysis.cpp.o.d"
+  "/root/repo/src/runtime/dag_executor.cpp" "src/runtime/CMakeFiles/tqr_runtime.dir/dag_executor.cpp.o" "gcc" "src/runtime/CMakeFiles/tqr_runtime.dir/dag_executor.cpp.o.d"
+  "/root/repo/src/runtime/gantt.cpp" "src/runtime/CMakeFiles/tqr_runtime.dir/gantt.cpp.o" "gcc" "src/runtime/CMakeFiles/tqr_runtime.dir/gantt.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/runtime/CMakeFiles/tqr_runtime.dir/thread_pool.cpp.o" "gcc" "src/runtime/CMakeFiles/tqr_runtime.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/tqr_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/tqr_runtime.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tqr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tqr_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr_runtime.dir/analysis.cpp.o"
+  "CMakeFiles/tqr_runtime.dir/analysis.cpp.o.d"
+  "CMakeFiles/tqr_runtime.dir/dag_executor.cpp.o"
+  "CMakeFiles/tqr_runtime.dir/dag_executor.cpp.o.d"
+  "CMakeFiles/tqr_runtime.dir/gantt.cpp.o"
+  "CMakeFiles/tqr_runtime.dir/gantt.cpp.o.d"
+  "CMakeFiles/tqr_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/tqr_runtime.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/tqr_runtime.dir/trace.cpp.o"
+  "CMakeFiles/tqr_runtime.dir/trace.cpp.o.d"
+  "libtqr_runtime.a"
+  "libtqr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

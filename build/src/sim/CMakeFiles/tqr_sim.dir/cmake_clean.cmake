@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr_sim.dir/des.cpp.o"
+  "CMakeFiles/tqr_sim.dir/des.cpp.o.d"
+  "CMakeFiles/tqr_sim.dir/device.cpp.o"
+  "CMakeFiles/tqr_sim.dir/device.cpp.o.d"
+  "CMakeFiles/tqr_sim.dir/platform.cpp.o"
+  "CMakeFiles/tqr_sim.dir/platform.cpp.o.d"
+  "libtqr_sim.a"
+  "libtqr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

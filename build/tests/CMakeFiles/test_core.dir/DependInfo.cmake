@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/device_count_test.cpp" "tests/CMakeFiles/test_core.dir/core/device_count_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/device_count_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/guide_array_test.cpp" "tests/CMakeFiles/test_core.dir/core/guide_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/guide_array_test.cpp.o.d"
+  "/root/repo/tests/core/main_selection_test.cpp" "tests/CMakeFiles/test_core.dir/core/main_selection_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/main_selection_test.cpp.o.d"
+  "/root/repo/tests/core/min_norm_test.cpp" "tests/CMakeFiles/test_core.dir/core/min_norm_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/min_norm_test.cpp.o.d"
+  "/root/repo/tests/core/plan_test.cpp" "tests/CMakeFiles/test_core.dir/core/plan_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/plan_test.cpp.o.d"
+  "/root/repo/tests/core/qr_updater_test.cpp" "tests/CMakeFiles/test_core.dir/core/qr_updater_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/qr_updater_test.cpp.o.d"
+  "/root/repo/tests/core/tiled_cholesky_test.cpp" "tests/CMakeFiles/test_core.dir/core/tiled_cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tiled_cholesky_test.cpp.o.d"
+  "/root/repo/tests/core/tiled_qr_test.cpp" "tests/CMakeFiles/test_core.dir/core/tiled_qr_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tiled_qr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/tqr_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tqr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tqr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/device_count_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/device_count_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/guide_array_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/guide_array_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/main_selection_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/main_selection_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/min_norm_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/min_norm_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/plan_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/plan_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/qr_updater_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/qr_updater_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tiled_cholesky_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tiled_cholesky_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tiled_qr_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tiled_qr_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag.dir/dag/graph_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/graph_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/tiled_qr_dag_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/tiled_qr_dag_test.cpp.o.d"
+  "test_dag"
+  "test_dag.pdb"
+  "test_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/la/blas_test.cpp" "tests/CMakeFiles/test_la.dir/la/blas_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/blas_test.cpp.o.d"
+  "/root/repo/tests/la/blocked_qr_test.cpp" "tests/CMakeFiles/test_la.dir/la/blocked_qr_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/blocked_qr_test.cpp.o.d"
+  "/root/repo/tests/la/cholesky_test.cpp" "tests/CMakeFiles/test_la.dir/la/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/cholesky_test.cpp.o.d"
+  "/root/repo/tests/la/condest_test.cpp" "tests/CMakeFiles/test_la.dir/la/condest_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/condest_test.cpp.o.d"
+  "/root/repo/tests/la/float_precision_test.cpp" "tests/CMakeFiles/test_la.dir/la/float_precision_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/float_precision_test.cpp.o.d"
+  "/root/repo/tests/la/generators_test.cpp" "tests/CMakeFiles/test_la.dir/la/generators_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/generators_test.cpp.o.d"
+  "/root/repo/tests/la/io_test.cpp" "tests/CMakeFiles/test_la.dir/la/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/io_test.cpp.o.d"
+  "/root/repo/tests/la/kernels_ib_test.cpp" "tests/CMakeFiles/test_la.dir/la/kernels_ib_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/kernels_ib_test.cpp.o.d"
+  "/root/repo/tests/la/kernels_test.cpp" "tests/CMakeFiles/test_la.dir/la/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/kernels_test.cpp.o.d"
+  "/root/repo/tests/la/lu_test.cpp" "tests/CMakeFiles/test_la.dir/la/lu_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/lu_test.cpp.o.d"
+  "/root/repo/tests/la/matrix_test.cpp" "tests/CMakeFiles/test_la.dir/la/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/matrix_test.cpp.o.d"
+  "/root/repo/tests/la/pivoted_qr_test.cpp" "tests/CMakeFiles/test_la.dir/la/pivoted_qr_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/pivoted_qr_test.cpp.o.d"
+  "/root/repo/tests/la/reference_qr_test.cpp" "tests/CMakeFiles/test_la.dir/la/reference_qr_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/reference_qr_test.cpp.o.d"
+  "/root/repo/tests/la/tiled_matrix_test.cpp" "tests/CMakeFiles/test_la.dir/la/tiled_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_la.dir/la/tiled_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tqr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tqr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/tqr_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tqr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/tqr_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tqr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

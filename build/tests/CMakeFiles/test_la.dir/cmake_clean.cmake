@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/la/blas_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/blas_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/blocked_qr_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/blocked_qr_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/cholesky_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/cholesky_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/condest_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/condest_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/float_precision_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/float_precision_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/generators_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/generators_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/io_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/io_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/kernels_ib_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/kernels_ib_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/kernels_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/kernels_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/lu_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/lu_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/matrix_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/matrix_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/pivoted_qr_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/pivoted_qr_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/reference_qr_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/reference_qr_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/tiled_matrix_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/tiled_matrix_test.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+  "test_la[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

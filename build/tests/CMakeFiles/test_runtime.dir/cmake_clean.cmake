@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/analysis_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/analysis_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/dag_executor_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/dag_executor_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/gantt_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/gantt_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/thread_pool_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/thread_pool_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

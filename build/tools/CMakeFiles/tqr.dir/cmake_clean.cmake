@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tqr.dir/tqr.cpp.o"
+  "CMakeFiles/tqr.dir/tqr.cpp.o.d"
+  "tqr"
+  "tqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
