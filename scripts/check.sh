@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Concurrency gate: builds the runtime + service test subsets under
+# ThreadSanitizer and runs them. The resident executor, thread pool, job
+# queue, plan cache, and service stress tests are exactly the code where a
+# data race would hide from the functional suite.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_DIR/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+cmake --build "$BUILD_DIR" -j --target test_runtime test_svc
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+echo "== test_runtime (TSan) =="
+"$BUILD_DIR/tests/test_runtime"
+echo "== test_svc (TSan) =="
+"$BUILD_DIR/tests/test_svc"
+echo "check.sh: all concurrency tests passed under ThreadSanitizer"

@@ -100,33 +100,35 @@ la::Matrix<T> TiledQrFactorization<T>::r() const {
 }
 
 template <typename T>
-void TiledQrFactorization<T>::apply_q(la::MatrixView<T> c,
-                                      la::Trans trans) const {
-  TQR_REQUIRE(c.rows == a_.rows(), "apply_q: row mismatch");
-  const int b = a_.tile_size();
+void apply_q_tiles(const dag::TaskGraph& graph, const la::TiledMatrix<T>& a,
+                   const la::TiledMatrix<T>& tg, const la::TiledMatrix<T>& te,
+                   la::MatrixView<T> c, la::Trans trans,
+                   la::index_t inner_block) {
+  TQR_REQUIRE(c.rows == a.rows(), "apply_q: row mismatch");
+  const la::index_t b = a.tile_size();
   auto row_block = [&](std::int32_t i) {
     return c.block(i * b, 0, b, c.cols);
   };
   auto apply_one = [&](const dag::Task& task) {
     switch (task.op) {
       case dag::Op::kGeqrt:
-        la::unmqr_ib<T>(a_.tile(task.i, task.k), tg_.tile(task.i, task.k),
-                        row_block(task.i), trans, inner_block_);
+        la::unmqr_ib<T>(a.tile(task.i, task.k), tg.tile(task.i, task.k),
+                        row_block(task.i), trans, inner_block);
         break;
       case dag::Op::kTsqrt:
-        la::tsmqr_ib<T>(a_.tile(task.i, task.k), te_.tile(task.i, task.k),
+        la::tsmqr_ib<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
                         row_block(task.p), row_block(task.i), trans,
-                        inner_block_);
+                        inner_block);
         break;
       case dag::Op::kTtqrt:
-        la::ttmqr<T>(a_.tile(task.i, task.k), te_.tile(task.i, task.k),
+        la::ttmqr<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
                      row_block(task.p), row_block(task.i), trans);
         break;
       default:
         break;  // update tasks carry no reflectors
     }
   };
-  const auto& tasks = graph_.tasks();
+  const auto& tasks = graph.tasks();
   if (trans == la::Trans::kTrans) {
     // Q^T = P_last ... P_first: forward replay.
     for (const dag::Task& task : tasks) apply_one(task);
@@ -134,6 +136,12 @@ void TiledQrFactorization<T>::apply_q(la::MatrixView<T> c,
     // Q = P_first^{-1} ... : reverse replay.
     for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) apply_one(*it);
   }
+}
+
+template <typename T>
+void TiledQrFactorization<T>::apply_q(la::MatrixView<T> c,
+                                      la::Trans trans) const {
+  apply_q_tiles<T>(graph_, a_, tg_, te_, c, trans, inner_block_);
 }
 
 template <typename T>
@@ -197,6 +205,18 @@ template void execute_task<float>(const dag::Task&, la::TiledMatrix<float>&,
 template void execute_task<double>(const dag::Task&, la::TiledMatrix<double>&,
                                    la::TiledMatrix<double>&,
                                    la::TiledMatrix<double>&, la::index_t);
+template void apply_q_tiles<float>(const dag::TaskGraph&,
+                                   const la::TiledMatrix<float>&,
+                                   const la::TiledMatrix<float>&,
+                                   const la::TiledMatrix<float>&,
+                                   la::MatrixView<float>, la::Trans,
+                                   la::index_t);
+template void apply_q_tiles<double>(const dag::TaskGraph&,
+                                    const la::TiledMatrix<double>&,
+                                    const la::TiledMatrix<double>&,
+                                    const la::TiledMatrix<double>&,
+                                    la::MatrixView<double>, la::Trans,
+                                    la::index_t);
 template class TiledQrFactorization<float>;
 template class TiledQrFactorization<double>;
 template la::Matrix<float> qr_solve<float>(const la::Matrix<float>&,

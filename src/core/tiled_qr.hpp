@@ -29,6 +29,18 @@ void execute_task(const dag::Task& task, la::TiledMatrix<T>& a,
                   la::TiledMatrix<T>& tg, la::TiledMatrix<T>& te,
                   la::index_t inner_block = 0);
 
+/// Applies Q (kNoTrans) or Q^T (kTrans) of a completed tiled factorization
+/// to c in place by replaying the factor tasks of `graph` against the tile
+/// storage the factorization wrote (a = factored tiles, tg/te = block
+/// reflectors). c.rows must equal a.rows(). Free-standing so callers that
+/// own tile storage directly — e.g. tqr::svc's pooled workspaces — can apply
+/// Q without wrapping the tiles in a TiledQrFactorization.
+template <typename T>
+void apply_q_tiles(const dag::TaskGraph& graph, const la::TiledMatrix<T>& a,
+                   const la::TiledMatrix<T>& tg, const la::TiledMatrix<T>& te,
+                   la::MatrixView<T> c, la::Trans trans,
+                   la::index_t inner_block = 0);
+
 template <typename T>
 class TiledQrFactorization {
  public:

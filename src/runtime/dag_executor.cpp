@@ -10,12 +10,18 @@ namespace tqr::runtime {
 
 namespace {
 
-/// Shared run state for one execution.
+/// Shared state for one execute() call. Workers hold it via shared_ptr, so a
+/// straggler that wakes after the run finished can still touch its own
+/// bookkeeping safely; the caller-owned graph/affinity/kernel references are
+/// only dereferenced while tasks remain, and execute() quiesces (waits for
+/// workers_inside == 0) before returning.
 struct RunState {
   const dag::TaskGraph& graph;
   const DagExecutor::Affinity& affinity;
   const DagExecutor::Kernel& kernel;
   Trace* trace;
+
+  std::uint64_t seq = 0;  // engine run sequence number
 
   std::vector<std::atomic<std::int32_t>> remaining;  // per-task deps left
   std::atomic<std::int64_t> tasks_left;
@@ -33,6 +39,10 @@ struct RunState {
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
   std::exception_ptr error;
+
+  /// Workers currently inside worker(); execute() returns only once this is
+  /// back to zero so caller-owned callbacks cannot be used after return.
+  std::atomic<int> workers_inside{0};
 
   Timer clock;
 
@@ -72,6 +82,7 @@ struct RunState {
 
   bool done() const { return tasks_left.load(std::memory_order_acquire) == 0; }
 
+  /// Serves device `dev`'s queue until the run completes or fails.
   void worker(int dev) {
     auto& q = queues[dev];
     for (;;) {
@@ -122,34 +133,126 @@ struct RunState {
 
 }  // namespace
 
-double DagExecutor::run(const dag::TaskGraph& graph, const Affinity& affinity,
-                        const Kernel& kernel, const Options& options) {
+struct DagExecutor::Impl {
+  int num_devices = 1;
+  bool panel_priority = false;
+  std::vector<int> threads_per_device;
+
+  std::mutex mutex;                 // guards current/seq/stop
+  std::condition_variable cv_run;   // workers wait here for a new run
+  std::condition_variable cv_done;  // execute() waits here for completion
+  std::shared_ptr<RunState> current;
+  std::uint64_t seq = 0;
+  std::uint64_t completed = 0;
+  bool stop = false;
+
+  std::mutex execute_mutex;  // serializes concurrent execute() callers
+  std::vector<std::thread> threads;
+
+  void thread_main(int dev) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<RunState> run;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_run.wait(lock, [&] {
+          return stop || (current && current->seq > seen);
+        });
+        if (stop) return;
+        run = current;
+        seen = run->seq;
+        run->workers_inside.fetch_add(1, std::memory_order_acq_rel);
+      }
+      run->worker(dev);
+      {
+        // Under the engine mutex so execute()'s cv_done wait cannot miss the
+        // final transition to workers_inside == 0.
+        std::lock_guard<std::mutex> lock(mutex);
+        run->workers_inside.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      cv_done.notify_all();
+    }
+  }
+};
+
+DagExecutor::DagExecutor(const Options& options)
+    : impl_(std::make_unique<Impl>()) {
   TQR_REQUIRE(options.num_devices > 0, "need at least one device group");
   std::vector<int> threads = options.threads_per_device;
   if (threads.empty()) threads.assign(options.num_devices, 1);
   TQR_REQUIRE(static_cast<int>(threads.size()) == options.num_devices,
               "threads_per_device size must equal num_devices");
+  for (int n : threads)
+    TQR_REQUIRE(n >= 1, "each device group needs at least one thread");
 
-  if (graph.size() == 0) return 0.0;
-
-  RunState state(graph, affinity, kernel, options.trace, options.num_devices);
-  state.panel_priority = options.panel_priority;
-  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
-    state.remaining[t].store(graph.indegree(t), std::memory_order_relaxed);
-
-  // Seed initially-ready tasks before spawning workers.
-  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
-    if (graph.indegree(t) == 0) state.push_ready(t);
-
-  std::vector<std::thread> pool;
+  impl_->num_devices = options.num_devices;
+  impl_->panel_priority = options.panel_priority;
+  impl_->threads_per_device = threads;
   for (int dev = 0; dev < options.num_devices; ++dev)
     for (int s = 0; s < threads[dev]; ++s)
-      pool.emplace_back([&state, dev] { state.worker(dev); });
-  for (auto& th : pool) th.join();
+      impl_->threads.emplace_back(
+          [impl = impl_.get(), dev] { impl->thread_main(dev); });
+}
 
-  if (state.error) std::rethrow_exception(state.error);
-  TQR_ASSERT(state.done(), "executor exited with tasks pending");
-  return state.clock.seconds();
+DagExecutor::~DagExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_run.notify_all();
+  for (auto& th : impl_->threads) th.join();
+}
+
+int DagExecutor::num_devices() const { return impl_->num_devices; }
+
+std::uint64_t DagExecutor::runs_completed() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->completed;
+}
+
+double DagExecutor::execute(const dag::TaskGraph& graph,
+                            const Affinity& affinity, const Kernel& kernel,
+                            Trace* trace) {
+  std::lock_guard<std::mutex> serialize(impl_->execute_mutex);
+  if (graph.size() == 0) return 0.0;
+
+  auto run = std::make_shared<RunState>(graph, affinity, kernel, trace,
+                                        impl_->num_devices);
+  run->panel_priority = impl_->panel_priority;
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
+    run->remaining[t].store(graph.indegree(t), std::memory_order_relaxed);
+
+  // Seed initially-ready tasks before publishing the run to the workers.
+  for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
+    if (graph.indegree(t) == 0) run->push_ready(t);
+  run->clock.reset();
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    run->seq = ++impl_->seq;
+    impl_->current = run;
+  }
+  impl_->cv_run.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->cv_done.wait(lock, [&] {
+      return (run->done() || run->failed.load(std::memory_order_acquire)) &&
+             run->workers_inside.load(std::memory_order_acquire) == 0;
+    });
+    impl_->current.reset();
+    if (!run->error) ++impl_->completed;  // failed runs don't count
+  }
+  const double secs = run->clock.seconds();
+  if (run->error) std::rethrow_exception(run->error);
+  TQR_ASSERT(run->done(), "executor finished with tasks pending");
+  return secs;
+}
+
+double DagExecutor::run(const dag::TaskGraph& graph, const Affinity& affinity,
+                        const Kernel& kernel, const Options& options) {
+  DagExecutor engine(options);
+  return engine.execute(graph, affinity, kernel, options.trace);
 }
 
 }  // namespace tqr::runtime

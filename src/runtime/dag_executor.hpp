@@ -11,12 +11,21 @@
 // of the computing-thread group the task was routed to by the affinity
 // function — the same routing the simulator uses, so a functional run and a
 // simulated run of one plan execute identical schedules up to timing.
+//
+// A DagExecutor instance is a *resident engine*: its device thread groups
+// are spawned once at construction and reused by every execute() call, so a
+// service that factors many matrices pays the thread start/stop cost once
+// instead of per run (the amortization tqr::svc is built on). The static
+// run() keeps the original one-shot convenience: it spins up a transient
+// engine for a single graph.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -42,14 +51,40 @@ class DagExecutor {
     /// Slave threads per device group (>= 1 each). Size must equal
     /// num_devices; empty means one thread per device.
     std::vector<int> threads_per_device;
-    /// Optional trace sink (may be nullptr).
+    /// Optional trace sink for run() (may be nullptr). execute() takes its
+    /// trace per call instead, since one engine serves many runs.
     Trace* trace = nullptr;
   };
 
-  /// Runs the whole graph; returns wall-clock seconds. Throws whatever the
-  /// kernel throws (first exception wins; execution stops draining).
+  /// Spawns the persistent device thread groups. Throws InvalidArgument on
+  /// bad options.
+  explicit DagExecutor(const Options& options);
+  /// Joins the thread groups. Must not race an in-flight execute().
+  ~DagExecutor();
+
+  DagExecutor(const DagExecutor&) = delete;
+  DagExecutor& operator=(const DagExecutor&) = delete;
+
+  /// Executes one graph to completion on the resident thread groups and
+  /// returns wall-clock seconds. Rethrows the first kernel exception (after
+  /// the groups have quiesced); the engine stays usable for the next
+  /// execute() afterwards. Thread-safe: concurrent calls are serialized.
+  double execute(const dag::TaskGraph& graph, const Affinity& affinity,
+                 const Kernel& kernel, Trace* trace = nullptr);
+
+  int num_devices() const;
+  /// Number of execute() calls that ran to completion (diagnostics).
+  std::uint64_t runs_completed() const;
+
+  /// One-shot convenience: builds a transient engine, runs the whole graph,
+  /// returns wall-clock seconds. Throws whatever the kernel throws (first
+  /// exception wins; execution stops draining).
   static double run(const dag::TaskGraph& graph, const Affinity& affinity,
                     const Kernel& kernel, const Options& options);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace tqr::runtime

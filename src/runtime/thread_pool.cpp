@@ -11,18 +11,12 @@ ThreadPool::ThreadPool(unsigned num_threads) {
     threads_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (auto& t : threads_) t.join();
-}
+ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw Error("ThreadPool::submit after shutdown");
     queue_.push_back(std::move(job));
   }
   cv_work_.notify_one();
@@ -33,12 +27,24 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    if (joined_) return;
+    joined_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain-then-exit: queued jobs survive shutdown, new submits do not.
       if (stop_ && queue_.empty()) return;
       job = std::move(queue_.front());
       queue_.pop_front();

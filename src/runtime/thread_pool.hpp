@@ -12,6 +12,15 @@ namespace tqr::runtime {
 
 /// Plain FIFO worker pool. Submitted jobs run on any worker thread.
 /// wait_idle() blocks until every submitted job has finished.
+///
+/// Shutdown contract: shutdown() (or destruction, which calls it) first
+/// *drains* — every job queued before shutdown began still executes — then
+/// joins the workers. Once shutdown has begun, submit() throws tqr::Error
+/// instead of silently dropping the job or enqueueing into a pool whose
+/// workers are already gone; that includes jobs trying to re-submit from
+/// inside a draining job. shutdown() is idempotent and safe to call while
+/// jobs are running, but must not be called from a worker thread (it joins
+/// them) and must not race destruction.
 class ThreadPool {
  public:
   explicit ThreadPool(unsigned num_threads);
@@ -20,11 +29,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job. Safe from any thread, including workers.
+  /// Enqueues a job. Safe from any thread, including workers. Throws
+  /// tqr::Error if shutdown has begun.
   void submit(std::function<void()> job);
 
   /// Blocks until the queue is empty and all workers are idle.
   void wait_idle();
+
+  /// Drains queued jobs, then stops and joins the workers. Idempotent.
+  void shutdown();
 
   unsigned size() const { return static_cast<unsigned>(threads_.size()); }
 
@@ -37,6 +50,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   unsigned active_ = 0;
   bool stop_ = false;
+  bool joined_ = false;
   std::vector<std::thread> threads_;
 };
 

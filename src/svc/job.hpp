@@ -1,0 +1,73 @@
+// Job vocabulary for the resident QR service.
+//
+// A job carries one matrix to factor plus per-job knobs; the result carries
+// the R factor, timing breakdown, and provenance (which lane ran it, whether
+// the plan came from cache). Jobs travel by value through the queue so a
+// submitting thread keeps no aliases into service-owned storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dag/task.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::svc {
+
+enum class JobStatus : std::uint8_t {
+  kOk,        // factored; result fields valid
+  kRejected,  // bounced by admission control (queue full, kReject policy)
+  kExpired,   // deadline elapsed before a lane picked the job up
+  kFailed,    // factorization threw; see error
+};
+
+inline const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kExpired: return "expired";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+struct JobSpec {
+  /// Matrix to factor (rows >= cols; padded to the tile grid internally).
+  la::Matrix<double> a;
+  /// Tile size; 0 means the service default.
+  int tile_size = 0;
+  dag::Elimination elim = dag::Elimination::kTt;
+  /// Max seconds the job may wait in the queue before a lane starts it;
+  /// 0 disables the deadline. Expired jobs complete with kExpired and are
+  /// never factored.
+  double queue_deadline_s = 0;
+  /// Compute the reconstruction residual ||A - Q R||_F / ||A||_F (replays
+  /// Q; roughly doubles the job's work). residual stays -1 otherwise.
+  bool compute_residual = false;
+  /// Opaque caller tag, echoed in the result.
+  std::uint64_t tag = 0;
+};
+
+struct JobResult {
+  std::uint64_t id = 0;   // service-assigned, dense from 1
+  std::uint64_t tag = 0;  // echoed from the spec
+  JobStatus status = JobStatus::kFailed;
+  std::string error;  // set when status == kFailed
+
+  la::index_t rows = 0, cols = 0;  // original (unpadded) shape
+  int tile_size = 0;
+
+  /// Upper-triangular R factor, cols x cols (leading block of the padded
+  /// factorization). Empty unless status == kOk.
+  la::Matrix<double> r;
+  /// ||A - Q R||_F / ||A||_F over the padded matrix; -1 if not requested.
+  double residual = -1;
+
+  double queue_s = 0;  // submit -> lane pickup
+  double exec_s = 0;   // factorization (graph execution) only
+  double total_s = 0;  // submit -> completion
+  bool plan_cache_hit = false;
+  int lane = -1;  // lane that ran the job
+};
+
+}  // namespace tqr::svc

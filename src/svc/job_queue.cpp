@@ -1,0 +1,67 @@
+#include "svc/job_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tqr::svc {
+
+JobQueue::JobQueue(std::size_t capacity, Admission admission)
+    : capacity_(capacity), admission_(admission) {
+  TQR_REQUIRE(capacity > 0, "job queue needs capacity >= 1");
+}
+
+PushResult JobQueue::push(PendingJob&& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return PushResult::kClosed;
+  if (queue_.size() >= capacity_) {
+    if (admission_ == Admission::kReject) {
+      ++stats_.rejected;
+      return PushResult::kRejected;
+    }
+    ++stats_.blocked_pushes;
+    cv_push_.wait(lock,
+                  [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return PushResult::kClosed;
+  }
+  queue_.push_back(std::move(job));
+  ++stats_.accepted;
+  stats_.high_water = std::max(stats_.high_water, queue_.size());
+  lock.unlock();
+  cv_pop_.notify_one();
+  return PushResult::kAccepted;
+}
+
+std::optional<PendingJob> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_pop_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  PendingJob job = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  cv_push_.notify_one();
+  return job;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_push_.notify_all();
+  cv_pop_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.depth = queue_.size();
+  return s;
+}
+
+}  // namespace tqr::svc

@@ -1,0 +1,79 @@
+// Bounded MPMC job queue with admission control — the service's
+// backpressure point.
+//
+// Admission policy decides what a full queue does to producers: kBlock
+// parks the submitting thread until a lane frees a slot (end-to-end
+// backpressure, the default), kReject bounces the job immediately so the
+// caller can shed load. close() stops admissions but lets consumers drain
+// what was already accepted, which is how the service shuts down without
+// dropping accepted work.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "svc/job.hpp"
+
+namespace tqr::svc {
+
+enum class Admission : std::uint8_t { kBlock, kReject };
+
+/// One accepted job in flight: the spec, the promise the service fulfils,
+/// and the submit timestamp on the service clock.
+struct PendingJob {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  std::promise<JobResult> promise;
+  double submit_s = 0;
+};
+
+enum class PushResult : std::uint8_t { kAccepted, kRejected, kClosed };
+
+class JobQueue {
+ public:
+  JobQueue(std::size_t capacity, Admission admission);
+
+  /// Admits a job. kBlock: waits for room (or close()); kReject: returns
+  /// kRejected when full. Returns kClosed after close(). The job is moved
+  /// from only on kAccepted; on any other result the caller still owns it
+  /// (and its promise) untouched.
+  PushResult push(PendingJob&& job);
+
+  /// Blocks for the next job; nullopt once closed *and* drained.
+  std::optional<PendingJob> pop();
+
+  /// Stops admissions and wakes all waiters; already-accepted jobs remain
+  /// poppable. Idempotent.
+  void close();
+
+  std::size_t capacity() const { return capacity_; }
+  Admission admission() const { return admission_; }
+
+  std::size_t depth() const;
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    /// Pushes that had to wait for room (kBlock backpressure events).
+    std::uint64_t blocked_pushes = 0;
+    std::size_t depth = 0;
+    std::size_t high_water = 0;
+  };
+  Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  const Admission admission_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_push_;  // producers wait for room
+  std::condition_variable cv_pop_;   // consumers wait for jobs
+  std::deque<PendingJob> queue_;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace tqr::svc

@@ -1,0 +1,290 @@
+#include "svc/qr_service.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/tiled_qr.hpp"
+#include "dag/tiled_qr_dag.hpp"
+#include "la/blas.hpp"
+#include "runtime/dag_executor.hpp"
+
+namespace tqr::svc {
+
+namespace {
+
+/// Loads `src` into the tile storage with pad_to_tiles semantics: the pad
+/// block gets an identity diagonal so the padded matrix stays full-rank and
+/// its QR restricts to QR of `src`. Every element of `dst` is written, which
+/// is what makes recycled (uncleared) workspaces safe.
+void load_padded(la::TiledMatrix<double>& dst,
+                 la::ConstMatrixView<double> src) {
+  const la::index_t pr = dst.rows(), pc = dst.cols();
+  for (la::index_t j = 0; j < pc; ++j)
+    for (la::index_t i = 0; i < pr; ++i)
+      dst.at(i, j) = (i < src.rows && j < src.cols) ? src(i, j) : 0.0;
+  for (la::index_t d = 0; d + src.cols < pc && d + src.rows < pr; ++d)
+    dst.at(src.rows + d, src.cols + d) = 1.0;
+}
+
+la::index_t round_up(la::index_t n, la::index_t b) {
+  return (n + b - 1) / b * b;
+}
+
+}  // namespace
+
+/// Per-lane resident executor. With reuse_engines the engine (and its device
+/// thread groups) lives as long as the lane; otherwise one is built per job,
+/// reproducing the seed's per-run cost for baseline comparisons.
+struct QrService::LaneEngine {
+  runtime::DagExecutor::Options options;
+  std::unique_ptr<runtime::DagExecutor> resident;
+
+  double execute(const dag::TaskGraph& graph,
+                 const runtime::DagExecutor::Affinity& affinity,
+                 const runtime::DagExecutor::Kernel& kernel) {
+    if (resident) return resident->execute(graph, affinity, kernel);
+    return runtime::DagExecutor::run(graph, affinity, kernel, options);
+  }
+};
+
+QrService::QrService(const ServiceConfig& config)
+    : config_(config),
+      platform_(sim::paper_platform_with_gpus(config.gpus)),
+      queue_(config.queue_capacity, config.admission),
+      plan_cache_(config.plan_cache_capacity),
+      workspace_pool_(config.workspace_max_bytes) {
+  TQR_REQUIRE(config.lanes > 0, "service needs at least one lane");
+  TQR_REQUIRE(config.threads_per_device > 0,
+              "threads_per_device must be >= 1");
+  TQR_REQUIRE(config.default_tile > 0, "default_tile must be >= 1");
+  platform_hash_ = platform_fingerprint(platform_);
+  lanes_.reserve(static_cast<std::size_t>(config.lanes));
+  for (int lane = 0; lane < config.lanes; ++lane)
+    lanes_.emplace_back([this, lane] { lane_main(lane); });
+}
+
+QrService::~QrService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  queue_.close();  // lanes drain accepted jobs, then exit
+  for (auto& lane : lanes_) lane.join();
+}
+
+std::future<JobResult> QrService::submit(JobSpec spec) {
+  PendingJob job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) throw Error("QrService::submit after shutdown");
+    job.id = next_id_++;
+    ++submitted_;
+  }
+  job.spec = std::move(spec);
+  job.submit_s = clock_.seconds();
+  std::future<JobResult> future = job.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++in_flight_;
+  }
+  const PushResult admitted = queue_.push(std::move(job));
+  if (admitted != PushResult::kAccepted) {
+    // push() only consumes the job on acceptance, so `job` is intact here;
+    // the job never reached a lane and the future resolves immediately.
+    JobResult rejected;
+    rejected.id = job.id;
+    rejected.tag = job.spec.tag;
+    rejected.rows = job.spec.a.rows();
+    rejected.cols = job.spec.a.cols();
+    rejected.status = JobStatus::kRejected;
+    rejected.error = admitted == PushResult::kClosed
+                         ? "service shutting down"
+                         : "queue full (admission kReject)";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++rejected_;
+    }
+    job.promise.set_value(std::move(rejected));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    cv_drained_.notify_all();
+  }
+  return future;
+}
+
+void QrService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void QrService::lane_main(int lane) {
+  LaneEngine engine;
+  engine.options.num_devices = platform_.num_devices();
+  engine.options.threads_per_device.assign(
+      static_cast<std::size_t>(platform_.num_devices()),
+      config_.threads_per_device);
+  if (config_.reuse_engines)
+    engine.resident =
+        std::make_unique<runtime::DagExecutor>(engine.options);
+
+  while (auto job = queue_.pop()) {
+    std::promise<JobResult> promise = std::move(job->promise);
+    JobResult result = process(engine, lane, std::move(*job));
+    const JobStatus status = result.status;
+    const double total_s = result.total_s;
+    // Status counters and latency update BEFORE the promise resolves, so a
+    // caller who observes a ready future sees consistent stats; in_flight_
+    // drops AFTER, so drain() returning guarantees every future is ready.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      switch (status) {
+        case JobStatus::kOk: ++completed_; break;
+        case JobStatus::kFailed: ++failed_; break;
+        case JobStatus::kExpired: ++expired_; break;
+        case JobStatus::kRejected: ++rejected_; break;
+      }
+    }
+    if (status == JobStatus::kOk) latency_.record(total_s);
+    promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    cv_drained_.notify_all();
+  }
+}
+
+JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job) {
+  JobResult result;
+  result.id = job.id;
+  result.tag = job.spec.tag;
+  result.lane = lane;
+  result.rows = job.spec.a.rows();
+  result.cols = job.spec.a.cols();
+  const double picked_up_s = clock_.seconds();
+  result.queue_s = picked_up_s - job.submit_s;
+
+  try {
+    if (job.spec.queue_deadline_s > 0 &&
+        result.queue_s > job.spec.queue_deadline_s) {
+      result.status = JobStatus::kExpired;
+      result.total_s = clock_.seconds() - job.submit_s;
+      return result;
+    }
+
+    const la::Matrix<double>& a = job.spec.a;
+    TQR_REQUIRE(a.rows() > 0 && a.cols() > 0, "job matrix is empty");
+    TQR_REQUIRE(a.rows() >= a.cols(), "tiled QR requires rows >= cols");
+    const int b = job.spec.tile_size > 0 ? job.spec.tile_size
+                                         : config_.default_tile;
+    result.tile_size = b;
+    const la::index_t pr = round_up(a.rows(), b);
+    const la::index_t pc = round_up(a.cols(), b);
+
+    // Plan + DAG: cached per shape.
+    PlanKey key{pr, pc, b, job.spec.elim, platform_hash_};
+    auto build = [&]() -> PlanEntry {
+      core::PlanConfig pc_cfg;
+      pc_cfg.tile_size = b;
+      pc_cfg.element_bytes = sizeof(double);
+      pc_cfg.elim = job.spec.elim;
+      core::Plan plan(platform_, pr / b, pc / b, pc_cfg);
+      dag::TaskGraph graph =
+          dag::build_tiled_qr_graph(pr / b, pc / b, job.spec.elim);
+      return PlanEntry{std::move(plan), std::move(graph)};
+    };
+    std::shared_ptr<const PlanEntry> entry;
+    if (config_.plan_cache_enabled) {
+      entry = plan_cache_.get_or_build(key, build, &result.plan_cache_hit);
+    } else {
+      entry = std::make_shared<const PlanEntry>(build());
+    }
+
+    // Workspace: recycled per shape.
+    WorkspacePool::Lease ws = workspace_pool_.acquire(pr, pc, b);
+    load_padded(ws->a, a.view());
+
+    // Execute the factorization graph on the lane engine, routed by the
+    // plan's device assignment.
+    const core::Plan& plan = entry->plan;
+    const la::index_t ib = config_.inner_block;
+    Timer exec_clock;
+    engine.execute(
+        entry->graph,
+        [&plan](dag::task_id, const dag::Task& task) {
+          return plan.device_for(task);
+        },
+        [&ws, ib](dag::task_id, const dag::Task& task, int) {
+          core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
+        });
+    result.exec_s = exec_clock.seconds();
+
+    // Extract the caller-shaped R (leading block; identity padding keeps it
+    // equal to R of the unpadded matrix).
+    const la::index_t n = a.cols();
+    result.r = la::Matrix<double>(n, n);
+    for (la::index_t j = 0; j < n; ++j)
+      for (la::index_t i = 0; i <= j; ++i) result.r(i, j) = ws->a.at(i, j);
+
+    if (job.spec.compute_residual) {
+      // ||A - Q R||_F / ||A||_F over the padded matrix: build [R; 0],
+      // apply Q by replaying the factor tasks, subtract A.
+      la::Matrix<double> qr(pr, pc);
+      for (la::index_t j = 0; j < pc; ++j)
+        for (la::index_t i = 0; i <= j && i < pr; ++i)
+          qr(i, j) = ws->a.at(i, j);
+      core::apply_q_tiles<double>(entry->graph, ws->a, ws->tg, ws->te,
+                                  qr.view(), la::Trans::kNoTrans, ib);
+      double diff2 = 0, norm2 = 0;
+      for (la::index_t j = 0; j < pc; ++j) {
+        for (la::index_t i = 0; i < pr; ++i) {
+          const bool inside = i < a.rows() && j < a.cols();
+          double aij = inside ? a(i, j) : 0.0;
+          if (!inside && i - a.rows() == j - a.cols() && i >= a.rows())
+            aij = 1.0;  // identity pad diagonal
+          const double d = qr(i, j) - aij;
+          diff2 += d * d;
+          norm2 += aij * aij;
+        }
+      }
+      result.residual = std::sqrt(diff2) / (norm2 > 0 ? std::sqrt(norm2) : 1);
+    }
+
+    result.status = JobStatus::kOk;
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kFailed;
+    result.error = e.what();
+  }
+  result.total_s = clock_.seconds() - job.submit_s;
+  return result;
+}
+
+ServiceStats QrService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.jobs_submitted = submitted_;
+    s.jobs_completed = completed_;
+    s.jobs_failed = failed_;
+    s.jobs_rejected = rejected_;
+    s.jobs_expired = expired_;
+  }
+  s.uptime_s = clock_.seconds();
+  s.jobs_per_s = s.uptime_s > 0
+                     ? static_cast<double>(s.jobs_completed) / s.uptime_s
+                     : 0.0;
+  s.p50_ms = latency_.percentile_s(0.50) * 1e3;
+  s.p95_ms = latency_.percentile_s(0.95) * 1e3;
+  s.mean_ms = latency_.mean_s() * 1e3;
+  s.lanes = config_.lanes;
+  s.queue = queue_.stats();
+  s.plan_cache = plan_cache_.stats();
+  s.workspace = workspace_pool_.stats();
+  return s;
+}
+
+}  // namespace tqr::svc

@@ -1,0 +1,126 @@
+// QrService — a resident QR factorization job service.
+//
+// The seed's tools run one factorization per process: derive the plan, build
+// the DAG, allocate tile workspaces, spin up executor threads, factor, tear
+// everything down. QrService keeps all of that resident and amortizes it
+// across many jobs, the way PLASMA-lineage runtimes amortize scheduling
+// state across calls:
+//
+//   submit() ──> JobQueue (bounded; admission control = backpressure)
+//                   │ pop
+//                   ▼
+//   lane 0..L-1: persistent worker, each owning a resident
+//                runtime::DagExecutor whose device thread groups outlive
+//                every job the lane runs
+//                   │
+//                   ├─ PlanCache: (shape, tile, elim, platform) ->
+//                   │    {core::Plan, dag::TaskGraph}; repeat shapes skip
+//                   │    planning entirely (LRU, hit/miss counters)
+//                   ├─ WorkspacePool: recycled tile + T-factor storage;
+//                   │    steady state allocates nothing
+//                   └─ execute on the lane engine, routed by the plan's
+//                        device assignment (same schedule the simulator and
+//                        one-shot driver use)
+//
+// Jobs on different lanes run concurrently; each lane's engine serves one
+// job at a time. Results come back through std::future<JobResult>; admission
+// rejections and queue-deadline expirations are reported as statuses, not
+// exceptions, so a load generator can count them cheaply.
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/plan.hpp"
+#include "sim/platform.hpp"
+#include "svc/job.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/plan_cache.hpp"
+#include "svc/service_stats.hpp"
+#include "svc/workspace_pool.hpp"
+
+namespace tqr::svc {
+
+struct ServiceConfig {
+  /// Concurrent execution lanes; each owns a resident DagExecutor.
+  int lanes = 2;
+  /// Slave threads per device group inside each lane's engine.
+  int threads_per_device = 1;
+
+  std::size_t queue_capacity = 64;
+  Admission admission = Admission::kBlock;
+
+  std::size_t plan_cache_capacity = 32;
+  /// Disable to re-plan every job (the serve bench's cold baseline).
+  bool plan_cache_enabled = true;
+
+  /// Byte cap for recycled workspaces; 0 disables recycling.
+  std::size_t workspace_max_bytes = std::size_t{256} << 20;
+
+  /// Reuse each lane's DagExecutor across jobs. Disable to pay the seed's
+  /// per-job thread-group spawn/teardown (cold baseline).
+  bool reuse_engines = true;
+
+  /// Tile size for jobs that leave JobSpec::tile_size at 0.
+  int default_tile = 16;
+  /// Inner blocking width passed to the tile kernels (0 = unblocked).
+  la::index_t inner_block = 0;
+
+  /// Modeled GPUs in the planning platform (0-3, the paper's node).
+  int gpus = 3;
+};
+
+class QrService {
+ public:
+  explicit QrService(const ServiceConfig& config = {});
+  /// Closes the queue, drains accepted jobs, joins the lanes.
+  ~QrService();
+
+  QrService(const QrService&) = delete;
+  QrService& operator=(const QrService&) = delete;
+
+  /// Submits a job. Blocks when the queue is full under Admission::kBlock;
+  /// under kReject the returned future resolves immediately with
+  /// JobStatus::kRejected. Throws tqr::Error after shutdown began.
+  std::future<JobResult> submit(JobSpec spec);
+
+  /// Blocks until every accepted job has completed.
+  void drain();
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const { return config_; }
+  const sim::Platform& platform() const { return platform_; }
+
+ private:
+  struct LaneEngine;  // hides runtime::DagExecutor from this header
+
+  void lane_main(int lane);
+  JobResult process(LaneEngine& engine, int lane, PendingJob job);
+
+  ServiceConfig config_;
+  sim::Platform platform_;
+  std::uint64_t platform_hash_ = 0;
+
+  Timer clock_;
+  JobQueue queue_;
+  PlanCache plan_cache_;
+  WorkspacePool workspace_pool_;
+  LatencyRecorder latency_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_drained_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0,
+                submitted_ = 0;
+  bool closed_ = false;
+
+  std::vector<std::thread> lanes_;
+};
+
+}  // namespace tqr::svc

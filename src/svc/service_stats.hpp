@@ -1,0 +1,89 @@
+// Aggregate service telemetry: latency percentiles + counters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "svc/job_queue.hpp"
+#include "svc/plan_cache.hpp"
+#include "svc/workspace_pool.hpp"
+
+namespace tqr::svc {
+
+/// Bounded reservoir of completed-job latencies. Keeps the most recent
+/// `window` samples (ring buffer), so percentiles reflect current traffic
+/// rather than the whole service lifetime.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t window = 8192) : window_(window) {
+    samples_.reserve(window_);
+  }
+
+  void record(double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.size() < window_) {
+      samples_.push_back(seconds);
+    } else {
+      samples_[next_] = seconds;
+    }
+    next_ = (next_ + 1) % window_;
+    ++count_;
+  }
+
+  /// p in [0, 1]; nearest-rank over the retained window. 0 when empty.
+  double percentile_s(double p) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+  double mean_s() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  std::uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+ private:
+  const std::size_t window_;
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// One consistent snapshot of everything the service tracks.
+struct ServiceStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;  // status kOk
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_expired = 0;
+
+  double uptime_s = 0;
+  /// Completed jobs per second of uptime.
+  double jobs_per_s = 0;
+
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double mean_ms = 0;
+
+  int lanes = 0;
+  JobQueue::Stats queue;
+  PlanCache::Stats plan_cache;
+  WorkspacePool::Stats workspace;
+};
+
+}  // namespace tqr::svc

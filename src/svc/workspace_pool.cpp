@@ -1,0 +1,83 @@
+#include "svc/workspace_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::svc {
+
+void WorkspacePool::Lease::release() {
+  if (pool_ && ws_) pool_->release(std::move(ws_));
+  pool_ = nullptr;
+  ws_.reset();
+}
+
+WorkspacePool::WorkspacePool(std::size_t max_retained_bytes)
+    : max_retained_bytes_(max_retained_bytes) {}
+
+WorkspacePool::Lease WorkspacePool::acquire(la::index_t rows, la::index_t cols,
+                                            la::index_t b) {
+  TQR_REQUIRE(rows > 0 && cols > 0 && b > 0 && rows % b == 0 && cols % b == 0,
+              "workspace dimensions must be positive tile multiples");
+  const ShapeKey key{rows, cols, b};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = by_shape_.find(key);
+    if (it != by_shape_.end() && !it->second.empty()) {
+      auto free_it = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) by_shape_.erase(it);
+      std::unique_ptr<Workspace> ws = std::move(free_it->ws);
+      stats_.bytes_retained -= ws->bytes();
+      free_.erase(free_it);
+      ++stats_.reused;
+      ++stats_.outstanding;
+      return Lease(this, std::move(ws));
+    }
+    ++stats_.allocated;
+    ++stats_.outstanding;
+  }
+  // Allocate outside the lock; TiledMatrix zero-fills, which is the bulk of
+  // the cost being amortized.
+  auto ws = std::make_unique<Workspace>(
+      Workspace{la::TiledMatrix<double>(rows, cols, b),
+                la::TiledMatrix<double>(rows, cols, b),
+                la::TiledMatrix<double>(rows, cols, b)});
+  return Lease(this, std::move(ws));
+}
+
+void WorkspacePool::release(std::unique_ptr<Workspace> ws) {
+  const std::size_t bytes = ws->bytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  --stats_.outstanding;
+  if (bytes > max_retained_bytes_) {  // covers the pooling-disabled case (0)
+    ++stats_.dropped;
+    return;
+  }
+  const ShapeKey key{ws->rows(), ws->cols(), ws->tile_size()};
+  free_.push_front(FreeEntry{key, std::move(ws)});
+  by_shape_[key].push_front(free_.begin());
+  stats_.bytes_retained += bytes;
+
+  while (stats_.bytes_retained > max_retained_bytes_ && !free_.empty()) {
+    auto victim = std::prev(free_.end());
+    auto& shape_list = by_shape_[victim->key];
+    shape_list.remove(victim);
+    if (shape_list.empty()) by_shape_.erase(victim->key);
+    stats_.bytes_retained -= victim->ws->bytes();
+    free_.erase(victim);
+    ++stats_.dropped;
+  }
+}
+
+WorkspacePool::Stats WorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WorkspacePool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+  by_shape_.clear();
+  stats_.bytes_retained = 0;
+}
+
+}  // namespace tqr::svc

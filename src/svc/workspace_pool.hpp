@@ -1,0 +1,120 @@
+// Recycling pool for factorization tile workspaces.
+//
+// One QR job needs three tile-grid allocations of rows x cols doubles: the
+// matrix tiles plus the two block-reflector planes (tg, te). In steady state
+// a service sees the same few shapes over and over, so the pool keeps
+// returned workspaces on a free list keyed by (rows, cols, tile) and hands
+// them back on the next acquire — eliminating the allocate/zero/fault cost
+// from the hot path. Retained bytes are capped; over the cap the
+// least-recently-returned workspace is dropped (shapes that fell out of the
+// traffic mix release their memory).
+//
+// Recycled storage is *not* cleared: a job fully overwrites the matrix tiles
+// when it loads its input, and the Q-replay only reads reflector tiles the
+// factorization's own tasks wrote, so stale tg/te content is never observed.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "la/tiled_matrix.hpp"
+
+namespace tqr::svc {
+
+class WorkspacePool {
+ public:
+  /// Tile storage for one factorization job.
+  struct Workspace {
+    la::TiledMatrix<double> a;   // matrix tiles (input, then factors)
+    la::TiledMatrix<double> tg;  // geqrt block reflectors
+    la::TiledMatrix<double> te;  // elimination block reflectors
+
+    la::index_t rows() const { return a.rows(); }
+    la::index_t cols() const { return a.cols(); }
+    la::index_t tile_size() const { return a.tile_size(); }
+    std::size_t bytes() const {
+      return 3 * static_cast<std::size_t>(a.rows()) * a.cols() *
+             sizeof(double);
+    }
+  };
+
+  /// RAII handle; returns the workspace to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(WorkspacePool* pool, std::unique_ptr<Workspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease() { release(); }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        ws_ = std::move(other.ws_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Workspace& operator*() { return *ws_; }
+    Workspace* operator->() { return ws_.get(); }
+    explicit operator bool() const { return ws_ != nullptr; }
+
+   private:
+    void release();
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<Workspace> ws_;
+  };
+
+  /// max_retained_bytes caps memory parked on the free lists (leased
+  /// workspaces are not counted). 0 disables recycling entirely: every
+  /// acquire allocates and every release frees — the cold-allocation
+  /// baseline the serve bench compares against.
+  explicit WorkspacePool(std::size_t max_retained_bytes);
+
+  /// Hands out a workspace for a rows x cols grid with tile size b,
+  /// recycled when a matching one is parked, freshly allocated otherwise.
+  Lease acquire(la::index_t rows, la::index_t cols, la::index_t b);
+
+  struct Stats {
+    std::uint64_t allocated = 0;  // fresh workspace builds
+    std::uint64_t reused = 0;     // acquires served from the free list
+    std::uint64_t dropped = 0;    // releases discarded over the byte cap
+    std::size_t bytes_retained = 0;
+    std::size_t outstanding = 0;  // leases currently held
+  };
+  Stats stats() const;
+
+  /// Frees everything parked on the free lists.
+  void trim();
+
+ private:
+  friend class Lease;
+  struct ShapeKey {
+    la::index_t rows, cols, b;
+    auto operator<=>(const ShapeKey&) const = default;
+  };
+  struct FreeEntry {
+    ShapeKey key;
+    std::unique_ptr<Workspace> ws;
+  };
+
+  void release(std::unique_ptr<Workspace> ws);
+
+  const std::size_t max_retained_bytes_;
+  mutable std::mutex mutex_;
+  /// Front = most recently returned; eviction pops from the back.
+  std::list<FreeEntry> free_;
+  std::map<ShapeKey, std::list<std::list<FreeEntry>::iterator>> by_shape_;
+  Stats stats_;
+};
+
+}  // namespace tqr::svc

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/error.hpp"
 #include "dag/tiled_qr_dag.hpp"
@@ -152,6 +154,117 @@ TEST(DagExecutor, InvalidOptionsRejected) {
                    g, [](task_id, const Task&) { return 0; },
                    [](task_id, const Task&, int) {}, opts),
                tqr::InvalidArgument);
+}
+
+TEST(DagExecutorEngine, SuccessiveGraphsOnOneEngine) {
+  DagExecutor::Options opts;
+  opts.num_devices = 2;
+  opts.threads_per_device = {2, 2};
+  DagExecutor engine(opts);
+  EXPECT_EQ(engine.num_devices(), 2);
+  for (int round = 0; round < 4; ++round) {
+    dag::TaskGraph g = dag::build_tiled_qr_graph(3 + round % 2, 3,
+                                                 Elimination::kTt);
+    std::vector<std::atomic<int>> ran(g.size());
+    engine.execute(
+        g, [](task_id t, const Task&) { return t % 2; },
+        [&](task_id t, const Task&, int) { ran[t].fetch_add(1); });
+    for (std::size_t t = 0; t < g.size(); ++t)
+      EXPECT_EQ(ran[t].load(), 1) << "round " << round;
+  }
+  EXPECT_EQ(engine.runs_completed(), 4u);
+}
+
+TEST(DagExecutorEngine, ReusesTheSameThreads) {
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  opts.threads_per_device = {1};
+  DagExecutor engine(opts);
+  std::set<std::thread::id> ids;
+  std::mutex m;
+  for (int round = 0; round < 3; ++round) {
+    dag::TaskGraph g = chain(4);
+    engine.execute(
+        g, [](task_id, const Task&) { return 0; },
+        [&](task_id, const Task&, int) {
+          std::lock_guard<std::mutex> lock(m);
+          ids.insert(std::this_thread::get_id());
+        });
+  }
+  // A resident engine must not respawn its device group between runs.
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(DagExecutorEngine, SurvivesKernelExceptionAndRunsAgain) {
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  DagExecutor engine(opts);
+  dag::TaskGraph g = chain(5);
+  EXPECT_THROW(engine.execute(
+                   g, [](task_id, const Task&) { return 0; },
+                   [](task_id t, const Task&, int) {
+                     if (t == 2) throw tqr::Error("boom");
+                   }),
+               tqr::Error);
+  // The engine stays usable after a failed run.
+  std::atomic<int> ran{0};
+  engine.execute(
+      g, [](task_id, const Task&) { return 0; },
+      [&](task_id, const Task&, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 5);
+  EXPECT_EQ(engine.runs_completed(), 1u);  // failed run does not count
+}
+
+TEST(DagExecutorEngine, ConcurrentExecuteCallsSerialize) {
+  DagExecutor::Options opts;
+  opts.num_devices = 2;
+  DagExecutor engine(opts);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  auto body = [&] {
+    dag::TaskGraph g = chain(8);
+    engine.execute(
+        g, [](task_id, const Task&) { return 0; },
+        [&](task_id, const Task&, int) {
+          if (inside.fetch_add(1) > 0) overlapped.store(true);
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          inside.fetch_sub(1);
+        });
+  };
+  std::thread a(body), b(body);
+  a.join();
+  b.join();
+  // chain() serializes its own tasks, so any overlap means two runs were
+  // live on the engine at once.
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(engine.runs_completed(), 2u);
+}
+
+TEST(DagExecutorEngine, EmptyGraphNoOp) {
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  DagExecutor engine(opts);
+  Builder b(1, 1);
+  dag::TaskGraph g = std::move(b).build();
+  const double secs = engine.execute(
+      g, [](task_id, const Task&) { return 0; },
+      [](task_id, const Task&, int) {});
+  EXPECT_GE(secs, 0.0);
+  EXPECT_EQ(engine.runs_completed(), 0u);
+}
+
+TEST(DagExecutorEngine, TracePerRunIsIndependent) {
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  DagExecutor engine(opts);
+  Trace first, second;
+  dag::TaskGraph g = chain(6);
+  auto noop = [](task_id, const Task&, int) {};
+  auto aff = [](task_id, const Task&) { return 0; };
+  engine.execute(g, aff, noop, &first);
+  engine.execute(g, aff, noop, &second);
+  EXPECT_EQ(first.events().size(), 6u);
+  EXPECT_EQ(second.events().size(), 6u);
 }
 
 TEST(Trace, BusyAccounting) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -62,6 +64,59 @@ TEST(ThreadPool, DestructorDrainsCleanly) {
     pool.wait_idle();
   }
   EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, DestructorRunsJobsStillQueued) {
+  // The shutdown contract: jobs accepted before shutdown began are executed,
+  // not discarded, even when the destructor fires while they are queued.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    // Jam the single worker so the remaining submits stay queued.
+    pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    });
+    for (int i = 0; i < 16; ++i) pool.submit([&] { counter.fetch_add(1); });
+  }  // destructor must drain all 16 before joining
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.submit([] {});
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), tqr::Error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&] { counter.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a double-join
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, NestedSubmitDuringDrainThrows) {
+  // A draining job that re-submits after shutdown began must get the same
+  // refusal an external caller would — queued work cannot grow unboundedly
+  // during teardown. The job keeps submitting until shutdown catches up.
+  std::atomic<bool> nested_threw{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      for (int i = 0; i < 500 && !nested_threw.load(); ++i) {
+        try {
+          pool.submit([] {});
+        } catch (const tqr::Error&) {
+          nested_threw.store(true);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }  // destructor begins shutdown while the job is still spinning
+  EXPECT_TRUE(nested_threw.load());
 }
 
 }  // namespace

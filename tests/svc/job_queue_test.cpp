@@ -1,0 +1,122 @@
+#include "svc/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tqr::svc {
+namespace {
+
+PendingJob make_job(std::uint64_t id) {
+  PendingJob job;
+  job.id = id;
+  return job;
+}
+
+TEST(JobQueue, PushPopRoundTrip) {
+  JobQueue q(4, Admission::kBlock);
+  EXPECT_EQ(q.push(make_job(7)), PushResult::kAccepted);
+  auto job = q.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, 7u);
+}
+
+TEST(JobQueue, RejectPolicyBouncesWhenFull) {
+  JobQueue q(2, Admission::kReject);
+  EXPECT_EQ(q.push(make_job(1)), PushResult::kAccepted);
+  EXPECT_EQ(q.push(make_job(2)), PushResult::kAccepted);
+  EXPECT_EQ(q.push(make_job(3)), PushResult::kRejected);
+  EXPECT_EQ(q.stats().rejected, 1u);
+  // Popping frees a slot; admission resumes.
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_EQ(q.push(make_job(4)), PushResult::kAccepted);
+}
+
+TEST(JobQueue, BlockPolicyWaitsForRoom) {
+  JobQueue q(1, Admission::kBlock);
+  EXPECT_EQ(q.push(make_job(1)), PushResult::kAccepted);
+  std::atomic<bool> second_admitted{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(make_job(2)), PushResult::kAccepted);
+    second_admitted.store(true);
+  });
+  // The producer must be parked until we pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_admitted.load());
+  EXPECT_TRUE(q.pop().has_value());
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  EXPECT_GE(q.stats().blocked_pushes, 1u);
+}
+
+TEST(JobQueue, CloseDrainsThenStops) {
+  JobQueue q(4, Admission::kBlock);
+  q.push(make_job(1));
+  q.push(make_job(2));
+  q.close();
+  EXPECT_EQ(q.push(make_job(3)), PushResult::kClosed);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // drained: no block after close
+}
+
+TEST(JobQueue, CloseUnblocksBlockedProducer) {
+  JobQueue q(1, Admission::kBlock);
+  EXPECT_EQ(q.push(make_job(1)), PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(make_job(2)), PushResult::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+}
+
+TEST(JobQueue, CloseUnblocksBlockedConsumer) {
+  JobQueue q(1, Admission::kBlock);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(JobQueue, HighWaterTracksPeakDepth) {
+  JobQueue q(8, Admission::kBlock);
+  for (int i = 0; i < 5; ++i) q.push(make_job(i));
+  for (int i = 0; i < 5; ++i) q.pop();
+  const auto s = q.stats();
+  EXPECT_EQ(s.high_water, 5u);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_EQ(s.accepted, 5u);
+}
+
+TEST(JobQueue, ZeroCapacityRejected) {
+  EXPECT_THROW(JobQueue(0, Admission::kBlock), tqr::InvalidArgument);
+}
+
+TEST(JobQueue, ManyProducersManyConsumers) {
+  JobQueue q(4, Admission::kBlock);
+  constexpr int kProducers = 4, kPerProducer = 32;
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_EQ(q.push(make_job(p * 100 + i)), PushResult::kAccepted);
+    });
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c)
+    consumers.emplace_back([&] {
+      while (q.pop().has_value()) popped.fetch_add(1);
+    });
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace tqr::svc

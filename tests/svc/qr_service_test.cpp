@@ -1,0 +1,208 @@
+#include "svc/qr_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/error.hpp"
+#include "la/checks.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::svc {
+namespace {
+
+JobSpec spec_for(la::index_t rows, la::index_t cols, std::uint64_t seed,
+                 bool residual = true) {
+  JobSpec spec;
+  spec.a = la::Matrix<double>::random(rows, cols, seed);
+  spec.compute_residual = residual;
+  return spec;
+}
+
+bool upper_triangular(const la::Matrix<double>& r) {
+  for (la::index_t i = 0; i < r.rows(); ++i)
+    for (la::index_t j = 0; j < i && j < r.cols(); ++j)
+      if (r(i, j) != 0.0) return false;
+  return true;
+}
+
+TEST(QrService, SingleJobFactorsCorrectly) {
+  QrService service;
+  auto result = service.submit(spec_for(96, 96, 11)).get();
+  ASSERT_EQ(result.status, JobStatus::kOk) << result.error;
+  EXPECT_EQ(result.rows, 96);
+  EXPECT_EQ(result.cols, 96);
+  EXPECT_EQ(result.r.rows(), 96);
+  EXPECT_EQ(result.r.cols(), 96);
+  EXPECT_TRUE(upper_triangular(result.r));
+  EXPECT_GE(result.residual, 0.0);
+  EXPECT_LT(result.residual, la::residual_tolerance<double>(96));
+  EXPECT_GE(result.lane, 0);
+  EXPECT_GT(result.exec_s, 0.0);
+  EXPECT_GE(result.total_s, result.exec_s);
+}
+
+TEST(QrService, TallSkinnyAndNonTileAlignedShapes) {
+  QrService service;
+  // 100x60 is not a multiple of the default tile (16): exercises padding.
+  auto tall = service.submit(spec_for(128, 64, 3)).get();
+  auto ragged = service.submit(spec_for(100, 60, 4)).get();
+  ASSERT_EQ(tall.status, JobStatus::kOk) << tall.error;
+  ASSERT_EQ(ragged.status, JobStatus::kOk) << ragged.error;
+  EXPECT_EQ(tall.r.rows(), 64);
+  EXPECT_EQ(ragged.r.rows(), 60);
+  EXPECT_LT(tall.residual, la::residual_tolerance<double>(128));
+  EXPECT_LT(ragged.residual, la::residual_tolerance<double>(100));
+}
+
+TEST(QrService, RepeatedShapeHitsPlanCache) {
+  QrService service;
+  auto first = service.submit(spec_for(96, 96, 1, false)).get();
+  service.drain();
+  auto second = service.submit(spec_for(96, 96, 2, false)).get();
+  ASSERT_EQ(first.status, JobStatus::kOk);
+  ASSERT_EQ(second.status, JobStatus::kOk);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+  const auto s = service.stats();
+  EXPECT_GE(s.plan_cache.hits, 1u);
+  EXPECT_EQ(s.jobs_completed, 2u);
+}
+
+TEST(QrService, WideMatrixFails) {
+  QrService service;
+  auto result = service.submit(spec_for(32, 64, 5, false)).get();
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_FALSE(result.error.empty());
+  // A failed job must not poison the lane for the next one.
+  auto ok = service.submit(spec_for(64, 64, 6, false)).get();
+  EXPECT_EQ(ok.status, JobStatus::kOk) << ok.error;
+}
+
+TEST(QrService, ExpiredDeadlineSkipsFactorization) {
+  ServiceConfig config;
+  config.lanes = 1;
+  QrService service(config);
+  // Occupy the single lane with a large job, then enqueue one whose
+  // queue deadline cannot survive the wait.
+  auto big = service.submit(spec_for(256, 256, 7, true));
+  JobSpec doomed = spec_for(64, 64, 8, false);
+  doomed.queue_deadline_s = 1e-9;
+  auto result = service.submit(std::move(doomed)).get();
+  EXPECT_EQ(result.status, JobStatus::kExpired);
+  EXPECT_EQ(result.r.rows(), 0);
+  EXPECT_EQ(big.get().status, JobStatus::kOk);
+  EXPECT_EQ(service.stats().jobs_expired, 1u);
+}
+
+TEST(QrService, RejectAdmissionResolvesFutureImmediately) {
+  ServiceConfig config;
+  config.lanes = 1;
+  config.queue_capacity = 1;
+  config.admission = Admission::kReject;
+  QrService service(config);
+  // Fill the lane and the queue, then overflow.
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 8; ++i)
+    futures.push_back(service.submit(spec_for(192, 192, 20 + i, false)));
+  int rejected = 0, ok = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    (r.status == JobStatus::kRejected ? rejected : ok)++;
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(service.stats().jobs_rejected,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(QrService, DrainWaitsForAllAccepted) {
+  QrService service;
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 6; ++i)
+    futures.push_back(service.submit(spec_for(96, 96, 30 + i, false)));
+  service.drain();
+  const auto s = service.stats();
+  EXPECT_EQ(s.jobs_completed, 6u);
+  EXPECT_EQ(s.queue.depth, 0u);
+  for (auto& f : futures)
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+}
+
+TEST(QrService, StatsTrackLatencyAndThroughput) {
+  QrService service;
+  for (int i = 0; i < 4; ++i)
+    service.submit(spec_for(96, 96, 40 + i, false));
+  service.drain();
+  const auto s = service.stats();
+  EXPECT_EQ(s.jobs_submitted, 4u);
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_GE(s.p95_ms, s.p50_ms);
+  EXPECT_GT(s.jobs_per_s, 0.0);
+  EXPECT_GT(s.uptime_s, 0.0);
+  EXPECT_EQ(s.lanes, service.config().lanes);
+}
+
+TEST(QrService, ColdConfigDisablesCacheAndReuse) {
+  ServiceConfig config;
+  config.plan_cache_enabled = false;
+  config.workspace_max_bytes = 0;
+  config.reuse_engines = false;
+  QrService service(config);
+  auto a = service.submit(spec_for(96, 96, 50, true)).get();
+  auto b = service.submit(spec_for(96, 96, 51, true)).get();
+  ASSERT_EQ(a.status, JobStatus::kOk) << a.error;
+  ASSERT_EQ(b.status, JobStatus::kOk) << b.error;
+  EXPECT_LT(a.residual, la::residual_tolerance<double>(96));
+  EXPECT_FALSE(a.plan_cache_hit);
+  EXPECT_FALSE(b.plan_cache_hit);
+  const auto s = service.stats();
+  EXPECT_EQ(s.plan_cache.hits, 0u);
+  EXPECT_EQ(s.workspace.reused, 0u);
+}
+
+TEST(QrService, DestructorDrainsAcceptedJobs) {
+  std::vector<std::future<JobResult>> futures;
+  {
+    QrService service;
+    for (int i = 0; i < 4; ++i)
+      futures.push_back(service.submit(spec_for(96, 96, 60 + i, false)));
+  }  // ~QrService must complete every accepted job before returning
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().status, JobStatus::kOk);
+  }
+}
+
+TEST(QrService, InvalidConfigRejected) {
+  ServiceConfig bad_lanes;
+  bad_lanes.lanes = 0;
+  EXPECT_THROW(QrService{bad_lanes}, tqr::InvalidArgument);
+  ServiceConfig bad_tile;
+  bad_tile.default_tile = 0;
+  EXPECT_THROW(QrService{bad_tile}, tqr::InvalidArgument);
+}
+
+TEST(QrService, TsEliminationJobsWork) {
+  QrService service;
+  JobSpec spec = spec_for(128, 128, 70, true);
+  spec.elim = dag::Elimination::kTs;
+  auto result = service.submit(std::move(spec)).get();
+  ASSERT_EQ(result.status, JobStatus::kOk) << result.error;
+  EXPECT_LT(result.residual, la::residual_tolerance<double>(128));
+}
+
+TEST(QrService, ExplicitTileSizeOverridesDefault) {
+  QrService service;
+  JobSpec spec = spec_for(96, 96, 80, true);
+  spec.tile_size = 32;
+  auto result = service.submit(std::move(spec)).get();
+  ASSERT_EQ(result.status, JobStatus::kOk) << result.error;
+  EXPECT_EQ(result.tile_size, 32);
+  EXPECT_LT(result.residual, la::residual_tolerance<double>(96));
+}
+
+}  // namespace
+}  // namespace tqr::svc

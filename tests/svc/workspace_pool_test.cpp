@@ -1,0 +1,111 @@
+#include "svc/workspace_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tqr::svc {
+namespace {
+
+constexpr std::size_t kMB = std::size_t{1} << 20;
+
+TEST(WorkspacePool, AcquireAllocatesCorrectShapes) {
+  WorkspacePool pool(64 * kMB);
+  auto ws = pool.acquire(64, 32, 16);
+  EXPECT_EQ(ws->a.rows(), 64);
+  EXPECT_EQ(ws->a.cols(), 32);
+  EXPECT_EQ(ws->tg.tile_size(), 16);
+  EXPECT_EQ(ws->te.rows(), 64);
+  EXPECT_EQ(pool.stats().allocated, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+}
+
+TEST(WorkspacePool, ReleaseThenAcquireRecycles) {
+  WorkspacePool pool(64 * kMB);
+  double* data = nullptr;
+  {
+    auto ws = pool.acquire(64, 64, 16);
+    data = ws->a.tile_data(0, 0);
+  }
+  EXPECT_GT(pool.stats().bytes_retained, 0u);
+  auto ws = pool.acquire(64, 64, 16);
+  EXPECT_EQ(ws->a.tile_data(0, 0), data);  // same storage came back
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().allocated, 1u);
+}
+
+TEST(WorkspacePool, MismatchedShapeAllocatesFresh) {
+  WorkspacePool pool(64 * kMB);
+  { auto ws = pool.acquire(64, 64, 16); }
+  auto ws = pool.acquire(128, 64, 16);
+  EXPECT_EQ(pool.stats().reused, 0u);
+  EXPECT_EQ(pool.stats().allocated, 2u);
+}
+
+TEST(WorkspacePool, ByteCapDropsOverflow) {
+  // One 64x64 double workspace = 3 * 64*64*8 = 96 KiB. Cap at ~one.
+  // Both leases must be live at once so two allocations exist; releasing
+  // the second pushes retained bytes over the cap.
+  WorkspacePool pool(100 * 1024);
+  {
+    auto a = pool.acquire(64, 64, 16);
+    auto b = pool.acquire(64, 64, 16);
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.allocated, 2u);
+  EXPECT_EQ(s.dropped, 1u);
+  EXPECT_LE(s.bytes_retained, 100u * 1024u);
+}
+
+TEST(WorkspacePool, ZeroCapDisablesRecycling) {
+  WorkspacePool pool(0);
+  { auto ws = pool.acquire(64, 64, 16); }
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  auto ws = pool.acquire(64, 64, 16);
+  EXPECT_EQ(pool.stats().reused, 0u);
+  EXPECT_EQ(pool.stats().allocated, 2u);
+}
+
+TEST(WorkspacePool, TrimFreesParkedMemory) {
+  WorkspacePool pool(64 * kMB);
+  { auto ws = pool.acquire(64, 64, 16); }
+  EXPECT_GT(pool.stats().bytes_retained, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().bytes_retained, 0u);
+  // Next acquire is a fresh allocation.
+  auto ws = pool.acquire(64, 64, 16);
+  EXPECT_EQ(pool.stats().reused, 0u);
+}
+
+TEST(WorkspacePool, LeaseMoveTransfersOwnership) {
+  WorkspacePool pool(64 * kMB);
+  auto a = pool.acquire(64, 64, 16);
+  WorkspacePool::Lease b = std::move(a);
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+}
+
+TEST(WorkspacePool, InvalidShapeRejected) {
+  WorkspacePool pool(64 * kMB);
+  EXPECT_THROW(pool.acquire(60, 64, 16), tqr::InvalidArgument);
+  EXPECT_THROW(pool.acquire(0, 64, 16), tqr::InvalidArgument);
+}
+
+TEST(WorkspacePool, OversizedWorkspaceDroppedNotParked) {
+  // Cap (200 KiB) holds a 64x64 workspace (96 KiB) but not a 128x128 one
+  // (384 KiB): the small one stays parked, the big one is dropped outright.
+  WorkspacePool pool(200 * 1024);
+  { auto a = pool.acquire(64, 64, 16); }
+  { auto b = pool.acquire(128, 128, 16); }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.dropped, 1u);
+  EXPECT_EQ(s.bytes_retained, 3u * 64u * 64u * sizeof(double));
+  // The parked 64x64 is still recyclable.
+  auto c = pool.acquire(64, 64, 16);
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+}  // namespace
+}  // namespace tqr::svc

@@ -37,6 +37,11 @@ set -e
 "$TQR" plan --size 640 | grep -q "memory estimates" || fail "plan"
 "$TQR" plan --size 1280 --nodes 2 | grep -q "GTX680" || fail "cluster plan"
 
+# serve: small trace through the resident service, JSON and table output.
+"$TQR" serve --jobs 96x96:4,128x64:2 --lanes 2 --residual \
+  | grep -q "6 ok, 0 failed" || fail "serve table"
+"$TQR" serve --jobs 96x96:4 --json | grep -q '"hit_rate"' || fail "serve json"
+
 # usage errors exit 1.
 set +e
 "$TQR" bogus > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "unknown command exit"

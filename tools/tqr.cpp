@@ -5,12 +5,16 @@
 //   tqr solve    --in A.mtx --rhs b.mtx --out x.mtx [--tile 16] [--refine 1]
 //   tqr simulate --size 3200 [--tile 16] [--gpus 3] [--nodes 1] [--fixed-p N]
 //   tqr plan     --size 3200 [--tile 16] [--gpus 3]
+//   tqr serve    --jobs 256x256:16,512x256:4 [--lanes 2] [--json]
 //
 // Matrix files: *.mtx = MatrixMarket dense array; anything else = tiledqr
 // binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+#include <future>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -20,6 +24,7 @@
 #include "la/checks.hpp"
 #include "la/generators.hpp"
 #include "la/io.hpp"
+#include "svc/qr_service.hpp"
 
 namespace {
 
@@ -269,6 +274,165 @@ int cmd_plan(int argc, char** argv) {
   return 0;
 }
 
+struct TraceShape {
+  la::index_t rows, cols;
+  int count;
+};
+
+/// Parses a job trace spec "ROWSxCOLS:COUNT[,ROWSxCOLS:COUNT...]",
+/// e.g. "256x256:16,512x256:4".
+std::vector<TraceShape> parse_trace(const std::string& spec) {
+  std::vector<TraceShape> shapes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t x = item.find('x');
+    const std::size_t colon = item.find(':', x == std::string::npos ? 0 : x);
+    if (x == std::string::npos)
+      throw InvalidArgument("bad trace item '" + item +
+                            "' (expected ROWSxCOLS[:COUNT])");
+    TraceShape s;
+    s.rows = static_cast<la::index_t>(std::stol(item.substr(0, x)));
+    s.cols = static_cast<la::index_t>(
+        std::stol(item.substr(x + 1, colon - x - 1)));
+    s.count = colon == std::string::npos
+                  ? 1
+                  : static_cast<int>(std::stol(item.substr(colon + 1)));
+    TQR_REQUIRE(s.rows > 0 && s.cols > 0 && s.count > 0,
+                "trace shapes and counts must be positive");
+    shapes.push_back(s);
+    pos = comma + 1;
+  }
+  TQR_REQUIRE(!shapes.empty(), "empty job trace");
+  return shapes;
+}
+
+int cmd_serve(int argc, char** argv) {
+  Cli cli;
+  cli.flag("jobs", "trace: ROWSxCOLS:COUNT[,...]", "256x256:16,512x256:4");
+  cli.flag("lanes", "concurrent execution lanes", "2");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("gpus", "GPUs in the modeled node (0-3)", "3");
+  cli.flag("queue", "job queue capacity", "64");
+  cli.flag("admission", "block|reject", "block");
+  cli.flag("residual", "verify ||A - Q R||/||A|| per job (slower)");
+  cli.flag("no-cache", "disable the plan cache");
+  cli.flag("no-reuse", "tear down executors between jobs");
+  cli.flag("seed", "rng seed", "1");
+  cli.flag("json", "emit stats as JSON instead of tables");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto shapes =
+      parse_trace(cli.get_string("jobs", "256x256:16,512x256:4"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool residual = cli.get_bool("residual", false);
+  const bool json = cli.get_bool("json", false);
+
+  svc::ServiceConfig config;
+  config.lanes = static_cast<int>(cli.get_int("lanes", 2));
+  config.default_tile = static_cast<int>(cli.get_int("tile", 16));
+  config.gpus = static_cast<int>(cli.get_int("gpus", 3));
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue", 64));
+  const std::string admission = cli.get_string("admission", "block");
+  if (admission == "reject") {
+    config.admission = svc::Admission::kReject;
+  } else if (admission != "block") {
+    throw InvalidArgument("unknown --admission '" + admission + "'");
+  }
+  if (cli.get_bool("no-cache", false)) config.plan_cache_enabled = false;
+  if (cli.get_bool("no-reuse", false)) config.reuse_engines = false;
+  const dag::Elimination elim = parse_elim(cli.get_string("elim", "tt"));
+
+  svc::QrService service(config);
+  std::vector<std::future<svc::JobResult>> futures;
+  // Interleave the trace round-robin so repeats of a shape are separated —
+  // the pattern the plan cache must absorb.
+  std::uint64_t job_seed = seed;
+  for (int round = 0;; ++round) {
+    bool any = false;
+    for (const auto& s : shapes) {
+      if (round >= s.count) continue;
+      any = true;
+      svc::JobSpec spec;
+      spec.a = la::Matrix<double>::random(s.rows, s.cols, job_seed++);
+      spec.elim = elim;
+      spec.compute_residual = residual;
+      futures.push_back(service.submit(std::move(spec)));
+    }
+    if (!any) break;
+  }
+  service.drain();
+
+  int ok = 0, failed = 0, rejected = 0, expired = 0;
+  double worst_residual = -1;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    switch (r.status) {
+      case svc::JobStatus::kOk: ++ok; break;
+      case svc::JobStatus::kFailed: ++failed; break;
+      case svc::JobStatus::kRejected: ++rejected; break;
+      case svc::JobStatus::kExpired: ++expired; break;
+    }
+    if (r.residual > worst_residual) worst_residual = r.residual;
+    if (r.status == svc::JobStatus::kFailed)
+      std::fprintf(stderr, "job %llu failed: %s\n",
+                   static_cast<unsigned long long>(r.id), r.error.c_str());
+  }
+
+  const auto s = service.stats();
+  if (json) {
+    std::printf(
+        "{\"jobs\": {\"submitted\": %llu, \"ok\": %d, \"failed\": %d, "
+        "\"rejected\": %d, \"expired\": %d},\n"
+        " \"throughput_jobs_per_s\": %.3f, \"uptime_s\": %.4f,\n"
+        " \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"mean\": %.3f},\n"
+        " \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"hit_rate\": %.4f},\n"
+        " \"workspace\": {\"allocated\": %llu, \"reused\": %llu},\n"
+        " \"queue\": {\"high_water\": %llu, \"blocked_pushes\": %llu},\n"
+        " \"worst_residual\": %.3e}\n",
+        static_cast<unsigned long long>(s.jobs_submitted), ok, failed,
+        rejected, expired, s.jobs_per_s, s.uptime_s, s.p50_ms, s.p95_ms,
+        s.mean_ms, static_cast<unsigned long long>(s.plan_cache.hits),
+        static_cast<unsigned long long>(s.plan_cache.misses),
+        s.plan_cache.hit_rate(),
+        static_cast<unsigned long long>(s.workspace.allocated),
+        static_cast<unsigned long long>(s.workspace.reused),
+        static_cast<unsigned long long>(s.queue.high_water),
+        static_cast<unsigned long long>(s.queue.blocked_pushes),
+        worst_residual);
+    return failed > 0 ? 2 : 0;
+  }
+
+  std::printf("served %llu jobs on %d lanes: %d ok, %d failed, %d rejected, "
+              "%d expired\n",
+              static_cast<unsigned long long>(s.jobs_submitted), s.lanes, ok,
+              failed, rejected, expired);
+  std::printf("throughput      %.2f jobs/s over %.3f s\n", s.jobs_per_s,
+              s.uptime_s);
+  std::printf("latency         p50 %.2f ms, p95 %.2f ms, mean %.2f ms\n",
+              s.p50_ms, s.p95_ms, s.mean_ms);
+  std::printf("plan cache      %llu hits / %llu misses (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(s.plan_cache.hits),
+              static_cast<unsigned long long>(s.plan_cache.misses),
+              100.0 * s.plan_cache.hit_rate());
+  std::printf("workspaces      %llu allocated, %llu reused, %.1f MB retained\n",
+              static_cast<unsigned long long>(s.workspace.allocated),
+              static_cast<unsigned long long>(s.workspace.reused),
+              s.workspace.bytes_retained / 1048576.0);
+  std::printf("queue           high water %llu / %zu, %llu blocked pushes\n",
+              static_cast<unsigned long long>(s.queue.high_water),
+              config.queue_capacity,
+              static_cast<unsigned long long>(s.queue.blocked_pushes));
+  if (residual && worst_residual >= 0)
+    std::printf("worst residual  %.3e\n", worst_residual);
+  return failed > 0 ? 2 : 0;
+}
+
 void usage() {
   std::printf(
       "usage: tqr <command> [flags]\n"
@@ -278,6 +442,7 @@ void usage() {
       "  solve     least-squares solve A x = b\n"
       "  simulate  simulate a factorization on the modeled platform\n"
       "  plan      show scheduling decisions (Algorithms 2-4) and memory\n"
+      "  serve     run a QR job trace through the resident service\n"
       "run `tqr <command> --help` for per-command flags\n");
 }
 
@@ -295,6 +460,7 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(argc - 1, argv + 1);
     if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (cmd == "plan") return cmd_plan(argc - 1, argv + 1);
+    if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
     usage();
     return 1;
   } catch (const tqr::InvalidArgument& e) {
