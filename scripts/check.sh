@@ -4,6 +4,8 @@
 # queue, plan cache, and service stress tests are exactly the code where a
 # data race would hide from the functional suite.
 # Usage: scripts/check.sh [build-dir]
+# Extra cmake cache flags (e.g. -DTQR_MICROKERNEL_SCALAR=ON for the scalar
+# micro-kernel leg in CI) can be passed via CMAKE_EXTRA_FLAGS.
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
@@ -12,7 +14,8 @@ BUILD_DIR="${1:-$REPO_DIR/build-tsan}"
 cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  ${CMAKE_EXTRA_FLAGS:-} > /dev/null
 cmake --build "$BUILD_DIR" -j --target test_runtime test_svc
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"

@@ -50,4 +50,17 @@ for b in "${BENCHES[@]}"; do
   }
 done
 
-echo "wrote $SUMMARY and per-bench CSVs in $OUT_DIR/"
+# Refresh the committed micro-kernel perf baseline. kernels_gbench --json
+# reports per-kernel GFLOP/s plus the packed-vs-naive GEMM speedup; the
+# checked-in BENCH_kernels.json is the reference point for perf regressions.
+KB="$REPO_DIR/$BUILD_DIR/bench/kernels_gbench"
+if [[ -x "$KB" ]]; then
+  echo "=== kernels_gbench (json) ===" | tee -a "$SUMMARY"
+  "$KB" --json $QUICK --out "$REPO_DIR/BENCH_kernels.json" >> "$SUMMARY" 2>&1 || {
+    echo "(kernels_gbench exited nonzero)" >> "$SUMMARY"
+  }
+else
+  echo "skipping kernels_gbench (not built)" | tee -a "$SUMMARY"
+fi
+
+echo "wrote $SUMMARY, BENCH_kernels.json, and per-bench CSVs in $OUT_DIR/"

@@ -1,21 +1,23 @@
 // Small BLAS-like kernel layer, written from scratch.
 //
-// These are straightforward cache-friendly loops, not a tuned BLAS: they are
-// the functional substrate under the tile kernels; performance in the paper's
-// evaluation is reproduced by the device timing model in src/sim, not by the
-// host flop rate. Loop orders are chosen for column-major locality (j-k-i for
-// gemm). All routines validate shapes with TQR_REQUIRE.
+// Two tiers share one interface: straightforward cache-friendly loops
+// (gemm_naive and the vector/triangular routines) and the packed
+// register-tiled SIMD engine in la/microkernel.hpp. gemm dispatches between
+// them by problem size — the loops win below the packing-amortization
+// threshold, the engine runs near hardware FLOP rates above it — and
+// trmm_left splits recursively so its off-diagonal bulk also flows through
+// gemm. Loop orders are chosen for column-major locality (j-k-i for gemm).
+// All routines validate shapes with TQR_REQUIRE.
 #pragma once
 
 #include <cmath>
+#include <type_traits>
 
+#include "la/blas_types.hpp"
 #include "la/matrix.hpp"
+#include "la/microkernel.hpp"
 
 namespace tqr::la {
-
-enum class Trans { kNoTrans, kTrans };
-enum class UpLo { kUpper, kLower };
-enum class Diag { kUnit, kNonUnit };
 
 /// y += alpha * x (vectors expressed as n x 1 views).
 template <typename T>
@@ -53,10 +55,12 @@ T nrm2(ConstMatrixView<T> x) {
   return scale * std::sqrt(ssq);
 }
 
-/// C = alpha * op(A) * op(B) + beta * C.
+/// C = alpha * op(A) * op(B) + beta * C via the loop-based path. Kept public
+/// (not just as a gemm fallback) so equivalence tests and benches can compare
+/// the micro-kernel engine against it regardless of the dispatch threshold.
 template <typename T>
-void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
-          ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+void gemm_naive(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+                ConstMatrixView<T> b, T beta, MatrixView<T> c) {
   const index_t m = c.rows, n = c.cols;
   const index_t k = (ta == Trans::kNoTrans) ? a.cols : a.rows;
   TQR_REQUIRE(((ta == Trans::kNoTrans) ? a.rows : a.cols) == m,
@@ -107,12 +111,34 @@ void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
   }
 }
 
-/// B = op(A) * B with A triangular (left side). In-place.
+/// C = alpha * op(A) * op(B) + beta * C. Dispatches to the packed
+/// register-tiled engine (la/microkernel.hpp) above the size threshold where
+/// packing amortizes; small problems keep the branch-light loops. In scalar
+/// micro-kernel builds (TQR_MK_SCALAR / non-GNU compilers) everything stays
+/// on the loops: without SIMD the packing overhead has no payoff and the
+/// compiler autovectorizes the naive j-k-i loop better.
 template <typename T>
-void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
-               MatrixView<T> b) {
+void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  if constexpr (mk::vectorized() &&
+                (std::is_same_v<T, float> || std::is_same_v<T, double>)) {
+    const index_t k = (ta == Trans::kNoTrans) ? a.cols : a.rows;
+    if (alpha != T(0) && mk::use_packed(c.rows, c.cols, k)) {
+      mk::gemm_packed<T>(ta, tb, alpha, a, b, beta, c);
+      return;
+    }
+  }
+  gemm_naive<T>(ta, tb, alpha, a, b, beta, c);
+}
+
+namespace detail {
+
+/// Base-case triangular multiply: the original in-place loops. Only reads
+/// the stored triangle of `a` (plus the diagonal when non-unit).
+template <typename T>
+void trmm_left_small(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+                     MatrixView<T> b) {
   const index_t m = b.rows, n = b.cols;
-  TQR_REQUIRE(a.rows == m && a.cols == m, "trmm_left: A must be m x m");
   const bool unit = (diag == Diag::kUnit);
 
   // op(A) is effectively lower triangular when (lower, no-trans) or
@@ -138,6 +164,51 @@ void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
         b(i, j) = acc;
       }
     }
+  }
+}
+
+}  // namespace detail
+
+/// B = op(A) * B with A triangular (left side). In-place.
+///
+/// Above a small base size the triangle is split 2x2 and the off-diagonal
+/// rectangular half flows through gemm (and thus the packed micro-kernel):
+/// for effective-lower op(A), B2 = op(A)22 B2 + op(A)21 B1 with B1 still
+/// unmodified, then B1 = op(A)11 B1; effective-upper mirrors it top-down.
+template <typename T>
+void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+               MatrixView<T> b) {
+  const index_t m = b.rows, n = b.cols;
+  TQR_REQUIRE(a.rows == m && a.cols == m, "trmm_left: A must be m x m");
+  constexpr index_t kTrmmBase = 32;
+  if (m <= kTrmmBase || n == 0) {
+    detail::trmm_left_small<T>(uplo, trans, diag, a, b);
+    return;
+  }
+  const index_t m1 = m / 2, m2 = m - m1;
+  auto b1 = b.block(0, 0, m1, n);
+  auto b2 = b.block(m1, 0, m2, n);
+  const bool effective_lower = (uplo == UpLo::kLower) == (trans == Trans::kNoTrans);
+  if (effective_lower) {
+    trmm_left<T>(uplo, trans, diag, a.block(m1, m1, m2, m2), b2);
+    // op(A)21 is A21 (no-trans, lower) or A12^T (trans, upper).
+    if (trans == Trans::kNoTrans)
+      gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), a.block(m1, 0, m2, m1),
+              b1, T(1), b2);
+    else
+      gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), a.block(0, m1, m1, m2),
+              b1, T(1), b2);
+    trmm_left<T>(uplo, trans, diag, a.block(0, 0, m1, m1), b1);
+  } else {
+    trmm_left<T>(uplo, trans, diag, a.block(0, 0, m1, m1), b1);
+    // op(A)12 is A12 (no-trans, upper) or A21^T (trans, lower).
+    if (trans == Trans::kNoTrans)
+      gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), a.block(0, m1, m1, m2),
+              b2, T(1), b1);
+    else
+      gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), a.block(m1, 0, m2, m1),
+              b2, T(1), b1);
+    trmm_left<T>(uplo, trans, diag, a.block(m1, m1, m2, m2), b2);
   }
 }
 

@@ -96,9 +96,28 @@ void geqrt(MatrixView<T> a, MatrixView<T> t) {
   }
 }
 
+/// Below this reflector-block width the compact-WY applies use the original
+/// fused element loops: the structured (trmm/gemm) formulation pays extra
+/// temporaries and copies that only amortize once the products are big
+/// enough for the packed micro-kernel to dominate.
+inline constexpr index_t kWyFusedMax = 32;
+
 /// Applies the Q of a geqrt-factored tile to C from the left.
 /// `v` is the factored tile (m x k, reflectors below the diagonal),
 /// `t` its block reflector factor (k x k). trans == kTrans applies Q^T.
+///
+/// For k > kWyFusedMax the three compact-WY steps are expressed on V's
+/// structure — V = [V1; V2] with V1 unit lower triangular (k x k) and V2
+/// dense ((m-k) x k) — so the dense bulk runs as gemm (micro-kernel
+/// eligible) and the triangular parts as trmm, instead of branchy element
+/// loops:
+///   W  = V1^T C1        (unit-lower trmm on a copy of C1)
+///   W += V2^T C2        (gemm)
+///   W  = op(Tf) W       (upper trmm)
+///   C1 -= V1 W          (unit-lower trmm on a copy of W)
+///   C2 -= V2 W          (gemm)
+/// trmm only reads the stored triangle, so the R factor above V's diagonal is
+/// never touched.
 template <typename T>
 void unmqr(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
            Trans trans) {
@@ -106,29 +125,54 @@ void unmqr(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
   TQR_REQUIRE(v.rows == m, "unmqr: V/C row mismatch");
   TQR_REQUIRE(t.rows >= k && t.cols >= k, "unmqr: T factor too small");
 
-  // W = V^T C, with V unit lower trapezoidal (garbage above diagonal of the
-  // stored tile must be ignored).
+  if (k <= kWyFusedMax) {
+    // Fused small path: W = V^T C with V unit lower trapezoidal (garbage
+    // above the diagonal of the stored tile must be ignored).
+    Matrix<T> w(k, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p) {
+        T acc = c(p, j);
+        for (index_t i = p + 1; i < m; ++i) acc += v(i, p) * c(i, j);
+        w(p, j) = acc;
+      }
+    trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
+                                                        : Trans::kTrans,
+                 Diag::kNonUnit, t.block(0, 0, k, k), w.view());
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < k; ++p) {
+        const T wpj = w(p, j);
+        if (wpj == T(0)) continue;
+        c(p, j) -= wpj;
+        for (index_t i = p + 1; i < m; ++i) c(i, j) -= v(i, p) * wpj;
+      }
+    return;
+  }
+
+  const auto v1 = v.block(0, 0, k, k);
+  auto c1 = c.block(0, 0, k, n);
+
+  // W = V1^T C1 + V2^T C2.
   Matrix<T> w(k, n);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t p = 0; p < k; ++p) {
-      T acc = c(p, j);
-      for (index_t i = p + 1; i < m; ++i) acc += v(i, p) * c(i, j);
-      w(p, j) = acc;
-    }
+  copy<T>(c1, w.view());
+  trmm_left<T>(UpLo::kLower, Trans::kTrans, Diag::kUnit, v1, w.view());
+  if (m > k)
+    gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), v.block(k, 0, m - k, k),
+            c.block(k, 0, m - k, n), T(1), w.view());
 
   // W = op(Tf) W. Q uses Tf, Q^T uses Tf^T.
   trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
                                                       : Trans::kTrans,
                Diag::kNonUnit, t.block(0, 0, k, k), w.view());
 
-  // C -= V W.
+  // C1 -= V1 W, C2 -= V2 W.
+  Matrix<T> v1w(k, n);
+  copy<T>(w.view(), v1w.view());
+  trmm_left<T>(UpLo::kLower, Trans::kNoTrans, Diag::kUnit, v1, v1w.view());
   for (index_t j = 0; j < n; ++j)
-    for (index_t p = 0; p < k; ++p) {
-      const T wpj = w(p, j);
-      if (wpj == T(0)) continue;
-      c(p, j) -= wpj;
-      for (index_t i = p + 1; i < m; ++i) c(i, j) -= v(i, p) * wpj;
-    }
+    for (index_t i = 0; i < k; ++i) c1(i, j) -= v1w(i, j);
+  if (m > k)
+    gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(-1), v.block(k, 0, m - k, k),
+            w.view(), T(1), c.block(k, 0, m - k, n));
 }
 
 /// TS (triangle-on-top-of-square) QR: factors [R1; A2] where R1 (b x b) is
@@ -256,27 +300,49 @@ void ttmqr(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
               "ttmqr: tiles must be b x b / b x n");
   TQR_REQUIRE(t.rows >= b && t.cols >= b, "ttmqr: T factor too small");
 
-  // W = C1 + V2^T C2 with V2 upper triangular (support rows 0..j in col j).
-  Matrix<T> w(b, n);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t p = 0; p < b; ++p) {
-      T acc = c1(p, j);
-      for (index_t i = 0; i <= p; ++i) acc += v2(i, p) * c2(i, j);
-      w(p, j) = acc;
+  if (b <= kWyFusedMax) {
+    // Fused small path over V2's triangular support (rows 0..j in col j).
+    Matrix<T> w(b, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t p = 0; p < b; ++p) {
+        T acc = c1(p, j);
+        for (index_t i = 0; i <= p; ++i) acc += v2(i, p) * c2(i, j);
+        w(p, j) = acc;
+      }
+    trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
+                                                        : Trans::kTrans,
+                 Diag::kNonUnit, t.block(0, 0, b, b), w.view());
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < b; ++i) c1(i, j) -= w(i, j);
+      for (index_t i = 0; i < b; ++i) {
+        T acc = T(0);
+        for (index_t p = i; p < b; ++p) acc += v2(i, p) * w(p, j);
+        c2(i, j) -= acc;
+      }
     }
+    return;
+  }
+
+  // W = C1 + V2^T C2 with V2 upper triangular (support rows 0..j in col j):
+  // a triangular multiply on a copy of C2, so the blocked trmm (gemm-bound
+  // off the diagonal) does the O(b^2 n) work.
+  Matrix<T> w(b, n);
+  copy<T>(c2, w.view());
+  trmm_left<T>(UpLo::kUpper, Trans::kTrans, Diag::kNonUnit, v2, w.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < b; ++i) w(i, j) += c1(i, j);
 
   trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
                                                       : Trans::kTrans,
                Diag::kNonUnit, t.block(0, 0, b, b), w.view());
 
   // [C1; C2] -= [I; V2] W, with V2 upper triangular.
+  Matrix<T> v2w(b, n);
+  copy<T>(w.view(), v2w.view());
+  trmm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, v2, v2w.view());
   for (index_t j = 0; j < n; ++j) {
     for (index_t i = 0; i < b; ++i) c1(i, j) -= w(i, j);
-    for (index_t i = 0; i < b; ++i) {
-      T acc = T(0);
-      for (index_t p = i; p < b; ++p) acc += v2(i, p) * w(p, j);
-      c2(i, j) -= acc;
-    }
+    for (index_t i = 0; i < b; ++i) c2(i, j) -= v2w(i, j);
   }
 }
 

@@ -10,7 +10,11 @@
 //
 // These are layered on the verified unblocked kernels in kernels.hpp: block
 // s is factored with geqrt/tsqrt on a sub-view and applied with
-// unmqr/tsmqr, so the numerical guarantees carry over. Inner blocking is
+// unmqr/tsmqr, so the numerical guarantees carry over. Since the compact-WY
+// applies in kernels.hpp route their bulk work through la::gemm (and the
+// triangular parts through trmm_left), the per-block updates here inherit
+// the packed micro-kernel path from la/microkernel.hpp for free once the
+// trailing sub-tile clears the mk::use_packed size threshold. Inner blocking is
 // implemented for the GEQRT/UNMQR and TS kernel families (as in PLASMA);
 // the TT kernels operate on triangles whose blocked reflectors become
 // pentagonal and stay unblocked here.

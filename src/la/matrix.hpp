@@ -13,10 +13,17 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "la/aligned.hpp"
 
 namespace tqr::la {
 
 using index_t = std::int32_t;
+
+/// Owning buffers are 64-byte aligned (la/aligned.hpp) so SIMD loads in the
+/// micro-kernel engine — and any future vector code — start on cache-line
+/// boundaries.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
 template <typename T>
 struct ConstMatrixView;
@@ -148,7 +155,7 @@ class Matrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<T> data_;
+  AlignedVector<T> data_;
 };
 
 /// Copies src into dst (shapes must match).

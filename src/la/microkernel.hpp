@@ -1,0 +1,349 @@
+// Register-tiled, SIMD-vectorized small-GEMM engine (BLIS-style).
+//
+// The loop-based substrate in la/blas.hpp streams whole operands through the
+// cache for every output column; at tile sizes the paper sweeps that leaves
+// the compact-WY applies (UNMQR/TSMQR/TTMQR — the UT/UE steps that dominate
+// the tiled-QR runtime) an order of magnitude below machine FLOP rates. This
+// engine closes that gap the way every production BLAS does:
+//
+//   1. Cache blocking: C is computed in MC x NC panels over KC-deep slices of
+//      the inner dimension, so the packed A panel (MC x KC) lives in L2 and
+//      the packed B micro-panel (KC x NR) lives in L1 while they are reused.
+//   2. Packing: op(A)/op(B) sub-panels are copied once into contiguous,
+//      64-byte-aligned buffers laid out exactly in the order the inner kernel
+//      reads them (MR-row / NR-column interleaved), turning every inner-loop
+//      access into an aligned unit-stride load and absorbing both transpose
+//      cases and the alpha scaling. Ragged fringes are zero-padded so the
+//      micro-kernel never branches on shape.
+//   3. Register tiling: an MR x NR block of C is held entirely in vector
+//      registers across the KC loop — each A/B element loaded from L1/L2 is
+//      used NR/MR times, which is what moves the kernel from memory-bound to
+//      FLOP-bound.
+//
+// The micro-kernel itself is portable: with GCC/Clang vector extensions it
+// compiles to whatever the target ISA offers (SSE2/AVX/AVX-512 chosen at
+// compile time from the -m flags); defining TQR_MK_SCALAR — or building with
+// a compiler without vector extensions — selects a plain scalar inner loop
+// with identical semantics (the equivalence suite runs against both).
+//
+// Threading: the engine is single-threaded by design; parallelism in this
+// codebase lives above the tile kernels (the DAG executor runs many tile
+// kernels concurrently), so each worker thread gets its own packing buffers
+// via thread_local storage.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "la/aligned.hpp"
+#include "la/blas_types.hpp"
+#include "la/matrix.hpp"
+
+#if !defined(TQR_MK_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define TQR_MK_VECTORIZED 1
+#else
+#define TQR_MK_VECTORIZED 0
+#endif
+
+namespace tqr::la::mk {
+
+namespace detail {
+#if TQR_MK_VECTORIZED
+#if defined(__AVX512F__)
+inline constexpr int kVecBytes = 64;
+#elif defined(__AVX__)
+inline constexpr int kVecBytes = 32;
+#else
+inline constexpr int kVecBytes = 16;
+#endif
+#else
+inline constexpr int kVecBytes = static_cast<int>(sizeof(double));
+#endif
+}  // namespace detail
+
+/// Compile-time register-tile shape per scalar type. MR spans the vector
+/// direction (rows, unit stride in column-major C) and covers two vector
+/// registers so the kernel carries 2*NR independent FMA chains — enough to
+/// hide FMA latency on two issue ports; with NR = 6 that is 12 accumulators
+/// plus 2 A vectors and a B broadcast, fitting both the 16-register AVX2
+/// file and the 32-register AVX-512 file.
+template <typename T>
+struct RegisterBlocking {
+  static constexpr int mr = 4;
+  static constexpr int nr = 4;
+};
+template <>
+struct RegisterBlocking<double> {
+  static constexpr int lanes =
+      detail::kVecBytes / static_cast<int>(sizeof(double));
+  static constexpr int mr = lanes > 1 ? 2 * lanes : 8;
+  static constexpr int nr = 6;
+};
+template <>
+struct RegisterBlocking<float> {
+  static constexpr int lanes =
+      detail::kVecBytes / static_cast<int>(sizeof(float));
+  static constexpr int mr = lanes > 1 ? 2 * lanes : 8;
+  static constexpr int nr = 6;
+};
+
+/// Cache-level blocking, runtime-adjustable (tests shrink kc to make
+/// exhaustive fringe sweeps tractable; benches sweep it).
+struct Blocking {
+  index_t kc = 256;  // depth of one packed slice (B micro-panel height, L1)
+  index_t mc = 128;  // rows of the packed A panel (L2 resident)
+  index_t nc = 1024; // columns of the packed B panel (L3 resident)
+};
+
+template <typename T>
+inline Blocking default_blocking() {
+  // Sized for ~48 KiB L1d / 2 MiB L2: A panel mc*kc*sizeof(T) <= ~1/2 L2,
+  // B micro-panel kc*nr*sizeof(T) <= ~1/4 L1d.
+  if constexpr (sizeof(T) <= 4) return Blocking{384, 192, 2048};
+  return Blocking{256, 128, 1024};
+}
+
+/// Dispatch threshold used by la::gemm: below this the packing overhead is
+/// not worth it and the straightforward loops win.
+inline bool use_packed(index_t m, index_t n, index_t k) {
+  if (m < 8 || n < 4 || k < 8) return false;
+  return static_cast<double>(m) * static_cast<double>(n) *
+             static_cast<double>(k) >=
+         4096.0;
+}
+
+/// True when this build's micro-kernel uses SIMD vector extensions (the
+/// scalar fallback is selected by TQR_MK_SCALAR or a non-GNU compiler).
+constexpr bool vectorized() { return TQR_MK_VECTORIZED != 0; }
+
+/// Human-readable ISA the micro-kernel was compiled for (bench metadata).
+const char* isa_name();
+
+namespace detail {
+
+#if TQR_MK_VECTORIZED
+/// may_alias lets us load vectors straight from packed T buffers without
+/// violating strict aliasing.
+template <typename T>
+struct VecOf {
+  static constexpr int lanes = kVecBytes / static_cast<int>(sizeof(T));
+  typedef T type __attribute__((vector_size(kVecBytes), may_alias));
+};
+#endif  // TQR_MK_VECTORIZED
+
+/// Inner kernel: acc(MR x NR, column-major, leading dimension MR) =
+/// Ap * Bp over a KC-deep packed slice. Ap is an MR-row interleaved panel
+/// (element (i, p) at p*MR + i), Bp an NR-column interleaved panel
+/// (element (p, j) at p*NR + j); both are zero-padded to full MR/NR, so the
+/// kernel is branch-free. acc must be kMatrixAlignment-aligned.
+template <typename T>
+inline void micro_kernel(index_t kc, const T* __restrict ap,
+                         const T* __restrict bp, T* __restrict acc) {
+  constexpr int MR = RegisterBlocking<T>::mr;
+  constexpr int NR = RegisterBlocking<T>::nr;
+#if TQR_MK_VECTORIZED
+  using V = typename VecOf<T>::type;
+  constexpr int L = VecOf<T>::lanes;
+  if constexpr (std::is_floating_point_v<T> && MR % L == 0 &&
+                (MR * sizeof(T)) % kVecBytes == 0) {
+    constexpr int MV = MR / L;
+    V c[MV][NR]{};
+#pragma GCC unroll 4
+    for (index_t p = 0; p < kc; ++p) {
+      V av[MV];
+      for (int u = 0; u < MV; ++u)
+        av[u] = *reinterpret_cast<const V*>(ap + p * MR + u * L);
+      for (int j = 0; j < NR; ++j) {
+        const T bs = bp[p * NR + j];
+        for (int u = 0; u < MV; ++u) c[u][j] += av[u] * bs;
+      }
+    }
+    for (int j = 0; j < NR; ++j)
+      for (int u = 0; u < MV; ++u)
+        *reinterpret_cast<V*>(acc + j * MR + u * L) = c[u][j];
+    return;
+  }
+#endif  // TQR_MK_VECTORIZED
+  T c[MR * NR]{};
+  for (index_t p = 0; p < kc; ++p)
+    for (int j = 0; j < NR; ++j) {
+      const T bs = bp[p * NR + j];
+      for (int i = 0; i < MR; ++i) c[j * MR + i] += ap[p * MR + i] * bs;
+    }
+  for (int x = 0; x < MR * NR; ++x) acc[x] = c[x];
+}
+
+/// Packs op(A)(ic:ic+mc, pc:pc+kc) into MR-row interleaved panels, folding in
+/// alpha and zero-padding the last panel to a full MR rows.
+template <typename T>
+void pack_a(T* __restrict dst, ConstMatrixView<T> a, Trans ta, T alpha,
+            index_t ic, index_t pc, index_t mc, index_t kc) {
+  constexpr int MR = RegisterBlocking<T>::mr;
+  const T* const base = a.data;
+  const index_t ld = a.ld;
+  for (index_t ir = 0; ir < mc; ir += MR) {
+    const index_t mr_eff = mc - ir < MR ? mc - ir : MR;
+    T* d = dst + static_cast<std::size_t>(ir) * kc;
+    if (ta == Trans::kNoTrans) {
+      for (index_t p = 0; p < kc; ++p) {
+        const T* col = base + static_cast<std::size_t>(pc + p) * ld + ic + ir;
+        index_t i = 0;
+        for (; i < mr_eff; ++i) d[p * MR + i] = alpha * col[i];
+        for (; i < MR; ++i) d[p * MR + i] = T(0);
+      }
+    } else {
+      for (index_t p = 0; p < kc; ++p) {
+        const T* row = base + static_cast<std::size_t>(ic + ir) * ld + pc + p;
+        index_t i = 0;
+        for (; i < mr_eff; ++i) d[p * MR + i] = alpha * row[i * ld];
+        for (; i < MR; ++i) d[p * MR + i] = T(0);
+      }
+    }
+  }
+}
+
+/// Packs op(B)(pc:pc+kc, jc:jc+nc) into NR-column interleaved panels,
+/// zero-padding the last panel to a full NR columns.
+template <typename T>
+void pack_b(T* __restrict dst, ConstMatrixView<T> b, Trans tb, index_t pc,
+            index_t jc, index_t kc, index_t nc) {
+  constexpr int NR = RegisterBlocking<T>::nr;
+  const T* const base = b.data;
+  const index_t ld = b.ld;
+  for (index_t jr = 0; jr < nc; jr += NR) {
+    const index_t nr_eff = nc - jr < NR ? nc - jr : NR;
+    T* d = dst + static_cast<std::size_t>(jr) * kc;
+    if (tb == Trans::kNoTrans) {
+      for (index_t p = 0; p < kc; ++p) {
+        const T* row = base + static_cast<std::size_t>(jc + jr) * ld + pc + p;
+        index_t j = 0;
+        for (; j < nr_eff; ++j) d[p * NR + j] = row[j * ld];
+        for (; j < NR; ++j) d[p * NR + j] = T(0);
+      }
+    } else {
+      // op(B)(p, j) = B(jc + jr + j, pc + p): unit stride in j.
+      for (index_t p = 0; p < kc; ++p) {
+        const T* col = base + static_cast<std::size_t>(pc + p) * ld + jc + jr;
+        index_t j = 0;
+        for (; j < nr_eff; ++j) d[p * NR + j] = col[j];
+        for (; j < NR; ++j) d[p * NR + j] = T(0);
+      }
+    }
+  }
+}
+
+/// acc (MR-ld column-major) -> C block with the k-slice beta rule:
+/// the first KC slice applies the caller's beta (never reading C when
+/// beta == 0), later slices accumulate.
+template <typename T>
+inline void write_back(const T* __restrict acc, T* __restrict c, index_t ldc,
+                       index_t mr_eff, index_t nr_eff, T beta) {
+  constexpr int MR = RegisterBlocking<T>::mr;
+  if (beta == T(0)) {
+    for (index_t j = 0; j < nr_eff; ++j)
+      for (index_t i = 0; i < mr_eff; ++i)
+        c[j * static_cast<std::size_t>(ldc) + i] = acc[j * MR + i];
+  } else if (beta == T(1)) {
+    for (index_t j = 0; j < nr_eff; ++j)
+      for (index_t i = 0; i < mr_eff; ++i)
+        c[j * static_cast<std::size_t>(ldc) + i] += acc[j * MR + i];
+  } else {
+    for (index_t j = 0; j < nr_eff; ++j)
+      for (index_t i = 0; i < mr_eff; ++i)
+        c[j * static_cast<std::size_t>(ldc) + i] =
+            beta * c[j * static_cast<std::size_t>(ldc) + i] + acc[j * MR + i];
+  }
+}
+
+/// Per-thread packing buffers: each DAG-executor worker drives its own tile
+/// kernels, so the buffers are thread_local and grow to the largest blocking
+/// seen on that thread.
+template <typename T>
+inline std::vector<T, AlignedAllocator<T>>& pack_buffer(int which) {
+  thread_local std::vector<T, AlignedAllocator<T>> buf[2];
+  return buf[which];
+}
+
+}  // namespace detail
+
+/// C = alpha * op(A) * op(B) + beta * C through the packed register-tiled
+/// pipeline. Semantics match la::gemm exactly (including never reading C when
+/// beta == 0); summation order differs, so results agree with the loop-based
+/// path to O(k * eps), not bitwise.
+template <typename T>
+void gemm_packed(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
+                 ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                 const Blocking& bs = default_blocking<T>()) {
+  static_assert(std::is_floating_point_v<T>,
+                "gemm_packed supports float/double");
+  constexpr int MR = RegisterBlocking<T>::mr;
+  constexpr int NR = RegisterBlocking<T>::nr;
+  const index_t m = c.rows, n = c.cols;
+  const index_t k = (ta == Trans::kNoTrans) ? a.cols : a.rows;
+  TQR_REQUIRE(((ta == Trans::kNoTrans) ? a.rows : a.cols) == m,
+              "gemm_packed: A/C row mismatch");
+  TQR_REQUIRE(((tb == Trans::kNoTrans) ? b.rows : b.cols) == k,
+              "gemm_packed: inner dimension mismatch");
+  TQR_REQUIRE(((tb == Trans::kNoTrans) ? b.cols : b.rows) == n,
+              "gemm_packed: B/C column mismatch");
+  TQR_REQUIRE(bs.kc > 0 && bs.mc > 0 && bs.nc > 0,
+              "gemm_packed: blocking must be positive");
+
+  if (alpha == T(0) || k == 0) {
+    // Pure C scaling; keep the beta == 0 no-read contract.
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < m; ++i)
+        c(i, j) = (beta == T(0)) ? T(0) : beta * c(i, j);
+    return;
+  }
+
+  auto round_up = [](index_t x, index_t q) { return (x + q - 1) / q * q; };
+  auto& abuf = detail::pack_buffer<T>(0);
+  auto& bbuf = detail::pack_buffer<T>(1);
+  abuf.resize(static_cast<std::size_t>(round_up(std::min(bs.mc, m), MR)) *
+              bs.kc);
+  bbuf.resize(static_cast<std::size_t>(round_up(std::min(bs.nc, n), NR)) *
+              bs.kc);
+
+  alignas(kMatrixAlignment) T acc[MR * NR];
+  for (index_t jc = 0; jc < n; jc += bs.nc) {
+    const index_t nc_eff = std::min(bs.nc, n - jc);
+    for (index_t pc = 0; pc < k; pc += bs.kc) {
+      const index_t kc_eff = std::min(bs.kc, k - pc);
+      detail::pack_b<T>(bbuf.data(), b, tb, pc, jc, kc_eff, nc_eff);
+      const T beta_eff = (pc == 0) ? beta : T(1);
+      for (index_t ic = 0; ic < m; ic += bs.mc) {
+        const index_t mc_eff = std::min(bs.mc, m - ic);
+        detail::pack_a<T>(abuf.data(), a, ta, alpha, ic, pc, mc_eff, kc_eff);
+        for (index_t jr = 0; jr < nc_eff; jr += NR) {
+          const index_t nr_eff = std::min<index_t>(NR, nc_eff - jr);
+          const T* bp = bbuf.data() + static_cast<std::size_t>(jr) * kc_eff;
+          for (index_t ir = 0; ir < mc_eff; ir += MR) {
+            const index_t mr_eff = std::min<index_t>(MR, mc_eff - ir);
+            detail::micro_kernel<T>(
+                kc_eff, abuf.data() + static_cast<std::size_t>(ir) * kc_eff,
+                bp, acc);
+            detail::write_back<T>(
+                acc,
+                c.data + static_cast<std::size_t>(jc + jr) * c.ld + (ic + ir),
+                c.ld, mr_eff, nr_eff, beta_eff);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Compiled in microkernel.cpp for the supported scalar types; downstream
+// translation units link instead of re-instantiating the whole engine.
+extern template void gemm_packed<float>(Trans, Trans, float,
+                                        ConstMatrixView<float>,
+                                        ConstMatrixView<float>, float,
+                                        MatrixView<float>, const Blocking&);
+extern template void gemm_packed<double>(Trans, Trans, double,
+                                         ConstMatrixView<double>,
+                                         ConstMatrixView<double>, double,
+                                         MatrixView<double>, const Blocking&);
+
+}  // namespace tqr::la::mk

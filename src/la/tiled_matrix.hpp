@@ -93,7 +93,10 @@ class TiledMatrix {
 
  private:
   index_t rows_ = 0, cols_ = 0, b_ = 0, mt_ = 0, nt_ = 0;
-  std::vector<T> data_;
+  // Aligned so tile(0, 0) starts on a cache line; tiles whose footprint is a
+  // multiple of kMatrixAlignment (any b with b*b*sizeof(T) % 64 == 0, e.g.
+  // every even tile size for doubles) all start aligned.
+  AlignedVector<T> data_;
 };
 
 /// Embeds `a` into the smallest (ceil to tile) padded matrix. The pad block

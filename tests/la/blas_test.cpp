@@ -255,5 +255,188 @@ TEST(SyrkLower, ShapeMismatchRejected) {
       InvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate / edge cases for the dispatching routines, pinned against plain
+// reference triple loops: k = 0, alpha = 0, beta in {0, 1, other}, 1x1, and
+// sub-views with non-unit leading dimension. These are the shapes where a
+// fast path (packed gemm, blocked trmm) could silently diverge from the
+// loop-based semantics.
+// ---------------------------------------------------------------------------
+
+struct DegenerateCase {
+  index_t m, n, k;
+  double alpha, beta;
+};
+
+class GemmDegenerate : public ::testing::TestWithParam<DegenerateCase> {};
+
+TEST_P(GemmDegenerate, MatchesScaledReference) {
+  const auto p = GetParam();
+  auto a = Matrix<double>::random(p.m, p.k, 41);
+  auto b = Matrix<double>::random(p.k, p.n, 42);
+  const auto c0 = Matrix<double>::random(p.m, p.n, 43);
+  Matrix<double> c = c0;
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, p.alpha, a.view(), b.view(),
+               p.beta, c.view());
+  for (index_t j = 0; j < p.n; ++j)
+    for (index_t i = 0; i < p.m; ++i) {
+      double acc = 0;
+      for (index_t q = 0; q < p.k; ++q) acc += a(i, q) * b(q, j);
+      const double want = p.alpha * acc + p.beta * c0(i, j);
+      EXPECT_NEAR(c(i, j), want, 1e-11) << i << "," << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, GemmDegenerate,
+    ::testing::Values(DegenerateCase{3, 4, 0, 1.0, 0.5},   // k = 0
+                      DegenerateCase{5, 2, 0, 1.0, 0.0},   // k = 0, beta = 0
+                      DegenerateCase{4, 4, 4, 0.0, 2.0},   // alpha = 0
+                      DegenerateCase{1, 1, 1, 2.0, 3.0},   // 1x1
+                      DegenerateCase{1, 7, 5, -1.0, 1.0},  // single row
+                      DegenerateCase{7, 1, 5, 1.0, 0.0},   // single column
+                      DegenerateCase{33, 29, 31, 1.5, 1.0}));  // packed path
+
+TEST(GemmDegenerate, SubviewsWithNonUnitLd) {
+  // All operands are interior blocks of larger matrices; the halo of C must
+  // survive untouched for both the naive and the packed path.
+  for (index_t s : {5, 40}) {  // below and above the dispatch threshold
+    auto abig = Matrix<double>::random(s + 9, s + 6, 51);
+    auto bbig = Matrix<double>::random(s + 4, s + 8, 52);
+    auto cbig = Matrix<double>::random(s + 7, s + 5, 53);
+    const Matrix<double> csnap = cbig;
+    const auto a = ConstMatrixView<double>(abig.view()).block(2, 3, s, s);
+    const auto b = ConstMatrixView<double>(bbig.view()).block(1, 4, s, s);
+    auto c = cbig.view().block(3, 2, s, s);
+    gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a, b, 1.0, c);
+    for (index_t j = 0; j < s; ++j)
+      for (index_t i = 0; i < s; ++i) {
+        double acc = 0;
+        for (index_t q = 0; q < s; ++q) acc += a(i, q) * b(q, j);
+        EXPECT_NEAR(c(i, j), acc + csnap(3 + i, 2 + j), 1e-11 * s);
+      }
+    for (index_t j = 0; j < cbig.cols(); ++j)
+      for (index_t i = 0; i < cbig.rows(); ++i)
+        if (!(i >= 3 && i < 3 + s && j >= 2 && j < 2 + s))
+          ASSERT_EQ(cbig(i, j), csnap(i, j));
+  }
+}
+
+TEST(TrmmDegenerate, OneByOneAndSubview) {
+  // 1x1 triangle.
+  Matrix<double> a1(1, 1), b1(1, 1);
+  a1(0, 0) = 3.0;
+  b1(0, 0) = 2.0;
+  trmm_left<double>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, a1.view(),
+                    b1.view());
+  EXPECT_DOUBLE_EQ(b1(0, 0), 6.0);
+  b1(0, 0) = 2.0;
+  trmm_left<double>(UpLo::kUpper, Trans::kNoTrans, Diag::kUnit, a1.view(),
+                    b1.view());
+  EXPECT_DOUBLE_EQ(b1(0, 0), 2.0);
+
+  // Sub-view with non-unit ld, m large enough for the blocked split.
+  const index_t m = 80, n = 6;
+  auto abig = Matrix<double>::random(m + 5, m + 5, 61);
+  auto bbig = Matrix<double>::random(m + 8, n + 3, 62);
+  const Matrix<double> bsnap = bbig;
+  const auto a = ConstMatrixView<double>(abig.view()).block(2, 2, m, m);
+  auto b = bbig.view().block(4, 1, m, n);
+  trmm_left<double>(UpLo::kLower, Trans::kNoTrans, Diag::kUnit, a, b);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) {
+      double acc = bsnap(4 + i, 1 + j);  // unit diagonal
+      for (index_t q = 0; q < i; ++q) acc += a(i, q) * bsnap(4 + q, 1 + j);
+      ASSERT_NEAR(b(i, j), acc, 1e-10) << i << "," << j;
+    }
+  for (index_t j = 0; j < bbig.cols(); ++j)
+    for (index_t i = 0; i < bbig.rows(); ++i)
+      if (!(i >= 4 && i < 4 + m && j >= 1 && j < 1 + n))
+        ASSERT_EQ(bbig(i, j), bsnap(i, j));
+}
+
+TEST(TrmmDegenerate, BlockedMatchesSmallAcrossSizes) {
+  // The recursive split must agree with the base-case loops for every
+  // uplo/trans/diag at sizes straddling the split threshold, and must only
+  // read the stored triangle (the other triangle is poisoned with NaN).
+  for (index_t m : {31, 32, 33, 64, 97}) {
+    for (auto uplo : {UpLo::kUpper, UpLo::kLower})
+      for (auto trans : {Trans::kNoTrans, Trans::kTrans})
+        for (auto diag : {Diag::kUnit, Diag::kNonUnit}) {
+          auto a = Matrix<double>::random(m, m, 71);
+          for (index_t j = 0; j < m; ++j)
+            for (index_t i = 0; i < m; ++i) {
+              const bool stored = (uplo == UpLo::kUpper) ? (i <= j) : (i >= j);
+              if (!stored)
+                a(i, j) = std::numeric_limits<double>::quiet_NaN();
+            }
+          auto b0 = Matrix<double>::random(m, 5, 72);
+          Matrix<double> got = b0;
+          trmm_left<double>(uplo, trans, diag, a.view(), got.view());
+          // Reference: explicit dense triangular product.
+          Matrix<double> tri(m, m);
+          for (index_t j = 0; j < m; ++j)
+            for (index_t i = 0; i < m; ++i) {
+              const bool keep = (uplo == UpLo::kUpper) ? (i <= j) : (i >= j);
+              tri(i, j) = keep ? a(i, j) : 0.0;
+              if (i == j && diag == Diag::kUnit) tri(i, j) = 1.0;
+            }
+          Matrix<double> want(m, 5);
+          gemm_naive<double>(trans, Trans::kNoTrans, 1.0, tri.view(),
+                             b0.view(), 0.0, want.view());
+          for (index_t j = 0; j < 5; ++j)
+            for (index_t i = 0; i < m; ++i)
+              ASSERT_NEAR(got(i, j), want(i, j), 1e-10 * m)
+                  << "m=" << m << " i=" << i << " j=" << j;
+        }
+  }
+}
+
+TEST(TrsmDegenerate, OneByOneAndSubview) {
+  Matrix<double> a1(1, 1), b1(1, 1);
+  a1(0, 0) = 4.0;
+  b1(0, 0) = 2.0;
+  trsm_left<double>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, a1.view(),
+                    b1.view());
+  EXPECT_DOUBLE_EQ(b1(0, 0), 0.5);
+  trsm_right<double>(UpLo::kLower, Trans::kNoTrans, Diag::kNonUnit, a1.view(),
+                     b1.view());
+  EXPECT_DOUBLE_EQ(b1(0, 0), 0.125);
+
+  // trsm_left and trsm_right on interior sub-views round-trip through trmm.
+  const index_t m = 9, n = 7;
+  auto abig = Matrix<double>::random(m + 4, m + 4, 81);
+  for (index_t i = 0; i < m + 4; ++i) abig(i, i) += 4.0;
+  auto bbig = Matrix<double>::random(m + 6, n + 2, 82);
+  const Matrix<double> bsnap = bbig;
+  const auto a = ConstMatrixView<double>(abig.view()).block(1, 1, m, m);
+  auto b = bbig.view().block(2, 1, m, n);
+  Matrix<double> rhs(m, n);
+  copy<double>(ConstMatrixView<double>(b), rhs.view());
+  trsm_left<double>(UpLo::kLower, Trans::kTrans, Diag::kNonUnit, a, b);
+  Matrix<double> back(m, n);
+  copy<double>(ConstMatrixView<double>(b), back.view());
+  trmm_left<double>(UpLo::kLower, Trans::kTrans, Diag::kNonUnit, a,
+                    back.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i)
+      EXPECT_NEAR(back(i, j), rhs(i, j), 1e-9);
+  for (index_t j = 0; j < bbig.cols(); ++j)
+    for (index_t i = 0; i < bbig.rows(); ++i)
+      if (!(i >= 2 && i < 2 + m && j >= 1 && j < 1 + n))
+        ASSERT_EQ(bbig(i, j), bsnap(i, j));
+}
+
+TEST(TrsmRightDegenerate, IdentityOperatorAndZeroRhs) {
+  // Zero RHS against an identity triangle stays exactly zero.
+  Matrix<double> a(3, 3);
+  a.view().set_identity();
+  Matrix<double> b(4, 3);
+  auto bv = b.view().block(0, 0, 4, 3);
+  trsm_right<double>(UpLo::kUpper, Trans::kNoTrans, Diag::kUnit, a.view(), bv);
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 4; ++i) EXPECT_EQ(b(i, j), 0.0);
+}
+
 }  // namespace
 }  // namespace tqr::la

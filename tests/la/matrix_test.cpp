@@ -115,5 +115,19 @@ TEST(Copy, ShapeMismatchThrows) {
   EXPECT_THROW(copy<double>(a.view(), b.view()), InvalidArgument);
 }
 
+TEST(Matrix, OwningStorageIs64ByteAligned) {
+  static_assert(kMatrixAlignment >= 64,
+                "SIMD loads assume at least cache-line alignment");
+  // Odd shapes included: alignment is a property of the allocation, not of
+  // the dimensions.
+  for (index_t r : {1, 7, 16, 33, 128})
+    for (index_t c : {1, 5, 64}) {
+      Matrix<double> m(r, c);
+      EXPECT_TRUE(is_matrix_aligned(m.data())) << r << "x" << c;
+      Matrix<float> f(r, c);
+      EXPECT_TRUE(is_matrix_aligned(f.data()));
+    }
+}
+
 }  // namespace
 }  // namespace tqr::la

@@ -107,5 +107,18 @@ TEST(WorkspacePool, OversizedWorkspaceDroppedNotParked) {
   EXPECT_EQ(pool.stats().reused, 1u);
 }
 
+TEST(WorkspacePool, LeasedTileStorageIsAligned) {
+  // Tile kernels run SIMD loads against leased workspaces, so every plane of
+  // a fresh AND a recycled lease must sit on kMatrixAlignment boundaries.
+  WorkspacePool pool(64u << 20);
+  for (int round = 0; round < 2; ++round) {  // fresh, then recycled
+    auto ws = pool.acquire(64, 32, 16);
+    EXPECT_TRUE(la::is_matrix_aligned(ws->a.tile_data(0, 0)));
+    EXPECT_TRUE(la::is_matrix_aligned(ws->tg.tile_data(0, 0)));
+    EXPECT_TRUE(la::is_matrix_aligned(ws->te.tile_data(0, 0)));
+  }
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
 }  // namespace
 }  // namespace tqr::svc
