@@ -52,12 +52,20 @@ struct RunMetrics {
   double cache_hit_rate = 0;
   std::uint64_t cache_hits = 0, cache_misses = 0;
   std::uint64_t ws_allocated = 0, ws_reused = 0;
+  // Outcome mix; only interesting in fault/deadline mode (strict replays
+  // require every job to come back kOk).
+  int ok = 0, failed = 0, cancelled = 0, expired = 0;
+  std::uint64_t retried = 0, faults = 0;
+  std::uint64_t ws_outstanding = 0;
 };
 
 /// Replays the trace round-robin (shapes interleaved, the pattern a real
 /// queue would see) and returns wall-clock throughput over the replay only.
+/// `proto` carries the per-job policy knobs (deadlines, retries); `strict`
+/// replays require kOk for every job, non-strict ones count the outcomes.
 RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, const svc::JobSpec& proto = {},
+                  bool strict = true) {
   const auto before = service.stats();
   std::vector<std::future<svc::JobResult>> futures;
   Timer wall;
@@ -68,6 +76,10 @@ RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
       any = true;
       svc::JobSpec spec;
       spec.a = la::Matrix<double>::random(s.rows, s.cols, seed++);
+      spec.queue_deadline_s = proto.queue_deadline_s;
+      spec.exec_deadline_s = proto.exec_deadline_s;
+      spec.max_attempts = proto.max_attempts;
+      spec.retry_backoff_s = proto.retry_backoff_s;
       futures.push_back(service.submit(std::move(spec)));
     }
     if (!any) break;
@@ -77,12 +89,23 @@ RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
   m.wall_s = wall.seconds();
   for (auto& f : futures) {
     const auto r = f.get();
-    TQR_REQUIRE(r.status == svc::JobStatus::kOk,
-                "bench job failed: " + r.error);
+    if (strict)
+      TQR_REQUIRE(r.status == svc::JobStatus::kOk,
+                  "bench job failed: " + r.error);
+    switch (r.status) {
+      case svc::JobStatus::kOk: ++m.ok; break;
+      case svc::JobStatus::kFailed: ++m.failed; break;
+      case svc::JobStatus::kCancelled: ++m.cancelled; break;
+      case svc::JobStatus::kExpired: ++m.expired; break;
+      case svc::JobStatus::kRejected: break;
+    }
     ++m.jobs;
   }
   m.jobs_per_s = m.jobs / m.wall_s;
   const auto after = service.stats();
+  m.retried = after.jobs_retried - before.jobs_retried;
+  m.faults = after.faults_injected - before.faults_injected;
+  m.ws_outstanding = after.workspace.outstanding;
   m.p50_ms = after.p50_ms;
   m.p95_ms = after.p95_ms;
   m.cache_hits = after.plan_cache.hits - before.plan_cache.hits;
@@ -122,6 +145,13 @@ int main(int argc, char** argv) try {
   cli.flag("quick", "reduced trace");
   cli.flag("repeats", "replays per mode (best wall-clock wins)", "3");
   cli.flag("seed", "rng seed", "1");
+  cli.flag("fault", "add a faulted replay: none|throw|stall", "none");
+  cli.flag("fault-prob", "chance an eligible task faults [0,1]", "0.02");
+  cli.flag("stall-ms", "stall duration for --fault stall", "20");
+  cli.flag("exec-deadline-ms", "exec deadline for the faulted replay (0=off)",
+           "0");
+  cli.flag("retries", "max attempts per job in the faulted replay", "2");
+  cli.flag("retry-backoff-ms", "pause before retry attempts", "0");
   if (!cli.parse(argc, argv)) return 0;
   const int repeats = static_cast<int>(cli.get_int("repeats", 3));
   TQR_REQUIRE(repeats > 0, "--repeats must be >= 1");
@@ -165,10 +195,40 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // Optional chaos replay: same warm configuration plus fault injection and
+  // per-job deadline/retry policy. Jobs are allowed to fail or cancel; the
+  // section reports the outcome mix and that no workspace leaked.
+  const svc::FaultConfig::Mode fault_mode =
+      svc::parse_fault_mode(cli.get_string("fault", "none"));
+  bool faulted_run = fault_mode != svc::FaultConfig::Mode::kNone;
+  RunMetrics faulted;
+  if (faulted_run) {
+    svc::ServiceConfig fault_cfg = base;
+    fault_cfg.fault.mode = fault_mode;
+    fault_cfg.fault.probability = cli.get_double("fault-prob", 0.02);
+    fault_cfg.fault.stall_s = cli.get_double("stall-ms", 20) * 1e-3;
+    svc::JobSpec proto;
+    proto.exec_deadline_s = cli.get_double("exec-deadline-ms", 0) * 1e-3;
+    proto.max_attempts = static_cast<int>(cli.get_int("retries", 2));
+    proto.retry_backoff_s = cli.get_double("retry-backoff-ms", 0) * 1e-3;
+    svc::QrService service(fault_cfg);
+    faulted = replay(service, trace, seed + 2000, proto, /*strict=*/false);
+  }
+
   std::printf("{\"trace\": \"%s\", \"lanes\": %d, \"tile\": %d,\n",
               spec.c_str(), base.lanes, base.default_tile);
   print_metrics("cold", cold, false);
   print_metrics("warm", warm, false);
+  if (faulted_run)
+    std::printf(
+        " \"faulted\": {\"jobs\": %d, \"ok\": %d, \"failed\": %d, "
+        "\"cancelled\": %d, \"expired\": %d,\n"
+        "   \"retried\": %llu, \"faults_injected\": %llu, \"jobs_per_s\": "
+        "%.2f, \"workspaces_outstanding\": %llu},\n",
+        faulted.jobs, faulted.ok, faulted.failed, faulted.cancelled,
+        faulted.expired, static_cast<unsigned long long>(faulted.retried),
+        static_cast<unsigned long long>(faulted.faults), faulted.jobs_per_s,
+        static_cast<unsigned long long>(faulted.ws_outstanding));
   std::printf(" \"warm_speedup\": %.3f}\n",
               warm.jobs_per_s / cold.jobs_per_s);
   return 0;

@@ -19,8 +19,12 @@ cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
 cmake --build "$BUILD_DIR" -j --target test_runtime test_svc
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+# Per-binary timeout: the cancellation tests park threads on condition
+# variables on purpose — a regression there hangs rather than fails, and a
+# hang must not wedge the gate. Override with TEST_TIMEOUT (seconds).
+TEST_TIMEOUT="${TEST_TIMEOUT:-600}"
 echo "== test_runtime (TSan) =="
-"$BUILD_DIR/tests/test_runtime"
+timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_runtime"
 echo "== test_svc (TSan) =="
-"$BUILD_DIR/tests/test_svc"
+timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_svc"
 echo "check.sh: all concurrency tests passed under ThreadSanitizer"

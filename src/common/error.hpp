@@ -30,6 +30,22 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by runtime::DagExecutor::execute when a run is aborted through a
+/// CancelToken. Distinct from kernel failures: a cancelled run computed
+/// nothing wrong, it was simply told to stop.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+/// A failure the caller may retry (resource pressure, an injected fault, a
+/// flaky accelerator). The service's bounded retry policy re-attempts jobs
+/// that fail with this class only; everything else fails permanently.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);

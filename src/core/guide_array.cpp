@@ -18,9 +18,14 @@ std::vector<std::int64_t> integer_ratio(const std::vector<double>& throughputs,
     max_thr = std::max(max_thr, t);
   }
   std::vector<std::int64_t> ratios(throughputs.size());
-  for (std::size_t i = 0; i < throughputs.size(); ++i)
-    ratios[i] = static_cast<std::int64_t>(
-        std::llround(throughputs[i] / max_thr * quantum));
+  for (std::size_t i = 0; i < throughputs.size(); ++i) {
+    // Clamp to >= 1: every device in `throughputs` is a participant, and a
+    // ratio rounded to 0 would silently drop it from the guide array (it
+    // would never receive an update column despite being scheduled in).
+    ratios[i] = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(throughputs[i] / max_thr * quantum)));
+  }
 
   std::int64_t g = 0;
   for (std::int64_t r : ratios) g = std::gcd(g, r);

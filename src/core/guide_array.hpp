@@ -17,10 +17,11 @@
 namespace tqr::core {
 
 /// Integer ratio from update throughputs. Throughputs are scaled so the
-/// fastest device maps to `quantum` and rounded; zero-rounded devices drop
-/// out of the update distribution (the paper's CPU effectively receives no
-/// columns on its testbed). The result is reduced by its gcd.
-/// `throughputs[i]` must be > 0; returns one ratio per input.
+/// fastest device maps to `quantum` and rounded; every positive throughput
+/// is clamped to a ratio of at least 1, so a slow participant still receives
+/// columns instead of being silently dropped from the distribution. The
+/// result is reduced by its gcd. `throughputs[i]` must be > 0; returns one
+/// ratio per input.
 std::vector<std::int64_t> integer_ratio(const std::vector<double>& throughputs,
                                         int quantum = 12);
 

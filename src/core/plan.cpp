@@ -89,9 +89,9 @@ Plan::Plan(const sim::Platform& platform, std::int32_t mt, std::int32_t nt,
       break;
   }
 
-  // Guard: every device with at least one positive ratio appears; a device
-  // whose ratio rounded to zero simply receives no update columns, which is
-  // the paper's observed CPU behaviour.
+  // Guard: every owner indexes a participant. integer_ratio clamps positive
+  // throughputs to ratio >= 1, so every guide-array participant owns at
+  // least one column per cycle.
   TQR_ASSERT(static_cast<std::int64_t>(column_owner_.size()) == nt,
              "column owner table size mismatch");
   for (int owner : column_owner_)

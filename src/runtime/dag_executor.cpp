@@ -20,6 +20,7 @@ struct RunState {
   const DagExecutor::Affinity& affinity;
   const DagExecutor::Kernel& kernel;
   Trace* trace;
+  CancelToken* cancel = nullptr;
 
   std::uint64_t seq = 0;  // engine run sequence number
 
@@ -37,6 +38,10 @@ struct RunState {
   bool panel_priority = false;
 
   std::atomic<bool> failed{false};
+  /// Set when a CancelToken aborted the run. Workers stop dispatching and
+  /// stop releasing successors, so tasks_left never reaches zero and a
+  /// cancelled run is reported as such, never as a completed one.
+  std::atomic<bool> aborted{false};
   std::mutex error_mutex;
   std::exception_ptr error;
 
@@ -72,34 +77,65 @@ struct RunState {
     queues[dev].cv.notify_one();
   }
 
+  /// Wakes every worker parked on a ready queue. The empty critical section
+  /// before each notify is load-bearing: the wake flags (failed / aborted /
+  /// tasks_left) are atomics written *outside* the queue mutex, so a worker
+  /// can evaluate its wait predicate false, then — before it blocks — the
+  /// flag flips and the bare notify is lost, and the worker sleeps forever.
+  /// Taking the queue mutex first orders the notify after the worker either
+  /// saw the flag or went to sleep.
+  void wake_all_queues() {
+    for (auto& q : queues) {
+      { std::lock_guard<std::mutex> lock(q.mutex); }
+      q.cv.notify_all();
+    }
+  }
+
   void record_failure(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (!error) error = e;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = e;
+    }
     failed.store(true, std::memory_order_release);
-    // Unblock everyone.
-    for (auto& q : queues) q.cv.notify_all();
+    wake_all_queues();
+  }
+
+  /// Latches the abort flag and unblocks everyone; idempotent.
+  void abort_run() {
+    if (aborted.exchange(true, std::memory_order_acq_rel)) return;
+    wake_all_queues();
   }
 
   bool done() const { return tasks_left.load(std::memory_order_acquire) == 0; }
 
-  /// Serves device `dev`'s queue until the run completes or fails.
+  bool stopping() const {
+    return failed.load(std::memory_order_acquire) ||
+           aborted.load(std::memory_order_acquire);
+  }
+
+  /// Serves device `dev`'s queue until the run completes, fails, or aborts.
   void worker(int dev) {
     auto& q = queues[dev];
     for (;;) {
       dag::task_id t = -1;
       {
         std::unique_lock<std::mutex> lock(q.mutex);
-        q.cv.wait(lock, [&] {
-          return !q.ready.empty() || done() ||
-                 failed.load(std::memory_order_acquire);
-        });
-        if (failed.load(std::memory_order_acquire)) return;
+        q.cv.wait(lock, [&] { return !q.ready.empty() || done() || stopping(); });
+        if (stopping()) return;
         if (q.ready.empty()) {
           if (done()) return;
           continue;
         }
         t = q.ready.front();
         q.ready.pop_front();
+      }
+
+      // Task-dispatch boundary: honor an external cancellation request
+      // before starting the kernel. The per-run ready queues die with the
+      // RunState, so anything left in them is implicitly drained.
+      if (cancel && cancel->cancelled()) {
+        abort_run();
+        return;
       }
 
       const dag::Task& task = graph.task(t);
@@ -117,6 +153,15 @@ struct RunState {
       ev.end_s = clock.seconds();
       if (trace) trace->record(ev);
 
+      // A cancel that landed mid-kernel: stop here without releasing
+      // successors, so a partially-executed run can never masquerade as a
+      // completed one.
+      if (aborted.load(std::memory_order_acquire) ||
+          (cancel && cancel->cancelled())) {
+        abort_run();
+        return;
+      }
+
       // Release successors.
       for (auto it = graph.successors_begin(t); it != graph.successors_end(t);
            ++it) {
@@ -124,8 +169,10 @@ struct RunState {
           push_ready(*it);
       }
       if (tasks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        // Last task: wake every device so idle workers can exit.
-        for (auto& other : queues) other.cv.notify_all();
+        // Last task: wake every device so idle workers can exit. Must go
+        // through wake_all_queues() — a bare notify can race a worker that
+        // read tasks_left just before this decrement and is about to block.
+        wake_all_queues();
       }
     }
   }
@@ -212,13 +259,16 @@ std::uint64_t DagExecutor::runs_completed() const {
 
 double DagExecutor::execute(const dag::TaskGraph& graph,
                             const Affinity& affinity, const Kernel& kernel,
-                            Trace* trace) {
+                            Trace* trace, CancelToken* cancel) {
   std::lock_guard<std::mutex> serialize(impl_->execute_mutex);
   if (graph.size() == 0) return 0.0;
+  if (cancel && cancel->cancelled())
+    throw Cancelled("run cancelled before dispatch");
 
   auto run = std::make_shared<RunState>(graph, affinity, kernel, trace,
                                         impl_->num_devices);
   run->panel_priority = impl_->panel_priority;
+  run->cancel = cancel;
   for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
     run->remaining[t].store(graph.indegree(t), std::memory_order_relaxed);
 
@@ -234,18 +284,38 @@ double DagExecutor::execute(const dag::TaskGraph& graph,
   }
   impl_->cv_run.notify_all();
 
+  // A cancel request must rouse workers parked on empty queues *and* this
+  // thread's completion wait; the waker holds the run alive via shared_ptr.
+  if (cancel) {
+    cancel->set_waker([run, impl = impl_.get()] {
+      run->abort_run();
+      { std::lock_guard<std::mutex> lock(impl->mutex); }
+      impl->cv_done.notify_all();
+    });
+  }
+
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->cv_done.wait(lock, [&] {
-      return (run->done() || run->failed.load(std::memory_order_acquire)) &&
+      return (run->done() || run->stopping()) &&
              run->workers_inside.load(std::memory_order_acquire) == 0;
     });
     impl_->current.reset();
-    if (!run->error) ++impl_->completed;  // failed runs don't count
+    // Only clean, fully-executed runs count.
+    if (!run->error && run->done()) ++impl_->completed;
   }
+  if (cancel) cancel->clear_waker();  // blocks out in-flight waker calls
   const double secs = run->clock.seconds();
   if (run->error) std::rethrow_exception(run->error);
-  TQR_ASSERT(run->done(), "executor finished with tasks pending");
+  if (!run->done()) {
+    TQR_ASSERT(run->aborted.load(std::memory_order_acquire),
+               "executor stopped with tasks pending but no abort");
+    throw Cancelled("run cancelled after " +
+                    std::to_string(
+                        graph.size() -
+                        static_cast<std::size_t>(run->tasks_left.load())) +
+                    " of " + std::to_string(graph.size()) + " tasks");
+  }
   return secs;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "dag/graph.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/trace.hpp"
 
 namespace tqr::runtime {
@@ -69,8 +70,18 @@ class DagExecutor {
   /// returns wall-clock seconds. Rethrows the first kernel exception (after
   /// the groups have quiesced); the engine stays usable for the next
   /// execute() afterwards. Thread-safe: concurrent calls are serialized.
+  ///
+  /// `cancel` (optional) makes the run abortable: the token is checked at
+  /// every task-dispatch boundary, and a latched token aborts the run — the
+  /// per-run ready queues are dropped, workers quiesce, and execute() throws
+  /// tqr::Cancelled (distinct from a kernel exception). A request that races
+  /// the final task may still complete normally; a token latched before the
+  /// call throws Cancelled without dispatching anything. The token must
+  /// outlive the call and can be reused after reset(). The engine stays
+  /// usable for the next execute() after a cancelled run.
   double execute(const dag::TaskGraph& graph, const Affinity& affinity,
-                 const Kernel& kernel, Trace* trace = nullptr);
+                 const Kernel& kernel, Trace* trace = nullptr,
+                 CancelToken* cancel = nullptr);
 
   int num_devices() const;
   /// Number of execute() calls that ran to completion (diagnostics).

@@ -5,6 +5,7 @@
 namespace tqr::runtime {
 
 std::vector<double> Trace::busy_per_device(int num_devices) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<double> busy(num_devices, 0.0);
   for (const auto& e : events_)
     if (e.device >= 0 && e.device < num_devices)
@@ -13,6 +14,7 @@ std::vector<double> Trace::busy_per_device(int num_devices) const {
 }
 
 std::vector<double> Trace::busy_per_step() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<double> busy(4, 0.0);
   for (const auto& e : events_)
     busy[static_cast<std::size_t>(dag::step_of(e.op))] += e.end_s - e.start_s;
@@ -20,6 +22,7 @@ std::vector<double> Trace::busy_per_step() const {
 }
 
 std::string Trace::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -37,6 +40,7 @@ std::string Trace::to_chrome_json() const {
 }
 
 std::string Trace::to_csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "task,op,step,device,start_s,end_s\n";
   for (const auto& e : events_) {

@@ -20,7 +20,10 @@ struct TraceEvent {
   double end_s = 0;
 };
 
-/// Thread-safe append-only event collector.
+/// Thread-safe append-only event collector. Readers (events(), the busy
+/// accountings, the CSV/JSON dumps) take the same lock as record(), so they
+/// can run concurrently with an in-flight execution and still see a
+/// consistent snapshot.
 class Trace {
  public:
   void record(const TraceEvent& e) {
@@ -34,8 +37,23 @@ class Trace {
     events_.reserve(n);
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  /// Locked snapshot of the events recorded so far. By value on purpose:
+  /// workers may still be record()ing, so handing out a reference into
+  /// events_ would race both the reader's iteration and vector growth.
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
 
   /// Busy seconds per device id (index = device).
   std::vector<double> busy_per_device(int num_devices) const;

@@ -1,0 +1,80 @@
+#include "svc/fault.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace tqr::svc {
+
+FaultConfig::Mode parse_fault_mode(const std::string& name) {
+  if (name == "none") return FaultConfig::Mode::kNone;
+  if (name == "throw") return FaultConfig::Mode::kThrow;
+  if (name == "stall") return FaultConfig::Mode::kStall;
+  throw InvalidArgument("unknown fault mode '" + name +
+                        "' (expected none|throw|stall)");
+}
+
+int parse_fault_op(const std::string& name) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (int op = 0; op <= static_cast<int>(dag::Op::kGemm); ++op)
+    if (upper == dag::op_name(static_cast<dag::Op>(op))) return op;
+  throw InvalidArgument("unknown kernel op '" + name + "'");
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  TQR_REQUIRE(config.probability >= 0 && config.probability <= 1,
+              "fault probability must be in [0, 1]");
+  TQR_REQUIRE(config.stall_s >= 0, "fault stall must be non-negative");
+}
+
+bool FaultInjector::should_fire(dag::task_id t, const dag::Task& task) {
+  if (config_.task >= 0 && static_cast<std::int64_t>(t) != config_.task)
+    return false;
+  if (config_.op >= 0 && static_cast<int>(task.op) != config_.op) return false;
+  if (config_.probability < 1.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rng_.next_double() >= config_.probability) return false;
+  }
+  // Budget check last, so filtered-out tasks never consume an injection.
+  if (config_.max_injections > 0) {
+    std::uint64_t seen = injected_.load(std::memory_order_relaxed);
+    do {
+      if (seen >= config_.max_injections) return false;
+    } while (!injected_.compare_exchange_weak(seen, seen + 1,
+                                              std::memory_order_relaxed));
+    return true;
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::maybe_inject(dag::task_id t, const dag::Task& task,
+                                 const runtime::CancelToken* cancel,
+                                 double max_stall_s) {
+  if (!armed() || !should_fire(t, task)) return;
+  if (config_.mode == FaultConfig::Mode::kThrow) {
+    const std::string what =
+        "injected fault at " + dag::to_string(task) + " (task " +
+        std::to_string(t) + ")";
+    if (config_.permanent) throw Error(what);
+    throw TransientError(what);
+  }
+  // kStall: sleep in slices so a cancellation can cut the stall short.
+  constexpr double kSliceS = 1e-4;
+  double remaining = config_.stall_s;
+  if (max_stall_s >= 0) remaining = std::min(remaining, max_stall_s);
+  while (remaining > 0) {
+    if (cancel && cancel->cancelled()) return;
+    const double slice = std::min(remaining, kSliceS);
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+    remaining -= slice;
+  }
+}
+
+}  // namespace tqr::svc

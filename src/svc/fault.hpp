@@ -1,0 +1,88 @@
+// Fault injection for the QR service's execution path.
+//
+// Robustness code that is only exercised by real failures is robustness code
+// that has never run. The injector wraps the per-task kernel: on a
+// configurable (task, op, probability) trigger it either throws — a
+// tqr::TransientError by default, so the service's bounded retry policy is
+// exercised end to end — or stalls, which is how the exec-deadline /
+// cancellation path is driven past its timeout deterministically. Stalls
+// sleep in short slices and watch the run's CancelToken, so a cancelled run
+// escapes a stall early instead of serving the full sleep.
+//
+// Wired into `tqr serve` (--fault* flags), bench/serve_throughput's fault
+// mode, and the tests/svc suite.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.hpp"
+#include "dag/graph.hpp"  // dag::task_id
+#include "dag/task.hpp"
+#include "runtime/cancel.hpp"
+
+namespace tqr::svc {
+
+struct FaultConfig {
+  enum class Mode : std::uint8_t {
+    kNone,   // injector disarmed
+    kThrow,  // eligible tasks throw
+    kStall,  // eligible tasks sleep stall_s before running
+  };
+  Mode mode = Mode::kNone;
+  /// Chance an eligible task faults, in [0, 1].
+  double probability = 1.0;
+  /// Restrict to one task id (-1 = any task).
+  std::int64_t task = -1;
+  /// Restrict to one op, as static_cast<int>(dag::Op) (-1 = any op).
+  int op = -1;
+  /// Stall duration for Mode::kStall.
+  double stall_s = 0.01;
+  /// kThrow faults are TransientError (retryable) unless this is set.
+  bool permanent = false;
+  /// Stop injecting after this many faults; 0 = unlimited. Lets a test
+  /// build a "fails once, then succeeds" job deterministically.
+  std::uint64_t max_injections = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Parses "none" | "throw" | "stall"; throws InvalidArgument otherwise.
+FaultConfig::Mode parse_fault_mode(const std::string& name);
+/// Parses a kernel op name ("geqrt", "tsmqr", ...; case-insensitive) into
+/// the FaultConfig::op encoding; throws InvalidArgument on unknown names.
+int parse_fault_op(const std::string& name);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  bool armed() const { return config_.mode != FaultConfig::Mode::kNone; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Called by the service's kernel wrapper before the real tile kernel.
+  /// Throws (kThrow) or sleeps (kStall) when the trigger fires; kStall
+  /// returns early if `cancel` latches mid-stall, and sleeps at most
+  /// `max_stall_s` when that is >= 0 (the wrapper passes time-to-deadline,
+  /// so a long stall ends exactly when the exec deadline lapses instead of
+  /// overshooting it by the remaining sleep). No-op when disarmed.
+  void maybe_inject(dag::task_id t, const dag::Task& task,
+                    const runtime::CancelToken* cancel,
+                    double max_stall_s = -1.0);
+
+  /// Faults delivered so far (thrown + stalled).
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool should_fire(dag::task_id t, const dag::Task& task);
+
+  const FaultConfig config_;
+  std::mutex mutex_;  // guards rng_ (lanes share one injector)
+  Rng rng_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace tqr::svc

@@ -15,10 +15,11 @@
 namespace tqr::svc {
 
 enum class JobStatus : std::uint8_t {
-  kOk,        // factored; result fields valid
-  kRejected,  // bounced by admission control (queue full, kReject policy)
-  kExpired,   // deadline elapsed before a lane picked the job up
-  kFailed,    // factorization threw; see error
+  kOk,         // factored; result fields valid
+  kRejected,   // bounced by admission control (queue full, kReject policy)
+  kExpired,    // queue deadline elapsed before a lane picked the job up
+  kFailed,     // factorization threw; see error
+  kCancelled,  // aborted mid-run: caller cancel, exec deadline, or shutdown
 };
 
 inline const char* to_string(JobStatus s) {
@@ -27,6 +28,7 @@ inline const char* to_string(JobStatus s) {
     case JobStatus::kRejected: return "rejected";
     case JobStatus::kExpired: return "expired";
     case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -41,6 +43,16 @@ struct JobSpec {
   /// 0 disables the deadline. Expired jobs complete with kExpired and are
   /// never factored.
   double queue_deadline_s = 0;
+  /// Max seconds of execution once a lane picks the job up (spans retries);
+  /// 0 disables it. Enforced cooperatively at task-dispatch boundaries, so
+  /// an overrunning job completes with kCancelled within the deadline plus
+  /// one task granularity, and the lane stays healthy for the next job.
+  double exec_deadline_s = 0;
+  /// Total attempts for failures carrying tqr::TransientError (injected
+  /// faults, flaky devices). 1 = no retry; permanent errors never retry.
+  int max_attempts = 1;
+  /// Sleep between attempts; interrupted early by cancellation.
+  double retry_backoff_s = 0;
   /// Compute the reconstruction residual ||A - Q R||_F / ||A||_F (replays
   /// Q; roughly doubles the job's work). residual stays -1 otherwise.
   bool compute_residual = false;
@@ -67,7 +79,8 @@ struct JobResult {
   double exec_s = 0;   // factorization (graph execution) only
   double total_s = 0;  // submit -> completion
   bool plan_cache_hit = false;
-  int lane = -1;  // lane that ran the job
+  int lane = -1;      // lane that ran the job
+  int attempts = 0;   // execution attempts consumed (0 if never started)
 };
 
 }  // namespace tqr::svc

@@ -1,6 +1,9 @@
 #include "svc/qr_service.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
@@ -42,9 +45,38 @@ struct QrService::LaneEngine {
 
   double execute(const dag::TaskGraph& graph,
                  const runtime::DagExecutor::Affinity& affinity,
-                 const runtime::DagExecutor::Kernel& kernel) {
-    if (resident) return resident->execute(graph, affinity, kernel);
-    return runtime::DagExecutor::run(graph, affinity, kernel, options);
+                 const runtime::DagExecutor::Kernel& kernel,
+                 runtime::CancelToken* cancel) {
+    if (resident)
+      return resident->execute(graph, affinity, kernel, nullptr, cancel);
+    runtime::DagExecutor fresh(options);
+    return fresh.execute(graph, affinity, kernel, nullptr, cancel);
+  }
+};
+
+/// Per-job cancellation handle. The token is what the executor and the
+/// kernel wrapper poll; `reason` records WHY it latched (first writer wins)
+/// so the JobResult error text can distinguish caller cancels from deadline
+/// expiry from shutdown.
+struct QrService::JobControl {
+  static constexpr int kUser = 1, kDeadline = 2, kShutdown = 3;
+
+  runtime::CancelToken token;
+  std::atomic<int> reason{0};
+
+  void request(int r) {
+    int expected = 0;
+    reason.compare_exchange_strong(expected, r);
+    token.request_cancel();
+  }
+
+  const char* reason_text() const {
+    switch (reason.load()) {
+      case kUser: return "cancelled by caller";
+      case kDeadline: return "exec deadline exceeded";
+      case kShutdown: return "service shutdown";
+      default: return "cancelled";
+    }
   }
 };
 
@@ -59,6 +91,8 @@ QrService::QrService(const ServiceConfig& config)
               "threads_per_device must be >= 1");
   TQR_REQUIRE(config.default_tile > 0, "default_tile must be >= 1");
   platform_hash_ = platform_fingerprint(platform_);
+  if (config.fault.mode != FaultConfig::Mode::kNone)
+    fault_ = std::make_unique<FaultInjector>(config.fault);
   lanes_.reserve(static_cast<std::size_t>(config.lanes));
   for (int lane = 0; lane < config.lanes; ++lane)
     lanes_.emplace_back([this, lane] { lane_main(lane); });
@@ -68,27 +102,36 @@ QrService::~QrService() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    if (config_.cancel_on_shutdown) {
+      // Latch every outstanding token: queued jobs resolve kCancelled
+      // without factoring, running jobs abort at the next task boundary.
+      for (auto& [id, control] : controls_)
+        control->request(JobControl::kShutdown);
+    }
   }
   queue_.close();  // lanes drain accepted jobs, then exit
   for (auto& lane : lanes_) lane.join();
 }
 
-std::future<JobResult> QrService::submit(JobSpec spec) {
+std::future<JobResult> QrService::submit(JobSpec spec,
+                                         std::uint64_t* id_out) {
   PendingJob job;
+  auto control = std::make_shared<JobControl>();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw Error("QrService::submit after shutdown");
     job.id = next_id_++;
     ++submitted_;
+    ++in_flight_;
+    // Registered before push so cancel(id) works the moment submit returns
+    // (and even concurrently with a blocking push).
+    controls_.emplace(job.id, control);
   }
+  if (id_out) *id_out = job.id;
   job.spec = std::move(spec);
   job.submit_s = clock_.seconds();
   std::future<JobResult> future = job.promise.get_future();
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++in_flight_;
-  }
   const PushResult admitted = queue_.push(std::move(job));
   if (admitted != PushResult::kAccepted) {
     // push() only consumes the job on acceptance, so `job` is intact here;
@@ -105,6 +148,7 @@ std::future<JobResult> QrService::submit(JobSpec spec) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++rejected_;
+      controls_.erase(job.id);
     }
     job.promise.set_value(std::move(rejected));
     {
@@ -114,6 +158,29 @@ std::future<JobResult> QrService::submit(JobSpec spec) {
     cv_drained_.notify_all();
   }
   return future;
+}
+
+bool QrService::cancel(std::uint64_t id) {
+  std::shared_ptr<JobControl> control;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = controls_.find(id);
+    if (it == controls_.end()) return false;
+    control = it->second;
+  }
+  control->request(JobControl::kUser);
+  return true;
+}
+
+std::size_t QrService::cancel_all() {
+  std::vector<std::shared_ptr<JobControl>> outstanding;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outstanding.reserve(controls_.size());
+    for (auto& [id, control] : controls_) outstanding.push_back(control);
+  }
+  for (auto& control : outstanding) control->request(JobControl::kUser);
+  return outstanding.size();
 }
 
 void QrService::drain() {
@@ -132,8 +199,14 @@ void QrService::lane_main(int lane) {
         std::make_unique<runtime::DagExecutor>(engine.options);
 
   while (auto job = queue_.pop()) {
+    const std::uint64_t id = job->id;
+    std::shared_ptr<JobControl> control;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      control = controls_.at(id);  // registered by submit, erased only here
+    }
     std::promise<JobResult> promise = std::move(job->promise);
-    JobResult result = process(engine, lane, std::move(*job));
+    JobResult result = process(engine, lane, std::move(*job), *control);
     const JobStatus status = result.status;
     const double total_s = result.total_s;
     // Status counters and latency update BEFORE the promise resolves, so a
@@ -146,7 +219,9 @@ void QrService::lane_main(int lane) {
         case JobStatus::kFailed: ++failed_; break;
         case JobStatus::kExpired: ++expired_; break;
         case JobStatus::kRejected: ++rejected_; break;
+        case JobStatus::kCancelled: ++cancelled_; break;
       }
+      controls_.erase(id);
     }
     if (status == JobStatus::kOk) latency_.record(total_s);
     promise.set_value(std::move(result));
@@ -158,7 +233,8 @@ void QrService::lane_main(int lane) {
   }
 }
 
-JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job) {
+JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
+                             JobControl& control) {
   JobResult result;
   result.id = job.id;
   result.tag = job.spec.tag;
@@ -168,99 +244,178 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job) {
   const double picked_up_s = clock_.seconds();
   result.queue_s = picked_up_s - job.submit_s;
 
-  try {
-    if (job.spec.queue_deadline_s > 0 &&
-        result.queue_s > job.spec.queue_deadline_s) {
-      result.status = JobStatus::kExpired;
-      result.total_s = clock_.seconds() - job.submit_s;
-      return result;
-    }
+  if (job.spec.queue_deadline_s > 0 &&
+      result.queue_s > job.spec.queue_deadline_s) {
+    result.status = JobStatus::kExpired;
+    result.total_s = clock_.seconds() - job.submit_s;
+    return result;
+  }
+  if (control.token.cancelled()) {
+    // Cancelled while queued: never factored.
+    result.status = JobStatus::kCancelled;
+    result.error = control.reason_text();
+    result.total_s = clock_.seconds() - job.submit_s;
+    return result;
+  }
 
-    const la::Matrix<double>& a = job.spec.a;
-    TQR_REQUIRE(a.rows() > 0 && a.cols() > 0, "job matrix is empty");
-    TQR_REQUIRE(a.rows() >= a.cols(), "tiled QR requires rows >= cols");
-    const int b = job.spec.tile_size > 0 ? job.spec.tile_size
-                                         : config_.default_tile;
-    result.tile_size = b;
-    const la::index_t pr = round_up(a.rows(), b);
-    const la::index_t pc = round_up(a.cols(), b);
-
-    // Plan + DAG: cached per shape.
-    PlanKey key{pr, pc, b, job.spec.elim, platform_hash_};
-    auto build = [&]() -> PlanEntry {
-      core::PlanConfig pc_cfg;
-      pc_cfg.tile_size = b;
-      pc_cfg.element_bytes = sizeof(double);
-      pc_cfg.elim = job.spec.elim;
-      core::Plan plan(platform_, pr / b, pc / b, pc_cfg);
-      dag::TaskGraph graph =
-          dag::build_tiled_qr_graph(pr / b, pc / b, job.spec.elim);
-      return PlanEntry{std::move(plan), std::move(graph)};
-    };
-    std::shared_ptr<const PlanEntry> entry;
-    if (config_.plan_cache_enabled) {
-      entry = plan_cache_.get_or_build(key, build, &result.plan_cache_hit);
-    } else {
-      entry = std::make_shared<const PlanEntry>(build());
-    }
-
-    // Workspace: recycled per shape.
-    WorkspacePool::Lease ws = workspace_pool_.acquire(pr, pc, b);
-    load_padded(ws->a, a.view());
-
-    // Execute the factorization graph on the lane engine, routed by the
-    // plan's device assignment.
-    const core::Plan& plan = entry->plan;
-    const la::index_t ib = config_.inner_block;
-    Timer exec_clock;
-    engine.execute(
-        entry->graph,
-        [&plan](dag::task_id, const dag::Task& task) {
-          return plan.device_for(task);
-        },
-        [&ws, ib](dag::task_id, const dag::Task& task, int) {
-          core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
-        });
-    result.exec_s = exec_clock.seconds();
-
-    // Extract the caller-shaped R (leading block; identity padding keeps it
-    // equal to R of the unpadded matrix).
-    const la::index_t n = a.cols();
-    result.r = la::Matrix<double>(n, n);
-    for (la::index_t j = 0; j < n; ++j)
-      for (la::index_t i = 0; i <= j; ++i) result.r(i, j) = ws->a.at(i, j);
-
-    if (job.spec.compute_residual) {
-      // ||A - Q R||_F / ||A||_F over the padded matrix: build [R; 0],
-      // apply Q by replaying the factor tasks, subtract A.
-      la::Matrix<double> qr(pr, pc);
-      for (la::index_t j = 0; j < pc; ++j)
-        for (la::index_t i = 0; i <= j && i < pr; ++i)
-          qr(i, j) = ws->a.at(i, j);
-      core::apply_q_tiles<double>(entry->graph, ws->a, ws->tg, ws->te,
-                                  qr.view(), la::Trans::kNoTrans, ib);
-      double diff2 = 0, norm2 = 0;
-      for (la::index_t j = 0; j < pc; ++j) {
-        for (la::index_t i = 0; i < pr; ++i) {
-          const bool inside = i < a.rows() && j < a.cols();
-          double aij = inside ? a(i, j) : 0.0;
-          if (!inside && i - a.rows() == j - a.cols() && i >= a.rows())
-            aij = 1.0;  // identity pad diagonal
-          const double d = qr(i, j) - aij;
-          diff2 += d * d;
-          norm2 += aij * aij;
-        }
+  const int max_attempts = std::max(1, job.spec.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    try {
+      run_attempt(engine, job, picked_up_s, control, result);
+      result.status = JobStatus::kOk;
+      result.error.clear();  // drop any earlier attempt's transient error
+      break;
+    } catch (const Cancelled&) {
+      result.status = JobStatus::kCancelled;
+      result.error = control.reason_text();
+      break;
+    } catch (const TransientError& e) {
+      result.error = e.what();
+      if (attempt == max_attempts) {
+        result.status = JobStatus::kFailed;
+        break;
       }
-      result.residual = std::sqrt(diff2) / (norm2 > 0 ? std::sqrt(norm2) : 1);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++retried_;
+      }
+      // Backoff in token-aware slices; the exec deadline keeps running
+      // during backoff, and lapsing flips the token so we exit kCancelled
+      // instead of starting an attempt we already know must be abandoned.
+      constexpr double kSliceS = 1e-3;
+      double remaining = std::max(0.0, job.spec.retry_backoff_s);
+      while (remaining > 0 && !control.token.cancelled()) {
+        if (job.spec.exec_deadline_s > 0 &&
+            clock_.seconds() - picked_up_s > job.spec.exec_deadline_s)
+          control.request(JobControl::kDeadline);
+        if (control.token.cancelled()) break;
+        const double slice = std::min(remaining, kSliceS);
+        std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+        remaining -= slice;
+      }
+      if (control.token.cancelled()) {
+        result.status = JobStatus::kCancelled;
+        result.error = control.reason_text();
+        break;
+      }
+    } catch (const std::exception& e) {
+      result.status = JobStatus::kFailed;
+      result.error = e.what();
+      break;
     }
-
-    result.status = JobStatus::kOk;
-  } catch (const std::exception& e) {
-    result.status = JobStatus::kFailed;
-    result.error = e.what();
   }
   result.total_s = clock_.seconds() - job.submit_s;
   return result;
+}
+
+void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
+                            double picked_up_s, JobControl& control,
+                            JobResult& result) {
+  const la::Matrix<double>& a = job.spec.a;
+  TQR_REQUIRE(a.rows() > 0 && a.cols() > 0, "job matrix is empty");
+  TQR_REQUIRE(a.rows() >= a.cols(), "tiled QR requires rows >= cols");
+  const int b = job.spec.tile_size > 0 ? job.spec.tile_size
+                                       : config_.default_tile;
+  result.tile_size = b;
+  const la::index_t pr = round_up(a.rows(), b);
+  const la::index_t pc = round_up(a.cols(), b);
+
+  // Plan + DAG: cached per shape.
+  PlanKey key{pr, pc, b, job.spec.elim, platform_hash_};
+  auto build = [&]() -> PlanEntry {
+    core::PlanConfig pc_cfg;
+    pc_cfg.tile_size = b;
+    pc_cfg.element_bytes = sizeof(double);
+    pc_cfg.elim = job.spec.elim;
+    core::Plan plan(platform_, pr / b, pc / b, pc_cfg);
+    dag::TaskGraph graph =
+        dag::build_tiled_qr_graph(pr / b, pc / b, job.spec.elim);
+    return PlanEntry{std::move(plan), std::move(graph)};
+  };
+  std::shared_ptr<const PlanEntry> entry;
+  if (config_.plan_cache_enabled) {
+    entry = plan_cache_.get_or_build(key, build, &result.plan_cache_hit);
+  } else {
+    entry = std::make_shared<const PlanEntry>(build());
+  }
+
+  // Workspace: recycled per shape. The RAII lease is what guarantees the
+  // pool's `outstanding` returns to zero on EVERY exit from this attempt —
+  // success, injected fault, or a cancellation unwinding through execute().
+  WorkspacePool::Lease ws = workspace_pool_.acquire(pr, pc, b);
+  load_padded(ws->a, a.view());
+
+  // Execute the factorization graph on the lane engine, routed by the
+  // plan's device assignment. The kernel wrapper is the service's
+  // task-boundary hook: it enforces the exec deadline (measured from lane
+  // pickup), short-circuits once the token latched (the executor then
+  // aborts without releasing successors), and runs fault injection ahead
+  // of the real tile kernel.
+  const core::Plan& plan = entry->plan;
+  const la::index_t ib = config_.inner_block;
+  const double deadline_s = job.spec.exec_deadline_s;
+  Timer exec_clock;
+  engine.execute(
+      entry->graph,
+      [&plan](dag::task_id, const dag::Task& task) {
+        return plan.device_for(task);
+      },
+      [this, &ws, ib, &control, picked_up_s, deadline_s](
+          dag::task_id t, const dag::Task& task, int) {
+        auto past_deadline = [&] {
+          return deadline_s > 0 &&
+                 clock_.seconds() - picked_up_s > deadline_s;
+        };
+        if (past_deadline()) control.request(JobControl::kDeadline);
+        if (control.token.cancelled()) return;  // aborting: skip the kernel
+        if (fault_) {
+          // Cap an injected stall at the time left on the deadline so a
+          // stalled job goes kCancelled at the deadline, not stall_s later.
+          const double cap =
+              deadline_s > 0
+                  ? std::max(0.0, deadline_s -
+                                      (clock_.seconds() - picked_up_s))
+                  : -1.0;
+          fault_->maybe_inject(t, task, &control.token, cap);
+          if (past_deadline()) control.request(JobControl::kDeadline);
+          if (control.token.cancelled()) return;
+        }
+        core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
+      },
+      &control.token);
+  result.exec_s = exec_clock.seconds();
+
+  // Extract the caller-shaped R (leading block; identity padding keeps it
+  // equal to R of the unpadded matrix).
+  const la::index_t n = a.cols();
+  result.r = la::Matrix<double>(n, n);
+  for (la::index_t j = 0; j < n; ++j)
+    for (la::index_t i = 0; i <= j; ++i) result.r(i, j) = ws->a.at(i, j);
+
+  if (job.spec.compute_residual) {
+    // ||A - Q R||_F / ||A||_F over the padded matrix: build [R; 0],
+    // apply Q by replaying the factor tasks, subtract A.
+    la::Matrix<double> qr(pr, pc);
+    for (la::index_t j = 0; j < pc; ++j)
+      for (la::index_t i = 0; i <= j && i < pr; ++i)
+        qr(i, j) = ws->a.at(i, j);
+    core::apply_q_tiles<double>(entry->graph, ws->a, ws->tg, ws->te,
+                                qr.view(), la::Trans::kNoTrans, ib);
+    double diff2 = 0, norm2 = 0;
+    for (la::index_t j = 0; j < pc; ++j) {
+      for (la::index_t i = 0; i < pr; ++i) {
+        const bool inside = i < a.rows() && j < a.cols();
+        double aij = inside ? a(i, j) : 0.0;
+        if (!inside && i - a.rows() == j - a.cols() && i >= a.rows())
+          aij = 1.0;  // identity pad diagonal
+        const double d = qr(i, j) - aij;
+        diff2 += d * d;
+        norm2 += aij * aij;
+      }
+    }
+    result.residual = std::sqrt(diff2) / (norm2 > 0 ? std::sqrt(norm2) : 1);
+  }
 }
 
 ServiceStats QrService::stats() const {
@@ -272,14 +427,18 @@ ServiceStats QrService::stats() const {
     s.jobs_failed = failed_;
     s.jobs_rejected = rejected_;
     s.jobs_expired = expired_;
+    s.jobs_cancelled = cancelled_;
+    s.jobs_retried = retried_;
   }
+  s.faults_injected = fault_ ? fault_->injected() : 0;
   s.uptime_s = clock_.seconds();
   s.jobs_per_s = s.uptime_s > 0
                      ? static_cast<double>(s.jobs_completed) / s.uptime_s
                      : 0.0;
-  s.p50_ms = latency_.percentile_s(0.50) * 1e3;
-  s.p95_ms = latency_.percentile_s(0.95) * 1e3;
-  s.mean_ms = latency_.mean_s() * 1e3;
+  const LatencyRecorder::Summary lat = latency_.summary();
+  s.p50_ms = lat.p50_s * 1e3;
+  s.p95_ms = lat.p95_s * 1e3;
+  s.mean_ms = lat.mean_s * 1e3;
   s.lanes = config_.lanes;
   s.queue = queue_.stats();
   s.plan_cache = plan_cache_.stats();

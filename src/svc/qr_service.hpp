@@ -33,11 +33,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "core/plan.hpp"
 #include "sim/platform.hpp"
+#include "svc/fault.hpp"
 #include "svc/job.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/plan_cache.hpp"
@@ -73,6 +75,16 @@ struct ServiceConfig {
 
   /// Modeled GPUs in the planning platform (0-3, the paper's node).
   int gpus = 3;
+
+  /// Shutdown policy: by default the destructor drains every accepted job
+  /// to completion. With this set, shutdown instead cancels all outstanding
+  /// jobs — queued jobs complete immediately with kCancelled, the running
+  /// job aborts at its next task boundary — bounding teardown latency.
+  bool cancel_on_shutdown = false;
+
+  /// Fault injection applied to every job's kernels (tests, chaos benches).
+  /// Mode kNone (the default) disarms it entirely.
+  FaultConfig fault;
 };
 
 class QrService {
@@ -87,7 +99,19 @@ class QrService {
   /// Submits a job. Blocks when the queue is full under Admission::kBlock;
   /// under kReject the returned future resolves immediately with
   /// JobStatus::kRejected. Throws tqr::Error after shutdown began.
-  std::future<JobResult> submit(JobSpec spec);
+  /// `id_out` (optional) receives the service-assigned job id before the
+  /// call returns — the handle cancel() takes.
+  std::future<JobResult> submit(JobSpec spec, std::uint64_t* id_out = nullptr);
+
+  /// Requests cooperative cancellation of one outstanding job. A queued job
+  /// completes with kCancelled without being factored; a running job aborts
+  /// at its next task-dispatch boundary. Returns false when the id is
+  /// unknown or the job already completed (its future is authoritative:
+  /// a cancel that loses the race observes the job's real final status).
+  bool cancel(std::uint64_t id);
+
+  /// Cancels every outstanding job; returns how many were signalled.
+  std::size_t cancel_all();
 
   /// Blocks until every accepted job has completed.
   void drain();
@@ -98,9 +122,13 @@ class QrService {
 
  private:
   struct LaneEngine;  // hides runtime::DagExecutor from this header
+  struct JobControl;  // per-job cancellation state (token + reason)
 
   void lane_main(int lane);
-  JobResult process(LaneEngine& engine, int lane, PendingJob job);
+  JobResult process(LaneEngine& engine, int lane, PendingJob job,
+                    JobControl& control);
+  void run_attempt(LaneEngine& engine, const PendingJob& job,
+                   double picked_up_s, JobControl& control, JobResult& result);
 
   ServiceConfig config_;
   sim::Platform platform_;
@@ -111,14 +139,18 @@ class QrService {
   PlanCache plan_cache_;
   WorkspacePool workspace_pool_;
   LatencyRecorder latency_;
+  std::unique_ptr<FaultInjector> fault_;  // null when disarmed
 
   mutable std::mutex mutex_;
   std::condition_variable cv_drained_;
   std::uint64_t next_id_ = 1;
   std::uint64_t in_flight_ = 0;
   std::uint64_t completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0,
-                submitted_ = 0;
+                cancelled_ = 0, retried_ = 0, submitted_ = 0;
   bool closed_ = false;
+  /// Cancellation handles for every outstanding job (queued or running);
+  /// erased when the job's future resolves.
+  std::unordered_map<std::uint64_t, std::shared_ptr<JobControl>> controls_;
 
   std::vector<std::thread> lanes_;
 };

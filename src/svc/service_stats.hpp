@@ -32,15 +32,46 @@ class LatencyRecorder {
     ++count_;
   }
 
+  /// Everything derived from the window, computed off ONE copy of the
+  /// samples: one lock acquisition, one copy, one sort — instead of the
+  /// three independent copy-and-sort passes that percentile_s(0.5) +
+  /// percentile_s(0.95) + mean_s() used to cost per stats() call (and
+  /// which could each see a different window under concurrent record()s).
+  struct Summary {
+    double p50_s = 0;
+    double p95_s = 0;
+    double mean_s = 0;
+    std::uint64_t count = 0;  // lifetime recordings, not window size
+  };
+  Summary summary() const {
+    std::vector<double> snap;
+    Summary out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      snap = samples_;
+      out.count = count_;
+    }
+    if (snap.empty()) return out;
+    std::sort(snap.begin(), snap.end());
+    out.p50_s = nearest_rank(snap, 0.50);
+    out.p95_s = nearest_rank(snap, 0.95);
+    double sum = 0;
+    for (double s : snap) sum += s;
+    out.mean_s = sum / static_cast<double>(snap.size());
+    return out;
+  }
+
   /// p in [0, 1]; nearest-rank over the retained window. 0 when empty.
+  /// (For several quantiles at once, summary() snapshots and sorts once.)
   double percentile_s(double p) const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto rank = static_cast<std::size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
+    std::vector<double> snap;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      snap = samples_;
+    }
+    if (snap.empty()) return 0.0;
+    std::sort(snap.begin(), snap.end());
+    return nearest_rank(snap, p);
   }
 
   double mean_s() const {
@@ -57,6 +88,12 @@ class LatencyRecorder {
   }
 
  private:
+  static double nearest_rank(const std::vector<double>& sorted, double p) {
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
   const std::size_t window_;
   mutable std::mutex mutex_;
   std::vector<double> samples_;
@@ -71,6 +108,9 @@ struct ServiceStats {
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_rejected = 0;
   std::uint64_t jobs_expired = 0;
+  std::uint64_t jobs_cancelled = 0;  // caller cancel / exec deadline / shutdown
+  std::uint64_t jobs_retried = 0;    // extra attempts after transient faults
+  std::uint64_t faults_injected = 0; // delivered by the FaultInjector
 
   double uptime_s = 0;
   /// Completed jobs per second of uptime.

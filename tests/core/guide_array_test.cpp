@@ -18,12 +18,24 @@ TEST(IntegerRatio, EqualThroughputsGiveOnes) {
   EXPECT_EQ(r, (std::vector<std::int64_t>{1, 1, 1}));
 }
 
-TEST(IntegerRatio, NegligibleDeviceRoundsToZero) {
-  // A device ~1000x slower than the fastest gets no update columns — the
-  // paper's CPU case.
+TEST(IntegerRatio, NegligibleDeviceClampedToOne) {
+  // Regression: a device ~1000x slower than the fastest used to round to
+  // ratio 0, silently dropping a positive-throughput participant from the
+  // guide array (it then received NO update columns at all). Any device
+  // that reports positive throughput must keep at least one share.
   const auto r = integer_ratio({1000.0, 1.0});
-  EXPECT_EQ(r[1], 0);
-  EXPECT_GT(r[0], 0);
+  EXPECT_GE(r[1], 1);
+  EXPECT_GT(r[0], r[1]);
+}
+
+TEST(IntegerRatio, PaperExampleWithStragglerKeepsStraggler) {
+  // The paper's 2:3:1 trio plus a straggler contributing 0.1 tiles/unit:
+  // the fast devices keep their 2:3:1 proportion and the straggler is
+  // clamped up to a single share instead of vanishing.
+  const auto r = integer_ratio({8.0, 12.0, 4.0, 0.1});
+  EXPECT_EQ(r[0] * 3, r[1] * 2);
+  EXPECT_EQ(r[0], r[2] * 2);
+  EXPECT_EQ(r[3], 1);
 }
 
 TEST(IntegerRatio, GcdReduced) {

@@ -93,6 +93,44 @@ TEST(JobQueue, HighWaterTracksPeakDepth) {
   EXPECT_EQ(s.accepted, 5u);
 }
 
+TEST(JobQueue, RejectedPushLeavesJobIntact) {
+  // push() takes the job by rvalue but must only consume it on kAccepted:
+  // the service's rejection path reads id/spec back out of the same object
+  // to build the kRejected result, and resolves its promise.
+  JobQueue q(1, Admission::kReject);
+  EXPECT_EQ(q.push(make_job(1)), PushResult::kAccepted);
+
+  PendingJob job = make_job(42);
+  job.spec.tag = 0xABCD;
+  job.spec.tile_size = 24;
+  auto future = job.promise.get_future();
+  EXPECT_EQ(q.push(std::move(job)), PushResult::kRejected);
+  EXPECT_EQ(job.id, 42u);
+  EXPECT_EQ(job.spec.tag, 0xABCDu);
+  EXPECT_EQ(job.spec.tile_size, 24);
+  // The promise still belongs to the caller-side object and is usable.
+  JobResult r;
+  r.id = job.id;
+  r.status = JobStatus::kRejected;
+  job.promise.set_value(std::move(r));
+  EXPECT_EQ(future.get().id, 42u);
+}
+
+TEST(JobQueue, ClosedPushLeavesJobIntact) {
+  JobQueue q(4, Admission::kBlock);
+  q.close();
+  PendingJob job = make_job(7);
+  job.spec.tag = 99;
+  auto future = job.promise.get_future();
+  EXPECT_EQ(q.push(std::move(job)), PushResult::kClosed);
+  EXPECT_EQ(job.id, 7u);
+  EXPECT_EQ(job.spec.tag, 99u);
+  JobResult r;
+  r.tag = job.spec.tag;
+  job.promise.set_value(std::move(r));
+  EXPECT_EQ(future.get().tag, 99u);
+}
+
 TEST(JobQueue, ZeroCapacityRejected) {
   EXPECT_THROW(JobQueue(0, Admission::kBlock), tqr::InvalidArgument);
 }

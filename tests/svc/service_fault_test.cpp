@@ -1,0 +1,274 @@
+// Fault injection, bounded retry, exec deadlines, and cooperative
+// cancellation through svc::QrService — the chaos half of the service tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "la/matrix.hpp"
+#include "svc/qr_service.hpp"
+
+namespace tqr::svc {
+namespace {
+
+JobSpec spec_for(la::index_t rows, la::index_t cols, std::uint64_t seed) {
+  JobSpec spec;
+  spec.a = la::Matrix<double>::random(rows, cols, seed);
+  return spec;
+}
+
+ServiceConfig one_lane() {
+  ServiceConfig config;
+  config.lanes = 1;
+  return config;
+}
+
+TEST(FaultConfigParsing, ModesAndOps) {
+  EXPECT_EQ(parse_fault_mode("none"), FaultConfig::Mode::kNone);
+  EXPECT_EQ(parse_fault_mode("throw"), FaultConfig::Mode::kThrow);
+  EXPECT_EQ(parse_fault_mode("stall"), FaultConfig::Mode::kStall);
+  EXPECT_THROW(parse_fault_mode("explode"), InvalidArgument);
+  EXPECT_EQ(parse_fault_op("geqrt"), static_cast<int>(dag::Op::kGeqrt));
+  EXPECT_EQ(parse_fault_op("TSMQR"), static_cast<int>(dag::Op::kTsmqr));
+  EXPECT_THROW(parse_fault_op("frobnicate"), InvalidArgument);
+}
+
+TEST(ServiceFault, InjectedThrowFailsWithoutRetryByDefault) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kThrow;
+  config.fault.task = 0;
+  QrService service(config);
+  const auto r = service.submit(spec_for(64, 64, 1)).get();
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.attempts, 1);  // max_attempts defaults to 1: no retry
+  EXPECT_NE(r.error.find("injected fault"), std::string::npos) << r.error;
+  const auto s = service.stats();
+  EXPECT_EQ(s.jobs_failed, 1u);
+  EXPECT_EQ(s.jobs_retried, 0u);
+  EXPECT_GE(s.faults_injected, 1u);
+}
+
+TEST(ServiceFault, TransientFaultRetriesToSuccess) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kThrow;
+  config.fault.task = 0;
+  config.fault.max_injections = 1;  // fails once, then clean
+  QrService service(config);
+  JobSpec spec = spec_for(64, 64, 2);
+  spec.max_attempts = 2;
+  spec.compute_residual = true;
+  const auto r = service.submit(std::move(spec)).get();
+  ASSERT_EQ(r.status, JobStatus::kOk) << r.error;
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_GE(r.residual, 0.0);
+  const auto s = service.stats();
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.jobs_retried, 1u);
+  EXPECT_EQ(s.faults_injected, 1u);
+}
+
+TEST(ServiceFault, PermanentFaultNeverRetries) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kThrow;
+  config.fault.task = 0;
+  config.fault.permanent = true;
+  QrService service(config);
+  JobSpec spec = spec_for(64, 64, 3);
+  spec.max_attempts = 3;
+  const auto r = service.submit(std::move(spec)).get();
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.attempts, 1);  // permanent errors burn no retry budget
+  EXPECT_EQ(service.stats().jobs_retried, 0u);
+}
+
+TEST(ServiceFault, ExhaustedRetriesFail) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kThrow;
+  config.fault.task = 0;  // every attempt refaults
+  QrService service(config);
+  JobSpec spec = spec_for(64, 64, 4);
+  spec.max_attempts = 3;
+  spec.retry_backoff_s = 0.001;
+  const auto r = service.submit(std::move(spec)).get();
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.attempts, 3);
+  const auto s = service.stats();
+  EXPECT_EQ(s.jobs_retried, 2u);
+  EXPECT_EQ(s.faults_injected, 3u);
+}
+
+TEST(ServiceFault, ExecDeadlineCancelsStalledJobAndLaneRecovers) {
+  // The acceptance scenario: a stall fault pins the job well past its exec
+  // deadline; the job must come back kCancelled in about deadline + one
+  // task granularity (nowhere near the full stall), the lane must accept
+  // the next job, and no workspace may leak.
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kStall;
+  config.fault.task = 0;
+  config.fault.stall_s = 5.0;  // would hold the lane for 5 s uncancelled
+  config.fault.max_injections = 1;
+  QrService service(config);
+
+  JobSpec spec = spec_for(64, 64, 5);
+  spec.exec_deadline_s = 0.05;
+  Timer wall;
+  const auto r = service.submit(std::move(spec)).get();
+  const double elapsed = wall.seconds();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+  EXPECT_LT(elapsed, 2.0);  // cut the 5 s stall short at the deadline
+
+  // Lane healthy, pool drained: the next job factors normally.
+  const auto next = service.submit(spec_for(64, 64, 6)).get();
+  EXPECT_EQ(next.status, JobStatus::kOk) << next.error;
+  const auto s = service.stats();
+  EXPECT_EQ(s.jobs_cancelled, 1u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.workspace.outstanding, 0u);
+}
+
+TEST(ServiceFault, DeadlineDuringRetryBackoffCancels) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kThrow;
+  config.fault.task = 0;
+  QrService service(config);
+  JobSpec spec = spec_for(64, 64, 7);
+  spec.max_attempts = 5;
+  spec.retry_backoff_s = 5.0;  // far longer than the deadline
+  spec.exec_deadline_s = 0.05;
+  Timer wall;
+  const auto r = service.submit(std::move(spec)).get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+  EXPECT_LT(wall.seconds(), 2.0);  // backoff was interrupted
+}
+
+TEST(ServiceCancel, QueuedJobCancelsWithoutRunning) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kStall;
+  config.fault.task = 0;
+  config.fault.stall_s = 0.3;  // keeps the single lane busy
+  config.fault.max_injections = 1;
+  QrService service(config);
+
+  auto busy = service.submit(spec_for(64, 64, 8));
+  std::uint64_t queued_id = 0;
+  auto queued = service.submit(spec_for(64, 64, 9), &queued_id);
+  ASSERT_NE(queued_id, 0u);
+  EXPECT_TRUE(service.cancel(queued_id));
+  EXPECT_FALSE(service.cancel(queued_id + 1000));  // unknown id
+
+  const auto r = queued.get();
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_EQ(r.id, queued_id);
+  EXPECT_NE(r.error.find("cancelled by caller"), std::string::npos)
+      << r.error;
+  EXPECT_EQ(r.attempts, 0);  // never started executing
+
+  EXPECT_EQ(busy.get().status, JobStatus::kOk);
+  service.drain();
+  // Completed jobs are forgotten: cancelling them reports false.
+  EXPECT_FALSE(service.cancel(queued_id));
+  EXPECT_EQ(service.stats().jobs_cancelled, 1u);
+}
+
+TEST(ServiceCancel, CancelAllSignalsEveryOutstandingJob) {
+  ServiceConfig config = one_lane();
+  config.fault.mode = FaultConfig::Mode::kStall;
+  config.fault.stall_s = 0.05;
+  QrService service(config);
+  std::vector<std::future<JobResult>> futures;
+  for (int i = 0; i < 4; ++i)
+    futures.push_back(service.submit(spec_for(64, 64, 10 + i)));
+  EXPECT_GE(service.cancel_all(), 1u);
+  service.drain();
+  int cancelled = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    EXPECT_TRUE(r.status == JobStatus::kOk ||
+                r.status == JobStatus::kCancelled)
+        << to_string(r.status);
+    if (r.status == JobStatus::kCancelled) ++cancelled;
+  }
+  EXPECT_GE(cancelled, 1);
+  EXPECT_EQ(service.stats().workspace.outstanding, 0u);
+}
+
+TEST(ServiceCancel, ShutdownCancelsOutstandingJobsWhenConfigured) {
+  std::vector<std::future<JobResult>> futures;
+  {
+    ServiceConfig config = one_lane();
+    config.cancel_on_shutdown = true;
+    config.fault.mode = FaultConfig::Mode::kStall;
+    config.fault.stall_s = 0.05;  // per task: the backlog cannot finish fast
+    QrService service(config);
+    for (int i = 0; i < 6; ++i)
+      futures.push_back(service.submit(spec_for(64, 64, 20 + i)));
+  }  // destructor: cancel-all, drain, join
+  int cancelled = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    const auto r = f.get();
+    EXPECT_TRUE(r.status == JobStatus::kOk ||
+                r.status == JobStatus::kCancelled)
+        << to_string(r.status);
+    if (r.status == JobStatus::kCancelled) ++cancelled;
+  }
+  EXPECT_GE(cancelled, 1);
+}
+
+TEST(ServiceReject, RejectedFutureCarriesIdAndTag) {
+  // Admission kReject with the lane pinned by a stall: the queue fills and
+  // the overflow job's future must resolve immediately with the id/tag the
+  // caller can correlate on (pins that JobQueue::push leaves the rejected
+  // job intact rather than consuming it).
+  ServiceConfig config = one_lane();
+  config.admission = Admission::kReject;
+  config.queue_capacity = 1;
+  config.fault.mode = FaultConfig::Mode::kStall;
+  config.fault.task = 0;
+  config.fault.stall_s = 0.3;
+  config.fault.max_injections = 1;
+  QrService service(config);
+
+  auto busy = service.submit(spec_for(64, 64, 30));  // occupies the lane
+  // Wait until the lane actually picked the job up (it holds a workspace
+  // lease through the stall) so the next submit reliably stays queued.
+  while (service.stats().workspace.outstanding == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::uint64_t queued_id = 0;
+  auto queued = service.submit(spec_for(64, 64, 31), &queued_id);
+
+  JobSpec overflow = spec_for(64, 64, 32);
+  overflow.tag = 0xBEEF;
+  std::uint64_t overflow_id = 0;
+  auto rejected = service.submit(std::move(overflow), &overflow_id);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const auto r = rejected.get();
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_EQ(r.id, overflow_id);
+  EXPECT_EQ(r.tag, 0xBEEFu);
+  EXPECT_EQ(r.rows, 64);
+  EXPECT_EQ(r.cols, 64);
+  EXPECT_NE(r.error.find("queue full"), std::string::npos) << r.error;
+  service.drain();
+}
+
+TEST(ServiceStats, SummaryMatchesLegacyAccessors) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(i * 1e-3);
+  const auto s = rec.summary();
+  EXPECT_DOUBLE_EQ(s.p50_s, rec.percentile_s(0.50));
+  EXPECT_DOUBLE_EQ(s.p95_s, rec.percentile_s(0.95));
+  EXPECT_DOUBLE_EQ(s.mean_s, rec.mean_s());
+  EXPECT_EQ(s.count, rec.count());
+}
+
+}  // namespace
+}  // namespace tqr::svc

@@ -318,6 +318,21 @@ int cmd_serve(int argc, char** argv) {
   cli.flag("gpus", "GPUs in the modeled node (0-3)", "3");
   cli.flag("queue", "job queue capacity", "64");
   cli.flag("admission", "block|reject", "block");
+  cli.flag("queue-deadline-ms", "expire jobs queued longer than this (0=off)",
+           "0");
+  cli.flag("exec-deadline-ms", "cancel jobs executing longer than this (0=off)",
+           "0");
+  cli.flag("retries", "max attempts per job on transient faults", "1");
+  cli.flag("retry-backoff-ms", "pause before each retry attempt", "0");
+  cli.flag("cancel-on-shutdown", "cancel outstanding jobs at shutdown");
+  cli.flag("fault", "fault injection: none|throw|stall", "none");
+  cli.flag("fault-prob", "chance an eligible task faults [0,1]", "1");
+  cli.flag("fault-task", "restrict faults to one task id (-1 = any)", "-1");
+  cli.flag("fault-op", "restrict faults to one kernel op (geqrt, tsmqr, ...)");
+  cli.flag("fault-stall-ms", "stall duration for --fault stall", "10");
+  cli.flag("fault-permanent", "injected throws are permanent (not retryable)");
+  cli.flag("fault-max", "stop after this many injections (0 = unlimited)",
+           "0");
   cli.flag("residual", "verify ||A - Q R||/||A|| per job (slower)");
   cli.flag("no-cache", "disable the plan cache");
   cli.flag("no-reuse", "tear down executors between jobs");
@@ -345,6 +360,21 @@ int cmd_serve(int argc, char** argv) {
   }
   if (cli.get_bool("no-cache", false)) config.plan_cache_enabled = false;
   if (cli.get_bool("no-reuse", false)) config.reuse_engines = false;
+  config.cancel_on_shutdown = cli.get_bool("cancel-on-shutdown", false);
+  config.fault.mode = svc::parse_fault_mode(cli.get_string("fault", "none"));
+  config.fault.probability = cli.get_double("fault-prob", 1.0);
+  config.fault.task = cli.get_int("fault-task", -1);
+  const std::string fault_op = cli.get_string("fault-op", "");
+  if (!fault_op.empty()) config.fault.op = svc::parse_fault_op(fault_op);
+  config.fault.stall_s = cli.get_double("fault-stall-ms", 10) * 1e-3;
+  config.fault.permanent = cli.get_bool("fault-permanent", false);
+  config.fault.max_injections =
+      static_cast<std::uint64_t>(cli.get_int("fault-max", 0));
+  const double queue_deadline_s =
+      cli.get_double("queue-deadline-ms", 0) * 1e-3;
+  const double exec_deadline_s = cli.get_double("exec-deadline-ms", 0) * 1e-3;
+  const int retries = static_cast<int>(cli.get_int("retries", 1));
+  const double retry_backoff_s = cli.get_double("retry-backoff-ms", 0) * 1e-3;
   const dag::Elimination elim = parse_elim(cli.get_string("elim", "tt"));
 
   svc::QrService service(config);
@@ -361,13 +391,17 @@ int cmd_serve(int argc, char** argv) {
       spec.a = la::Matrix<double>::random(s.rows, s.cols, job_seed++);
       spec.elim = elim;
       spec.compute_residual = residual;
+      spec.queue_deadline_s = queue_deadline_s;
+      spec.exec_deadline_s = exec_deadline_s;
+      spec.max_attempts = retries;
+      spec.retry_backoff_s = retry_backoff_s;
       futures.push_back(service.submit(std::move(spec)));
     }
     if (!any) break;
   }
   service.drain();
 
-  int ok = 0, failed = 0, rejected = 0, expired = 0;
+  int ok = 0, failed = 0, rejected = 0, expired = 0, cancelled = 0;
   double worst_residual = -1;
   for (auto& f : futures) {
     const auto r = f.get();
@@ -376,6 +410,7 @@ int cmd_serve(int argc, char** argv) {
       case svc::JobStatus::kFailed: ++failed; break;
       case svc::JobStatus::kRejected: ++rejected; break;
       case svc::JobStatus::kExpired: ++expired; break;
+      case svc::JobStatus::kCancelled: ++cancelled; break;
     }
     if (r.residual > worst_residual) worst_residual = r.residual;
     if (r.status == svc::JobStatus::kFailed)
@@ -387,7 +422,9 @@ int cmd_serve(int argc, char** argv) {
   if (json) {
     std::printf(
         "{\"jobs\": {\"submitted\": %llu, \"ok\": %d, \"failed\": %d, "
-        "\"rejected\": %d, \"expired\": %d},\n"
+        "\"rejected\": %d, \"expired\": %d, \"cancelled\": %d, "
+        "\"retried\": %llu},\n"
+        " \"faults_injected\": %llu,\n"
         " \"throughput_jobs_per_s\": %.3f, \"uptime_s\": %.4f,\n"
         " \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"mean\": %.3f},\n"
         " \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
@@ -396,7 +433,10 @@ int cmd_serve(int argc, char** argv) {
         " \"queue\": {\"high_water\": %llu, \"blocked_pushes\": %llu},\n"
         " \"worst_residual\": %.3e}\n",
         static_cast<unsigned long long>(s.jobs_submitted), ok, failed,
-        rejected, expired, s.jobs_per_s, s.uptime_s, s.p50_ms, s.p95_ms,
+        rejected, expired, cancelled,
+        static_cast<unsigned long long>(s.jobs_retried),
+        static_cast<unsigned long long>(s.faults_injected), s.jobs_per_s,
+        s.uptime_s, s.p50_ms, s.p95_ms,
         s.mean_ms, static_cast<unsigned long long>(s.plan_cache.hits),
         static_cast<unsigned long long>(s.plan_cache.misses),
         s.plan_cache.hit_rate(),
@@ -409,9 +449,13 @@ int cmd_serve(int argc, char** argv) {
   }
 
   std::printf("served %llu jobs on %d lanes: %d ok, %d failed, %d rejected, "
-              "%d expired\n",
+              "%d expired, %d cancelled\n",
               static_cast<unsigned long long>(s.jobs_submitted), s.lanes, ok,
-              failed, rejected, expired);
+              failed, rejected, expired, cancelled);
+  if (s.faults_injected > 0 || s.jobs_retried > 0)
+    std::printf("faults          %llu injected, %llu retried attempts\n",
+                static_cast<unsigned long long>(s.faults_injected),
+                static_cast<unsigned long long>(s.jobs_retried));
   std::printf("throughput      %.2f jobs/s over %.3f s\n", s.jobs_per_s,
               s.uptime_s);
   std::printf("latency         p50 %.2f ms, p95 %.2f ms, mean %.2f ms\n",
