@@ -1,18 +1,183 @@
-// Robustness study: how stable are the paper's scheduling decisions under
-// kernel-timing noise?
+// Robustness study, two halves:
 //
-// The device-count choice (Table III) and the distribution advantage
-// (Fig. 10) are derived from mean kernel times; real kernels jitter. This
-// driver perturbs every simulated kernel duration by up to ±jitter and
-// checks (a) whether the predicted-best device count still wins and (b) how
-// much the guide-array advantage moves — evidence that the paper's
-// first-iteration predictions do not sit on a knife edge.
+// 1. (default) How stable are the paper's scheduling decisions under
+//    kernel-timing noise? The device-count choice (Table III) and the
+//    distribution advantage (Fig. 10) are derived from mean kernel times;
+//    real kernels jitter. This driver perturbs every simulated kernel
+//    duration by up to ±jitter and checks (a) whether the predicted-best
+//    device count still wins and (b) how much the guide-array advantage
+//    moves — evidence that the paper's first-iteration predictions do not
+//    sit on a knife edge.
+//
+// 2. (--chaos) How do the service's verification tiers fare against silent
+//    result corruption? Sweeps verify tier x corrupt kind through a real
+//    svc::QrService with FaultInjector corrupt-mode poisoning, and reports
+//    the outcome mix per cell: detected (terminal kCorrupted), retried-ok
+//    (caught then healed on retry), silently-wrong (kOk but the report-only
+//    full residual says the factors are bad — the failure mode verification
+//    exists to eliminate), clean, and quarantined lanes. Expected shape:
+//    verify=none leaks silently-wrong results; scan and probe both drive
+//    silently-wrong to zero here (the injector poisons R-visible data, which
+//    scan's column-norm drift check sees; probe additionally covers
+//    corruption that leaves column norms intact, e.g. in the Q reflectors).
 #include <algorithm>
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/simulate.hpp"
 #include "dag/tiled_qr_dag.hpp"
+#include "la/checks.hpp"
+#include "svc/qr_service.hpp"
+
+namespace {
+
+/// One cell of the chaos ablation: N jobs through a fresh service armed
+/// with one corrupt kind, verified at one tier.
+struct ChaosCell {
+  std::uint64_t detected = 0;        // terminal kCorrupted
+  std::uint64_t retried_ok = 0;      // verification caught it, retry healed
+  std::uint64_t silently_wrong = 0;  // kOk but ground-truth residual bad
+  std::uint64_t clean = 0;           // kOk and ground-truth residual good
+  std::uint64_t other = 0;           // failed/cancelled/... (should be 0)
+  int quarantined_lanes = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t faults = 0;
+};
+
+ChaosCell run_chaos_cell(tqr::svc::Verify verify,
+                         tqr::svc::FaultConfig::Corrupt kind, int jobs,
+                         tqr::la::index_t n, int tile, double probability,
+                         int retries, std::uint64_t seed) {
+  using namespace tqr;
+  svc::ServiceConfig cfg;
+  cfg.lanes = 2;
+  cfg.default_tile = tile;
+  cfg.quarantine_after = 3;  // let the breaker participate in the study
+  cfg.fault.mode = svc::FaultConfig::Mode::kCorrupt;
+  cfg.fault.corrupt = kind;
+  // The trigger is evaluated per eligible task; restricting to the GEQRT
+  // panel factorizations (nt per job) keeps the per-job corruption rate
+  // roughly 1 - (1-p)^nt instead of saturating across every task.
+  cfg.fault.op = static_cast<int>(dag::Op::kGeqrt);
+  cfg.fault.probability = probability;
+  cfg.fault.seed = seed;
+
+  ChaosCell cell;
+  {
+    svc::QrService service(cfg);
+    std::vector<std::future<svc::JobResult>> futures;
+    futures.reserve(static_cast<std::size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) {
+      svc::JobSpec spec;
+      spec.a = la::Matrix<double>::random(n, n, seed + 100 + i);
+      spec.tile_size = tile;
+      spec.max_attempts = retries;
+      spec.verify = verify;
+      // Ground truth, independent of the tier under test: the report-only
+      // full reconstruction residual never fails a job, so a corrupted
+      // factorization that slips past `verify` still gets labelled here.
+      spec.compute_residual = true;
+      futures.push_back(service.submit(std::move(spec)));
+    }
+    const double tol = la::verify_tolerance<double>(n + tile);
+    for (auto& f : futures) {
+      const svc::JobResult r = f.get();
+      switch (r.status) {
+        case svc::JobStatus::kCorrupted:
+          ++cell.detected;
+          break;
+        case svc::JobStatus::kOk:
+          if (!(r.residual <= tol)) {
+            ++cell.silently_wrong;
+          } else if (r.attempts > 1) {
+            ++cell.retried_ok;
+          } else {
+            ++cell.clean;
+          }
+          break;
+        default:
+          ++cell.other;
+          break;
+      }
+    }
+    const svc::ServiceStats stats = service.stats();
+    cell.quarantined_lanes = stats.lanes_quarantined;
+    cell.quarantines = stats.lane_quarantines;
+    cell.faults = stats.faults_injected;
+  }
+  return cell;
+}
+
+int run_chaos(const tqr::Cli& cli) {
+  using namespace tqr;
+  const int jobs = static_cast<int>(
+      cli.get_int("jobs", cli.get_bool("quick", false) ? 8 : 24));
+  const auto n = static_cast<la::index_t>(cli.get_int("size", 96));
+  const int tile = static_cast<int>(cli.get_int("tile", 16));
+  const double probability = cli.get_double("probability", 0.08);
+  const int retries = static_cast<int>(cli.get_int("retries", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool json = cli.get_bool("json", false);
+
+  std::printf("Chaos — verification tier vs injected result corruption "
+              "(%d jobs/cell, %ldx%ld, p=%.2f, attempts=%d)\n\n",
+              jobs, static_cast<long>(n), static_cast<long>(n), probability,
+              retries);
+
+  const svc::Verify tiers[] = {svc::Verify::kNone, svc::Verify::kScan,
+                               svc::Verify::kProbe};
+  const svc::FaultConfig::Corrupt kinds[] = {svc::FaultConfig::Corrupt::kNaN,
+                                             svc::FaultConfig::Corrupt::kBitFlip,
+                                             svc::FaultConfig::Corrupt::kPerturb};
+  const char* kind_names[] = {"nan", "bitflip", "perturb"};
+
+  Table table({"verify", "corrupt", "jobs", "detected", "retried_ok",
+               "silently_wrong", "clean", "quarantined"});
+  if (json) std::printf("[\n");
+  bool first = true;
+  for (const auto verify : tiers) {
+    for (int k = 0; k < 3; ++k) {
+      const ChaosCell cell =
+          run_chaos_cell(verify, kinds[k], jobs, n, tile, probability,
+                         retries, seed + static_cast<std::uint64_t>(k));
+      table.add_row({to_string(verify), kind_names[k], fmt(jobs),
+                     fmt(static_cast<std::int64_t>(cell.detected)),
+                     fmt(static_cast<std::int64_t>(cell.retried_ok)),
+                     fmt(static_cast<std::int64_t>(cell.silently_wrong)),
+                     fmt(static_cast<std::int64_t>(cell.clean)),
+                     fmt(cell.quarantined_lanes)});
+      if (json) {
+        std::printf("%s  {\"verify\": \"%s\", \"corrupt\": \"%s\", "
+                    "\"jobs\": %d, \"faults_injected\": %llu, "
+                    "\"outcome_mix\": {\"detected\": %llu, "
+                    "\"retried_ok\": %llu, \"silently_wrong\": %llu, "
+                    "\"clean\": %llu, \"other\": %llu, "
+                    "\"quarantined_lanes\": %d, \"quarantines\": %llu}}",
+                    first ? "" : ",\n", to_string(verify), kind_names[k],
+                    jobs, static_cast<unsigned long long>(cell.faults),
+                    static_cast<unsigned long long>(cell.detected),
+                    static_cast<unsigned long long>(cell.retried_ok),
+                    static_cast<unsigned long long>(cell.silently_wrong),
+                    static_cast<unsigned long long>(cell.clean),
+                    static_cast<unsigned long long>(cell.other),
+                    cell.quarantined_lanes,
+                    static_cast<unsigned long long>(cell.quarantines));
+        first = false;
+      }
+    }
+  }
+  if (json) std::printf("\n]\n");
+  table.print();
+  std::printf("\nexpected: verify=none leaks silently-wrong factors; scan "
+              "and probe drive\nsilently-wrong to zero (probe additionally "
+              "covers corruption invisible to\ncolumn norms)\n");
+  bench::maybe_write_csv(cli, table);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tqr;
@@ -23,7 +188,16 @@ int main(int argc, char** argv) {
   cli.flag("seeds", "noise seeds per configuration", "3");
   cli.flag("csv", "write results as CSV to this path");
   cli.flag("quick", "run a reduced sweep");
+  cli.flag("chaos", "run the corruption-vs-verification service study");
+  cli.flag("jobs", "[chaos] jobs per (verify, corrupt) cell", "24");
+  cli.flag("size", "[chaos] matrix size per job", "96");
+  cli.flag("probability", "[chaos] per-GEQRT-task corruption probability",
+           "0.08");
+  cli.flag("retries", "[chaos] max attempts per job", "2");
+  cli.flag("seed", "[chaos] base RNG seed", "1");
+  cli.flag("json", "[chaos] also emit the outcome mix as JSON");
   if (!cli.parse(argc, argv)) return 0;
+  if (cli.get_bool("chaos", false)) return run_chaos(cli);
   std::vector<std::int64_t> sizes = cli.get_int_list("sizes", {480, 1280, 3200});
   if (cli.get_bool("quick", false)) sizes = {480, 1280};
   const int b = static_cast<int>(cli.get_int("tile", 16));

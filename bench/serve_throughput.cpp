@@ -5,6 +5,12 @@
 //
 // This is the acceptance driver for the resident service: the warm run must
 // show a plan-cache hit rate above 0.9 and more jobs/sec than the cold run.
+//
+// --fault adds a chaos replay. In corrupt mode (--fault corrupt --verify
+// probe) every job also computes the report-only reconstruction residual as
+// independent ground truth, and the JSON reports the outcome mix (detected /
+// retried-ok / silently-wrong / quarantined lanes); with verification on,
+// any silently-wrong job makes the bench exit 3 — the CI chaos smoke gate.
 #include <cstdio>
 #include <future>
 #include <string>
@@ -13,6 +19,7 @@
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "la/checks.hpp"
 #include "la/matrix.hpp"
 #include "svc/qr_service.hpp"
 
@@ -54,8 +61,17 @@ struct RunMetrics {
   std::uint64_t ws_allocated = 0, ws_reused = 0;
   // Outcome mix; only interesting in fault/deadline mode (strict replays
   // require every job to come back kOk).
-  int ok = 0, failed = 0, cancelled = 0, expired = 0;
-  std::uint64_t retried = 0, faults = 0;
+  int ok = 0, failed = 0, cancelled = 0, expired = 0, corrupted = 0;
+  // Jobs that came back kOk but whose report-only reconstruction residual
+  // is over tolerance: corruption the service FAILED to catch. The chaos
+  // acceptance gate is this staying zero whenever verification is on.
+  int silently_wrong = 0;
+  // Jobs that came back kOk after at least one retry — corruption (or a
+  // throw) detected and healed.
+  int retried_ok = 0;
+  std::uint64_t retried = 0, faults = 0, verify_failures = 0;
+  std::uint64_t quarantines = 0, probations = 0, ws_scrubbed = 0;
+  int lanes_quarantined = 0;
   std::uint64_t ws_outstanding = 0;
 };
 
@@ -80,6 +96,8 @@ RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
       spec.exec_deadline_s = proto.exec_deadline_s;
       spec.max_attempts = proto.max_attempts;
       spec.retry_backoff_s = proto.retry_backoff_s;
+      spec.verify = proto.verify;
+      spec.compute_residual = proto.compute_residual;
       futures.push_back(service.submit(std::move(spec)));
     }
     if (!any) break;
@@ -98,6 +116,17 @@ RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
       case svc::JobStatus::kCancelled: ++m.cancelled; break;
       case svc::JobStatus::kExpired: ++m.expired; break;
       case svc::JobStatus::kRejected: break;
+      case svc::JobStatus::kCorrupted: ++m.corrupted; break;
+    }
+    if (r.status == svc::JobStatus::kOk) {
+      if (r.attempts > 1) ++m.retried_ok;
+      // Ground truth for "did the service let corruption through": the
+      // report-only reconstruction residual, judged against the same
+      // tolerance the verification tiers enforce.
+      if (r.residual >= 0 &&
+          !(r.residual <=
+            la::verify_tolerance<double>(r.rows + r.tile_size)))
+        ++m.silently_wrong;
     }
     ++m.jobs;
   }
@@ -105,6 +134,11 @@ RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
   const auto after = service.stats();
   m.retried = after.jobs_retried - before.jobs_retried;
   m.faults = after.faults_injected - before.faults_injected;
+  m.verify_failures = after.verify_failures - before.verify_failures;
+  m.quarantines = after.lane_quarantines - before.lane_quarantines;
+  m.probations = after.lane_probations - before.lane_probations;
+  m.lanes_quarantined = after.lanes_quarantined;
+  m.ws_scrubbed = after.workspace.scrubbed - before.workspace.scrubbed;
   m.ws_outstanding = after.workspace.outstanding;
   m.p50_ms = after.p50_ms;
   m.p95_ms = after.p95_ms;
@@ -145,9 +179,19 @@ int main(int argc, char** argv) try {
   cli.flag("quick", "reduced trace");
   cli.flag("repeats", "replays per mode (best wall-clock wins)", "3");
   cli.flag("seed", "rng seed", "1");
-  cli.flag("fault", "add a faulted replay: none|throw|stall", "none");
+  cli.flag("fault", "add a faulted replay: none|throw|stall|corrupt", "none");
   cli.flag("fault-prob", "chance an eligible task faults [0,1]", "0.02");
+  cli.flag("fault-lane", "restrict faults to one lane (-1 = any)", "-1");
   cli.flag("stall-ms", "stall duration for --fault stall", "20");
+  cli.flag("corrupt", "corruption kind for --fault corrupt: "
+                      "any|nan|bitflip|perturb", "any");
+  cli.flag("corrupt-scale", "relative size of a perturb corruption", "1e-3");
+  cli.flag("verify", "verification tier in the faulted replay: "
+                     "none|scan|probe|full", "none");
+  cli.flag("quarantine-after",
+           "consecutive bad jobs before a lane quarantines (0 = off)", "0");
+  cli.flag("probation-ms", "quarantine probation period (0 = permanent)",
+           "0");
   cli.flag("exec-deadline-ms", "exec deadline for the faulted replay (0=off)",
            "0");
   cli.flag("retries", "max attempts per job in the faulted replay", "2");
@@ -200,17 +244,32 @@ int main(int argc, char** argv) try {
   // section reports the outcome mix and that no workspace leaked.
   const svc::FaultConfig::Mode fault_mode =
       svc::parse_fault_mode(cli.get_string("fault", "none"));
+  const svc::Verify verify =
+      svc::parse_verify(cli.get_string("verify", "none"));
   bool faulted_run = fault_mode != svc::FaultConfig::Mode::kNone;
   RunMetrics faulted;
   if (faulted_run) {
     svc::ServiceConfig fault_cfg = base;
     fault_cfg.fault.mode = fault_mode;
     fault_cfg.fault.probability = cli.get_double("fault-prob", 0.02);
+    fault_cfg.fault.lane = static_cast<int>(cli.get_int("fault-lane", -1));
     fault_cfg.fault.stall_s = cli.get_double("stall-ms", 20) * 1e-3;
+    fault_cfg.fault.corrupt =
+        svc::parse_corrupt_kind(cli.get_string("corrupt", "any"));
+    fault_cfg.fault.corrupt_scale = cli.get_double("corrupt-scale", 1e-3);
+    fault_cfg.quarantine_after =
+        static_cast<int>(cli.get_int("quarantine-after", 0));
+    fault_cfg.probation_s = cli.get_double("probation-ms", 0) * 1e-3;
     svc::JobSpec proto;
     proto.exec_deadline_s = cli.get_double("exec-deadline-ms", 0) * 1e-3;
     proto.max_attempts = static_cast<int>(cli.get_int("retries", 2));
     proto.retry_backoff_s = cli.get_double("retry-backoff-ms", 0) * 1e-3;
+    proto.verify = verify;
+    // In corrupt mode every job also computes the report-only full
+    // reconstruction residual — the independent ground truth that lets the
+    // bench count silently-wrong results the chosen tier missed.
+    if (fault_mode == svc::FaultConfig::Mode::kCorrupt)
+      proto.compute_residual = true;
     svc::QrService service(fault_cfg);
     faulted = replay(service, trace, seed + 2000, proto, /*strict=*/false);
   }
@@ -222,15 +281,37 @@ int main(int argc, char** argv) try {
   if (faulted_run)
     std::printf(
         " \"faulted\": {\"jobs\": %d, \"ok\": %d, \"failed\": %d, "
-        "\"cancelled\": %d, \"expired\": %d,\n"
+        "\"cancelled\": %d, \"expired\": %d, \"corrupted\": %d,\n"
+        "   \"outcome_mix\": {\"detected\": %d, \"retried_ok\": %d, "
+        "\"silently_wrong\": %d, \"quarantined_lanes\": %d},\n"
+        "   \"verify\": \"%s\", \"verify_failures\": %llu, "
+        "\"quarantines\": %llu, \"probations\": %llu, "
+        "\"workspaces_scrubbed\": %llu,\n"
         "   \"retried\": %llu, \"faults_injected\": %llu, \"jobs_per_s\": "
         "%.2f, \"workspaces_outstanding\": %llu},\n",
         faulted.jobs, faulted.ok, faulted.failed, faulted.cancelled,
-        faulted.expired, static_cast<unsigned long long>(faulted.retried),
+        faulted.expired, faulted.corrupted, faulted.corrupted,
+        faulted.retried_ok, faulted.silently_wrong, faulted.lanes_quarantined,
+        svc::to_string(verify),
+        static_cast<unsigned long long>(faulted.verify_failures),
+        static_cast<unsigned long long>(faulted.quarantines),
+        static_cast<unsigned long long>(faulted.probations),
+        static_cast<unsigned long long>(faulted.ws_scrubbed),
+        static_cast<unsigned long long>(faulted.retried),
         static_cast<unsigned long long>(faulted.faults), faulted.jobs_per_s,
         static_cast<unsigned long long>(faulted.ws_outstanding));
   std::printf(" \"warm_speedup\": %.3f}\n",
               warm.jobs_per_s / cold.jobs_per_s);
+  // With verification on, any silently-wrong result is a defense failure:
+  // nonzero exit so CI chaos smoke jobs gate on it directly.
+  if (faulted_run && verify != svc::Verify::kNone &&
+      faulted.silently_wrong > 0) {
+    std::fprintf(stderr,
+                 "serve_throughput: %d silently-wrong jobs slipped past "
+                 "verify=%s\n",
+                 faulted.silently_wrong, svc::to_string(verify));
+    return 3;
+  }
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "serve_throughput: %s\n", e.what());

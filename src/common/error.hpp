@@ -46,6 +46,17 @@ class TransientError : public Error {
   explicit TransientError(const std::string& what) : Error(what) {}
 };
 
+/// A result-verification check (NaN/Inf scan, column-norm drift, probe or
+/// full residual) rejected a computed factorization: the kernels ran to
+/// completion but produced wrong data (silent corruption). Derived from
+/// TransientError because re-running the job on healthy hardware is the
+/// correct first response; a job that keeps failing verification terminates
+/// as JobStatus::kCorrupted rather than kFailed.
+class VerificationError : public TransientError {
+ public:
+  explicit VerificationError(const std::string& what) : TransientError(what) {}
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);

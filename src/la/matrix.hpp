@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -18,6 +20,23 @@
 namespace tqr::la {
 
 using index_t = std::int32_t;
+
+/// Validates a rows x cols allocation request and returns the element count.
+/// Rejects negative extents and products that overflow index_t — the limit
+/// every kernel's index arithmetic assumes — with a clear InvalidArgument
+/// instead of letting a size_t wraparound request a UB-sized allocation.
+inline std::size_t checked_extent(index_t rows, index_t cols) {
+  TQR_REQUIRE(rows >= 0 && cols >= 0,
+              "matrix dimensions must be >= 0 (got " + std::to_string(rows) +
+                  " x " + std::to_string(cols) + ")");
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+  TQR_REQUIRE(
+      count <= static_cast<std::uint64_t>(std::numeric_limits<index_t>::max()),
+      "matrix element count overflows index_t: " + std::to_string(rows) +
+          " x " + std::to_string(cols));
+  return static_cast<std::size_t>(count);
+}
 
 /// Owning buffers are 64-byte aligned (la/aligned.hpp) so SIMD loads in the
 /// micro-kernel engine — and any future vector code — start on cache-line
@@ -98,11 +117,10 @@ template <typename T>
 class Matrix {
  public:
   Matrix() = default;
+  // checked_extent runs before the buffer is sized, so a negative or
+  // overflowing request throws instead of allocating.
   Matrix(index_t rows, index_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<std::size_t>(rows) * cols, T(0)) {
-    TQR_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
-  }
+      : rows_(rows), cols_(cols), data_(checked_extent(rows, cols), T(0)) {}
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }

@@ -26,12 +26,15 @@ class TiledMatrix {
   TiledMatrix(index_t rows, index_t cols, index_t b)
       : rows_(rows), cols_(cols), b_(b) {
     TQR_REQUIRE(b > 0, "tile size must be positive");
+    // Validates sign and index_t overflow before sizing the buffer (the
+    // tile-grid footprint equals rows * cols elements exactly).
+    const std::size_t count = checked_extent(rows, cols);
     TQR_REQUIRE(rows % b == 0 && cols % b == 0,
                 "matrix dimensions must be multiples of the tile size "
                 "(use pad_to_tiles)");
     mt_ = rows / b;
     nt_ = cols / b;
-    data_.assign(static_cast<std::size_t>(mt_) * nt_ * b * b, T(0));
+    data_.assign(count, T(0));
   }
 
   index_t rows() const { return rows_; }
@@ -72,6 +75,11 @@ class TiledMatrix {
   const T& at(index_t i, index_t j) const {
     return tile(i / b_, j / b_)(i % b_, j % b_);
   }
+
+  /// Overwrites every element (all tiles) with `value`. Used by the
+  /// workspace pool to scrub storage returned by failed jobs, so stale or
+  /// corrupted factor data can never leak into a later lease.
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
   /// Conversion from/to dense column-major layout.
   static TiledMatrix from_dense(ConstMatrixView<T> a, index_t b) {

@@ -21,6 +21,8 @@ struct RunState {
   const DagExecutor::Kernel& kernel;
   Trace* trace;
   CancelToken* cancel = nullptr;
+  /// Post-kernel hook (result verification); failures are kernel failures.
+  const DagExecutor::Kernel* post_task = nullptr;
 
   std::uint64_t seq = 0;  // engine run sequence number
 
@@ -146,6 +148,9 @@ struct RunState {
       ev.start_s = clock.seconds();
       try {
         kernel(t, task, dev);
+        // Kernel boundary: verify this task's freshly-written tiles before
+        // any successor can consume them. The hook throws to reject.
+        if (post_task) (*post_task)(t, task, dev);
       } catch (...) {
         record_failure(std::current_exception());
         return;
@@ -213,9 +218,16 @@ struct DagExecutor::Impl {
       run->worker(dev);
       {
         // Under the engine mutex so execute()'s cv_done wait cannot miss the
-        // final transition to workers_inside == 0.
+        // final transition to workers_inside == 0. The worker's RunState
+        // reference must also die inside this critical section (before the
+        // mutex is released, hence before execute() can wake): execute()
+        // then always holds the last reference, so per-run teardown — in
+        // particular releasing the stored exception_ptr while the caller is
+        // still inside a catch handler for that same exception — never runs
+        // on a worker thread concurrently with the caller.
         std::lock_guard<std::mutex> lock(mutex);
-        run->workers_inside.fetch_sub(1, std::memory_order_acq_rel);
+        std::shared_ptr<RunState> last = std::move(run);
+        last->workers_inside.fetch_sub(1, std::memory_order_acq_rel);
       }
       cv_done.notify_all();
     }
@@ -259,7 +271,8 @@ std::uint64_t DagExecutor::runs_completed() const {
 
 double DagExecutor::execute(const dag::TaskGraph& graph,
                             const Affinity& affinity, const Kernel& kernel,
-                            Trace* trace, CancelToken* cancel) {
+                            Trace* trace, CancelToken* cancel,
+                            const Kernel* post_task) {
   std::lock_guard<std::mutex> serialize(impl_->execute_mutex);
   if (graph.size() == 0) return 0.0;
   if (cancel && cancel->cancelled())
@@ -269,6 +282,7 @@ double DagExecutor::execute(const dag::TaskGraph& graph,
                                         impl_->num_devices);
   run->panel_priority = impl_->panel_priority;
   run->cancel = cancel;
+  run->post_task = post_task && *post_task ? post_task : nullptr;
   for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
     run->remaining[t].store(graph.indegree(t), std::memory_order_relaxed);
 

@@ -79,9 +79,19 @@ class DagExecutor {
   /// call throws Cancelled without dispatching anything. The token must
   /// outlive the call and can be reused after reset(). The engine stays
   /// usable for the next execute() after a cancelled run.
+  ///
+  /// `post_task` (optional) runs in the worker thread immediately after each
+  /// kernel, before the task's successors are released — the kernel-boundary
+  /// hook result verification hangs off (a task's output tiles are still
+  /// exclusively owned there, so scanning them races nothing). An exception
+  /// from the hook is handled exactly like a kernel exception: the run
+  /// drains, quiesces, and rethrows it, and the failed task's successors
+  /// never run, so a detected-bad tile is never consumed downstream. Hook
+  /// time is attributed to the task in traces.
   double execute(const dag::TaskGraph& graph, const Affinity& affinity,
                  const Kernel& kernel, Trace* trace = nullptr,
-                 CancelToken* cancel = nullptr);
+                 CancelToken* cancel = nullptr,
+                 const Kernel* post_task = nullptr);
 
   int num_devices() const;
   /// Number of execute() calls that ran to completion (diagnostics).

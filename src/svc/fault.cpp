@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <thread>
 
 #include "common/error.hpp"
@@ -13,8 +16,9 @@ FaultConfig::Mode parse_fault_mode(const std::string& name) {
   if (name == "none") return FaultConfig::Mode::kNone;
   if (name == "throw") return FaultConfig::Mode::kThrow;
   if (name == "stall") return FaultConfig::Mode::kStall;
+  if (name == "corrupt") return FaultConfig::Mode::kCorrupt;
   throw InvalidArgument("unknown fault mode '" + name +
-                        "' (expected none|throw|stall)");
+                        "' (expected none|throw|stall|corrupt)");
 }
 
 int parse_fault_op(const std::string& name) {
@@ -26,17 +30,30 @@ int parse_fault_op(const std::string& name) {
   throw InvalidArgument("unknown kernel op '" + name + "'");
 }
 
+FaultConfig::Corrupt parse_corrupt_kind(const std::string& name) {
+  if (name == "any") return FaultConfig::Corrupt::kAny;
+  if (name == "nan") return FaultConfig::Corrupt::kNaN;
+  if (name == "bitflip") return FaultConfig::Corrupt::kBitFlip;
+  if (name == "perturb") return FaultConfig::Corrupt::kPerturb;
+  throw InvalidArgument("unknown corrupt kind '" + name +
+                        "' (expected any|nan|bitflip|perturb)");
+}
+
 FaultInjector::FaultInjector(const FaultConfig& config)
     : config_(config), rng_(config.seed) {
   TQR_REQUIRE(config.probability >= 0 && config.probability <= 1,
               "fault probability must be in [0, 1]");
   TQR_REQUIRE(config.stall_s >= 0, "fault stall must be non-negative");
+  TQR_REQUIRE(config.corrupt_scale > 0,
+              "fault corrupt scale must be positive");
 }
 
-bool FaultInjector::should_fire(dag::task_id t, const dag::Task& task) {
+bool FaultInjector::should_fire(dag::task_id t, const dag::Task& task,
+                                int lane) {
   if (config_.task >= 0 && static_cast<std::int64_t>(t) != config_.task)
     return false;
   if (config_.op >= 0 && static_cast<int>(task.op) != config_.op) return false;
+  if (config_.lane >= 0 && lane != config_.lane) return false;
   if (config_.probability < 1.0) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (rng_.next_double() >= config_.probability) return false;
@@ -55,9 +72,10 @@ bool FaultInjector::should_fire(dag::task_id t, const dag::Task& task) {
 }
 
 void FaultInjector::maybe_inject(dag::task_id t, const dag::Task& task,
-                                 const runtime::CancelToken* cancel,
+                                 int lane, const runtime::CancelToken* cancel,
                                  double max_stall_s) {
-  if (!armed() || !should_fire(t, task)) return;
+  if (!armed() || config_.mode == FaultConfig::Mode::kCorrupt) return;
+  if (!should_fire(t, task, lane)) return;
   if (config_.mode == FaultConfig::Mode::kThrow) {
     const std::string what =
         "injected fault at " + dag::to_string(task) + " (task " +
@@ -74,6 +92,72 @@ void FaultInjector::maybe_inject(dag::task_id t, const dag::Task& task,
     const double slice = std::min(remaining, kSliceS);
     std::this_thread::sleep_for(std::chrono::duration<double>(slice));
     remaining -= slice;
+  }
+}
+
+bool FaultInjector::maybe_corrupt(dag::task_id t, const dag::Task& task,
+                                  int lane, la::MatrixView<double> tile) {
+  if (config_.mode != FaultConfig::Mode::kCorrupt) return false;
+  if (tile.rows <= 0 || tile.cols <= 0) return false;
+  if (!should_fire(t, task, lane)) return false;
+  poison(tile);
+  return true;
+}
+
+void FaultInjector::poison(la::MatrixView<double> tile) {
+  // Target the largest-magnitude element of the upper triangle: for every QR
+  // op's primary output (R factor or updated block) that region is live data
+  // a successor or the final extraction reads, so the corruption can never
+  // land in a slot the algorithm ignores. An all-zero triangle gets a planted
+  // 1.0 so even degenerate tiles yield a real corruption.
+  la::index_t bi = 0, bj = 0;
+  double best = -1.0;
+  for (la::index_t j = 0; j < tile.cols; ++j)
+    for (la::index_t i = 0; i <= j && i < tile.rows; ++i) {
+      const double mag = std::fabs(tile(i, j));
+      if (mag > best) {
+        best = mag;
+        bi = i;
+        bj = j;
+      }
+    }
+  double& elem = tile(bi, bj);
+  if (elem == 0.0) elem = 1.0;
+
+  FaultConfig::Corrupt kind = config_.corrupt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (kind == FaultConfig::Corrupt::kAny) {
+    switch (rng_.next_below(3)) {
+      case 0: kind = FaultConfig::Corrupt::kNaN; break;
+      case 1: kind = FaultConfig::Corrupt::kBitFlip; break;
+      default: kind = FaultConfig::Corrupt::kPerturb; break;
+    }
+  }
+  switch (kind) {
+    case FaultConfig::Corrupt::kNaN:
+      switch (rng_.next_below(3)) {
+        case 0: elem = std::numeric_limits<double>::quiet_NaN(); break;
+        case 1: elem = std::numeric_limits<double>::infinity(); break;
+        default: elem = -std::numeric_limits<double>::infinity(); break;
+      }
+      break;
+    case FaultConfig::Corrupt::kBitFlip: {
+      // Bits 44..63: sign, exponent, or the top 8 mantissa bits — every such
+      // flip changes the value by a relative factor of at least 2^-9, far
+      // above verification tolerance, which keeps the detection-rate tests
+      // deterministic (low-mantissa flips would be legitimately invisible).
+      const int bit = 44 + static_cast<int>(rng_.next_below(20));
+      std::uint64_t raw;
+      std::memcpy(&raw, &elem, sizeof raw);
+      raw ^= std::uint64_t{1} << bit;
+      std::memcpy(&elem, &raw, sizeof raw);
+      break;
+    }
+    case FaultConfig::Corrupt::kPerturb:
+      elem *= 1.0 + config_.corrupt_scale;
+      break;
+    case FaultConfig::Corrupt::kAny:
+      break;  // unreachable: resolved above
   }
 }
 

@@ -2,15 +2,20 @@
 //
 // Robustness code that is only exercised by real failures is robustness code
 // that has never run. The injector wraps the per-task kernel: on a
-// configurable (task, op, probability) trigger it either throws — a
+// configurable (task, op, lane, probability) trigger it either throws — a
 // tqr::TransientError by default, so the service's bounded retry policy is
-// exercised end to end — or stalls, which is how the exec-deadline /
-// cancellation path is driven past its timeout deterministically. Stalls
-// sleep in short slices and watch the run's CancelToken, so a cancelled run
-// escapes a stall early instead of serving the full sleep.
+// exercised end to end — stalls, which is how the exec-deadline /
+// cancellation path is driven past its timeout deterministically, or
+// *corrupts*: the kernel runs normally and one element of its output tile is
+// poisoned afterwards (NaN/Inf, a high-bit flip, or an epsilon-scale
+// perturbation). Corruption is the silent-data-corruption model: nothing
+// throws, nothing stalls — only the verification tiers (JobSpec::verify) can
+// tell the job went wrong. Stalls sleep in short slices and watch the run's
+// CancelToken, so a cancelled run escapes a stall early instead of serving
+// the full sleep.
 //
 // Wired into `tqr serve` (--fault* flags), bench/serve_throughput's fault
-// mode, and the tests/svc suite.
+// mode, bench/ablate_robustness --chaos, and the tests/svc suite.
 #pragma once
 
 #include <atomic>
@@ -21,23 +26,41 @@
 #include "common/rng.hpp"
 #include "dag/graph.hpp"  // dag::task_id
 #include "dag/task.hpp"
+#include "la/matrix.hpp"
 #include "runtime/cancel.hpp"
 
 namespace tqr::svc {
 
 struct FaultConfig {
   enum class Mode : std::uint8_t {
-    kNone,   // injector disarmed
-    kThrow,  // eligible tasks throw
-    kStall,  // eligible tasks sleep stall_s before running
+    kNone,     // injector disarmed
+    kThrow,    // eligible tasks throw
+    kStall,    // eligible tasks sleep stall_s before running
+    kCorrupt,  // eligible tasks silently poison their output tile
+  };
+  /// What kCorrupt writes into the output tile. The poisoned element is the
+  /// largest-magnitude entry of the tile's upper triangle — data that is
+  /// always live (R / V content or an updated block), so an injected
+  /// corruption is never absorbed by a dead region the factors ignore.
+  enum class Corrupt : std::uint8_t {
+    kAny,      // uniformly one of the three kinds below per injection
+    kNaN,      // NaN or +-Inf poison (tier-1 scan territory)
+    kBitFlip,  // flip one of bits 44..63 (sign/exponent/high mantissa)
+    kPerturb,  // multiply by (1 + corrupt_scale): small, probe territory
   };
   Mode mode = Mode::kNone;
+  Corrupt corrupt = Corrupt::kAny;
+  /// Relative size of a kPerturb corruption.
+  double corrupt_scale = 1e-3;
   /// Chance an eligible task faults, in [0, 1].
   double probability = 1.0;
   /// Restrict to one task id (-1 = any task).
   std::int64_t task = -1;
   /// Restrict to one op, as static_cast<int>(dag::Op) (-1 = any op).
   int op = -1;
+  /// Restrict to one service lane (-1 = any lane). How chaos tests model a
+  /// single bad device feeding one lane (the quarantine scenario).
+  int lane = -1;
   /// Stall duration for Mode::kStall.
   double stall_s = 0.01;
   /// kThrow faults are TransientError (retryable) unless this is set.
@@ -48,11 +71,15 @@ struct FaultConfig {
   std::uint64_t seed = 42;
 };
 
-/// Parses "none" | "throw" | "stall"; throws InvalidArgument otherwise.
+/// Parses "none" | "throw" | "stall" | "corrupt"; throws InvalidArgument
+/// otherwise.
 FaultConfig::Mode parse_fault_mode(const std::string& name);
 /// Parses a kernel op name ("geqrt", "tsmqr", ...; case-insensitive) into
 /// the FaultConfig::op encoding; throws InvalidArgument on unknown names.
 int parse_fault_op(const std::string& name);
+/// Parses "any" | "nan" | "bitflip" | "perturb"; throws InvalidArgument
+/// otherwise.
+FaultConfig::Corrupt parse_corrupt_kind(const std::string& name);
 
 class FaultInjector {
  public:
@@ -66,18 +93,27 @@ class FaultInjector {
   /// returns early if `cancel` latches mid-stall, and sleeps at most
   /// `max_stall_s` when that is >= 0 (the wrapper passes time-to-deadline,
   /// so a long stall ends exactly when the exec deadline lapses instead of
-  /// overshooting it by the remaining sleep). No-op when disarmed.
-  void maybe_inject(dag::task_id t, const dag::Task& task,
+  /// overshooting it by the remaining sleep). No-op when disarmed or in
+  /// kCorrupt mode (corruption happens after the kernel, not before).
+  void maybe_inject(dag::task_id t, const dag::Task& task, int lane,
                     const runtime::CancelToken* cancel,
                     double max_stall_s = -1.0);
 
-  /// Faults delivered so far (thrown + stalled).
+  /// Called by the service's kernel wrapper after the real tile kernel ran,
+  /// with the task's primary output tile. In kCorrupt mode, when the trigger
+  /// fires, silently poisons one element of `tile` per `config().corrupt`
+  /// and returns true. No-op (false) in every other mode.
+  bool maybe_corrupt(dag::task_id t, const dag::Task& task, int lane,
+                     la::MatrixView<double> tile);
+
+  /// Faults delivered so far (thrown + stalled + corrupted).
   std::uint64_t injected() const {
     return injected_.load(std::memory_order_relaxed);
   }
 
  private:
-  bool should_fire(dag::task_id t, const dag::Task& task);
+  bool should_fire(dag::task_id t, const dag::Task& task, int lane);
+  void poison(la::MatrixView<double> tile);
 
   const FaultConfig config_;
   std::mutex mutex_;  // guards rng_ (lanes share one injector)

@@ -1,0 +1,16 @@
+#include "svc/job.hpp"
+
+#include "common/error.hpp"
+
+namespace tqr::svc {
+
+Verify parse_verify(const std::string& name) {
+  if (name == "none") return Verify::kNone;
+  if (name == "scan") return Verify::kScan;
+  if (name == "probe") return Verify::kProbe;
+  if (name == "full") return Verify::kFull;
+  throw InvalidArgument("unknown verify tier '" + name +
+                        "' (expected none|scan|probe|full)");
+}
+
+}  // namespace tqr::svc

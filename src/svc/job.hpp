@@ -20,6 +20,7 @@ enum class JobStatus : std::uint8_t {
   kExpired,    // queue deadline elapsed before a lane picked the job up
   kFailed,     // factorization threw; see error
   kCancelled,  // aborted mid-run: caller cancel, exec deadline, or shutdown
+  kCorrupted,  // every attempt produced factors that failed verification
 };
 
 inline const char* to_string(JobStatus s) {
@@ -29,9 +30,40 @@ inline const char* to_string(JobStatus s) {
     case JobStatus::kExpired: return "expired";
     case JobStatus::kFailed: return "failed";
     case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kCorrupted: return "corrupted";
   }
   return "?";
 }
+
+/// Result-verification tier, cheapest to strongest. Detection failures are
+/// retryable (silent corruption is transient by nature — a re-run on healthy
+/// hardware succeeds); a job whose every attempt fails verification
+/// completes with kCorrupted and an empty R, never with silently-wrong data.
+enum class Verify : std::uint8_t {
+  kNone,   // tier 0: trust the kernels (free)
+  kScan,   // tier 1: per-task NaN/Inf scan of written tiles at each kernel
+           // boundary + end-of-job column-norm drift check (O(MT b^2) per
+           // task / O(mn) per job — a few percent of factorization cost)
+  kProbe,  // tier 2: kScan + randomized probe residual ||QRx - Ax||/||Ax||
+           // (one Q application to a single vector: O(n^2), ~n x cheaper
+           // than full reconstruction)
+  kFull,   // tier 3: kScan + full reconstruction residual with threshold
+           // enforcement (replays Q against the identity; ~2x job cost)
+};
+
+inline const char* to_string(Verify v) {
+  switch (v) {
+    case Verify::kNone: return "none";
+    case Verify::kScan: return "scan";
+    case Verify::kProbe: return "probe";
+    case Verify::kFull: return "full";
+  }
+  return "?";
+}
+
+/// Parses "none" | "scan" | "probe" | "full"; throws InvalidArgument
+/// otherwise.
+Verify parse_verify(const std::string& name);
 
 struct JobSpec {
   /// Matrix to factor (rows >= cols; padded to the tile grid internally).
@@ -55,7 +87,11 @@ struct JobSpec {
   double retry_backoff_s = 0;
   /// Compute the reconstruction residual ||A - Q R||_F / ||A||_F (replays
   /// Q; roughly doubles the job's work). residual stays -1 otherwise.
+  /// Report-only: never fails the job. Use `verify` to enforce.
   bool compute_residual = false;
+  /// Result-verification tier; failures retry under max_attempts and
+  /// exhaust to kCorrupted. See svc::Verify for the cost ladder.
+  Verify verify = Verify::kNone;
   /// Opaque caller tag, echoed in the result.
   std::uint64_t tag = 0;
 };
@@ -64,7 +100,7 @@ struct JobResult {
   std::uint64_t id = 0;   // service-assigned, dense from 1
   std::uint64_t tag = 0;  // echoed from the spec
   JobStatus status = JobStatus::kFailed;
-  std::string error;  // set when status == kFailed
+  std::string error;  // set when status == kFailed / kCorrupted
 
   la::index_t rows = 0, cols = 0;  // original (unpadded) shape
   int tile_size = 0;
@@ -74,6 +110,9 @@ struct JobResult {
   la::Matrix<double> r;
   /// ||A - Q R||_F / ||A||_F over the padded matrix; -1 if not requested.
   double residual = -1;
+  /// Verification statistic from the last attempt (probe or full relative
+  /// residual, depending on tier); -1 when verify < kProbe.
+  double verify_residual = -1;
 
   double queue_s = 0;  // submit -> lane pickup
   double exec_s = 0;   // factorization (graph execution) only

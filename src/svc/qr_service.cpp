@@ -8,8 +8,10 @@
 
 #include "common/error.hpp"
 #include "core/tiled_qr.hpp"
+#include "dag/task_accesses.hpp"
 #include "dag/tiled_qr_dag.hpp"
 #include "la/blas.hpp"
+#include "la/checks.hpp"
 #include "runtime/dag_executor.hpp"
 
 namespace tqr::svc {
@@ -34,6 +36,14 @@ la::index_t round_up(la::index_t n, la::index_t b) {
   return (n + b - 1) / b * b;
 }
 
+/// std::to_string renders small doubles as "0.000000"; verification
+/// tolerances live around 1e-11, so failure messages use scientific form.
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3e", v);
+  return buf;
+}
+
 }  // namespace
 
 /// Per-lane resident executor. With reuse_engines the engine (and its device
@@ -46,11 +56,13 @@ struct QrService::LaneEngine {
   double execute(const dag::TaskGraph& graph,
                  const runtime::DagExecutor::Affinity& affinity,
                  const runtime::DagExecutor::Kernel& kernel,
-                 runtime::CancelToken* cancel) {
+                 runtime::CancelToken* cancel,
+                 const runtime::DagExecutor::Kernel* post_task) {
     if (resident)
-      return resident->execute(graph, affinity, kernel, nullptr, cancel);
+      return resident->execute(graph, affinity, kernel, nullptr, cancel,
+                               post_task);
     runtime::DagExecutor fresh(options);
-    return fresh.execute(graph, affinity, kernel, nullptr, cancel);
+    return fresh.execute(graph, affinity, kernel, nullptr, cancel, post_task);
   }
 };
 
@@ -90,7 +102,11 @@ QrService::QrService(const ServiceConfig& config)
   TQR_REQUIRE(config.threads_per_device > 0,
               "threads_per_device must be >= 1");
   TQR_REQUIRE(config.default_tile > 0, "default_tile must be >= 1");
+  TQR_REQUIRE(config.quarantine_after >= 0,
+              "quarantine_after must be >= 0");
+  TQR_REQUIRE(config.probation_s >= 0, "probation_s must be >= 0");
   platform_hash_ = platform_fingerprint(platform_);
+  lane_health_.resize(static_cast<std::size_t>(config.lanes));
   if (config.fault.mode != FaultConfig::Mode::kNone)
     fault_ = std::make_unique<FaultInjector>(config.fault);
   lanes_.reserve(static_cast<std::size_t>(config.lanes));
@@ -198,7 +214,13 @@ void QrService::lane_main(int lane) {
     engine.resident =
         std::make_unique<runtime::DagExecutor>(engine.options);
 
-  while (auto job = queue_.pop()) {
+  for (;;) {
+    // Circuit-breaker gate: a quarantined lane stops popping, so the shared
+    // queue redistributes its jobs to healthy lanes. Returns false only at
+    // shutdown (the surviving lanes drain the queue).
+    if (!quarantine_gate(lane)) return;
+    auto job = queue_.pop();
+    if (!job) return;
     const std::uint64_t id = job->id;
     std::shared_ptr<JobControl> control;
     {
@@ -220,7 +242,10 @@ void QrService::lane_main(int lane) {
         case JobStatus::kExpired: ++expired_; break;
         case JobStatus::kRejected: ++rejected_; break;
         case JobStatus::kCancelled: ++cancelled_; break;
+        case JobStatus::kCorrupted: ++corrupted_; break;
       }
+      if (config_.quarantine_after > 0)
+        update_lane_health_locked(lane, status);
       controls_.erase(id);
     }
     if (status == JobStatus::kOk) latency_.record(total_s);
@@ -231,6 +256,54 @@ void QrService::lane_main(int lane) {
     }
     cv_drained_.notify_all();
   }
+}
+
+bool QrService::quarantine_gate(int lane) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      LaneHealth& h = lane_health_[static_cast<std::size_t>(lane)];
+      if (!h.quarantined) return true;
+      if (closed_) return false;
+      if (config_.probation_s > 0 && clock_.seconds() >= h.retry_at_s) {
+        // Half-open: re-admit the lane for exactly one probation job; its
+        // outcome decides between full re-admission and re-quarantine.
+        h.quarantined = false;
+        h.probation = true;
+        ++lane_probations_;
+        return true;
+      }
+    }
+    // Polling slices keep the gate simple (no extra condition variable);
+    // 2 ms of wake latency is noise against probation periods.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void QrService::update_lane_health_locked(int lane, JobStatus status) {
+  LaneHealth& h = lane_health_[static_cast<std::size_t>(lane)];
+  // Only outcomes that indict the lane's execution count: cancellations and
+  // expirations are the caller's (or the clock's) doing, not the hardware's.
+  const bool bad =
+      status == JobStatus::kFailed || status == JobStatus::kCorrupted;
+  const bool was_probation = h.probation;
+  h.probation = false;
+  if (!bad) {
+    h.consecutive_bad = 0;
+    return;
+  }
+  ++h.consecutive_bad;
+  // A failed probation job re-quarantines immediately; otherwise the streak
+  // must reach the configured threshold.
+  if (!was_probation && h.consecutive_bad < config_.quarantine_after) return;
+  int active = 0;
+  for (const LaneHealth& o : lane_health_)
+    if (!o.quarantined) ++active;
+  if (active <= 1) return;  // never quarantine the last active lane
+  h.quarantined = true;
+  h.consecutive_bad = 0;
+  h.retry_at_s = clock_.seconds() + config_.probation_s;
+  ++lane_quarantines_;
 }
 
 JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
@@ -271,9 +344,22 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
       result.error = control.reason_text();
       break;
     } catch (const TransientError& e) {
+      // VerificationError is a TransientError on purpose: silent corruption
+      // is transient by nature (a re-run on healthy silicon comes back
+      // clean), so detection flows through the same bounded retry/backoff
+      // machinery as injected throws — but its *terminal* status is
+      // kCorrupted, so exhausted retries are never reported as a generic
+      // failure and never as silently-wrong success.
+      const bool verification =
+          dynamic_cast<const VerificationError*>(&e) != nullptr;
       result.error = e.what();
+      if (verification) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++verify_failures_;
+      }
       if (attempt == max_attempts) {
-        result.status = JobStatus::kFailed;
+        result.status =
+            verification ? JobStatus::kCorrupted : JobStatus::kFailed;
         break;
       }
       {
@@ -305,6 +391,10 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
       break;
     }
   }
+  // A non-kOk job must never hand out factors: a failed later attempt (or a
+  // verification rejection raised after extraction) can leave a stale or
+  // corrupt R from earlier in the loop.
+  if (result.status != JobStatus::kOk) result.r = la::Matrix<double>();
   result.total_s = clock_.seconds() - job.submit_s;
   return result;
 }
@@ -343,8 +433,35 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   // Workspace: recycled per shape. The RAII lease is what guarantees the
   // pool's `outstanding` returns to zero on EVERY exit from this attempt —
   // success, injected fault, or a cancellation unwinding through execute().
+  // The scrub stays armed until the attempt finishes cleanly, so any
+  // abnormal exit returns zero-filled storage to the pool: half-written or
+  // poisoned factors can never leak into a later lease (including this same
+  // job's retry).
   WorkspacePool::Lease ws = workspace_pool_.acquire(pr, pc, b);
+  ws.scrub_on_release(true);
   load_padded(ws->a, a.view());
+
+  const Verify verify = job.spec.verify;
+  // Tier-1 baseline: orthogonal transforms preserve column 2-norms, so each
+  // column of R must reproduce the matching column norm of the padded input.
+  // Captured here, before the factorization overwrites the tiles; one O(m n)
+  // pass, paid only when verification is on.
+  std::vector<double> col_norm;
+  double a_fro = 0;
+  if (verify >= Verify::kScan) {
+    col_norm.resize(static_cast<std::size_t>(pc));
+    double fro2 = 0;
+    for (la::index_t j = 0; j < pc; ++j) {
+      double col2 = 0;
+      for (la::index_t i = 0; i < pr; ++i) {
+        const double v = ws->a.at(i, j);
+        col2 += v * v;
+      }
+      col_norm[static_cast<std::size_t>(j)] = std::sqrt(col2);
+      fro2 += col2;
+    }
+    a_fro = std::sqrt(fro2);
+  }
 
   // Execute the factorization graph on the lane engine, routed by the
   // plan's device assignment. The kernel wrapper is the service's
@@ -355,13 +472,40 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   const core::Plan& plan = entry->plan;
   const la::index_t ib = config_.inner_block;
   const double deadline_s = job.spec.exec_deadline_s;
+  const int lane = result.lane;
+
+  // Tier-1 kernel-boundary scan, run by the executor in the worker thread
+  // right after each kernel (and after any injected corruption), while the
+  // task's written tiles are still exclusively owned — scanning them races
+  // nothing, and a detection stops the run before any successor can consume
+  // the bad tile. Cost: O(b^2) per written tile, a few percent of the O(b^3)
+  // kernel it follows.
+  const runtime::DagExecutor::Kernel scan_written_tiles =
+      [&ws](dag::task_id t, const dag::Task& task, int) {
+        dag::TileAccess acc[5];
+        const int n_acc = dag::tile_accesses(task, acc);
+        for (int idx = 0; idx < n_acc; ++idx) {
+          if (!acc[idx].write) continue;
+          const la::TiledMatrix<double>& plane =
+              acc[idx].plane == dag::Plane::kA
+                  ? ws->a
+                  : (acc[idx].plane == dag::Plane::kTg ? ws->tg : ws->te);
+          if (!la::all_finite<double>(plane.tile(acc[idx].i, acc[idx].j)))
+            throw VerificationError(
+                "verification: non-finite value in output of " +
+                dag::to_string(task) + " (task " + std::to_string(t) + ")");
+        }
+      };
+  const bool corrupting =
+      fault_ && fault_->config().mode == FaultConfig::Mode::kCorrupt;
+
   Timer exec_clock;
   engine.execute(
       entry->graph,
       [&plan](dag::task_id, const dag::Task& task) {
         return plan.device_for(task);
       },
-      [this, &ws, ib, &control, picked_up_s, deadline_s](
+      [this, &ws, ib, &control, picked_up_s, deadline_s, lane, corrupting](
           dag::task_id t, const dag::Task& task, int) {
         auto past_deadline = [&] {
           return deadline_s > 0 &&
@@ -377,13 +521,28 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
                   ? std::max(0.0, deadline_s -
                                       (clock_.seconds() - picked_up_s))
                   : -1.0;
-          fault_->maybe_inject(t, task, &control.token, cap);
+          fault_->maybe_inject(t, task, lane, &control.token, cap);
           if (past_deadline()) control.request(JobControl::kDeadline);
           if (control.token.cancelled()) return;
         }
         core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
+        if (corrupting) {
+          // Silent-corruption injection: poison the task's primary output
+          // tile *after* the kernel ran — exactly what flaky silicon does.
+          // Nothing throws; only verification can tell.
+          dag::TileAccess acc[5];
+          const int n_acc = dag::tile_accesses(task, acc);
+          for (int idx = 0; idx < n_acc; ++idx) {
+            if (acc[idx].plane == dag::Plane::kA && acc[idx].write) {
+              fault_->maybe_corrupt(t, task, lane,
+                                    ws->a.tile(acc[idx].i, acc[idx].j));
+              break;
+            }
+          }
+        }
       },
-      &control.token);
+      &control.token,
+      verify >= Verify::kScan ? &scan_written_tiles : nullptr);
   result.exec_s = exec_clock.seconds();
 
   // Extract the caller-shaped R (leading block; identity padding keeps it
@@ -393,7 +552,66 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   for (la::index_t j = 0; j < n; ++j)
     for (la::index_t i = 0; i <= j; ++i) result.r(i, j) = ws->a.at(i, j);
 
-  if (job.spec.compute_residual) {
+  const double tol = la::verify_tolerance<double>(std::max(pr, pc));
+  if (verify >= Verify::kScan) {
+    // End-of-job tier 1: column-norm drift of R against the input norms
+    // captured above, normalized by ||A||_F (per-column normalization would
+    // let a tiny column amplify rounding into a false positive). All
+    // comparisons are written !(x <= tol) so a NaN that somehow survived the
+    // per-task scans still fails.
+    double worst = 0;
+    for (la::index_t j = 0; j < pc; ++j) {
+      double col2 = 0;
+      for (la::index_t i = 0; i <= j && i < pr; ++i) {
+        const double v = ws->a.at(i, j);
+        col2 += v * v;
+      }
+      worst = std::max(
+          worst,
+          std::abs(std::sqrt(col2) - col_norm[static_cast<std::size_t>(j)]));
+    }
+    const double drift = a_fro > 0 ? worst / a_fro : worst;
+    if (!(drift <= tol))
+      throw VerificationError("verification: column-norm drift " +
+                              sci(drift) + " exceeds tolerance " + sci(tol));
+  }
+
+  if (verify == Verify::kProbe) {
+    // Tier 2: push one random probe x through both sides of A = Q R. The
+    // factorization's answer is z = Q ([R; 0] x), replaying the factor
+    // tasks against a single column (O(m n) — about n x cheaper than the
+    // full reconstruction); the reference A x comes straight from the
+    // caller's matrix plus the identity pad. Seeded from (job, attempt), so
+    // a flagged run can be replayed bit-for-bit and a retry never reuses a
+    // probe direction.
+    const std::uint64_t probe_seed =
+        job.id * 0x9E3779B97F4A7C15ull +
+        static_cast<std::uint64_t>(result.attempts);
+    la::Matrix<double> x = la::probe_vector<double>(pc, probe_seed);
+    la::Matrix<double> z(pr, 1);
+    for (la::index_t i = 0; i < pc; ++i) {
+      double s = 0;
+      for (la::index_t j = i; j < pc; ++j) s += ws->a.at(i, j) * x(j, 0);
+      z(i, 0) = s;
+    }
+    core::apply_q_tiles<double>(entry->graph, ws->a, ws->tg, ws->te, z.view(),
+                                la::Trans::kNoTrans, ib);
+    la::Matrix<double> ax(pr, 1);
+    for (la::index_t i = 0; i < a.rows(); ++i) {
+      double s = 0;
+      for (la::index_t j = 0; j < a.cols(); ++j) s += a(i, j) * x(j, 0);
+      ax(i, 0) = s;
+    }
+    for (la::index_t d = 0; d + a.cols() < pc && d + a.rows() < pr; ++d)
+      ax(a.rows() + d, 0) = x(a.cols() + d, 0);  // identity pad rows
+    result.verify_residual = la::relative_error<double>(z.view(), ax.view());
+    if (!(result.verify_residual <= tol))
+      throw VerificationError("verification: probe residual " +
+                              sci(result.verify_residual) +
+                              " exceeds tolerance " + sci(tol));
+  }
+
+  if (job.spec.compute_residual || verify == Verify::kFull) {
     // ||A - Q R||_F / ||A||_F over the padded matrix: build [R; 0],
     // apply Q by replaying the factor tasks, subtract A.
     la::Matrix<double> qr(pr, pc);
@@ -415,7 +633,19 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
       }
     }
     result.residual = std::sqrt(diff2) / (norm2 > 0 ? std::sqrt(norm2) : 1);
+    if (verify == Verify::kFull) {
+      // Tier 3: the reconstruction residual itself is the verdict.
+      result.verify_residual = result.residual;
+      if (!(result.residual <= tol))
+        throw VerificationError("verification: reconstruction residual " +
+                                sci(result.residual) + " exceeds tolerance " +
+                                sci(tol));
+    }
   }
+
+  // Clean finish: the recycled workspace only holds factors every enabled
+  // check accepted, so it can be parked without the scrub pass.
+  ws.scrub_on_release(false);
 }
 
 ServiceStats QrService::stats() const {
@@ -429,6 +659,12 @@ ServiceStats QrService::stats() const {
     s.jobs_expired = expired_;
     s.jobs_cancelled = cancelled_;
     s.jobs_retried = retried_;
+    s.jobs_corrupted = corrupted_;
+    s.verify_failures = verify_failures_;
+    s.lane_quarantines = lane_quarantines_;
+    s.lane_probations = lane_probations_;
+    for (const LaneHealth& h : lane_health_)
+      if (h.quarantined) ++s.lanes_quarantined;
   }
   s.faults_injected = fault_ ? fault_->injected() : 0;
   s.uptime_s = clock_.seconds();

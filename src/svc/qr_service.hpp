@@ -26,6 +26,15 @@
 // job at a time. Results come back through std::future<JobResult>; admission
 // rejections and queue-deadline expirations are reported as statuses, not
 // exceptions, so a load generator can count them cheaply.
+//
+// Silent-corruption defense: JobSpec::verify selects a verification tier
+// (kernel-boundary NaN/Inf scans, column-norm drift, randomized probe
+// residual, or full reconstruction — see svc::Verify); a detection fails the
+// attempt with tqr::VerificationError, which is retryable, and exhausts to
+// JobStatus::kCorrupted rather than ever returning silently-wrong factors.
+// A per-lane circuit breaker (quarantine_after / probation_s) takes lanes
+// that keep producing bad jobs out of rotation while the shared queue
+// redistributes their work to the survivors.
 #pragma once
 
 #include <condition_variable>
@@ -82,6 +91,19 @@ struct ServiceConfig {
   /// job aborts at its next task boundary — bounding teardown latency.
   bool cancel_on_shutdown = false;
 
+  /// Circuit breaker: consecutive terminally-bad jobs (kFailed or
+  /// kCorrupted) on one lane before it is quarantined — the lane stops
+  /// popping, so queued jobs flow to the surviving lanes (one shared queue
+  /// makes redistribution automatic). 0 disables the breaker. The last
+  /// active lane is never quarantined: a breaker that can wedge the whole
+  /// service is worse than a bad lane.
+  int quarantine_after = 0;
+  /// Seconds a quarantined lane sits out before a half-open probation
+  /// re-admit: the lane takes exactly one job; success re-admits it fully,
+  /// another bad outcome re-quarantines it for a fresh probation_s. 0 makes
+  /// quarantine permanent for the service lifetime.
+  double probation_s = 0;
+
   /// Fault injection applied to every job's kernels (tests, chaos benches).
   /// Mode kNone (the default) disarms it entirely.
   FaultConfig fault;
@@ -124,7 +146,20 @@ class QrService {
   struct LaneEngine;  // hides runtime::DagExecutor from this header
   struct JobControl;  // per-job cancellation state (token + reason)
 
+  /// Per-lane circuit-breaker state; guarded by mutex_.
+  struct LaneHealth {
+    int consecutive_bad = 0;  // kFailed/kCorrupted streak since last kOk
+    bool quarantined = false;
+    bool probation = false;  // next job is the half-open probation job
+    double retry_at_s = 0;   // clock_ time the quarantine half-opens
+  };
+
   void lane_main(int lane);
+  /// Blocks while `lane` is quarantined (half-opening it when probation_s
+  /// elapses); returns false when the lane should exit (service closed).
+  bool quarantine_gate(int lane);
+  /// Feeds one terminal job status into the lane's breaker; mutex_ held.
+  void update_lane_health_locked(int lane, JobStatus status);
   JobResult process(LaneEngine& engine, int lane, PendingJob job,
                     JobControl& control);
   void run_attempt(LaneEngine& engine, const PendingJob& job,
@@ -146,7 +181,10 @@ class QrService {
   std::uint64_t next_id_ = 1;
   std::uint64_t in_flight_ = 0;
   std::uint64_t completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0,
-                cancelled_ = 0, retried_ = 0, submitted_ = 0;
+                cancelled_ = 0, retried_ = 0, submitted_ = 0, corrupted_ = 0,
+                verify_failures_ = 0, lane_quarantines_ = 0,
+                lane_probations_ = 0;
+  std::vector<LaneHealth> lane_health_;
   bool closed_ = false;
   /// Cancellation handles for every outstanding job (queued or running);
   /// erased when the job's future resolves.

@@ -111,6 +111,13 @@ struct ServiceStats {
   std::uint64_t jobs_cancelled = 0;  // caller cancel / exec deadline / shutdown
   std::uint64_t jobs_retried = 0;    // extra attempts after transient faults
   std::uint64_t faults_injected = 0; // delivered by the FaultInjector
+  std::uint64_t jobs_corrupted = 0;  // every attempt failed verification
+  /// Verification rejections across attempts (a retried-then-clean job
+  /// contributes here without contributing to jobs_corrupted).
+  std::uint64_t verify_failures = 0;
+  std::uint64_t lane_quarantines = 0;  // quarantine entries (lifetime)
+  std::uint64_t lane_probations = 0;   // half-open re-admissions attempted
+  int lanes_quarantined = 0;           // currently quarantined lanes
 
   double uptime_s = 0;
   /// Completed jobs per second of uptime.

@@ -5,9 +5,10 @@
 namespace tqr::svc {
 
 void WorkspacePool::Lease::release() {
-  if (pool_ && ws_) pool_->release(std::move(ws_));
+  if (pool_ && ws_) pool_->release(std::move(ws_), scrub_);
   pool_ = nullptr;
   ws_.reset();
+  scrub_ = false;
 }
 
 WorkspacePool::WorkspacePool(std::size_t max_retained_bytes)
@@ -44,14 +45,23 @@ WorkspacePool::Lease WorkspacePool::acquire(la::index_t rows, la::index_t cols,
   return Lease(this, std::move(ws));
 }
 
-void WorkspacePool::release(std::unique_ptr<Workspace> ws) {
+void WorkspacePool::release(std::unique_ptr<Workspace> ws, bool scrub) {
   const std::size_t bytes = ws->bytes();
+  // A workspace over the cap is about to be freed, so its contents are
+  // unreachable either way — only scrub (outside the lock; it is an O(m n)
+  // pass) when the storage will actually be parked for reuse.
+  if (scrub && bytes <= max_retained_bytes_) {
+    ws->a.fill(0.0);
+    ws->tg.fill(0.0);
+    ws->te.fill(0.0);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   --stats_.outstanding;
   if (bytes > max_retained_bytes_) {  // covers the pooling-disabled case (0)
     ++stats_.dropped;
     return;
   }
+  if (scrub) ++stats_.scrubbed;
   const ShapeKey key{ws->rows(), ws->cols(), ws->tile_size()};
   free_.push_front(FreeEntry{key, std::move(ws)});
   by_shape_[key].push_front(free_.begin());

@@ -9,9 +9,16 @@
 // least-recently-returned workspace is dropped (shapes that fell out of the
 // traffic mix release their memory).
 //
-// Recycled storage is *not* cleared: a job fully overwrites the matrix tiles
-// when it loads its input, and the Q-replay only reads reflector tiles the
-// factorization's own tasks wrote, so stale tg/te content is never observed.
+// Recycled storage from a *clean* job is not cleared: a job fully overwrites
+// the matrix tiles when it loads its input, and the Q-replay only reads
+// reflector tiles the factorization's own tasks wrote, so stale tg/te content
+// is never observed. A failed, cancelled, or corruption-flagged job is
+// different — its workspace may hold half-written or poisoned factors, and
+// "never observed" now rests on the *failed* run's control flow, which is
+// exactly what just proved untrustworthy. Such leases are marked
+// scrub_on_release() and the pool zero-fills all three planes before parking
+// them, so the next acquire (including the same job's retry) starts from the
+// same all-zero state a fresh allocation gives.
 #pragma once
 
 #include <cstdint>
@@ -49,15 +56,20 @@ class WorkspacePool {
         : pool_(pool), ws_(std::move(ws)) {}
     ~Lease() { release(); }
     Lease(Lease&& other) noexcept
-        : pool_(other.pool_), ws_(std::move(other.ws_)) {
+        : pool_(other.pool_),
+          ws_(std::move(other.ws_)),
+          scrub_(other.scrub_) {
       other.pool_ = nullptr;
+      other.scrub_ = false;
     }
     Lease& operator=(Lease&& other) noexcept {
       if (this != &other) {
         release();
         pool_ = other.pool_;
         ws_ = std::move(other.ws_);
+        scrub_ = other.scrub_;
         other.pool_ = nullptr;
+        other.scrub_ = false;
       }
       return *this;
     }
@@ -68,10 +80,17 @@ class WorkspacePool {
     Workspace* operator->() { return ws_.get(); }
     explicit operator bool() const { return ws_ != nullptr; }
 
+    /// When set, the pool zero-fills the workspace before parking it. The
+    /// service arms this on acquire and disarms it only when the attempt
+    /// completes cleanly, so every abnormal exit path (throw, cancel,
+    /// verification failure) scrubs by default.
+    void scrub_on_release(bool scrub) { scrub_ = scrub; }
+
    private:
     void release();
     WorkspacePool* pool_ = nullptr;
     std::unique_ptr<Workspace> ws_;
+    bool scrub_ = false;
   };
 
   /// max_retained_bytes caps memory parked on the free lists (leased
@@ -88,6 +107,7 @@ class WorkspacePool {
     std::uint64_t allocated = 0;  // fresh workspace builds
     std::uint64_t reused = 0;     // acquires served from the free list
     std::uint64_t dropped = 0;    // releases discarded over the byte cap
+    std::uint64_t scrubbed = 0;   // releases zero-filled (abnormal exits)
     std::size_t bytes_retained = 0;
     std::size_t outstanding = 0;  // leases currently held
   };
@@ -107,7 +127,7 @@ class WorkspacePool {
     std::unique_ptr<Workspace> ws;
   };
 
-  void release(std::unique_ptr<Workspace> ws);
+  void release(std::unique_ptr<Workspace> ws, bool scrub);
 
   const std::size_t max_retained_bytes_;
   mutable std::mutex mutex_;

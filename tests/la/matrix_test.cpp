@@ -2,8 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/error.hpp"
+
 namespace tqr::la {
 namespace {
+
+TEST(CheckedExtent, RejectsNegativeAndOverflowingShapes) {
+  // Allocation requests are validated BEFORE the buffer is sized: negative
+  // extents and products past index_t (the bound every kernel's index
+  // arithmetic assumes) must throw InvalidArgument, not wrap a size_t.
+  EXPECT_THROW(checked_extent(-1, 4), InvalidArgument);
+  EXPECT_THROW(checked_extent(4, -1), InvalidArgument);
+  EXPECT_THROW(checked_extent(200000, 200000), InvalidArgument);  // 4e10
+  EXPECT_THROW(Matrix<double>(-3, 2), InvalidArgument);
+  EXPECT_THROW(Matrix<double>(200000, 200000), InvalidArgument);
+}
+
+TEST(CheckedExtent, AcceptsBoundaryShapes) {
+  EXPECT_EQ(checked_extent(0, 0), 0u);
+  EXPECT_EQ(checked_extent(0, 5), 0u);
+  const index_t kMax = std::numeric_limits<index_t>::max();
+  // kMax x 1 sits exactly on the limit; (kMax/2 + 1) x 2 is one past it.
+  EXPECT_EQ(checked_extent(kMax, 1), static_cast<std::size_t>(kMax));
+  EXPECT_THROW(checked_extent(kMax / 2 + 1, 2), InvalidArgument);
+  Matrix<double> empty(0, 0);  // degenerate but legal
+  EXPECT_EQ(empty.rows(), 0);
+}
 
 TEST(Matrix, ZeroInitialized) {
   Matrix<double> m(3, 4);

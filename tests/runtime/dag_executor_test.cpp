@@ -267,6 +267,53 @@ TEST(DagExecutorEngine, TracePerRunIsIndependent) {
   EXPECT_EQ(second.events().size(), 6u);
 }
 
+TEST(DagExecutorEngine, PostTaskHookRunsOncePerTaskAfterKernel) {
+  DagExecutor::Options opts;
+  opts.num_devices = 2;
+  opts.threads_per_device = {2, 2};
+  DagExecutor engine(opts);
+  dag::TaskGraph g = dag::build_tiled_qr_graph(4, 4, Elimination::kTt);
+  std::vector<std::atomic<int>> kernel_ran(g.size());
+  std::vector<std::atomic<int>> hook_ran(g.size());
+  DagExecutor::Kernel hook = [&](task_id t, const Task&, int) {
+    // Runs after the task's kernel (same worker thread, before successors
+    // are released), so the kernel's effect is already visible.
+    EXPECT_EQ(kernel_ran[t].load(), 1) << "hook before kernel for " << t;
+    hook_ran[t].fetch_add(1);
+  };
+  engine.execute(
+      g, [](task_id t, const Task&) { return t % 2; },
+      [&](task_id t, const Task&, int) { kernel_ran[t].fetch_add(1); },
+      nullptr, nullptr, &hook);
+  for (std::size_t t = 0; t < g.size(); ++t)
+    EXPECT_EQ(hook_ran[t].load(), 1) << "task " << t;
+}
+
+TEST(DagExecutorEngine, ThrowingPostTaskHookFailsRunAndBlocksSuccessors) {
+  // A verification hook that rejects a task's output must behave exactly
+  // like a kernel exception: the run rethrows it, the poisoned task's
+  // successors never execute, and the engine stays usable.
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  DagExecutor engine(opts);
+  dag::TaskGraph g = chain(6);  // strict chain: successors of 2 are 3,4,5
+  std::atomic<int> ran{0};
+  DagExecutor::Kernel hook = [](task_id t, const Task&, int) {
+    if (t == 2) throw tqr::VerificationError("bad tile");
+  };
+  EXPECT_THROW(engine.execute(
+                   g, [](task_id, const Task&) { return 0; },
+                   [&](task_id, const Task&, int) { ran.fetch_add(1); },
+                   nullptr, nullptr, &hook),
+               tqr::VerificationError);
+  EXPECT_EQ(ran.load(), 3);  // tasks 0,1,2 ran; 3,4,5 never released
+  ran.store(0);
+  engine.execute(
+      g, [](task_id, const Task&) { return 0; },
+      [&](task_id, const Task&, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 6);  // engine healthy without the hook
+}
+
 TEST(Trace, BusyAccounting) {
   Trace trace;
   trace.record({0, dag::Op::kGeqrt, 0, 0.0, 1.0});

@@ -107,6 +107,54 @@ TEST(WorkspacePool, OversizedWorkspaceDroppedNotParked) {
   EXPECT_EQ(pool.stats().reused, 1u);
 }
 
+TEST(WorkspacePool, ScrubOnReleaseZeroFillsRecycledStorage) {
+  // A failed/cancelled/corrupted job's lease is marked for scrubbing: the
+  // recycled workspace must come back all-zero in every plane, exactly like
+  // a fresh allocation, so poisoned factors cannot leak into the next job.
+  WorkspacePool pool(64 * kMB);
+  double* data = nullptr;
+  {
+    auto ws = pool.acquire(64, 64, 16);
+    data = ws->a.tile_data(0, 0);
+    ws->a.tile(0, 0)(3, 3) = 1e30;  // "poisoned" content
+    ws->tg.tile(0, 0)(0, 0) = 7.0;
+    ws->te.tile(1, 0)(5, 5) = -2.5;
+    ws.scrub_on_release(true);
+  }
+  EXPECT_EQ(pool.stats().scrubbed, 1u);
+  auto ws = pool.acquire(64, 64, 16);
+  ASSERT_EQ(ws->a.tile_data(0, 0), data);  // same storage, recycled
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(ws->a.tile(0, 0)(3, 3), 0.0);
+  EXPECT_EQ(ws->tg.tile(0, 0)(0, 0), 0.0);
+  EXPECT_EQ(ws->te.tile(1, 0)(5, 5), 0.0);
+}
+
+TEST(WorkspacePool, CleanReleaseSkipsScrub) {
+  WorkspacePool pool(64 * kMB);
+  {
+    auto ws = pool.acquire(64, 64, 16);
+    ws->a.tile(0, 0)(1, 1) = 4.0;
+  }  // default: no scrub (clean jobs fully overwrite their input anyway)
+  EXPECT_EQ(pool.stats().scrubbed, 0u);
+  auto ws = pool.acquire(64, 64, 16);
+  EXPECT_EQ(ws->a.tile(0, 0)(1, 1), 4.0);  // stale content is tolerated
+}
+
+TEST(WorkspacePool, ScrubDisarmedByCleanFinishAndMovedWithLease) {
+  WorkspacePool pool(64 * kMB);
+  {
+    auto ws = pool.acquire(64, 64, 16);
+    ws->a.tile(0, 0)(0, 0) = 9.0;
+    ws.scrub_on_release(true);
+    WorkspacePool::Lease moved = std::move(ws);  // scrub intent must travel
+    moved.scrub_on_release(false);               // ... and be revocable
+  }
+  EXPECT_EQ(pool.stats().scrubbed, 0u);
+  auto ws = pool.acquire(64, 64, 16);
+  EXPECT_EQ(ws->a.tile(0, 0)(0, 0), 9.0);
+}
+
 TEST(WorkspacePool, LeasedTileStorageIsAligned) {
   // Tile kernels run SIMD loads against leased workspaces, so every plane of
   // a fresh AND a recycled lease must sit on kMatrixAlignment boundaries.

@@ -11,6 +11,7 @@
 // binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include <future>
@@ -38,6 +39,39 @@ dag::Elimination parse_elim(const std::string& name) {
                         "' (expected ts|tt|ttflat)");
 }
 
+/// A strictly-positive matrix/tile dimension from a flag. get_int already
+/// parses to int64; this rejects non-positive values and anything outside
+/// index_t range with a clear per-flag error instead of letting a silent
+/// int32 truncation reach the allocator.
+la::index_t checked_dim(const Cli& cli, const std::string& name,
+                        std::int64_t fallback) {
+  const std::int64_t v = cli.get_int(name, fallback);
+  if (v <= 0 || v > std::numeric_limits<la::index_t>::max())
+    throw InvalidArgument("--" + name + " must be in [1, " +
+                          std::to_string(std::numeric_limits<la::index_t>::max()) +
+                          "] (got " + std::to_string(v) + ")");
+  return static_cast<la::index_t>(v);
+}
+
+/// std::stoll with the exceptions translated: a malformed or out-of-range
+/// number in a compound spec (like a job trace) becomes a tqr usage error,
+/// not an uncaught std::out_of_range that aborts with exit code ~134.
+std::int64_t parse_int_field(const std::string& text,
+                             const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(text, &used);
+    if (used != text.size())
+      throw InvalidArgument("trailing characters in " + what + " '" + text +
+                            "'");
+    return v;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("bad " + what + " '" + text + "'");
+  }
+}
+
 int cmd_gen(int argc, char** argv) {
   Cli cli;
   cli.flag("out", "output matrix path (required)");
@@ -52,8 +86,8 @@ int cmd_gen(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
   const std::string out = cli.get_string("out", "");
   if (out.empty()) throw InvalidArgument("gen: --out is required");
-  const auto rows = static_cast<la::index_t>(cli.get_int("rows", 256));
-  const auto cols = static_cast<la::index_t>(cli.get_int("cols", rows));
+  const la::index_t rows = checked_dim(cli, "rows", 256);
+  const la::index_t cols = checked_dim(cli, "cols", rows);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const std::string cls = cli.get_string("class", "uniform");
 
@@ -95,7 +129,7 @@ int cmd_factor(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
   const std::string in = cli.get_string("in", "");
   if (in.empty()) throw InvalidArgument("factor: --in is required");
-  const int b = static_cast<int>(cli.get_int("tile", 16));
+  const int b = static_cast<int>(checked_dim(cli, "tile", 16));
 
   la::Matrix<double> a = la::read_matrix(in);
   la::Matrix<double> padded = la::pad_to_tiles<double>(a.view(), b);
@@ -147,7 +181,7 @@ int cmd_solve(int argc, char** argv) {
   const std::string rhs_path = cli.get_string("rhs", "");
   if (in.empty() || rhs_path.empty())
     throw InvalidArgument("solve: --in and --rhs are required");
-  const int b = static_cast<int>(cli.get_int("tile", 16));
+  const int b = static_cast<int>(checked_dim(cli, "tile", 16));
 
   la::Matrix<double> a = la::read_matrix(in);
   la::Matrix<double> rhs = la::read_matrix(rhs_path);
@@ -293,15 +327,23 @@ std::vector<TraceShape> parse_trace(const std::string& spec) {
     if (x == std::string::npos)
       throw InvalidArgument("bad trace item '" + item +
                             "' (expected ROWSxCOLS[:COUNT])");
+    const std::int64_t rows =
+        parse_int_field(item.substr(0, x), "trace rows");
+    const std::int64_t cols =
+        parse_int_field(item.substr(x + 1, colon - x - 1), "trace cols");
+    const std::int64_t count =
+        colon == std::string::npos
+            ? 1
+            : parse_int_field(item.substr(colon + 1), "trace count");
+    constexpr std::int64_t kMaxDim = std::numeric_limits<la::index_t>::max();
+    TQR_REQUIRE(rows > 0 && rows <= kMaxDim && cols > 0 && cols <= kMaxDim,
+                "trace shape out of range in '" + item + "'");
+    TQR_REQUIRE(count > 0 && count <= 1'000'000,
+                "trace count out of range in '" + item + "'");
     TraceShape s;
-    s.rows = static_cast<la::index_t>(std::stol(item.substr(0, x)));
-    s.cols = static_cast<la::index_t>(
-        std::stol(item.substr(x + 1, colon - x - 1)));
-    s.count = colon == std::string::npos
-                  ? 1
-                  : static_cast<int>(std::stol(item.substr(colon + 1)));
-    TQR_REQUIRE(s.rows > 0 && s.cols > 0 && s.count > 0,
-                "trace shapes and counts must be positive");
+    s.rows = static_cast<la::index_t>(rows);
+    s.cols = static_cast<la::index_t>(cols);
+    s.count = static_cast<int>(count);
     shapes.push_back(s);
     pos = comma + 1;
   }
@@ -325,15 +367,27 @@ int cmd_serve(int argc, char** argv) {
   cli.flag("retries", "max attempts per job on transient faults", "1");
   cli.flag("retry-backoff-ms", "pause before each retry attempt", "0");
   cli.flag("cancel-on-shutdown", "cancel outstanding jobs at shutdown");
-  cli.flag("fault", "fault injection: none|throw|stall", "none");
+  cli.flag("fault", "fault injection: none|throw|stall|corrupt", "none");
   cli.flag("fault-prob", "chance an eligible task faults [0,1]", "1");
   cli.flag("fault-task", "restrict faults to one task id (-1 = any)", "-1");
   cli.flag("fault-op", "restrict faults to one kernel op (geqrt, tsmqr, ...)");
+  cli.flag("fault-lane", "restrict faults to one lane (-1 = any)", "-1");
   cli.flag("fault-stall-ms", "stall duration for --fault stall", "10");
   cli.flag("fault-permanent", "injected throws are permanent (not retryable)");
   cli.flag("fault-max", "stop after this many injections (0 = unlimited)",
            "0");
-  cli.flag("residual", "verify ||A - Q R||/||A|| per job (slower)");
+  cli.flag("corrupt", "corruption kind for --fault corrupt: "
+                      "any|nan|bitflip|perturb", "any");
+  cli.flag("corrupt-scale", "relative size of a perturb corruption", "1e-3");
+  cli.flag("verify", "result verification tier: none|scan|probe|full",
+           "none");
+  cli.flag("quarantine-after",
+           "consecutive bad jobs before a lane is quarantined (0 = off)",
+           "0");
+  cli.flag("probation-ms",
+           "quarantine sits out this long before a one-job probation "
+           "re-admit (0 = permanent)", "0");
+  cli.flag("residual", "report ||A - Q R||/||A|| per job (slower)");
   cli.flag("no-cache", "disable the plan cache");
   cli.flag("no-reuse", "tear down executors between jobs");
   cli.flag("seed", "rng seed", "1");
@@ -348,8 +402,11 @@ int cmd_serve(int argc, char** argv) {
 
   svc::ServiceConfig config;
   config.lanes = static_cast<int>(cli.get_int("lanes", 2));
-  config.default_tile = static_cast<int>(cli.get_int("tile", 16));
+  config.default_tile = static_cast<int>(checked_dim(cli, "tile", 16));
   config.gpus = static_cast<int>(cli.get_int("gpus", 3));
+  config.quarantine_after =
+      static_cast<int>(cli.get_int("quarantine-after", 0));
+  config.probation_s = cli.get_double("probation-ms", 0) * 1e-3;
   config.queue_capacity =
       static_cast<std::size_t>(cli.get_int("queue", 64));
   const std::string admission = cli.get_string("admission", "block");
@@ -366,10 +423,16 @@ int cmd_serve(int argc, char** argv) {
   config.fault.task = cli.get_int("fault-task", -1);
   const std::string fault_op = cli.get_string("fault-op", "");
   if (!fault_op.empty()) config.fault.op = svc::parse_fault_op(fault_op);
+  config.fault.lane = static_cast<int>(cli.get_int("fault-lane", -1));
   config.fault.stall_s = cli.get_double("fault-stall-ms", 10) * 1e-3;
   config.fault.permanent = cli.get_bool("fault-permanent", false);
   config.fault.max_injections =
       static_cast<std::uint64_t>(cli.get_int("fault-max", 0));
+  config.fault.corrupt =
+      svc::parse_corrupt_kind(cli.get_string("corrupt", "any"));
+  config.fault.corrupt_scale = cli.get_double("corrupt-scale", 1e-3);
+  const svc::Verify verify =
+      svc::parse_verify(cli.get_string("verify", "none"));
   const double queue_deadline_s =
       cli.get_double("queue-deadline-ms", 0) * 1e-3;
   const double exec_deadline_s = cli.get_double("exec-deadline-ms", 0) * 1e-3;
@@ -391,6 +454,7 @@ int cmd_serve(int argc, char** argv) {
       spec.a = la::Matrix<double>::random(s.rows, s.cols, job_seed++);
       spec.elim = elim;
       spec.compute_residual = residual;
+      spec.verify = verify;
       spec.queue_deadline_s = queue_deadline_s;
       spec.exec_deadline_s = exec_deadline_s;
       spec.max_attempts = retries;
@@ -401,7 +465,8 @@ int cmd_serve(int argc, char** argv) {
   }
   service.drain();
 
-  int ok = 0, failed = 0, rejected = 0, expired = 0, cancelled = 0;
+  int ok = 0, failed = 0, rejected = 0, expired = 0, cancelled = 0,
+      corrupted = 0;
   double worst_residual = -1;
   for (auto& f : futures) {
     const auto r = f.get();
@@ -411,11 +476,14 @@ int cmd_serve(int argc, char** argv) {
       case svc::JobStatus::kRejected: ++rejected; break;
       case svc::JobStatus::kExpired: ++expired; break;
       case svc::JobStatus::kCancelled: ++cancelled; break;
+      case svc::JobStatus::kCorrupted: ++corrupted; break;
     }
     if (r.residual > worst_residual) worst_residual = r.residual;
-    if (r.status == svc::JobStatus::kFailed)
-      std::fprintf(stderr, "job %llu failed: %s\n",
-                   static_cast<unsigned long long>(r.id), r.error.c_str());
+    if (r.status == svc::JobStatus::kFailed ||
+        r.status == svc::JobStatus::kCorrupted)
+      std::fprintf(stderr, "job %llu %s: %s\n",
+                   static_cast<unsigned long long>(r.id),
+                   svc::to_string(r.status), r.error.c_str());
   }
 
   const auto s = service.stats();
@@ -423,39 +491,61 @@ int cmd_serve(int argc, char** argv) {
     std::printf(
         "{\"jobs\": {\"submitted\": %llu, \"ok\": %d, \"failed\": %d, "
         "\"rejected\": %d, \"expired\": %d, \"cancelled\": %d, "
-        "\"retried\": %llu},\n"
+        "\"corrupted\": %d, \"retried\": %llu},\n"
         " \"faults_injected\": %llu,\n"
+        " \"verification\": {\"tier\": \"%s\", \"failures\": %llu},\n"
+        " \"lanes\": {\"total\": %d, \"quarantined\": %d, "
+        "\"quarantines\": %llu, \"probations\": %llu},\n"
         " \"throughput_jobs_per_s\": %.3f, \"uptime_s\": %.4f,\n"
         " \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"mean\": %.3f},\n"
         " \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
         "\"hit_rate\": %.4f},\n"
-        " \"workspace\": {\"allocated\": %llu, \"reused\": %llu},\n"
+        " \"workspace\": {\"allocated\": %llu, \"reused\": %llu, "
+        "\"scrubbed\": %llu},\n"
         " \"queue\": {\"high_water\": %llu, \"blocked_pushes\": %llu},\n"
         " \"worst_residual\": %.3e}\n",
         static_cast<unsigned long long>(s.jobs_submitted), ok, failed,
-        rejected, expired, cancelled,
+        rejected, expired, cancelled, corrupted,
         static_cast<unsigned long long>(s.jobs_retried),
-        static_cast<unsigned long long>(s.faults_injected), s.jobs_per_s,
+        static_cast<unsigned long long>(s.faults_injected),
+        svc::to_string(verify),
+        static_cast<unsigned long long>(s.verify_failures), s.lanes,
+        s.lanes_quarantined,
+        static_cast<unsigned long long>(s.lane_quarantines),
+        static_cast<unsigned long long>(s.lane_probations), s.jobs_per_s,
         s.uptime_s, s.p50_ms, s.p95_ms,
         s.mean_ms, static_cast<unsigned long long>(s.plan_cache.hits),
         static_cast<unsigned long long>(s.plan_cache.misses),
         s.plan_cache.hit_rate(),
         static_cast<unsigned long long>(s.workspace.allocated),
         static_cast<unsigned long long>(s.workspace.reused),
+        static_cast<unsigned long long>(s.workspace.scrubbed),
         static_cast<unsigned long long>(s.queue.high_water),
         static_cast<unsigned long long>(s.queue.blocked_pushes),
         worst_residual);
-    return failed > 0 ? 2 : 0;
+    return corrupted > 0 || failed > 0 ? 2 : 0;
   }
 
   std::printf("served %llu jobs on %d lanes: %d ok, %d failed, %d rejected, "
-              "%d expired, %d cancelled\n",
+              "%d expired, %d cancelled, %d corrupted\n",
               static_cast<unsigned long long>(s.jobs_submitted), s.lanes, ok,
-              failed, rejected, expired, cancelled);
+              failed, rejected, expired, cancelled, corrupted);
   if (s.faults_injected > 0 || s.jobs_retried > 0)
     std::printf("faults          %llu injected, %llu retried attempts\n",
                 static_cast<unsigned long long>(s.faults_injected),
                 static_cast<unsigned long long>(s.jobs_retried));
+  if (verify != svc::Verify::kNone || s.verify_failures > 0)
+    std::printf("verification    tier %s, %llu detections, %llu scrubbed "
+                "workspaces\n",
+                svc::to_string(verify),
+                static_cast<unsigned long long>(s.verify_failures),
+                static_cast<unsigned long long>(s.workspace.scrubbed));
+  if (s.lane_quarantines > 0)
+    std::printf("quarantine      %d lanes out now, %llu quarantines, "
+                "%llu probations\n",
+                s.lanes_quarantined,
+                static_cast<unsigned long long>(s.lane_quarantines),
+                static_cast<unsigned long long>(s.lane_probations));
   std::printf("throughput      %.2f jobs/s over %.3f s\n", s.jobs_per_s,
               s.uptime_s);
   std::printf("latency         p50 %.2f ms, p95 %.2f ms, mean %.2f ms\n",
@@ -474,7 +564,7 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(s.queue.blocked_pushes));
   if (residual && worst_residual >= 0)
     std::printf("worst residual  %.3e\n", worst_residual);
-  return failed > 0 ? 2 : 0;
+  return corrupted > 0 || failed > 0 ? 2 : 0;
 }
 
 void usage() {
@@ -511,6 +601,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tqr: %s\n", e.what());
     return 1;
   } catch (const tqr::Error& e) {
+    std::fprintf(stderr, "tqr: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    // Standard-library throws (bad_alloc, out_of_range from number parsing,
+    // filesystem errors) exit like runtime errors instead of aborting.
     std::fprintf(stderr, "tqr: %s\n", e.what());
     return 2;
   }
