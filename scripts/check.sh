@@ -1,14 +1,70 @@
 #!/usr/bin/env bash
-# Concurrency gate: builds the runtime + service test subsets under
-# ThreadSanitizer and runs them. The resident executor, thread pool, job
-# queue, plan cache, and service stress tests are exactly the code where a
-# data race would hide from the functional suite.
-# Usage: scripts/check.sh [build-dir]
+# Local gates, mirroring CI.
+#
+# Default mode — concurrency gate: builds the runtime + service test subsets
+# under ThreadSanitizer and runs them. The resident executor, thread pool,
+# job queue, plan cache, and service stress tests are exactly the code where
+# a data race would hide from the functional suite.
+#
+# --perf mode — perf-regression gate: Release-builds the bench drivers,
+# regenerates the quick kernel numbers, and compares them against the
+# committed BENCH_kernels.json with bench_diff (same tolerance and anchor as
+# CI's perf-gate job). Also smoke-tests `tqr serve --trace-out` by parsing
+# the emitted Chrome trace back.
+#
+# Usage: scripts/check.sh [--perf] [build-dir]
 # Extra cmake cache flags (e.g. -DTQR_MICROKERNEL_SCALAR=ON for the scalar
 # micro-kernel leg in CI) can be passed via CMAKE_EXTRA_FLAGS.
 set -euo pipefail
 
 REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+MODE="tsan"
+if [[ "${1:-}" == "--perf" ]]; then
+  MODE="perf"
+  shift
+fi
+
+if [[ "$MODE" == "perf" ]]; then
+  BUILD_DIR="${1:-$REPO_DIR/build-perf}"
+  OUT_DIR="$BUILD_DIR/perf-check"
+  mkdir -p "$OUT_DIR"
+
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
+    -DCMAKE_BUILD_TYPE=Release \
+    ${CMAKE_EXTRA_FLAGS:-} > /dev/null
+  cmake --build "$BUILD_DIR" -j \
+    --target kernels_gbench serve_throughput bench_diff tqr
+
+  echo "== kernel micro-bench (quick) =="
+  "$BUILD_DIR/bench/kernels_gbench" --json --quick \
+    --out "$OUT_DIR/kernels_current.json"
+  echo "== bench_diff vs committed baseline =="
+  "$BUILD_DIR/bench/bench_diff" \
+    --baseline "$REPO_DIR/BENCH_kernels.json" \
+    --current "$OUT_DIR/kernels_current.json" \
+    --tolerance "${PERF_TOLERANCE:-0.35}" \
+    --anchor gflops.gemm_naive.t128
+
+  echo "== service throughput (quick) =="
+  "$BUILD_DIR/bench/serve_throughput" --quick --repeats 1 \
+    > "$OUT_DIR/serve_current.json"
+  "$BUILD_DIR/bench/bench_diff" --list \
+    --current "$OUT_DIR/serve_current.json"
+
+  echo "== serve trace smoke =="
+  "$BUILD_DIR/tools/tqr" serve --jobs 128x128:8 --lanes 2 \
+    --trace-out "$OUT_DIR/serve_trace.json" \
+    --metrics-out "$OUT_DIR/serve_metrics.json" > /dev/null
+  python3 -c "import json, sys; \
+    d = json.load(open(sys.argv[1])); \
+    assert d['traceEvents'], 'empty trace'; \
+    print(len(d['traceEvents']), 'trace events')" "$OUT_DIR/serve_trace.json"
+
+  echo "check.sh --perf: perf gate passed (artifacts in $OUT_DIR)"
+  exit 0
+fi
+
 BUILD_DIR="${1:-$REPO_DIR/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_DIR" \

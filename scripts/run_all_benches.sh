@@ -52,13 +52,24 @@ done
 
 # Refresh the committed micro-kernel perf baseline. kernels_gbench --json
 # reports per-kernel GFLOP/s plus the packed-vs-naive GEMM speedup; the
-# checked-in BENCH_kernels.json is the reference point for perf regressions.
+# checked-in BENCH_kernels.json is the reference point CI's perf gate
+# compares against. The fresh run lands in results/ first and is blessed
+# into the baseline through bench_diff --write-baseline, which refuses a
+# document that parses but yields no comparable metrics — a schema break in
+# the bench output cannot silently become the new reference.
 KB="$REPO_DIR/$BUILD_DIR/bench/kernels_gbench"
+BD="$REPO_DIR/$BUILD_DIR/bench/bench_diff"
 if [[ -x "$KB" ]]; then
   echo "=== kernels_gbench (json) ===" | tee -a "$SUMMARY"
-  "$KB" --json $QUICK --out "$REPO_DIR/BENCH_kernels.json" >> "$SUMMARY" 2>&1 || {
+  "$KB" --json $QUICK --out "$OUT_DIR/kernels_current.json" >> "$SUMMARY" 2>&1 || {
     echo "(kernels_gbench exited nonzero)" >> "$SUMMARY"
   }
+  if [[ -x "$BD" && -s "$OUT_DIR/kernels_current.json" ]]; then
+    "$BD" --current "$OUT_DIR/kernels_current.json" \
+      --write-baseline "$REPO_DIR/BENCH_kernels.json" | tee -a "$SUMMARY"
+  else
+    echo "skipping baseline bless (bench_diff not built)" | tee -a "$SUMMARY"
+  fi
 else
   echo "skipping kernels_gbench (not built)" | tee -a "$SUMMARY"
 fi

@@ -1,0 +1,153 @@
+#include "obs/bench_diff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tqr::obs {
+
+namespace {
+
+bool rate_like(const std::string& leaf) {
+  return leaf.find("gflops") != std::string::npos ||
+         leaf.find("jobs_per_s") != std::string::npos ||
+         leaf.find("speedup") != std::string::npos ||
+         leaf.find("hit_rate") != std::string::npos;
+}
+
+std::string leaf_of(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+}  // namespace
+
+std::map<std::string, Metric> extract_metrics(const Json& doc) {
+  std::map<std::string, Metric> out;
+  if (!doc.is_object()) return out;
+
+  // kernels_gbench rows: results[i] = {kernel, tile, gflops, ...}.
+  if (const Json* results = doc.find("results");
+      results && results->is_array()) {
+    for (const Json& row : results->items()) {
+      const Json* kernel = row.find("kernel");
+      const Json* tile = row.find("tile");
+      const Json* gflops = row.find("gflops");
+      if (!kernel || !tile || !gflops || !kernel->is_string() ||
+          !tile->is_number() || !gflops->is_number())
+        continue;
+      const std::string id = "gflops." + kernel->as_string() + ".t" +
+                             std::to_string(
+                                 static_cast<long long>(tile->as_number()));
+      out[id] = Metric{gflops->as_number(), true};
+    }
+  }
+
+  for (const auto& [path, value] : doc.flatten_numbers()) {
+    if (path.rfind("results.", 0) == 0) continue;  // handled above
+    if (rate_like(leaf_of(path))) out[path] = Metric{value, true};
+  }
+  return out;
+}
+
+CompareResult compare(const std::map<std::string, Metric>& baseline,
+                      const std::map<std::string, Metric>& current,
+                      const CompareOptions& opts) {
+  TQR_REQUIRE(opts.tolerance >= 0, "tolerance must be non-negative");
+  CompareResult r;
+
+  if (!opts.anchor.empty()) {
+    const auto b = baseline.find(opts.anchor);
+    const auto c = current.find(opts.anchor);
+    TQR_REQUIRE(b != baseline.end(),
+                "anchor metric '" + opts.anchor + "' missing from baseline");
+    TQR_REQUIRE(c != current.end(),
+                "anchor metric '" + opts.anchor + "' missing from current");
+    TQR_REQUIRE(b->second.value > 0,
+                "anchor metric '" + opts.anchor + "' is zero in baseline");
+    r.anchor_scale = c->second.value / b->second.value;
+  }
+
+  auto selected = [&](const std::string& id) {
+    return opts.only.empty() || id.find(opts.only) != std::string::npos;
+  };
+
+  for (const auto& [id, base] : baseline) {
+    if (!selected(id)) continue;
+    const auto cur = current.find(id);
+    if (cur == current.end()) {
+      r.missing.push_back(id);
+      continue;
+    }
+    CompareResult::Line line;
+    line.id = id;
+    line.higher_is_better = base.higher_is_better;
+    // The anchor measures machine speed, so it rescales rates directly and
+    // inverse-times inversely; all compared metrics are rates (higher
+    // better), but keep the direction handling for completeness.
+    line.baseline = base.higher_is_better ? base.value * r.anchor_scale
+                                          : base.value / r.anchor_scale;
+    line.current = cur->second.value;
+    line.ratio = line.baseline != 0 ? line.current / line.baseline : 0;
+    if (base.higher_is_better) {
+      line.regressed = line.current < line.baseline * (1.0 - opts.tolerance);
+    } else {
+      line.regressed = line.current > line.baseline * (1.0 + opts.tolerance);
+    }
+    if (line.regressed) ++r.regressions;
+    r.lines.push_back(std::move(line));
+  }
+
+  for (const auto& [id, m] : current) {
+    (void)m;
+    if (selected(id) && !baseline.count(id)) r.extra.push_back(id);
+  }
+
+  r.schema_mismatch = r.lines.empty();
+  r.missing_fatal = opts.require_all && !r.missing.empty();
+  return r;
+}
+
+std::string CompareResult::format() const {
+  std::ostringstream os;
+  auto pct = [](double ratio) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+.1f%%", (ratio - 1.0) * 100.0);
+    return std::string(buf);
+  };
+  if (anchor_scale != 1.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", anchor_scale);
+    os << "anchor scale (current/baseline machine speed): " << buf << "\n";
+  }
+  std::size_t width = 8;
+  for (const Line& l : lines) width = std::max(width, l.id.size());
+  for (const Line& l : lines) {
+    char vals[96];
+    std::snprintf(vals, sizeof vals, "%12.4g %12.4g  %s", l.baseline,
+                  l.current, pct(l.ratio).c_str());
+    os << (l.regressed ? "FAIL " : "  ok ") << l.id
+       << std::string(width - l.id.size() + 1, ' ') << vals << "\n";
+  }
+  for (const std::string& id : missing)
+    os << (missing_fatal ? "FAIL " : "skip ") << id
+       << "  (missing from current run)\n";
+  for (const std::string& id : extra)
+    os << "  new " << id << "  (not in baseline)\n";
+  if (schema_mismatch) {
+    os << "ERROR: no metrics in common between baseline and current run "
+          "(schema drift?)\n";
+  } else {
+    os << (pass() ? "PASS" : "FAIL") << ": " << lines.size()
+       << " metric(s) compared, " << regressions << " regression(s)";
+    if (!missing.empty())
+      os << ", " << missing.size() << " missing"
+         << (missing_fatal ? " (fatal)" : "");
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tqr::obs

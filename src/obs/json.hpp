@@ -1,0 +1,69 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the observability layer can *consume* the JSON the repo emits —
+// bench_diff re-reads bench outputs and committed baselines, and the trace
+// tests parse the Chrome trace back to prove well-formedness — without an
+// external dependency. Supports the full JSON grammar the emitters use:
+// objects (insertion-ordered), arrays, strings with escapes, numbers, bools,
+// null. Parse errors throw tqr::InvalidArgument with a line:column position.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tqr::obs {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+
+  /// Parses a complete document (one value + trailing whitespace only).
+  static Json parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;  // array elements
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Every numeric leaf as a dotted path ("warm.jobs_per_s",
+  /// "results.3.gflops" — array elements keyed by index).
+  std::map<std::string, double> flatten_numbers() const;
+
+ private:
+  void flatten_into(const std::string& prefix,
+                    std::map<std::string, double>& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace tqr::obs

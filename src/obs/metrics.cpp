@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tqr::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  TQR_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    TQR_REQUIRE(bounds_[i - 1] < bounds_[i],
+                "histogram bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double p) const {
+  // The per-bucket tallies are the ground truth: `count` can transiently lag
+  // or lead them under concurrent observe() calls.
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i == counts.size() - 1) return bounds.back();  // overflow bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double frac =
+        std::clamp((rank - before) / static_cast<double>(counts[i]), 0.0, 1.0);
+    return lower + frac * (upper - lower);
+  }
+  return bounds.back();
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  TQR_REQUIRE(bounds == other.bounds,
+              "cannot merge histograms with different bucket layouts");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+std::vector<double> exponential_bounds(double lo, double hi, double factor) {
+  TQR_REQUIRE(lo > 0 && hi > lo && factor > 1.0,
+              "exponential_bounds needs 0 < lo < hi and factor > 1");
+  std::vector<double> bounds;
+  for (double edge = lo; ; edge *= factor) {
+    bounds.push_back(edge);
+    if (edge >= hi) break;
+  }
+  return bounds;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TQR_REQUIRE(!gauges_.count(name) && !histograms_.count(name),
+              "metric '" + name + "' already registered with another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TQR_REQUIRE(!counters_.count(name) && !histograms_.count(name),
+              "metric '" + name + "' already registered with another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TQR_REQUIRE(!counters_.count(name) && !gauges_.count(name),
+              "metric '" + name + "' already registered with another kind");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot s;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+void Registry::Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges.emplace(name, v);
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+namespace {
+
+/// %.17g round-trips doubles; trims to a compact form for whole numbers.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::Snapshot::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) os << name << ' ' << v << '\n';
+  for (const auto& [name, v] : gauges) os << name << ' ' << num(v) << '\n';
+  for (const auto& [name, h] : histograms) {
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      os << name << "_bucket{le=\"" << num(h.bounds[i]) << "\"} " << cum
+         << '\n';
+    }
+    cum += h.counts.back();
+    os << name << "_bucket{le=\"+Inf\"} " << cum << '\n';
+    os << name << "_sum " << num(h.sum) << '\n';
+    os << name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string Registry::Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << num(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      os << (i ? ", " : "") << num(h.bounds[i]);
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      os << (i ? ", " : "") << h.counts[i];
+    os << "], \"count\": " << h.count << ", \"sum\": " << num(h.sum)
+       << ", \"p50\": " << num(h.quantile(0.5))
+       << ", \"p95\": " << num(h.quantile(0.95)) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace tqr::obs

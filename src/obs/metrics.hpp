@@ -1,0 +1,137 @@
+// tqr::obs — lock-cheap metrics primitives shared by the runtime and the
+// service.
+//
+// Counters and gauges are single atomics: an increment is one relaxed RMW,
+// no lock, so they can sit on per-job (and even per-task) paths. Histograms
+// hold one atomic per bucket plus an atomic count/sum, so concurrent
+// observe() calls from every service lane never serialize on a mutex.
+//
+// The Registry maps stable names to metrics. Creating (or re-looking-up) a
+// metric takes a short mutex; the returned reference stays valid for the
+// registry's lifetime, so hot paths resolve their metrics once and keep the
+// pointer. snapshot() produces plain-data copies with merge() semantics —
+// the multi-lane service snapshots while lanes keep counting, and per-lane
+// or per-process registries can be folded into a single exposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tqr::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written instantaneous value (queue depth, lanes out, bytes held).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+///   i == 0          : v <= bounds[0]
+///   0 < i < B       : bounds[i-1] < v <= bounds[i]
+///   i == B (overflow): v > bounds[B-1]
+/// observe() is one atomic RMW per call plus a CAS loop on the sum; no lock.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing (upper edges).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  /// Plain-data copy; bucket counts from concurrent observe() calls are each
+  /// seen exactly once or not at all (never torn).
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0;
+
+    /// Interpolated quantile, p in [0, 1]. The first bucket interpolates
+    /// from 0; the overflow bucket reports its lower edge (the histogram
+    /// cannot resolve beyond its last bound). 0 when empty.
+    double quantile(double p) const;
+    double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+
+    /// Folds another snapshot in; bucket layouts must match.
+    void merge(const Snapshot& other);
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Log-spaced bucket edges: lo, lo*factor, ... up to and including the first
+/// edge >= hi. The standard layout for latency histograms.
+std::vector<double> exponential_bounds(double lo, double hi,
+                                       double factor = 2.0);
+
+/// Named metric store. One per service (or per process); not global on
+/// purpose — tests and multi-service processes get isolated registries.
+class Registry {
+ public:
+  /// Get-or-create by name. References stay valid until the registry dies.
+  /// A name is permanently bound to its first metric kind; re-requesting it
+  /// as a different kind throws tqr::InvalidArgument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is used on first creation only.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Plain-data view of every metric; mergeable across registries.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+
+    /// Sums counters, keeps the other registry's gauge on conflict only if
+    /// this one lacks it, merges histograms bucket-wise.
+    void merge(const Snapshot& other);
+
+    /// Text exposition: one `name value` line per counter/gauge, histograms
+    /// as `name_bucket{le="..."} n` cumulative lines plus _sum/_count.
+    std::string to_text() const;
+    /// JSON exposition mirroring the snapshot structure.
+    std::string to_json() const;
+  };
+  Snapshot snapshot() const;
+
+  std::string to_text() const { return snapshot().to_text(); }
+  std::string to_json() const { return snapshot().to_json(); }
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tqr::obs

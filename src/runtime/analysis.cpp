@@ -7,14 +7,15 @@
 namespace tqr::runtime {
 
 std::vector<std::vector<double>> utilization_timeline(
-    const Trace& trace, const std::vector<int>& slots_per_device, int bins) {
+    const TraceSnapshot& events, const std::vector<int>& slots_per_device,
+    int bins) {
   TQR_REQUIRE(bins > 0, "need at least one bin");
   double makespan = 0;
-  for (const auto& e : trace.events()) makespan = std::max(makespan, e.end_s);
+  for (const auto& e : events) makespan = std::max(makespan, e.end_s);
   std::vector<std::vector<double>> out(slots_per_device.size(),
                                        std::vector<double>(bins, 0.0));
   if (makespan <= 0) return out;
-  for (const auto& e : trace.events()) {
+  for (const auto& e : events) {
     if (e.device < 0 || e.device >= static_cast<int>(out.size())) continue;
     const double s = e.start_s / makespan * bins;
     const double t = e.end_s / makespan * bins;
@@ -33,6 +34,11 @@ std::vector<std::vector<double>> utilization_timeline(
   return out;
 }
 
+std::vector<std::vector<double>> utilization_timeline(
+    const Trace& trace, const std::vector<int>& slots_per_device, int bins) {
+  return utilization_timeline(trace.events(), slots_per_device, bins);
+}
+
 std::string utilization_row(const std::vector<double>& bins) {
   std::string row;
   row.reserve(bins.size());
@@ -41,7 +47,7 @@ std::string utilization_row(const std::vector<double>& bins) {
   return row;
 }
 
-std::vector<PanelStat> per_panel_stats(const Trace& trace,
+std::vector<PanelStat> per_panel_stats(const TraceSnapshot& events,
                                        const dag::TaskGraph& graph) {
   int max_panel = -1;
   for (const auto& t : graph.tasks()) max_panel = std::max(max_panel, int(t.k));
@@ -50,7 +56,7 @@ std::vector<PanelStat> per_panel_stats(const Trace& trace,
     stats[p].panel = p;
     stats[p].start_s = 1e300;
   }
-  for (const auto& e : trace.events()) {
+  for (const auto& e : events) {
     const int p = graph.task(e.task).k;
     auto& s = stats[p];
     s.busy_s += e.end_s - e.start_s;
@@ -63,12 +69,16 @@ std::vector<PanelStat> per_panel_stats(const Trace& trace,
   return stats;
 }
 
-std::vector<dag::task_id> realized_critical_path(const Trace& trace,
+std::vector<PanelStat> per_panel_stats(const Trace& trace,
+                                       const dag::TaskGraph& graph) {
+  return per_panel_stats(trace.events(), graph);
+}
+
+std::vector<dag::task_id> realized_critical_path(const TraceSnapshot& events,
                                                  const dag::TaskGraph& graph) {
-  TQR_REQUIRE(trace.events().size() == graph.size(),
-              "trace must cover every task");
+  TQR_REQUIRE(events.size() == graph.size(), "trace must cover every task");
   std::vector<double> start(graph.size()), end(graph.size());
-  for (const auto& e : trace.events()) {
+  for (const auto& e : events) {
     start[e.task] = e.start_s;
     end[e.task] = e.end_s;
   }
@@ -89,13 +99,18 @@ std::vector<dag::task_id> realized_critical_path(const Trace& trace,
   return path;
 }
 
-double critical_path_share(const Trace& trace, const dag::TaskGraph& graph,
-                           int device) {
-  const auto path = realized_critical_path(trace, graph);
+std::vector<dag::task_id> realized_critical_path(const Trace& trace,
+                                                 const dag::TaskGraph& graph) {
+  return realized_critical_path(trace.events(), graph);
+}
+
+double critical_path_share(const TraceSnapshot& events,
+                           const dag::TaskGraph& graph, int device) {
+  const auto path = realized_critical_path(events, graph);
   std::vector<int> dev_of(graph.size(), -1);
   std::vector<double> dur(graph.size(), 0);
   double makespan = 0;
-  for (const auto& e : trace.events()) {
+  for (const auto& e : events) {
     dev_of[e.task] = e.device;
     dur[e.task] = e.end_s - e.start_s;
     makespan = std::max(makespan, e.end_s);
@@ -105,6 +120,11 @@ double critical_path_share(const Trace& trace, const dag::TaskGraph& graph,
   for (dag::task_id t : path)
     if (dev_of[t] == device) share += dur[t];
   return share / makespan;
+}
+
+double critical_path_share(const Trace& trace, const dag::TaskGraph& graph,
+                           int device) {
+  return critical_path_share(trace.events(), graph, device);
 }
 
 }  // namespace tqr::runtime

@@ -1,6 +1,10 @@
 // Schedule analysis over execution traces: utilization timelines, per-panel
 // breakdowns, and critical-path extraction. Works identically on traces from
 // the real executor and the simulator.
+//
+// Every analysis has two forms: the primary one over a TraceSnapshot (one
+// consistent copy of the events, reusable across several analyses) and a
+// convenience overload over a live Trace that snapshots once and delegates.
 #pragma once
 
 #include <string>
@@ -13,6 +17,9 @@ namespace tqr::runtime {
 
 /// Fraction of `slots` busy per device per time bin over [0, makespan].
 /// Result[d][bin] in [0, 1] (can exceed 1 only if the trace overcommits).
+std::vector<std::vector<double>> utilization_timeline(
+    const TraceSnapshot& events, const std::vector<int>& slots_per_device,
+    int bins);
 std::vector<std::vector<double>> utilization_timeline(
     const Trace& trace, const std::vector<int>& slots_per_device, int bins);
 
@@ -29,6 +36,8 @@ struct PanelStat {
   double end_s = 0;
   std::int64_t tasks = 0;
 };
+std::vector<PanelStat> per_panel_stats(const TraceSnapshot& events,
+                                       const dag::TaskGraph& graph);
 std::vector<PanelStat> per_panel_stats(const Trace& trace,
                                        const dag::TaskGraph& graph);
 
@@ -36,11 +45,15 @@ std::vector<PanelStat> per_panel_stats(const Trace& trace,
 /// task through, at each step, the predecessor that finished latest.
 /// Returns task ids in execution order. Requires the trace to cover every
 /// task in the graph.
+std::vector<dag::task_id> realized_critical_path(const TraceSnapshot& events,
+                                                 const dag::TaskGraph& graph);
 std::vector<dag::task_id> realized_critical_path(const Trace& trace,
                                                  const dag::TaskGraph& graph);
 
 /// Share of the makespan covered by `device`'s busy time on the realized
 /// critical path — how much of the run one device's serial work explains.
+double critical_path_share(const TraceSnapshot& events,
+                           const dag::TaskGraph& graph, int device);
 double critical_path_share(const Trace& trace, const dag::TaskGraph& graph,
                            int device);
 

@@ -23,8 +23,8 @@ const char* step_color(dag::Step s) {
 }
 }  // namespace
 
-std::string render_gantt_svg(const Trace& trace, const GanttOptions& options) {
-  const auto& events = trace.events();
+std::string render_gantt_svg(const TraceSnapshot& events,
+                             const GanttOptions& options) {
   TQR_REQUIRE(events.size() <= options.max_events,
               "trace too large for an SVG gantt; filter or raise max_events");
 
@@ -93,6 +93,10 @@ std::string render_gantt_svg(const Trace& trace, const GanttOptions& options) {
   }
   os << "</svg>\n";
   return os.str();
+}
+
+std::string render_gantt_svg(const Trace& trace, const GanttOptions& options) {
+  return render_gantt_svg(trace.events(), options);
 }
 
 }  // namespace tqr::runtime

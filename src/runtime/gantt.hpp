@@ -19,7 +19,10 @@ struct GanttOptions {
   std::size_t max_events = 20000;
 };
 
-/// Renders the trace as a standalone SVG document.
+/// Renders the events as a standalone SVG document.
+std::string render_gantt_svg(const TraceSnapshot& events,
+                             const GanttOptions& options = {});
+/// Convenience overload: snapshots the live trace once and delegates.
 std::string render_gantt_svg(const Trace& trace,
                              const GanttOptions& options = {});
 

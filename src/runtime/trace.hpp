@@ -20,6 +20,12 @@ struct TraceEvent {
   double end_s = 0;
 };
 
+/// One consistent copy of a trace's events. Every consumer (analysis, gantt,
+/// the obs trace bridge) takes this: callers snapshot once via
+/// Trace::events() and fan the same copy out, instead of each entry point
+/// re-copying the locked vector.
+using TraceSnapshot = std::vector<TraceEvent>;
+
 /// Thread-safe append-only event collector. Readers (events(), the busy
 /// accountings, the CSV/JSON dumps) take the same lock as record(), so they
 /// can run concurrently with an in-flight execution and still see a
@@ -40,7 +46,7 @@ class Trace {
   /// Locked snapshot of the events recorded so far. By value on purpose:
   /// workers may still be record()ing, so handing out a reference into
   /// events_ would race both the reader's iteration and vector growth.
-  std::vector<TraceEvent> events() const {
+  TraceSnapshot events() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return events_;
   }

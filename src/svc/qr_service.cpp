@@ -46,6 +46,27 @@ std::string sci(double v) {
 
 }  // namespace
 
+QrService::Metrics::Metrics(obs::Registry& r)
+    : submitted(r.counter("jobs.submitted")),
+      completed(r.counter("jobs.completed")),
+      failed(r.counter("jobs.failed")),
+      rejected(r.counter("jobs.rejected")),
+      expired(r.counter("jobs.expired")),
+      cancelled(r.counter("jobs.cancelled")),
+      retried(r.counter("jobs.retried")),
+      corrupted(r.counter("jobs.corrupted")),
+      verify_failures(r.counter("verify.failures")),
+      lane_quarantines(r.counter("lane.quarantines")),
+      lane_probations(r.counter("lane.probations")),
+      // 10 us .. 2 min covers a one-tile job through a deadline-length
+      // stall; doubling edges give ~12% worst-case interpolation error.
+      job_s(r.histogram("job.latency_s",
+                        obs::exponential_bounds(1e-5, 120.0))),
+      queue_s(r.histogram("job.queue_s",
+                          obs::exponential_bounds(1e-5, 120.0))),
+      exec_s(r.histogram("job.exec_s",
+                         obs::exponential_bounds(1e-5, 120.0))) {}
+
 /// Per-lane resident executor. With reuse_engines the engine (and its device
 /// thread groups) lives as long as the lane; otherwise one is built per job,
 /// reproducing the seed's per-run cost for baseline comparisons.
@@ -56,13 +77,13 @@ struct QrService::LaneEngine {
   double execute(const dag::TaskGraph& graph,
                  const runtime::DagExecutor::Affinity& affinity,
                  const runtime::DagExecutor::Kernel& kernel,
-                 runtime::CancelToken* cancel,
+                 runtime::Trace* trace, runtime::CancelToken* cancel,
                  const runtime::DagExecutor::Kernel* post_task) {
     if (resident)
-      return resident->execute(graph, affinity, kernel, nullptr, cancel,
+      return resident->execute(graph, affinity, kernel, trace, cancel,
                                post_task);
     runtime::DagExecutor fresh(options);
-    return fresh.execute(graph, affinity, kernel, nullptr, cancel, post_task);
+    return fresh.execute(graph, affinity, kernel, trace, cancel, post_task);
   }
 };
 
@@ -97,7 +118,8 @@ QrService::QrService(const ServiceConfig& config)
       platform_(sim::paper_platform_with_gpus(config.gpus)),
       queue_(config.queue_capacity, config.admission),
       plan_cache_(config.plan_cache_capacity),
-      workspace_pool_(config.workspace_max_bytes) {
+      workspace_pool_(config.workspace_max_bytes),
+      metrics_(registry_) {
   TQR_REQUIRE(config.lanes > 0, "service needs at least one lane");
   TQR_REQUIRE(config.threads_per_device > 0,
               "threads_per_device must be >= 1");
@@ -109,6 +131,22 @@ QrService::QrService(const ServiceConfig& config)
   lane_health_.resize(static_cast<std::size_t>(config.lanes));
   if (config.fault.mode != FaultConfig::Mode::kNone)
     fault_ = std::make_unique<FaultInjector>(config.fault);
+  if (config.collect_trace) {
+    trace_ = std::make_unique<obs::TraceLog>(config.trace_capacity);
+    // Name the viewer tracks up front: pid 0 is the shared queue, one
+    // "process" per lane with a lifecycle row plus one row per device group.
+    trace_->process_name(0, "svc queue");
+    trace_->thread_name(0, 0, "queued jobs");
+    for (int lane = 0; lane < config.lanes; ++lane) {
+      const int pid = 1 + lane;
+      trace_->process_name(pid, "lane " + std::to_string(lane));
+      trace_->thread_name(pid, 0, "jobs");
+      for (int dev = 0; dev < platform_.num_devices(); ++dev)
+        trace_->thread_name(pid, 1 + dev,
+                            platform_.devices[static_cast<std::size_t>(dev)]
+                                .name);
+    }
+  }
   lanes_.reserve(static_cast<std::size_t>(config.lanes));
   for (int lane = 0; lane < config.lanes; ++lane)
     lanes_.emplace_back([this, lane] { lane_main(lane); });
@@ -137,7 +175,7 @@ std::future<JobResult> QrService::submit(JobSpec spec,
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) throw Error("QrService::submit after shutdown");
     job.id = next_id_++;
-    ++submitted_;
+    metrics_.submitted.inc();
     ++in_flight_;
     // Registered before push so cancel(id) works the moment submit returns
     // (and even concurrently with a blocking push).
@@ -149,6 +187,9 @@ std::future<JobResult> QrService::submit(JobSpec spec,
   std::future<JobResult> future = job.promise.get_future();
 
   const PushResult admitted = queue_.push(std::move(job));
+  if (trace_ && admitted == PushResult::kAccepted)
+    trace_->counter("queue.depth", 0, clock_.seconds(), "depth",
+                    static_cast<double>(queue_.depth()));
   if (admitted != PushResult::kAccepted) {
     // push() only consumes the job on acceptance, so `job` is intact here;
     // the job never reached a lane and the future resolves immediately.
@@ -161,9 +202,9 @@ std::future<JobResult> QrService::submit(JobSpec spec,
     rejected.error = admitted == PushResult::kClosed
                          ? "service shutting down"
                          : "queue full (admission kReject)";
+    metrics_.rejected.inc();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++rejected_;
       controls_.erase(job.id);
     }
     job.promise.set_value(std::move(rejected));
@@ -234,21 +275,21 @@ void QrService::lane_main(int lane) {
     // Status counters and latency update BEFORE the promise resolves, so a
     // caller who observes a ready future sees consistent stats; in_flight_
     // drops AFTER, so drain() returning guarantees every future is ready.
+    switch (status) {
+      case JobStatus::kOk: metrics_.completed.inc(); break;
+      case JobStatus::kFailed: metrics_.failed.inc(); break;
+      case JobStatus::kExpired: metrics_.expired.inc(); break;
+      case JobStatus::kRejected: metrics_.rejected.inc(); break;
+      case JobStatus::kCancelled: metrics_.cancelled.inc(); break;
+      case JobStatus::kCorrupted: metrics_.corrupted.inc(); break;
+    }
+    if (status == JobStatus::kOk) metrics_.job_s.observe(total_s);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      switch (status) {
-        case JobStatus::kOk: ++completed_; break;
-        case JobStatus::kFailed: ++failed_; break;
-        case JobStatus::kExpired: ++expired_; break;
-        case JobStatus::kRejected: ++rejected_; break;
-        case JobStatus::kCancelled: ++cancelled_; break;
-        case JobStatus::kCorrupted: ++corrupted_; break;
-      }
       if (config_.quarantine_after > 0)
         update_lane_health_locked(lane, status);
       controls_.erase(id);
     }
-    if (status == JobStatus::kOk) latency_.record(total_s);
     promise.set_value(std::move(result));
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -270,7 +311,9 @@ bool QrService::quarantine_gate(int lane) {
         // outcome decides between full re-admission and re-quarantine.
         h.quarantined = false;
         h.probation = true;
-        ++lane_probations_;
+        metrics_.lane_probations.inc();
+        if (trace_)
+          trace_->instant("probation", "lane", 1 + lane, 0, clock_.seconds());
         return true;
       }
     }
@@ -303,7 +346,9 @@ void QrService::update_lane_health_locked(int lane, JobStatus status) {
   h.quarantined = true;
   h.consecutive_bad = 0;
   h.retry_at_s = clock_.seconds() + config_.probation_s;
-  ++lane_quarantines_;
+  metrics_.lane_quarantines.inc();
+  if (trace_)
+    trace_->instant("quarantine", "lane", 1 + lane, 0, clock_.seconds());
 }
 
 JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
@@ -316,6 +361,37 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
   result.cols = job.spec.a.cols();
   const double picked_up_s = clock_.seconds();
   result.queue_s = picked_up_s - job.submit_s;
+  metrics_.queue_s.observe(result.queue_s);
+  if (trace_) {
+    // The job's time in the shared queue, on the queue track; the lifecycle
+    // span on the lane track starts where this one ends.
+    trace_->complete("queued", "queue", 0, 0, job.submit_s, result.queue_s,
+                     obs::TraceArgs()
+                         .add("job", static_cast<std::int64_t>(job.id))
+                         .add("lane", static_cast<std::int64_t>(lane)));
+    trace_->counter("queue.depth", 0, picked_up_s, "depth",
+                    static_cast<double>(queue_.depth()));
+  }
+  // Everything from pickup to return below lands in the lifecycle span.
+  struct SpanGuard {
+    QrService* svc;
+    const JobResult& result;
+    std::uint64_t id;
+    int lane;
+    double start_s;
+    ~SpanGuard() {
+      if (!svc->trace_) return;
+      svc->trace_->complete(
+          "job " + std::to_string(id), to_string(result.status), 1 + lane, 0,
+          start_s, svc->clock_.seconds() - start_s,
+          obs::TraceArgs()
+              .add("job", static_cast<std::int64_t>(id))
+              .add("status", to_string(result.status))
+              .add("attempts", static_cast<std::int64_t>(result.attempts))
+              .add("tile", static_cast<std::int64_t>(result.tile_size))
+              .add("queue_s", result.queue_s));
+    }
+  } span_guard{this, result, job.id, lane, picked_up_s};
 
   if (job.spec.queue_deadline_s > 0 &&
       result.queue_s > job.spec.queue_deadline_s) {
@@ -353,19 +429,25 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
       const bool verification =
           dynamic_cast<const VerificationError*>(&e) != nullptr;
       result.error = e.what();
-      if (verification) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++verify_failures_;
-      }
+      if (verification) metrics_.verify_failures.inc();
+      if (trace_)
+        trace_->instant(verification ? "verify_fail" : "transient_fault",
+                        "job", 1 + lane, 0, clock_.seconds(),
+                        obs::TraceArgs()
+                            .add("job", static_cast<std::int64_t>(job.id))
+                            .add("attempt",
+                                 static_cast<std::int64_t>(attempt))
+                            .add("error", result.error));
       if (attempt == max_attempts) {
         result.status =
             verification ? JobStatus::kCorrupted : JobStatus::kFailed;
         break;
       }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++retried_;
-      }
+      metrics_.retried.inc();
+      if (trace_)
+        trace_->instant("retry", "job", 1 + lane, 0, clock_.seconds(),
+                        obs::TraceArgs().add(
+                            "attempt", static_cast<std::int64_t>(attempt + 1)));
       // Backoff in token-aware slices; the exec deadline keeps running
       // during backoff, and lapsing flips the token so we exit kCancelled
       // instead of starting an attempt we already know must be abandoned.
@@ -499,6 +581,10 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   const bool corrupting =
       fault_ && fault_->config().mode == FaultConfig::Mode::kCorrupt;
 
+  // Per-attempt task trace: the executor's timestamps are relative to this
+  // run, so remember where the attempt started on the service clock.
+  runtime::Trace task_trace;
+  const double exec_start_s = clock_.seconds();
   Timer exec_clock;
   engine.execute(
       entry->graph,
@@ -541,9 +627,13 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
           }
         }
       },
-      &control.token,
+      trace_ ? &task_trace : nullptr, &control.token,
       verify >= Verify::kScan ? &scan_written_tiles : nullptr);
   result.exec_s = exec_clock.seconds();
+  metrics_.exec_s.observe(result.exec_s);
+  if (trace_)
+    obs::append_task_events(*trace_, task_trace.events(), entry->graph, b,
+                            1 + lane, exec_start_s);
 
   // Extract the caller-shaped R (leading block; identity padding keeps it
   // equal to R of the unpadded matrix).
@@ -650,19 +740,19 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
 
 ServiceStats QrService::stats() const {
   ServiceStats s;
+  s.jobs_submitted = metrics_.submitted.value();
+  s.jobs_completed = metrics_.completed.value();
+  s.jobs_failed = metrics_.failed.value();
+  s.jobs_rejected = metrics_.rejected.value();
+  s.jobs_expired = metrics_.expired.value();
+  s.jobs_cancelled = metrics_.cancelled.value();
+  s.jobs_retried = metrics_.retried.value();
+  s.jobs_corrupted = metrics_.corrupted.value();
+  s.verify_failures = metrics_.verify_failures.value();
+  s.lane_quarantines = metrics_.lane_quarantines.value();
+  s.lane_probations = metrics_.lane_probations.value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    s.jobs_submitted = submitted_;
-    s.jobs_completed = completed_;
-    s.jobs_failed = failed_;
-    s.jobs_rejected = rejected_;
-    s.jobs_expired = expired_;
-    s.jobs_cancelled = cancelled_;
-    s.jobs_retried = retried_;
-    s.jobs_corrupted = corrupted_;
-    s.verify_failures = verify_failures_;
-    s.lane_quarantines = lane_quarantines_;
-    s.lane_probations = lane_probations_;
     for (const LaneHealth& h : lane_health_)
       if (h.quarantined) ++s.lanes_quarantined;
   }
@@ -671,15 +761,56 @@ ServiceStats QrService::stats() const {
   s.jobs_per_s = s.uptime_s > 0
                      ? static_cast<double>(s.jobs_completed) / s.uptime_s
                      : 0.0;
-  const LatencyRecorder::Summary lat = latency_.summary();
-  s.p50_ms = lat.p50_s * 1e3;
-  s.p95_ms = lat.p95_s * 1e3;
-  s.mean_ms = lat.mean_s * 1e3;
+  const obs::Histogram::Snapshot lat = metrics_.job_s.snapshot();
+  s.p50_ms = lat.quantile(0.50) * 1e3;
+  s.p95_ms = lat.quantile(0.95) * 1e3;
+  s.mean_ms = lat.mean() * 1e3;
   s.lanes = config_.lanes;
   s.queue = queue_.stats();
   s.plan_cache = plan_cache_.stats();
   s.workspace = workspace_pool_.stats();
   return s;
+}
+
+obs::Registry::Snapshot QrService::metrics() const {
+  obs::Registry::Snapshot s = registry_.snapshot();
+  const ServiceStats st = stats();
+  // Derived and externally-held state folded into the one exposition: the
+  // queue, cache, and pool keep their own counters (they predate the
+  // registry and are useful standalone), so the snapshot adopts them here.
+  s.counters["faults.injected"] = st.faults_injected;
+  s.counters["queue.accepted"] = st.queue.accepted;
+  s.counters["queue.rejected"] = st.queue.rejected;
+  s.counters["queue.blocked_pushes"] = st.queue.blocked_pushes;
+  s.counters["plan_cache.hits"] = st.plan_cache.hits;
+  s.counters["plan_cache.misses"] = st.plan_cache.misses;
+  s.counters["plan_cache.evictions"] = st.plan_cache.evictions;
+  s.counters["workspace.allocated"] = st.workspace.allocated;
+  s.counters["workspace.reused"] = st.workspace.reused;
+  s.counters["workspace.dropped"] = st.workspace.dropped;
+  s.counters["workspace.scrubbed"] = st.workspace.scrubbed;
+  s.gauges["uptime_s"] = st.uptime_s;
+  s.gauges["jobs_per_s"] = st.jobs_per_s;
+  s.gauges["lanes"] = st.lanes;
+  s.gauges["lanes.quarantined"] = st.lanes_quarantined;
+  s.gauges["queue.depth"] = static_cast<double>(st.queue.depth);
+  s.gauges["queue.high_water"] = static_cast<double>(st.queue.high_water);
+  s.gauges["plan_cache.size"] = static_cast<double>(st.plan_cache.size);
+  s.gauges["plan_cache.hit_rate"] = st.plan_cache.hit_rate();
+  s.gauges["workspace.bytes_retained"] =
+      static_cast<double>(st.workspace.bytes_retained);
+  s.gauges["workspace.outstanding"] =
+      static_cast<double>(st.workspace.outstanding);
+  if (trace_) {
+    s.gauges["trace.events"] = static_cast<double>(trace_->size());
+    s.gauges["trace.dropped"] = static_cast<double>(trace_->dropped());
+  }
+  return s;
+}
+
+std::string QrService::trace_json() const {
+  if (!trace_) return "{\"traceEvents\":[]}\n";
+  return trace_->to_json();
 }
 
 }  // namespace tqr::svc

@@ -47,6 +47,8 @@
 
 #include "common/timer.hpp"
 #include "core/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
 #include "sim/platform.hpp"
 #include "svc/fault.hpp"
 #include "svc/job.hpp"
@@ -107,6 +109,15 @@ struct ServiceConfig {
   /// Fault injection applied to every job's kernels (tests, chaos benches).
   /// Mode kNone (the default) disarms it entirely.
   FaultConfig fault;
+
+  /// Collect a Chrome trace-event timeline of every job: queued spans and
+  /// queue-depth samples on one track, per-lane job lifecycle spans with
+  /// retry/verify/quarantine markers, and per-task kernel events annotated
+  /// with tile coordinates and derived GFLOP/s. Off by default — tracing
+  /// adds one runtime::Trace record per task.
+  bool collect_trace = false;
+  /// Event cap for the trace log; past it events are counted as dropped.
+  std::size_t trace_capacity = std::size_t{1} << 20;
 };
 
 class QrService {
@@ -139,6 +150,21 @@ class QrService {
   void drain();
 
   ServiceStats stats() const;
+
+  /// Registry snapshot plus derived gauges (uptime, queue depth, cache and
+  /// pool state) folded in — the single exposition `tqr serve` writes.
+  obs::Registry::Snapshot metrics() const;
+  /// Prometheus-style text exposition of metrics().
+  std::string metrics_text() const { return metrics().to_text(); }
+  /// JSON exposition of metrics().
+  std::string metrics_json() const { return metrics().to_json(); }
+
+  /// Chrome trace-event JSON of everything traced so far; empty "{...}"
+  /// document when collect_trace is off.
+  std::string trace_json() const;
+  /// Null unless ServiceConfig::collect_trace.
+  const obs::TraceLog* trace() const { return trace_.get(); }
+
   const ServiceConfig& config() const { return config_; }
   const sim::Platform& platform() const { return platform_; }
 
@@ -173,17 +199,35 @@ class QrService {
   JobQueue queue_;
   PlanCache plan_cache_;
   WorkspacePool workspace_pool_;
-  LatencyRecorder latency_;
   std::unique_ptr<FaultInjector> fault_;  // null when disarmed
+
+  /// Every service counter and latency histogram lives here; lanes resolve
+  /// their metrics once (Metrics below) and update them lock-free.
+  obs::Registry registry_;
+  struct Metrics {
+    explicit Metrics(obs::Registry& r);
+    obs::Counter& submitted;
+    obs::Counter& completed;
+    obs::Counter& failed;
+    obs::Counter& rejected;
+    obs::Counter& expired;
+    obs::Counter& cancelled;
+    obs::Counter& retried;
+    obs::Counter& corrupted;
+    obs::Counter& verify_failures;
+    obs::Counter& lane_quarantines;
+    obs::Counter& lane_probations;
+    obs::Histogram& job_s;    // submit -> resolve, kOk jobs
+    obs::Histogram& queue_s;  // submit -> lane pickup, all popped jobs
+    obs::Histogram& exec_s;   // executor time per successful attempt
+  };
+  Metrics metrics_;
+  std::unique_ptr<obs::TraceLog> trace_;  // null unless collect_trace
 
   mutable std::mutex mutex_;
   std::condition_variable cv_drained_;
   std::uint64_t next_id_ = 1;
   std::uint64_t in_flight_ = 0;
-  std::uint64_t completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0,
-                cancelled_ = 0, retried_ = 0, submitted_ = 0, corrupted_ = 0,
-                verify_failures_ = 0, lane_quarantines_ = 0,
-                lane_probations_ = 0;
   std::vector<LaneHealth> lane_health_;
   bool closed_ = false;
   /// Cancellation handles for every outstanding job (queued or running);

@@ -1,105 +1,18 @@
-// Aggregate service telemetry: latency percentiles + counters.
+// Aggregate service telemetry snapshot.
+//
+// The counters and latency percentiles behind this struct live in the
+// service's obs::Registry (see src/obs/metrics.hpp); stats() materializes
+// one consistent view. Kept as a plain struct so callers (tools, benches,
+// tests) read fields instead of metric names.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <mutex>
-#include <vector>
 
 #include "svc/job_queue.hpp"
 #include "svc/plan_cache.hpp"
 #include "svc/workspace_pool.hpp"
 
 namespace tqr::svc {
-
-/// Bounded reservoir of completed-job latencies. Keeps the most recent
-/// `window` samples (ring buffer), so percentiles reflect current traffic
-/// rather than the whole service lifetime.
-class LatencyRecorder {
- public:
-  explicit LatencyRecorder(std::size_t window = 8192) : window_(window) {
-    samples_.reserve(window_);
-  }
-
-  void record(double seconds) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (samples_.size() < window_) {
-      samples_.push_back(seconds);
-    } else {
-      samples_[next_] = seconds;
-    }
-    next_ = (next_ + 1) % window_;
-    ++count_;
-  }
-
-  /// Everything derived from the window, computed off ONE copy of the
-  /// samples: one lock acquisition, one copy, one sort — instead of the
-  /// three independent copy-and-sort passes that percentile_s(0.5) +
-  /// percentile_s(0.95) + mean_s() used to cost per stats() call (and
-  /// which could each see a different window under concurrent record()s).
-  struct Summary {
-    double p50_s = 0;
-    double p95_s = 0;
-    double mean_s = 0;
-    std::uint64_t count = 0;  // lifetime recordings, not window size
-  };
-  Summary summary() const {
-    std::vector<double> snap;
-    Summary out;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      snap = samples_;
-      out.count = count_;
-    }
-    if (snap.empty()) return out;
-    std::sort(snap.begin(), snap.end());
-    out.p50_s = nearest_rank(snap, 0.50);
-    out.p95_s = nearest_rank(snap, 0.95);
-    double sum = 0;
-    for (double s : snap) sum += s;
-    out.mean_s = sum / static_cast<double>(snap.size());
-    return out;
-  }
-
-  /// p in [0, 1]; nearest-rank over the retained window. 0 when empty.
-  /// (For several quantiles at once, summary() snapshots and sorts once.)
-  double percentile_s(double p) const {
-    std::vector<double> snap;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      snap = samples_;
-    }
-    if (snap.empty()) return 0.0;
-    std::sort(snap.begin(), snap.end());
-    return nearest_rank(snap, p);
-  }
-
-  double mean_s() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (samples_.empty()) return 0.0;
-    double sum = 0;
-    for (double s : samples_) sum += s;
-    return sum / static_cast<double>(samples_.size());
-  }
-
-  std::uint64_t count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return count_;
-  }
-
- private:
-  static double nearest_rank(const std::vector<double>& sorted, double p) {
-    const auto rank = static_cast<std::size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(rank, sorted.size() - 1)];
-  }
-
-  const std::size_t window_;
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
-  std::size_t next_ = 0;
-  std::uint64_t count_ = 0;
-};
 
 /// One consistent snapshot of everything the service tracks.
 struct ServiceStats {
@@ -123,6 +36,7 @@ struct ServiceStats {
   /// Completed jobs per second of uptime.
   double jobs_per_s = 0;
 
+  /// Completed-job latency, interpolated from the registry's histogram.
   double p50_ms = 0;
   double p95_ms = 0;
   double mean_ms = 0;

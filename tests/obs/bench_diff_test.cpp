@@ -1,0 +1,158 @@
+#include "obs/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace tqr::obs {
+namespace {
+
+/// A miniature kernels_gbench document: two kernels at two tiles plus a
+/// derived speedup, every gflops value scaled by `scale`.
+std::string kernels_doc(double scale) {
+  auto g = [scale](double v) { return std::to_string(v * scale); };
+  return "{\"bench\": \"kernels\", \"quick\": true, "
+         "\"gemm_speedup_at_128\": " + g(3.0) + ", \"results\": ["
+         "{\"kernel\": \"gemm_naive\", \"tile\": 64, \"gflops\": " + g(15.0) +
+         ", \"sec_per_call\": 1e-5},"
+         "{\"kernel\": \"gemm_packed\", \"tile\": 64, \"gflops\": " + g(45.0) +
+         ", \"sec_per_call\": 1e-5},"
+         "{\"kernel\": \"gemm_naive\", \"tile\": 128, \"gflops\": " + g(16.0) +
+         ", \"sec_per_call\": 1e-4},"
+         "{\"kernel\": \"gemm_packed\", \"tile\": 128, \"gflops\": " + g(48.0) +
+         ", \"sec_per_call\": 1e-4}]}";
+}
+
+std::map<std::string, Metric> metrics_of(const std::string& text) {
+  return extract_metrics(Json::parse(text));
+}
+
+TEST(ExtractMetrics, ResultsRowsBecomeDottedIds) {
+  const auto m = metrics_of(kernels_doc(1.0));
+  ASSERT_EQ(m.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.at("gflops.gemm_naive.t64").value, 15.0);
+  EXPECT_DOUBLE_EQ(m.at("gflops.gemm_packed.t128").value, 48.0);
+  EXPECT_DOUBLE_EQ(m.at("gemm_speedup_at_128").value, 3.0);
+  // Latencies are intentionally not extracted (redundant with the rates).
+  EXPECT_EQ(m.count("results.0.sec_per_call"), 0u);
+}
+
+TEST(ExtractMetrics, RateLeavesFromNestedObjects) {
+  const auto m = metrics_of(
+      R"({"cold": {"jobs_per_s": 10, "p50_ms": 3},
+          "warm": {"jobs_per_s": 40}, "warm_speedup": 4.0})");
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.at("cold.jobs_per_s").value, 10.0);
+  EXPECT_DOUBLE_EQ(m.at("warm.jobs_per_s").value, 40.0);
+  EXPECT_DOUBLE_EQ(m.at("warm_speedup").value, 4.0);
+  EXPECT_EQ(m.count("cold.p50_ms"), 0u);  // latency: skipped
+}
+
+TEST(BenchDiff, IdenticalRunsPass) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  const auto r = compare(base, base, CompareOptions{});
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.regressions, 0);
+  EXPECT_EQ(r.lines.size(), 5u);
+}
+
+TEST(BenchDiff, SmallNoiseWithinToleranceStillPasses) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  const auto wobble = metrics_of(kernels_doc(0.80));  // -20% vs 35% tolerance
+  CompareOptions opts;
+  opts.tolerance = 0.35;
+  EXPECT_TRUE(compare(base, wobble, opts).pass());
+}
+
+TEST(BenchDiff, TwoTimesSlowdownFails) {
+  // The CI acceptance scenario: a synthetic 2x slowdown must exit nonzero.
+  const auto base = metrics_of(kernels_doc(1.0));
+  const auto slow = metrics_of(kernels_doc(0.5));
+  CompareOptions opts;
+  opts.tolerance = 0.35;
+  const auto r = compare(base, slow, opts);
+  EXPECT_FALSE(r.pass());
+  EXPECT_EQ(r.regressions, 5);
+  for (const auto& line : r.lines) {
+    EXPECT_TRUE(line.regressed) << line.id;
+    EXPECT_NEAR(line.ratio, 0.5, 1e-12);
+  }
+  EXPECT_NE(r.format().find("FAIL"), std::string::npos);
+}
+
+TEST(BenchDiff, SingleMetricRegressionIsFlagged) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  auto current = base;
+  current["gflops.gemm_packed.t128"].value *= 0.5;
+  CompareOptions opts;
+  opts.tolerance = 0.35;
+  const auto r = compare(base, current, opts);
+  EXPECT_FALSE(r.pass());
+  EXPECT_EQ(r.regressions, 1);
+  for (const auto& line : r.lines)
+    EXPECT_EQ(line.regressed, line.id == "gflops.gemm_packed.t128");
+}
+
+TEST(BenchDiff, AnchorRescalesAwayUniformMachineSpeed) {
+  // A uniformly 2x-slower machine is not a regression once anchored.
+  const auto base = metrics_of(kernels_doc(1.0));
+  const auto slow = metrics_of(kernels_doc(0.5));
+  CompareOptions opts;
+  opts.tolerance = 0.10;
+  opts.anchor = "gflops.gemm_naive.t128";
+  const auto r = compare(base, slow, opts);
+  EXPECT_TRUE(r.pass());
+  EXPECT_NEAR(r.anchor_scale, 0.5, 1e-12);
+  // ...but a *relative* regression still fails under the same anchor.
+  auto skew = slow;
+  skew["gflops.gemm_packed.t64"].value *= 0.5;
+  EXPECT_FALSE(compare(base, skew, opts).pass());
+}
+
+TEST(BenchDiff, MissingMetricsSkippedByDefaultFatalWithRequireAll) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  auto current = base;
+  current.erase("gflops.gemm_packed.t128");
+  CompareOptions opts;
+  const auto lenient = compare(base, current, opts);
+  EXPECT_TRUE(lenient.pass());
+  ASSERT_EQ(lenient.missing.size(), 1u);
+  EXPECT_EQ(lenient.missing[0], "gflops.gemm_packed.t128");
+
+  opts.require_all = true;
+  const auto strict = compare(base, current, opts);
+  EXPECT_FALSE(strict.pass());
+  EXPECT_TRUE(strict.missing_fatal);
+}
+
+TEST(BenchDiff, EmptyIntersectionIsSchemaMismatch) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  const auto other = metrics_of(R"({"warm": {"jobs_per_s": 10}})");
+  const auto r = compare(base, other, CompareOptions{});
+  EXPECT_TRUE(r.schema_mismatch);
+  EXPECT_FALSE(r.pass());
+  EXPECT_NE(r.format().find("schema drift"), std::string::npos);
+}
+
+TEST(BenchDiff, OnlyFilterNarrowsTheComparison) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  auto current = base;
+  current["gemm_speedup_at_128"].value = 0.1;  // would regress
+  CompareOptions opts;
+  opts.only = "gflops.";
+  const auto r = compare(base, current, opts);
+  EXPECT_TRUE(r.pass());
+  EXPECT_EQ(r.lines.size(), 4u);
+}
+
+TEST(BenchDiff, AnchorMustExistOnBothSides) {
+  const auto base = metrics_of(kernels_doc(1.0));
+  auto current = base;
+  CompareOptions opts;
+  opts.anchor = "gflops.nonexistent.t1";
+  EXPECT_THROW(compare(base, current, opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tqr::obs

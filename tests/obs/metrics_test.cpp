@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tqr::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsObservedExactlyOnce) {
+  Registry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8, kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.snapshot().counters.at("hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25);
+}
+
+TEST(Gauge, ConcurrentAddsAllLand) {
+  Gauge g;
+  constexpr int kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.add(1.0);
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, BucketEdgesAreUpperInclusive) {
+  // Buckets: (-inf, 1], (1, 2], (2, 4], (4, +inf).
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0: edges are inclusive upper bounds
+  h.observe(1.001); // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(4.001); // overflow
+  h.observe(100.0); // overflow
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 2u);
+  EXPECT_EQ(s.count, 7u);
+  EXPECT_NEAR(s.sum, 0.5 + 1.0 + 1.001 + 2.0 + 4.0 + 4.001 + 100.0, 1e-12);
+}
+
+TEST(Histogram, QuantilesInterpolateAndStayMonotone) {
+  Histogram h(exponential_bounds(1e-3, 10.0));
+  for (int i = 0; i < 1000; ++i) h.observe(0.010);  // all in one bucket
+  const auto s = h.snapshot();
+  const double p50 = s.quantile(0.50);
+  const double p95 = s.quantile(0.95);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p95, p50);
+  // The value 0.010 lands in the (0.008, 0.016] bucket.
+  EXPECT_GT(p50, 0.008);
+  EXPECT_LE(p95, 0.016);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.008);  // bucket lower edge
+  EXPECT_NEAR(s.mean(), 0.010, 1e-12);
+}
+
+TEST(Histogram, OverflowQuantileReportsLastBound) {
+  Histogram h({1.0, 2.0});
+  h.observe(50.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 2.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), InvalidArgument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvalidArgument);
+}
+
+TEST(Histogram, ConcurrentObservesAllCounted) {
+  Histogram h(exponential_bounds(1e-3, 1.0));
+  constexpr int kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(1e-3 * (1 + ((t + i) % 7)));
+    });
+  for (auto& w : workers) w.join();
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (const auto c : s.counts) total += c;
+  EXPECT_EQ(total, s.count);
+}
+
+TEST(Histogram, SnapshotMergeAddsBucketwise) {
+  Histogram a({1.0, 2.0}), b({1.0, 2.0});
+  a.observe(0.5);
+  a.observe(1.5);
+  b.observe(1.5);
+  b.observe(9.0);
+  auto sa = a.snapshot();
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.counts[0], 1u);
+  EXPECT_EQ(sa.counts[1], 2u);
+  EXPECT_EQ(sa.counts[2], 1u);
+  EXPECT_EQ(sa.count, 4u);
+  EXPECT_NEAR(sa.sum, 0.5 + 1.5 + 1.5 + 9.0, 1e-12);
+
+  Histogram c({3.0});
+  EXPECT_THROW(sa.merge(c.snapshot()), InvalidArgument);
+}
+
+TEST(ExponentialBounds, DoublesUpToAndPastHi) {
+  const auto b = exponential_bounds(1.0, 8.0);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+  EXPECT_THROW(exponential_bounds(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(exponential_bounds(1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(exponential_bounds(1.0, 2.0, 1.0), InvalidArgument);
+}
+
+TEST(Registry, StableReferencesAndKindCollision) {
+  Registry reg;
+  Counter& c1 = reg.counter("jobs");
+  Counter& c2 = reg.counter("jobs");
+  EXPECT_EQ(&c1, &c2);  // get-or-create returns the same metric
+  EXPECT_THROW(reg.gauge("jobs"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("jobs", {1.0}), InvalidArgument);
+  reg.histogram("lat", {1.0, 2.0});
+  EXPECT_THROW(reg.counter("lat"), InvalidArgument);
+}
+
+TEST(Registry, SnapshotMergeSumsCounters) {
+  Registry a, b;
+  a.counter("x").inc(3);
+  b.counter("x").inc(4);
+  b.counter("y").inc(1);
+  b.gauge("g").set(2.0);
+  auto sa = a.snapshot();
+  sa.merge(b.snapshot());
+  EXPECT_EQ(sa.counters.at("x"), 7u);
+  EXPECT_EQ(sa.counters.at("y"), 1u);
+  EXPECT_DOUBLE_EQ(sa.gauges.at("g"), 2.0);
+}
+
+TEST(Registry, TextExpositionShape) {
+  Registry reg;
+  reg.counter("jobs.completed").inc(5);
+  reg.gauge("queue.depth").set(3);
+  auto& h = reg.histogram("lat_s", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(9.0);
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("jobs.completed 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue.depth 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_s_bucket{le=\"1\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_s_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_s_count 2"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace tqr::obs

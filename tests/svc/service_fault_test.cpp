@@ -260,15 +260,5 @@ TEST(ServiceReject, RejectedFutureCarriesIdAndTag) {
   service.drain();
 }
 
-TEST(ServiceStats, SummaryMatchesLegacyAccessors) {
-  LatencyRecorder rec;
-  for (int i = 1; i <= 100; ++i) rec.record(i * 1e-3);
-  const auto s = rec.summary();
-  EXPECT_DOUBLE_EQ(s.p50_s, rec.percentile_s(0.50));
-  EXPECT_DOUBLE_EQ(s.p95_s, rec.percentile_s(0.95));
-  EXPECT_DOUBLE_EQ(s.mean_s, rec.mean_s());
-  EXPECT_EQ(s.count, rec.count());
-}
-
 }  // namespace
 }  // namespace tqr::svc

@@ -11,6 +11,7 @@
 // binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <string>
 
@@ -392,6 +393,12 @@ int cmd_serve(int argc, char** argv) {
   cli.flag("no-reuse", "tear down executors between jobs");
   cli.flag("seed", "rng seed", "1");
   cli.flag("json", "emit stats as JSON instead of tables");
+  cli.flag("metrics-out",
+           "write the service metrics exposition here after the run "
+           "(*.json = JSON, else Prometheus text)");
+  cli.flag("trace-out",
+           "write a Chrome trace-event JSON timeline here (enables "
+           "per-task tracing; load in Perfetto or chrome://tracing)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto shapes =
@@ -417,6 +424,9 @@ int cmd_serve(int argc, char** argv) {
   }
   if (cli.get_bool("no-cache", false)) config.plan_cache_enabled = false;
   if (cli.get_bool("no-reuse", false)) config.reuse_engines = false;
+  const std::string metrics_out = cli.get_string("metrics-out", "");
+  const std::string trace_out = cli.get_string("trace-out", "");
+  config.collect_trace = !trace_out.empty();
   config.cancel_on_shutdown = cli.get_bool("cancel-on-shutdown", false);
   config.fault.mode = svc::parse_fault_mode(cli.get_string("fault", "none"));
   config.fault.probability = cli.get_double("fault-prob", 1.0);
@@ -487,6 +497,23 @@ int cmd_serve(int argc, char** argv) {
   }
 
   const auto s = service.stats();
+  {
+    auto write_file = [](const std::string& path, const std::string& body) {
+      std::ofstream out(path, std::ios::binary);
+      TQR_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+      out << body;
+      out.flush();
+      TQR_REQUIRE(out.good(), "write to '" + path + "' failed");
+    };
+    if (!metrics_out.empty()) {
+      const bool as_json =
+          metrics_out.size() >= 5 &&
+          metrics_out.compare(metrics_out.size() - 5, 5, ".json") == 0;
+      write_file(metrics_out,
+                 as_json ? service.metrics_json() : service.metrics_text());
+    }
+    if (!trace_out.empty()) write_file(trace_out, service.trace_json());
+  }
   if (json) {
     std::printf(
         "{\"jobs\": {\"submitted\": %llu, \"ok\": %d, \"failed\": %d, "
