@@ -72,7 +72,7 @@ cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   ${CMAKE_EXTRA_FLAGS:-} > /dev/null
-cmake --build "$BUILD_DIR" -j --target test_runtime test_svc
+cmake --build "$BUILD_DIR" -j --target test_runtime test_svc test_cluster
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # Per-binary timeout: the cancellation tests park threads on condition
@@ -83,4 +83,6 @@ echo "== test_runtime (TSan) =="
 timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_runtime"
 echo "== test_svc (TSan) =="
 timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_svc"
+echo "== test_cluster (TSan) =="
+timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_cluster"
 echo "check.sh: all concurrency tests passed under ThreadSanitizer"

@@ -33,6 +33,7 @@ BENCHES=(
   extension_multinode
   extension_choleskyqr
   extension_spd_solve
+  cluster_scaling
 )
 
 SUMMARY="$OUT_DIR/bench_full.txt"

@@ -1,0 +1,176 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/device_count.hpp"
+#include "core/main_selection.hpp"
+#include "core/step_profile.hpp"
+
+namespace tqr::cluster {
+
+namespace {
+
+la::index_t round_up(la::index_t v, int b) {
+  return (v + b - 1) / b * b;
+}
+
+/// Cluster-wide platform: `nodes` copies of the node preset (honoring the
+/// service template's GPU count) joined by the uniform inter-node fabric.
+sim::Platform make_cluster_platform(int nodes, int gpus,
+                                    double inter_gbytes_per_s,
+                                    double inter_latency_us) {
+  TQR_REQUIRE(nodes >= 1 && nodes <= 4, "cluster supports 1..4 nodes");
+  TQR_REQUIRE(inter_gbytes_per_s > 0, "inter-node bandwidth must be > 0");
+  TQR_REQUIRE(inter_latency_us >= 0, "inter-node latency must be >= 0");
+  sim::Platform p;
+  p.comm = sim::CommModel{};
+  p.comm.inter_gbytes_per_s = inter_gbytes_per_s;
+  p.comm.inter_latency_us = inter_latency_us;
+  for (int n = 0; n < nodes; ++n) {
+    const sim::Platform node = sim::paper_platform_with_gpus(gpus);
+    for (const sim::DeviceSpec& d : node.devices) {
+      p.devices.push_back(d);
+      p.node_of.push_back(n);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      platform_(make_cluster_platform(config.nodes, config.node.gpus,
+                                      config.inter_gbytes_per_s,
+                                      config.inter_latency_us)),
+      node_platform_(sim::paper_platform_with_gpus(config.node.gpus)),
+      router_(config.policy),
+      routed_(static_cast<std::size_t>(config.nodes), 0) {
+  nodes_.reserve(static_cast<std::size_t>(config.nodes));
+  for (int n = 0; n < config.nodes; ++n) {
+    svc::ServiceConfig cfg = config.node;
+    // Disjoint pid block per node (queue track + one per lane) and a
+    // node-qualified label, so trace_json() merges cleanly.
+    cfg.trace_pid_base = n * (1 + cfg.lanes);
+    cfg.trace_label = "node" + std::to_string(n) + "/";
+    nodes_.push_back(std::make_unique<svc::QrService>(cfg));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+double Cluster::est_exec_s(la::index_t pr, la::index_t pc, int b,
+                           dag::Elimination elim) const {
+  const auto key = std::make_tuple(pr, pc, b, static_cast<int>(elim));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = est_cache_.find(key);
+    if (it != est_cache_.end()) return it->second;
+  }
+  // Eq. 10/11 first-iteration estimate at the optimizer's chosen device
+  // count, scaled by the panel count. Coarse, but consistent across shapes
+  // — which is all a relative routing score needs. Nodes are identical, so
+  // one estimate serves every node.
+  const auto mt = static_cast<std::int32_t>(pr / b);
+  const auto nt = static_cast<std::int32_t>(pc / b);
+  const auto profiles = core::profile_platform(node_platform_, b, elim);
+  const int main = core::select_main_device(profiles, mt, nt).main_device;
+  const auto choice = core::select_device_count(
+      profiles, node_platform_, main, mt, nt, b,
+      static_cast<int>(sizeof(double)));
+  const double est =
+      choice.predicted_time[static_cast<std::size_t>(choice.chosen_p - 1)] *
+      std::min(mt, nt);
+  std::lock_guard<std::mutex> lock(mutex_);
+  est_cache_.emplace(key, est);
+  return est;
+}
+
+std::vector<NodeState> Cluster::node_states(la::index_t rows,
+                                            la::index_t cols, int tile_size,
+                                            dag::Elimination elim) const {
+  const int b = tile_size > 0 ? tile_size : config_.node.default_tile;
+  const double exec = est_exec_s(round_up(rows, b), round_up(cols, b), b,
+                                 elim);
+  const auto bytes =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
+      sizeof(double);
+  const int dev_per_node = platform_.num_devices() / config_.nodes;
+  std::vector<NodeState> states(static_cast<std::size_t>(config_.nodes));
+  for (int n = 0; n < config_.nodes; ++n) {
+    const svc::ServiceStats s = nodes_[static_cast<std::size_t>(n)]->stats();
+    NodeState& st = states[static_cast<std::size_t>(n)];
+    st.queue_depth = s.queue.depth;
+    st.active_lanes = std::max(0, s.lanes - s.lanes_quarantined);
+    st.est_exec_s = exec;
+    // The front end sits with node 0: its own node receives the matrix for
+    // free, every other node pays the inter-node link for the full matrix.
+    st.ship_s = n == 0 ? 0.0
+                       : platform_.link(0, n * dev_per_node)
+                             .transfer_time_s(bytes);
+  }
+  return states;
+}
+
+Cluster::Submission Cluster::submit(svc::JobSpec spec) {
+  const auto states =
+      node_states(spec.a.rows(), spec.a.cols(), spec.tile_size, spec.elim);
+  Submission out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.node = router_.pick(states);
+    ++routed_[static_cast<std::size_t>(out.node)];
+  }
+  // Submit outside the lock: under Admission::kBlock this can wait for
+  // queue room, and other submitters must still be able to route.
+  out.future =
+      nodes_[static_cast<std::size_t>(out.node)]->submit(std::move(spec),
+                                                         &out.id);
+  return out;
+}
+
+void Cluster::drain() {
+  for (auto& node : nodes_) node->drain();
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.routed = routed_;
+  }
+  double uptime = 0;
+  for (const auto& node : nodes_) {
+    const svc::ServiceStats s = node->stats();
+    out.jobs_submitted += s.jobs_submitted;
+    out.jobs_completed += s.jobs_completed;
+    out.jobs_failed += s.jobs_failed;
+    out.jobs_rejected += s.jobs_rejected;
+    out.jobs_corrupted += s.jobs_corrupted;
+    out.lanes_quarantined += s.lanes_quarantined;
+    uptime = std::max(uptime, s.uptime_s);
+    out.nodes.push_back(s);
+  }
+  out.jobs_per_s =
+      uptime > 0 ? static_cast<double>(out.jobs_completed) / uptime : 0;
+  return out;
+}
+
+std::string Cluster::trace_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& node : nodes_) {
+    const obs::TraceLog* log = node->trace();
+    if (log == nullptr) continue;
+    std::string events = log->events_json();
+    if (events.empty()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += events;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace tqr::cluster

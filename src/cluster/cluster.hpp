@@ -1,0 +1,138 @@
+// Cluster — the sharded multi-node QR tier (the paper's §VIII frontier).
+//
+// A Cluster owns N simulated nodes. Each node is one paper-testbed platform
+// (sim::paper_platform_with_gpus) fronted by its own resident
+// svc::QrService lane set; the nodes are connected by the first-class
+// inter-node link model in sim::Platform (per-pair bandwidth/latency,
+// distinct from intra-node PCIe). Incoming jobs are sharded across nodes by
+// a cluster::Router policy — by default the paper's Eq. 10/11 cost model
+// extended with link-aware ship cost plus current per-node queue depth —
+// and reroute gracefully when a node's lanes are quarantined by the
+// services' circuit breakers.
+//
+//   submit() ─> Router::pick(node_states()) ─> nodes_[n]->submit()
+//                     │                             │
+//                     │  queue depth, active lanes, │  the node's own
+//                     │  exec estimate, ship cost   │  queue/lanes/cache
+//
+// Observability: each node's service gets a disjoint Chrome-trace pid block
+// (ServiceConfig::trace_pid_base) and a node-qualified label, so
+// trace_json() merges every node's events into one Perfetto document with
+// cross-node lanes side by side.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "sim/platform.hpp"
+#include "svc/qr_service.hpp"
+
+namespace tqr::cluster {
+
+struct ClusterConfig {
+  /// Node count (1..4, the sim cluster preset's range).
+  int nodes = 2;
+  /// Uniform inter-node fabric; per-pair overrides go through
+  /// platform().set_inter_link on the returned platform before any routing
+  /// decision if a heterogeneous fabric is wanted.
+  double inter_gbytes_per_s = 1.0;
+  double inter_latency_us = 25.0;
+
+  RouterPolicy policy = RouterPolicy::kCostModel;
+
+  /// Template applied to every node's QrService. trace_pid_base and
+  /// trace_label are overwritten per node so merged traces stay disjoint.
+  svc::ServiceConfig node;
+};
+
+/// Aggregate view across nodes plus the per-node snapshots.
+struct ClusterStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_corrupted = 0;
+  int lanes_quarantined = 0;
+  /// Completed jobs per second of cluster uptime (max node uptime).
+  double jobs_per_s = 0;
+  /// Jobs this cluster routed to each node (by the Router; excludes jobs
+  /// submitted directly to a node's service).
+  std::vector<std::uint64_t> routed;
+  std::vector<svc::ServiceStats> nodes;
+};
+
+class Cluster {
+ public:
+  /// Routing outcome: which node took the job plus the node service's
+  /// own id/future for it.
+  struct Submission {
+    int node = -1;
+    std::uint64_t id = 0;
+    std::future<svc::JobResult> future;
+  };
+
+  explicit Cluster(const ClusterConfig& config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_nodes() const { return config_.nodes; }
+  /// One node's resident service (valid for the cluster's lifetime).
+  svc::QrService& node(int n) { return *nodes_[static_cast<std::size_t>(n)]; }
+  const svc::QrService& node(int n) const {
+    return *nodes_[static_cast<std::size_t>(n)];
+  }
+  /// The cluster-wide simulation platform: every node's devices plus the
+  /// inter-node links. This is what the routing cost model charges and what
+  /// simulation-side experiments (bench/cluster_scaling) factor on.
+  const sim::Platform& platform() const { return platform_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Routes the job to a node and submits it there. Blocks like the node
+  /// service's submit when that node's queue is full under kBlock.
+  Submission submit(svc::JobSpec spec);
+
+  /// Router-input snapshot for a job of the given shape: per-node queue
+  /// depth, active (non-quarantined) lanes, the Eq. 10/11 exec estimate on
+  /// the node platform, and the link-aware ship cost from the front end
+  /// (co-located with node 0). Exposed for tests and benches.
+  std::vector<NodeState> node_states(la::index_t rows, la::index_t cols,
+                                     int tile_size,
+                                     dag::Elimination elim) const;
+
+  /// Blocks until every accepted job on every node completed.
+  void drain();
+
+  ClusterStats stats() const;
+
+  /// Merged Chrome trace-event document across the nodes' trace logs (one
+  /// pid block per node); "{...}" with no events unless the node template
+  /// set collect_trace.
+  std::string trace_json() const;
+
+ private:
+  /// Cached Eq. 10/11 execution estimate for a padded job shape on one
+  /// node's platform (nodes are identical, so one entry serves them all).
+  double est_exec_s(la::index_t pr, la::index_t pc, int b,
+                    dag::Elimination elim) const;
+
+  ClusterConfig config_;
+  sim::Platform platform_;       // cluster-wide (routing + simulation)
+  sim::Platform node_platform_;  // one node (exec estimation)
+  Router router_;
+  std::vector<std::unique_ptr<svc::QrService>> nodes_;
+
+  mutable std::mutex mutex_;  // guards router_, routed_, est_cache_
+  std::vector<std::uint64_t> routed_;
+  mutable std::map<std::tuple<la::index_t, la::index_t, int, int>, double>
+      est_cache_;
+};
+
+}  // namespace tqr::cluster

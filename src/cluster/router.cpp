@@ -1,0 +1,63 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tqr::cluster {
+
+RouterPolicy parse_router_policy(const std::string& name) {
+  if (name == "rr" || name == "round-robin") return RouterPolicy::kRoundRobin;
+  if (name == "load" || name == "least-loaded")
+    return RouterPolicy::kLeastLoaded;
+  if (name == "cost") return RouterPolicy::kCostModel;
+  throw InvalidArgument("unknown router policy '" + name +
+                        "' (expected rr|load|cost)");
+}
+
+double Router::cost(const NodeState& n) {
+  // A job landing behind `depth` queued jobs on `lanes` active lanes waits
+  // roughly depth/lanes job-times before its own exec time starts; the ship
+  // term is the link-aware Tcomm it pays regardless.
+  const int lanes = std::max(1, n.active_lanes);
+  const double backlog =
+      static_cast<double>(n.queue_depth) / static_cast<double>(lanes);
+  return n.ship_s + n.est_exec_s * (1.0 + backlog);
+}
+
+int Router::pick(const std::vector<NodeState>& nodes) {
+  TQR_REQUIRE(!nodes.empty(), "router needs at least one node");
+  const auto healthy = [&](std::size_t i) {
+    return nodes[i].active_lanes > 0;
+  };
+  bool any_healthy = false;
+  for (std::size_t i = 0; i < nodes.size(); ++i) any_healthy |= healthy(i);
+
+  if (policy_ == RouterPolicy::kRoundRobin && any_healthy) {
+    for (std::size_t tries = 0; tries < nodes.size(); ++tries) {
+      const auto i = static_cast<std::size_t>(rr_next_++ % nodes.size());
+      if (healthy(i)) return static_cast<int>(i);
+    }
+  }
+
+  // kLeastLoaded and kCostModel share the scan; they differ in the score.
+  // With no healthy node (or as the round-robin fallback) the same scan
+  // runs over all nodes, so the least-bad node still takes the job.
+  int best = -1;
+  double best_score = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (any_healthy && !healthy(i)) continue;
+    const double score =
+        policy_ == RouterPolicy::kLeastLoaded
+            ? static_cast<double>(nodes[i].queue_depth) /
+                  static_cast<double>(std::max(1, nodes[i].active_lanes))
+            : cost(nodes[i]);
+    if (best < 0 || score < best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace tqr::cluster

@@ -1,0 +1,83 @@
+// Job router for the sharded multi-node tier.
+//
+// The Router is pure decision logic: it consumes per-node state snapshots
+// (queue depth, active lane count, predicted execution time, predicted ship
+// time) and returns the target node. Keeping it free of service handles
+// makes every policy unit-testable with hand-built snapshots, and lets the
+// Cluster assemble the inputs however it likes.
+//
+// kCostModel extends the paper's Eq. 10/11 reasoning to the cluster level:
+// the node-local exec estimate plays Top, the inter-node ship cost plays
+// Tcomm (link-aware: node 0 is free for a front-end co-located with it),
+// and the queue backlog scales the exec term because a job behind `d`
+// queued jobs on `l` lanes waits ~d/l job-times before starting.
+//
+// Nodes whose lanes are all quarantined (active_lanes == 0) are skipped by
+// every policy — jobs reroute gracefully to healthy nodes — unless every
+// node is down, in which case the least-loaded node takes the job (the
+// services' own probation machinery will eventually run it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tqr::cluster {
+
+enum class RouterPolicy : std::uint8_t {
+  kRoundRobin,   // rotate over healthy nodes, ignoring load and links
+  kLeastLoaded,  // min queue backlog per active lane; ties -> lowest node
+  kCostModel,    // min ship + exec * (1 + backlog/lanes) — the default
+};
+
+inline const char* router_policy_name(RouterPolicy p) {
+  switch (p) {
+    case RouterPolicy::kRoundRobin:
+      return "round-robin";
+    case RouterPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RouterPolicy::kCostModel:
+      return "cost";
+  }
+  return "?";
+}
+
+/// Parses "rr" | "round-robin" | "load" | "least-loaded" | "cost";
+/// throws tqr::InvalidArgument otherwise.
+RouterPolicy parse_router_policy(const std::string& name);
+
+/// One node's routing inputs at submit time.
+struct NodeState {
+  /// Jobs waiting in the node's queue (not yet picked up by a lane).
+  std::size_t queue_depth = 0;
+  /// Lanes currently in rotation: configured lanes minus quarantined ones.
+  /// 0 marks the node unhealthy; routers avoid it while any peer is up.
+  int active_lanes = 1;
+  /// Predicted execution seconds for the job on this node (Eq. 10/11 cost
+  /// model over the node's devices).
+  double est_exec_s = 0;
+  /// Predicted seconds to ship the job's matrix to the node over the
+  /// inter-node link (0 for the front-end's own node).
+  double ship_s = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterPolicy policy = RouterPolicy::kCostModel)
+      : policy_(policy) {}
+
+  RouterPolicy policy() const { return policy_; }
+
+  /// kCostModel score: lower is better.
+  static double cost(const NodeState& n);
+
+  /// Picks the target node for one job; `nodes` must be non-empty.
+  /// Unhealthy nodes (active_lanes == 0) lose to any healthy node.
+  int pick(const std::vector<NodeState>& nodes);
+
+ private:
+  RouterPolicy policy_;
+  std::uint64_t rr_next_ = 0;  // kRoundRobin rotation cursor
+};
+
+}  // namespace tqr::cluster

@@ -89,6 +89,36 @@ Plan::Plan(const sim::Platform& platform, std::int32_t mt, std::int32_t nt,
       break;
   }
 
+  // --- Hierarchical TSQR routing (kHier): one local main per row group. ---
+  if (config.elim == dag::Elimination::kHier) {
+    const int nn = platform.num_nodes();
+    hier_groups_ = config.hier_groups > 0 ? config.hier_groups : nn;
+    hier_groups_ = std::clamp(hier_groups_, 1, static_cast<int>(mt));
+    hier_local_main_.resize(static_cast<std::size_t>(hier_groups_));
+    const int main_node = platform.node(main_device_);
+    for (std::int32_t g = 0; g < hier_groups_; ++g) {
+      // Contiguous group -> node mapping; identity when groups == nodes.
+      const int node = static_cast<int>(static_cast<std::int64_t>(g) * nn /
+                                        hier_groups_);
+      if (node == main_node) {
+        hier_local_main_[g] = main_device_;
+        continue;
+      }
+      // Cheapest panel (T+E) device on the group's node plays local main.
+      int best = -1;
+      double best_s = 0;
+      for (const DeviceProfile& prof : profiles) {
+        if (platform.node(prof.device) != node) continue;
+        const double s = prof.kernel.t + prof.kernel.e;
+        if (best < 0 || s < best_s) {
+          best = prof.device;
+          best_s = s;
+        }
+      }
+      hier_local_main_[g] = best >= 0 ? best : main_device_;
+    }
+  }
+
   // Guard: every owner indexes a participant. integer_ratio clamps positive
   // throughputs to ratio >= 1, so every guide-array participant owns at
   // least one column per cycle.
@@ -150,6 +180,8 @@ std::string Plan::summary(const sim::Platform& platform) const {
     os << ratios_[i];
   }
   os << "] grid=" << mt_ << "x" << nt_ << " b=" << config_.tile_size;
+  if (config_.elim == dag::Elimination::kHier)
+    os << " hier_groups=" << hier_groups_;
   return os.str();
 }
 

@@ -18,6 +18,7 @@
 #include "core/main_selection.hpp"
 #include "core/step_profile.hpp"
 #include "dag/graph.hpp"
+#include "dag/tiled_qr_dag.hpp"
 #include "sim/platform.hpp"
 
 namespace tqr::core {
@@ -50,6 +51,9 @@ struct PlanConfig {
   CountPolicy count_policy = CountPolicy::kAuto;
   int fixed_count = -1;
   DistPolicy dist_policy = DistPolicy::kGuideArray;
+  /// Row groups for Elimination::kHier (ignored otherwise); 0 = one group
+  /// per platform node. Clamped to [1, mt].
+  int hier_groups = 0;
 };
 
 /// A fully-resolved schedule for an mt x nt tile grid on a platform.
@@ -75,12 +79,31 @@ class Plan {
   std::int32_t mt() const { return mt_; }
   std::int32_t nt() const { return nt_; }
 
+  /// Resolved kHier row-group count (1 unless config.elim == kHier). Pass
+  /// this to dag::build_tiled_qr_graph so routing matches graph structure.
+  std::int32_t hier_groups() const { return hier_groups_; }
+  /// Per-group panel device under kHier (empty otherwise); group 0's local
+  /// main is the global main device.
+  const std::vector<int>& hier_local_mains() const {
+    return hier_local_main_;
+  }
+
   /// Device executing a task: T/E -> main (or column owner under
-  /// MainPolicy::kNone); UT/UE -> owner of target column j.
+  /// MainPolicy::kNone, or the row group's local main under kHier);
+  /// UT/UE -> owner of target column j.
   int device_for(const dag::Task& task) const {
     const dag::Step step = dag::step_of(task.op);
     if (step == dag::Step::kTriangulation ||
         step == dag::Step::kElimination) {
+      if (config_.elim == dag::Elimination::kHier) {
+        // T factors row i; E combines row i into surviving row p. Routing
+        // by the *surviving* row keeps the intra-group fold and the head's
+        // side of the tree on its own node, so only the absorbed triangle
+        // ever crosses the network.
+        const std::int32_t row =
+            step == dag::Step::kTriangulation ? task.i : task.p;
+        return hier_local_main_[dag::hier_group_of(row, mt_, hier_groups_)];
+      }
       if (config_.main_policy == MainPolicy::kNone)
         return participants_[column_owner_[task.k]];
       return main_device_;
@@ -120,6 +143,8 @@ class Plan {
   std::vector<int> guide_array_;
   DeviceCountChoice count_choice_;
   MainSelection main_selection_;
+  std::int32_t hier_groups_ = 1;
+  std::vector<int> hier_local_main_;
 };
 
 }  // namespace tqr::core

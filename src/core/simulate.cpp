@@ -25,7 +25,8 @@ SimRun simulate_tiled_qr(const sim::Platform& platform, std::int64_t rows,
   const auto mt = static_cast<std::int32_t>(rows / config.tile_size);
   const auto nt = static_cast<std::int32_t>(cols / config.tile_size);
   Plan plan(platform, mt, nt, config);
-  dag::TaskGraph graph = dag::build_tiled_qr_graph(mt, nt, config.elim);
+  dag::TaskGraph graph =
+      dag::build_tiled_qr_graph(mt, nt, config.elim, plan.hier_groups());
   sim::SimResult result = simulate_on_graph(graph, plan, platform);
   return SimRun{std::move(plan), std::move(result)};
 }

@@ -50,7 +50,8 @@ TiledQrFactorization<T> TiledQrFactorization<T>::factor(
   la::TiledMatrix<T> tg(tiles.rows(), tiles.cols(), b);
   la::TiledMatrix<T> te(tiles.rows(), tiles.cols(), b);
   dag::TaskGraph graph = dag::build_tiled_qr_graph(
-      tiles.tile_rows(), tiles.tile_cols(), options.elim);
+      tiles.tile_rows(), tiles.tile_cols(), options.elim,
+      options.plan ? options.plan->hier_groups() : options.hier_groups);
 
   if (options.plan == nullptr) {
     for (const dag::Task& task : graph.tasks())

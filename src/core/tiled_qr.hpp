@@ -46,6 +46,9 @@ class TiledQrFactorization {
  public:
   struct Options {
     dag::Elimination elim = dag::Elimination::kTt;
+    /// Row groups for Elimination::kHier (0 = single group when no plan is
+    /// given; with a plan the plan's resolved group count wins).
+    std::int32_t hier_groups = 0;
     /// Inner blocking width for the tile kernels (0 = unblocked). Purely a
     /// locality knob; the factorization is numerically valid either way.
     la::index_t inner_block = 0;

@@ -128,7 +128,11 @@ inline std::string to_string(const Task& t) {
 ///   kTtFlat - every tile triangulated, then folded sequentially into the
 ///             diagonal with TT kernels (cheap combines, O(M) chain;
 ///             locality-friendly middle ground)
-enum class Elimination : std::uint8_t { kTs, kTt, kTtFlat };
+///   kHier   - hierarchical TSQR (arXiv:1110.1553): rows split into
+///             contiguous groups (one per cluster node), flat TT fold
+///             inside each group, then a binary TT tree across the group
+///             heads — so only O(log G) combines cross the network
+enum class Elimination : std::uint8_t { kTs, kTt, kTtFlat, kHier };
 
 inline const char* elimination_name(Elimination e) {
   switch (e) {
@@ -138,6 +142,8 @@ inline const char* elimination_name(Elimination e) {
       return "TT";
     case Elimination::kTtFlat:
       return "TT-flat";
+    case Elimination::kHier:
+      return "Hier";
   }
   return "?";
 }

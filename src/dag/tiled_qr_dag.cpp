@@ -1,6 +1,7 @@
 #include "dag/tiled_qr_dag.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -57,7 +58,8 @@ void build_ts_panel(Builder& b, std::int32_t k, std::int32_t mt,
 }
 
 void build_tt_panel(Builder& b, std::int32_t k, std::int32_t mt,
-                    std::int32_t nt, bool tree) {
+                    std::int32_t nt, Elimination elim,
+                    std::int32_t hier_groups) {
   // Triangulate every remaining tile in the panel column...
   for (std::int32_t i = k; i < mt; ++i) {
     b.add_task(Task{Op::kGeqrt, static_cast<std::int16_t>(k),
@@ -100,9 +102,26 @@ void build_tt_panel(Builder& b, std::int32_t k, std::int32_t mt,
            {b.lower(i, j), Mode::kReadWrite}});
     }
   };
-  if (tree) {
+  if (elim == Elimination::kTt) {
     for (std::int32_t d = 1; k + d < mt; d *= 2)
       for (std::int32_t p = k; p + d < mt; p += 2 * d) combine(p, p + d);
+  } else if (elim == Elimination::kHier) {
+    // Hierarchical TSQR (arXiv:1110.1553): flat fold inside each contiguous
+    // row group onto the group head (the group's first remaining row — for
+    // the head's own group that is the diagonal tile k itself), then a
+    // binary tree across the heads so only O(log G) combines leave a node.
+    std::vector<std::int32_t> heads;
+    for (std::int32_t i = k; i < mt;) {
+      const std::int32_t g = hier_group_of(i, mt, hier_groups);
+      const std::int32_t head = i;
+      heads.push_back(head);
+      for (++i; i < mt && hier_group_of(i, mt, hier_groups) == g; ++i)
+        combine(head, i);
+    }
+    const auto nh = static_cast<std::int32_t>(heads.size());
+    for (std::int32_t d = 1; d < nh; d *= 2)
+      for (std::int32_t a = 0; a + d < nh; a += 2 * d)
+        combine(heads[a], heads[a + d]);
   } else {
     for (std::int32_t i = k + 1; i < mt; ++i) combine(k, i);
   }
@@ -111,16 +130,17 @@ void build_tt_panel(Builder& b, std::int32_t k, std::int32_t mt,
 }  // namespace
 
 TaskGraph build_tiled_qr_graph(std::int32_t mt, std::int32_t nt,
-                               Elimination elim) {
+                               Elimination elim, std::int32_t hier_groups) {
   TQR_REQUIRE(mt > 0 && nt > 0, "tile grid must be non-empty");
   TQR_REQUIRE(mt < 32768 && nt < 32768, "tile grid exceeds task coordinates");
+  const std::int32_t groups = std::clamp(hier_groups, 1, mt);
   Builder b(mt, nt);
   const std::int32_t panels = std::min(mt, nt);
   for (std::int32_t k = 0; k < panels; ++k) {
     if (elim == Elimination::kTs)
       build_ts_panel(b, k, mt, nt);
     else
-      build_tt_panel(b, k, mt, nt, elim == Elimination::kTt);
+      build_tt_panel(b, k, mt, nt, elim, groups);
   }
   return std::move(b).build();
 }
@@ -134,8 +154,8 @@ StepCounts panel_step_counts(std::int64_t m, std::int64_t n,
     c.update_triangulation = n - 1;
     c.update_elimination = (m - 1) * (n - 1);
   } else {
-    // kTt and kTtFlat triangulate every panel tile and do m-1 combines;
-    // only the combine *ordering* differs.
+    // kTt, kTtFlat and kHier triangulate every panel tile and do m-1
+    // combines; only the combine *ordering* differs.
     c.triangulation = m;
     c.elimination = m - 1;
     c.update_triangulation = m * (n - 1);

@@ -104,9 +104,9 @@ std::uint64_t TraceLog::dropped() const {
   return dropped_;
 }
 
-std::string TraceLog::to_json() const {
+std::string TraceLog::events_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\"traceEvents\":[\n";
+  std::string out;
   bool first = true;
   for (const Event& e : events_) {
     if (!first) out += ",\n";
@@ -123,8 +123,12 @@ std::string TraceLog::to_json() const {
     if (!e.args.empty()) out += ",\"args\":{" + e.args + '}';
     out += '}';
   }
-  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
+}
+
+std::string TraceLog::to_json() const {
+  return "{\"traceEvents\":[\n" + events_json() +
+         "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
 double task_flops(dag::Op op, int tile) {

@@ -73,6 +73,11 @@ class TraceLog {
   /// Perfetto and chrome://tracing load as-is.
   std::string to_json() const;
 
+  /// The comma-joined event objects alone, without the document wrapper.
+  /// Callers that merge several logs (tqr::cluster — one log per node, with
+  /// disjoint pid blocks) splice these into a single traceEvents array.
+  std::string events_json() const;
+
  private:
   struct Event {
     char ph;  // 'X', 'i', 'C', 'M'

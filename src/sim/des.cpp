@@ -51,7 +51,8 @@ class Des {
     actual_device_.assign(graph.size(), 0);
     for (std::size_t t = 0; t < graph.size(); ++t)
       actual_device_[t] = assignment[t];
-    bus_free_.assign(static_cast<std::size_t>(platform.num_nodes()) + 1, 0.0);
+    const std::size_t nn = static_cast<std::size_t>(platform.num_nodes());
+    bus_free_.assign(nn + nn * nn, 0.0);
     panel_synced_.assign(static_cast<std::size_t>(std::min(mt_, nt_)) * ndev,
                          false);
     remaining_.resize(graph.size());
@@ -211,7 +212,8 @@ class Des {
     for (int src = 0; src < platform_.num_devices(); ++src) {
       if (bytes_by_src[src] == 0 || src == dev) continue;
       // Intra-node pulls ride the source node's bus; cross-node pulls ride
-      // the single shared inter-node network channel.
+      // the dedicated point-to-point channel for that ordered node pair, so
+      // disjoint pairs overlap but a hot pair serializes.
       const bool intra = platform_.node(src) == platform_.node(dev);
       const LinkParams link = platform_.link(src, dev);
       double dur = link.transfer_time_s(bytes_by_src[src]);
@@ -223,8 +225,12 @@ class Des {
         panel_synced_[sync_key] = true;
         dur += link.sync_overhead_us * 1e-6;
       }
+      const std::size_t nn =
+          static_cast<std::size_t>(platform_.num_nodes());
       double& channel =
-          intra ? bus_free_[platform_.node(src)] : bus_free_.back();
+          intra ? bus_free_[platform_.node(src)]
+                : bus_free_[nn + platform_.node(src) * nn +
+                            platform_.node(dev)];
       const double start = std::max(channel, now);
       channel = start + dur;
       data_ready = std::max(data_ready, channel);
@@ -304,7 +310,9 @@ class Des {
   std::priority_queue<FinishEvent, std::vector<FinishEvent>,
                       std::greater<FinishEvent>>
       events_;
-  // One intra-node bus per node plus a trailing inter-node network channel.
+  // One intra-node bus per node (indices [0, nn)) followed by one channel
+  // per ordered node pair (index nn + src_node * nn + dst_node) modelling a
+  // point-to-point inter-node fabric.
   std::vector<double> bus_free_;
   SimResult result_;
 };

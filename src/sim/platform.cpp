@@ -76,4 +76,37 @@ Platform paper_cluster(int nodes) {
   return p;
 }
 
+Platform paper_cluster(int nodes, double inter_gbytes_per_s,
+                       double inter_latency_us) {
+  TQR_REQUIRE(inter_gbytes_per_s > 0, "inter-node bandwidth must be > 0");
+  TQR_REQUIRE(inter_latency_us >= 0, "inter-node latency must be >= 0");
+  Platform p = paper_cluster(nodes);
+  p.comm.inter_gbytes_per_s = inter_gbytes_per_s;
+  p.comm.inter_latency_us = inter_latency_us;
+  return p;
+}
+
+void Platform::set_inter_link(int src_node, int dst_node,
+                              const LinkParams& params, bool symmetric) {
+  const int nn = num_nodes();
+  TQR_REQUIRE(src_node >= 0 && src_node < nn && dst_node >= 0 &&
+                  dst_node < nn,
+              "set_inter_link: node index out of range");
+  TQR_REQUIRE(src_node != dst_node,
+              "set_inter_link: intra-node links are fixed by CommModel");
+  TQR_REQUIRE(params.gbytes_per_s > 0,
+              "set_inter_link: bandwidth must be > 0");
+  if (inter_links.empty()) {
+    inter_links.assign(static_cast<std::size_t>(nn) * nn,
+                       LinkParams{comm.inter_latency_us,
+                                  comm.inter_gbytes_per_s,
+                                  comm.inter_sync_overhead_us});
+  }
+  TQR_REQUIRE(inter_links.size() == static_cast<std::size_t>(nn) * nn,
+              "set_inter_link: devices changed after links were installed");
+  inter_links[static_cast<std::size_t>(src_node) * nn + dst_node] = params;
+  if (symmetric)
+    inter_links[static_cast<std::size_t>(dst_node) * nn + src_node] = params;
+}
+
 }  // namespace tqr::sim

@@ -61,6 +61,14 @@ struct Platform {
   /// Node membership per device; empty = single node. Devices on different
   /// nodes communicate over the (slower) inter-node network.
   std::vector<int> node_of;
+  /// Per-ordered-pair inter-node link overrides, row-major
+  /// [src_node * num_nodes() + dst_node]. Empty (the default) means every
+  /// cross-node transfer uses the uniform comm.inter_* parameters; populate
+  /// via set_inter_link() AFTER all devices are added to model heterogeneous
+  /// fabrics (a fast rack-local pair next to a slow cross-rack pair, or
+  /// asymmetric up/down links). Diagonal entries are ignored — intra-node
+  /// transfers always ride the node's own bus at comm.{latency,bandwidth}.
+  std::vector<LinkParams> inter_links;
 
   int num_devices() const { return static_cast<int>(devices.size()); }
   const DeviceSpec& device(int d) const { return devices[d]; }
@@ -74,11 +82,23 @@ struct Platform {
     return n + 1;
   }
 
+  /// Installs a per-pair inter-node link (both directions unless
+  /// `symmetric` is false, in which case only src_node -> dst_node).
+  /// First call materializes the table with the uniform inter_* defaults,
+  /// so later pairs keep the CommModel behavior unless overridden.
+  void set_inter_link(int src_node, int dst_node, const LinkParams& params,
+                      bool symmetric = true);
+
   /// Parameters of the link a (src -> dst) transfer rides on.
   LinkParams link(int src, int dst) const {
-    if (node(src) == node(dst))
+    const int sn = node(src), dn = node(dst);
+    if (sn == dn)
       return LinkParams{comm.latency_us, comm.gbytes_per_s,
                         comm.sync_overhead_us};
+    if (!inter_links.empty()) {
+      const int nn = num_nodes();
+      return inter_links[static_cast<std::size_t>(sn) * nn + dn];
+    }
     return LinkParams{comm.inter_latency_us, comm.inter_gbytes_per_s,
                       comm.inter_sync_overhead_us};
   }
@@ -107,5 +127,11 @@ Platform paper_platform_with_gpus(int num_gpus);
 /// Multi-node extension (paper §VIII future work): `nodes` copies of the
 /// paper node connected by the inter-node network.
 Platform paper_cluster(int nodes);
+
+/// paper_cluster with a uniform inter-node fabric of the given bandwidth
+/// and latency (sync overhead keeps the CommModel default). The building
+/// block tqr::cluster and the multi-node benches configure nodes with.
+Platform paper_cluster(int nodes, double inter_gbytes_per_s,
+                       double inter_latency_us);
 
 }  // namespace tqr::sim

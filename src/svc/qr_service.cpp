@@ -133,13 +133,16 @@ QrService::QrService(const ServiceConfig& config)
     fault_ = std::make_unique<FaultInjector>(config.fault);
   if (config.collect_trace) {
     trace_ = std::make_unique<obs::TraceLog>(config.trace_capacity);
-    // Name the viewer tracks up front: pid 0 is the shared queue, one
-    // "process" per lane with a lifecycle row plus one row per device group.
-    trace_->process_name(0, "svc queue");
-    trace_->thread_name(0, 0, "queued jobs");
+    // Name the viewer tracks up front: pid trace_pid_base is the shared
+    // queue, one "process" per lane with a lifecycle row plus one row per
+    // device group. trace_label qualifies the names when several services
+    // (cluster nodes) merge into one document.
+    trace_->process_name(queue_pid(), config.trace_label + "svc queue");
+    trace_->thread_name(queue_pid(), 0, "queued jobs");
     for (int lane = 0; lane < config.lanes; ++lane) {
-      const int pid = 1 + lane;
-      trace_->process_name(pid, "lane " + std::to_string(lane));
+      const int pid = lane_pid(lane);
+      trace_->process_name(pid,
+                           config.trace_label + "lane " + std::to_string(lane));
       trace_->thread_name(pid, 0, "jobs");
       for (int dev = 0; dev < platform_.num_devices(); ++dev)
         trace_->thread_name(pid, 1 + dev,
@@ -188,7 +191,7 @@ std::future<JobResult> QrService::submit(JobSpec spec,
 
   const PushResult admitted = queue_.push(std::move(job));
   if (trace_ && admitted == PushResult::kAccepted)
-    trace_->counter("queue.depth", 0, clock_.seconds(), "depth",
+    trace_->counter("queue.depth", queue_pid(), clock_.seconds(), "depth",
                     static_cast<double>(queue_.depth()));
   if (admitted != PushResult::kAccepted) {
     // push() only consumes the job on acceptance, so `job` is intact here;
@@ -313,7 +316,8 @@ bool QrService::quarantine_gate(int lane) {
         h.probation = true;
         metrics_.lane_probations.inc();
         if (trace_)
-          trace_->instant("probation", "lane", 1 + lane, 0, clock_.seconds());
+          trace_->instant("probation", "lane", lane_pid(lane), 0,
+                          clock_.seconds());
         return true;
       }
     }
@@ -348,7 +352,8 @@ void QrService::update_lane_health_locked(int lane, JobStatus status) {
   h.retry_at_s = clock_.seconds() + config_.probation_s;
   metrics_.lane_quarantines.inc();
   if (trace_)
-    trace_->instant("quarantine", "lane", 1 + lane, 0, clock_.seconds());
+    trace_->instant("quarantine", "lane", lane_pid(lane), 0,
+                    clock_.seconds());
 }
 
 JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
@@ -365,11 +370,12 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
   if (trace_) {
     // The job's time in the shared queue, on the queue track; the lifecycle
     // span on the lane track starts where this one ends.
-    trace_->complete("queued", "queue", 0, 0, job.submit_s, result.queue_s,
+    trace_->complete("queued", "queue", queue_pid(), 0, job.submit_s,
+                     result.queue_s,
                      obs::TraceArgs()
                          .add("job", static_cast<std::int64_t>(job.id))
                          .add("lane", static_cast<std::int64_t>(lane)));
-    trace_->counter("queue.depth", 0, picked_up_s, "depth",
+    trace_->counter("queue.depth", queue_pid(), picked_up_s, "depth",
                     static_cast<double>(queue_.depth()));
   }
   // Everything from pickup to return below lands in the lifecycle span.
@@ -382,8 +388,8 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
     ~SpanGuard() {
       if (!svc->trace_) return;
       svc->trace_->complete(
-          "job " + std::to_string(id), to_string(result.status), 1 + lane, 0,
-          start_s, svc->clock_.seconds() - start_s,
+          "job " + std::to_string(id), to_string(result.status),
+          svc->lane_pid(lane), 0, start_s, svc->clock_.seconds() - start_s,
           obs::TraceArgs()
               .add("job", static_cast<std::int64_t>(id))
               .add("status", to_string(result.status))
@@ -432,7 +438,7 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
       if (verification) metrics_.verify_failures.inc();
       if (trace_)
         trace_->instant(verification ? "verify_fail" : "transient_fault",
-                        "job", 1 + lane, 0, clock_.seconds(),
+                        "job", lane_pid(lane), 0, clock_.seconds(),
                         obs::TraceArgs()
                             .add("job", static_cast<std::int64_t>(job.id))
                             .add("attempt",
@@ -445,7 +451,7 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
       }
       metrics_.retried.inc();
       if (trace_)
-        trace_->instant("retry", "job", 1 + lane, 0, clock_.seconds(),
+        trace_->instant("retry", "job", lane_pid(lane), 0, clock_.seconds(),
                         obs::TraceArgs().add(
                             "attempt", static_cast<std::int64_t>(attempt + 1)));
       // Backoff in token-aware slices; the exec deadline keeps running
@@ -501,8 +507,8 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
     pc_cfg.element_bytes = sizeof(double);
     pc_cfg.elim = job.spec.elim;
     core::Plan plan(platform_, pr / b, pc / b, pc_cfg);
-    dag::TaskGraph graph =
-        dag::build_tiled_qr_graph(pr / b, pc / b, job.spec.elim);
+    dag::TaskGraph graph = dag::build_tiled_qr_graph(
+        pr / b, pc / b, job.spec.elim, plan.hier_groups());
     return PlanEntry{std::move(plan), std::move(graph)};
   };
   std::shared_ptr<const PlanEntry> entry;
@@ -633,7 +639,7 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   metrics_.exec_s.observe(result.exec_s);
   if (trace_)
     obs::append_task_events(*trace_, task_trace.events(), entry->graph, b,
-                            1 + lane, exec_start_s);
+                            lane_pid(lane), exec_start_s);
 
   // Extract the caller-shaped R (leading block; identity padding keeps it
   // equal to R of the unpadded matrix).

@@ -118,6 +118,16 @@ struct ServiceConfig {
   bool collect_trace = false;
   /// Event cap for the trace log; past it events are counted as dropped.
   std::size_t trace_capacity = std::size_t{1} << 20;
+
+  /// Base Chrome-trace pid for this service's tracks: the queue track sits
+  /// at trace_pid_base, lane L at trace_pid_base + 1 + L. A multi-node
+  /// owner (tqr::cluster) gives each node a disjoint pid block so the
+  /// per-node logs merge into one Perfetto document with one process per
+  /// node-lane, side by side.
+  int trace_pid_base = 0;
+  /// Prefix for trace process names ("node1/" -> "node1/lane 0"); empty for
+  /// the single-service default.
+  std::string trace_label;
 };
 
 class QrService {
@@ -179,6 +189,10 @@ class QrService {
     bool probation = false;  // next job is the half-open probation job
     double retry_at_s = 0;   // clock_ time the quarantine half-opens
   };
+
+  /// Chrome-trace pids honoring config_.trace_pid_base.
+  int queue_pid() const { return config_.trace_pid_base; }
+  int lane_pid(int lane) const { return config_.trace_pid_base + 1 + lane; }
 
   void lane_main(int lane);
   /// Blocks while `lane` is quarantined (half-opening it when probation_s

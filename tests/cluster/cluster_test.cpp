@@ -1,0 +1,172 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "la/matrix.hpp"
+
+namespace tqr::cluster {
+namespace {
+
+svc::JobSpec job(int n, std::uint64_t seed) {
+  svc::JobSpec spec;
+  spec.a = la::Matrix<double>::random(n, n, seed);
+  return spec;
+}
+
+TEST(Cluster, PlatformSpansNodesWithInterLinks) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.inter_gbytes_per_s = 2.0;
+  Cluster c(cfg);
+  const sim::Platform& p = c.platform();
+  EXPECT_EQ(p.num_nodes(), 2);
+  const int per_node = p.num_devices() / 2;
+  EXPECT_DOUBLE_EQ(p.link(0, per_node).gbytes_per_s, 2.0);
+  EXPECT_LT(p.link(0, 1).latency_us, p.link(0, per_node).latency_us);
+}
+
+TEST(Cluster, NodeStatesShipCostFavorsLocalNode) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.lanes = 2;
+  Cluster c(cfg);
+  const auto states = c.node_states(512, 512, 16, dag::Elimination::kTt);
+  ASSERT_EQ(states.size(), 2u);
+  // The front end is co-located with node 0: shipping there is free.
+  EXPECT_DOUBLE_EQ(states[0].ship_s, 0.0);
+  EXPECT_GT(states[1].ship_s, 0.0);
+  // Identical nodes share one execution estimate.
+  EXPECT_GT(states[0].est_exec_s, 0.0);
+  EXPECT_DOUBLE_EQ(states[0].est_exec_s, states[1].est_exec_s);
+  EXPECT_EQ(states[0].active_lanes, 2);
+}
+
+TEST(Cluster, FasterFabricShrinksShipCost) {
+  ClusterConfig slow, fast;
+  slow.nodes = fast.nodes = 2;
+  slow.inter_gbytes_per_s = 1.0;
+  fast.inter_gbytes_per_s = 16.0;
+  Cluster cs(slow), cf(fast);
+  const auto s = cs.node_states(1024, 1024, 16, dag::Elimination::kTt);
+  const auto f = cf.node_states(1024, 1024, 16, dag::Elimination::kTt);
+  EXPECT_GT(s[1].ship_s, f[1].ship_s);
+}
+
+TEST(Cluster, RoundRobinShardsEvenlyAndCompletesAll) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.policy = RouterPolicy::kRoundRobin;
+  cfg.node.lanes = 1;
+  Cluster c(cfg);
+  std::vector<Cluster::Submission> subs;
+  for (int j = 0; j < 8; ++j) subs.push_back(c.submit(job(64, 10 + j)));
+  c.drain();
+  for (auto& s : subs)
+    EXPECT_EQ(s.future.get().status, svc::JobStatus::kOk);
+  const ClusterStats stats = c.stats();
+  EXPECT_EQ(stats.jobs_submitted, 8u);
+  EXPECT_EQ(stats.jobs_completed, 8u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  ASSERT_EQ(stats.routed.size(), 2u);
+  EXPECT_EQ(stats.routed[0], 4u);
+  EXPECT_EQ(stats.routed[1], 4u);
+  EXPECT_GT(stats.jobs_per_s, 0.0);
+}
+
+TEST(Cluster, QuarantineShrinksRouterActiveLanes) {
+  // Node 0 corrupts the first job it runs (NaN poison caught by tier-1
+  // scan) and that lane is quarantined. The router's node_states snapshot
+  // must reflect the shrunken lane set, which is what steers subsequent
+  // load/cost routing away from the degraded node (Router::pick's handling
+  // of degraded and fully-down nodes is covered in router_test).
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.lanes = 2;
+  cfg.node.quarantine_after = 1;
+  cfg.node.fault.mode = svc::FaultConfig::Mode::kCorrupt;
+  cfg.node.fault.corrupt = svc::FaultConfig::Corrupt::kNaN;
+  cfg.node.fault.max_injections = 1;
+  Cluster c(cfg);
+
+  svc::JobSpec first = job(64, 1);
+  first.verify = svc::Verify::kScan;
+  first.max_attempts = 1;
+  auto sub1 = c.submit(std::move(first));
+  EXPECT_EQ(sub1.node, 0);  // free ship: the cost model starts local
+  EXPECT_EQ(sub1.future.get().status, svc::JobStatus::kCorrupted);
+
+  // The breaker trips after the result is published; wait for it.
+  for (int spin = 0; spin < 200; ++spin) {
+    if (c.stats().lanes_quarantined >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(c.stats().lanes_quarantined, 1);
+
+  const auto states = c.node_states(64, 64, 16, dag::Elimination::kTt);
+  ASSERT_EQ(states.size(), 2u);
+  EXPECT_EQ(states[0].active_lanes, 1);
+  EXPECT_EQ(states[1].active_lanes, 2);
+
+  // The cluster still completes work on the remaining lanes.
+  svc::JobSpec second = job(64, 2);
+  second.max_attempts = 1;
+  auto sub2 = c.submit(std::move(second));
+  EXPECT_EQ(sub2.future.get().status, svc::JobStatus::kOk);
+  const ClusterStats stats = c.stats();
+  EXPECT_EQ(stats.jobs_submitted, 2u);
+  EXPECT_EQ(stats.jobs_corrupted, 1u);
+}
+
+TEST(Cluster, MergedTraceHasOnePidBlockPerNode) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.node.lanes = 2;
+  cfg.node.collect_trace = true;
+  Cluster c(cfg);
+  std::vector<Cluster::Submission> subs;
+  for (int j = 0; j < 4; ++j) subs.push_back(c.submit(job(64, 20 + j)));
+  c.drain();
+  for (auto& s : subs) s.future.get();
+  const std::string trace = c.trace_json();
+  // Node-qualified lane naming, and node 1's block starts past node 0's
+  // (queue pid + lanes): base(node1) = 1 * (1 + 2) = 3.
+  EXPECT_NE(trace.find("\"node0/svc queue\""), std::string::npos);
+  EXPECT_NE(trace.find("\"node1/svc queue\""), std::string::npos);
+  EXPECT_NE(trace.find("\"node0/lane 1\""), std::string::npos);
+  EXPECT_NE(trace.find("\"node1/lane 1\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":3"), std::string::npos);
+  // One well-formed document: a single traceEvents array, balanced braces.
+  EXPECT_EQ(trace.find("traceEvents"), trace.rfind("traceEvents"));
+  std::int64_t depth = 0;
+  for (char ch : trace) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Cluster, SingleNodeClusterDegeneratesToService) {
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  Cluster c(cfg);
+  auto sub = c.submit(job(64, 5));
+  EXPECT_EQ(sub.node, 0);
+  EXPECT_EQ(sub.future.get().status, svc::JobStatus::kOk);
+  EXPECT_EQ(c.stats().routed.size(), 1u);
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  ClusterConfig bad;
+  bad.nodes = 0;
+  EXPECT_THROW(Cluster c(bad), tqr::Error);
+  bad.nodes = 2;
+  bad.inter_gbytes_per_s = 0;
+  EXPECT_THROW(Cluster c(bad), tqr::Error);
+}
+
+}  // namespace
+}  // namespace tqr::cluster

@@ -1,0 +1,89 @@
+#include "cluster/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tqr::cluster {
+namespace {
+
+NodeState node(std::size_t depth, int lanes, double est, double ship) {
+  NodeState n;
+  n.queue_depth = depth;
+  n.active_lanes = lanes;
+  n.est_exec_s = est;
+  n.ship_s = ship;
+  return n;
+}
+
+TEST(Router, ParsePolicyNamesAndAliases) {
+  EXPECT_EQ(parse_router_policy("rr"), RouterPolicy::kRoundRobin);
+  EXPECT_EQ(parse_router_policy("round-robin"), RouterPolicy::kRoundRobin);
+  EXPECT_EQ(parse_router_policy("load"), RouterPolicy::kLeastLoaded);
+  EXPECT_EQ(parse_router_policy("least-loaded"), RouterPolicy::kLeastLoaded);
+  EXPECT_EQ(parse_router_policy("cost"), RouterPolicy::kCostModel);
+  EXPECT_THROW(parse_router_policy("bogus"), tqr::InvalidArgument);
+  // Names round-trip through the parser.
+  for (auto p : {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+                 RouterPolicy::kCostModel})
+    EXPECT_EQ(parse_router_policy(router_policy_name(p)), p);
+}
+
+TEST(Router, CostIsShipPlusQueueScaledExec) {
+  EXPECT_DOUBLE_EQ(Router::cost(node(0, 2, 1.0, 0.5)), 1.5);
+  // Two queued jobs over two lanes doubles the effective exec share.
+  EXPECT_DOUBLE_EQ(Router::cost(node(2, 2, 1.0, 0.5)), 2.5);
+  // Zero active lanes must not divide by zero.
+  EXPECT_GT(Router::cost(node(4, 0, 1.0, 0.0)), 0);
+}
+
+TEST(Router, RoundRobinRotatesOverHealthyNodes) {
+  Router r(RouterPolicy::kRoundRobin);
+  const std::vector<NodeState> states = {
+      node(0, 1, 1, 0), node(0, 0, 1, 0), node(0, 1, 1, 0)};
+  // Node 1 has no active lanes: rotation alternates 0, 2, 0, 2, ...
+  std::vector<int> picks;
+  for (int i = 0; i < 4; ++i) picks.push_back(r.pick(states));
+  EXPECT_EQ(picks, (std::vector<int>{0, 2, 0, 2}));
+}
+
+TEST(Router, LeastLoadedPicksLowestDepthPerLane) {
+  Router r(RouterPolicy::kLeastLoaded);
+  // Node 0: 4 jobs / 2 lanes = 2.0; node 1: 3 jobs / 4 lanes = 0.75.
+  const std::vector<NodeState> states = {node(4, 2, 1, 0), node(3, 4, 1, 0)};
+  EXPECT_EQ(r.pick(states), 1);
+}
+
+TEST(Router, CostModelTradesShipAgainstQueue) {
+  Router r(RouterPolicy::kCostModel);
+  // Empty remote node beats a backed-up local one once the queue penalty
+  // outweighs the ship cost.
+  const std::vector<NodeState> local_backed_up = {node(6, 1, 1.0, 0.0),
+                                                  node(0, 1, 1.0, 0.5)};
+  EXPECT_EQ(r.pick(local_backed_up), 1);
+  // With equal queues the free local ship wins.
+  const std::vector<NodeState> both_idle = {node(0, 1, 1.0, 0.0),
+                                            node(0, 1, 1.0, 0.5)};
+  EXPECT_EQ(r.pick(both_idle), 0);
+}
+
+TEST(Router, QuarantinedNodesSkippedUnlessAllDown) {
+  Router r(RouterPolicy::kCostModel);
+  // Node 0 is cheapest but has no active lanes: rerouted to node 1.
+  const std::vector<NodeState> one_down = {node(0, 0, 1.0, 0.0),
+                                           node(2, 1, 1.0, 0.5)};
+  EXPECT_EQ(r.pick(one_down), 1);
+  // Every node down: pick still returns a valid index rather than failing.
+  const std::vector<NodeState> all_down = {node(0, 0, 1.0, 0.0),
+                                           node(2, 0, 1.0, 0.5)};
+  const int p = r.pick(all_down);
+  EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST(Router, EmptyStateListThrows) {
+  Router r;
+  EXPECT_THROW(r.pick({}), tqr::Error);
+}
+
+}  // namespace
+}  // namespace tqr::cluster

@@ -157,6 +157,47 @@ TEST(Plan, SummaryMentionsMainAndGrid) {
   EXPECT_NE(s.find("10x10"), std::string::npos);
 }
 
+TEST(Plan, HierRoutesEliminationsByRowGroupNode) {
+  // On a 2-node cluster with 2 groups, panel-0 eliminations in the top
+  // half of the grid run on a node-0 device, bottom half on node 1 — only
+  // the cross-group combine's absorbed triangle crosses the network.
+  const sim::Platform c2 = sim::paper_cluster(2);
+  PlanConfig c = default_config();
+  c.elim = dag::Elimination::kHier;
+  const std::int32_t mt = 8;
+  Plan plan(c2, mt, mt, c);
+  EXPECT_EQ(plan.hier_groups(), 2);
+  ASSERT_EQ(plan.hier_local_mains().size(), 2u);
+  const auto g = dag::build_tiled_qr_graph(mt, mt, dag::Elimination::kHier,
+                                           plan.hier_groups());
+  for (const dag::Task& t : g.tasks()) {
+    if (t.k != 0) continue;
+    const auto step = dag::step_of(t.op);
+    if (step != dag::Step::kTriangulation &&
+        step != dag::Step::kElimination)
+      continue;
+    const std::int32_t row = step == dag::Step::kTriangulation ? t.i : t.p;
+    EXPECT_EQ(c2.node(plan.device_for(t)),
+              dag::hier_group_of(row, mt, plan.hier_groups()));
+  }
+}
+
+TEST(Plan, HierGroupsOverrideAndSummary) {
+  PlanConfig c = default_config();
+  c.elim = dag::Elimination::kHier;
+  c.hier_groups = 3;
+  Plan plan(sim::paper_platform(), 9, 9, c);
+  EXPECT_EQ(plan.hier_groups(), 3);
+  EXPECT_NE(plan.summary(sim::paper_platform()).find("hier_groups=3"),
+            std::string::npos);
+  // Local mains must be real participating devices.
+  for (int d : plan.hier_local_mains()) {
+    bool found = false;
+    for (int p : plan.participants()) found |= (p == d);
+    EXPECT_TRUE(found) << "local main " << d << " not a participant";
+  }
+}
+
 TEST(Plan, SingleDevicePlatform) {
   Plan plan(sim::paper_platform_with_gpus(0), 8, 8, default_config());
   EXPECT_EQ(plan.main_device(), 0);

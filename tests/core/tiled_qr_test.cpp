@@ -97,6 +97,24 @@ TEST(TiledQr, TsAndTtProduceSameRUpToSigns) {
   }
 }
 
+TEST(TiledQr, HierEliminationMatchesTsUpToSigns) {
+  // The hierarchical reduction tree reorders the eliminations but must
+  // produce the same R (up to row signs) on a tall-skinny matrix.
+  const int rows = 64, cols = 16, b = 8;
+  auto a = Matrix<double>::random(rows, cols, 321);
+  typename TiledQrFactorization<double>::Options ts, hier;
+  ts.elim = dag::Elimination::kTs;
+  hier.elim = dag::Elimination::kHier;
+  hier.hier_groups = 2;
+  auto rts = TiledQrFactorization<double>::factor(a, b, ts).r();
+  auto rh = TiledQrFactorization<double>::factor(a, b, hier).r();
+  for (index_t i = 0; i < cols; ++i) {
+    const double sign = (rts(i, i) >= 0) == (rh(i, i) >= 0) ? 1.0 : -1.0;
+    for (index_t j = i; j < cols; ++j)
+      EXPECT_NEAR(rts(i, j), sign * rh(i, j), 1e-9);
+  }
+}
+
 TEST(TiledQr, ApplyQThenQtRoundTrips) {
   const int n = 24, b = 8;
   auto a = Matrix<double>::random(n, n, 5);

@@ -49,7 +49,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grids, GridSizes,
     ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
                        ::testing::Values(1, 2, 3, 5, 8),
-                       ::testing::Values(Elimination::kTs, Elimination::kTt)));
+                       ::testing::Values(Elimination::kTs, Elimination::kTt,
+                                         Elimination::kHier)));
 
 TEST(TiledQrDag, TsPanelCounts) {
   const StepCounts c = panel_step_counts(5, 4, Elimination::kTs);
@@ -131,6 +132,80 @@ TEST(TiledQrDag, RectangularGrids) {
   TaskGraph wide = build_tiled_qr_graph(3, 10, Elimination::kTs);
   EXPECT_TRUE(tall.validate());
   EXPECT_TRUE(wide.validate());
+}
+
+TEST(HierDag, GroupMapIsContiguousAndBalanced) {
+  // hier_group_of partitions [0, mt) into `groups` contiguous,
+  // non-decreasing chunks covering every group exactly once.
+  const std::int32_t mt = 13, groups = 4;
+  std::int32_t prev = 0;
+  std::vector<int> seen(groups, 0);
+  for (std::int32_t i = 0; i < mt; ++i) {
+    const std::int32_t g = hier_group_of(i, mt, groups);
+    ASSERT_GE(g, prev);
+    ASSERT_LT(g, groups);
+    ASSERT_LE(g - prev, 1);  // no group skipped
+    seen[g] = 1;
+    prev = g;
+  }
+  for (int g = 0; g < groups; ++g) EXPECT_EQ(seen[g], 1);
+  EXPECT_EQ(hier_group_of(0, mt, groups), 0);
+  EXPECT_EQ(hier_group_of(mt - 1, mt, groups), groups - 1);
+}
+
+TEST(HierDag, PanelStructureTwoGroups) {
+  // mt=8, one tile column, 2 groups: flat folds onto each group head
+  // (rows 0 and 4), then one binary combine across the heads.
+  TaskGraph g = build_tiled_qr_graph(8, 1, Elimination::kHier, 2);
+  std::vector<std::pair<int, int>> combines;
+  for (const Task& t : g.tasks())
+    if (t.op == Op::kTtqrt) combines.emplace_back(t.p, t.i);
+  const std::vector<std::pair<int, int>> expected = {
+      {0, 1}, {0, 2}, {0, 3}, {4, 5}, {4, 6}, {4, 7}, {0, 4}};
+  EXPECT_EQ(combines, expected);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(HierDag, OneGroupDegeneratesToTtFlat) {
+  TaskGraph hier = build_tiled_qr_graph(6, 3, Elimination::kHier, 1);
+  TaskGraph flat = build_tiled_qr_graph(6, 3, Elimination::kTtFlat);
+  ASSERT_EQ(hier.size(), flat.size());
+  for (std::size_t t = 0; t < hier.size(); ++t) {
+    EXPECT_EQ(hier.task(t).op, flat.task(t).op);
+    EXPECT_EQ(hier.task(t).p, flat.task(t).p);
+    EXPECT_EQ(hier.task(t).i, flat.task(t).i);
+  }
+}
+
+TEST(HierDag, GroupCountIsClampedToValidRange) {
+  // groups > mt and groups <= 0 both clamp instead of throwing: 0 means
+  // "pick from the platform" upstream and lands at 1 here.
+  EXPECT_TRUE(build_tiled_qr_graph(6, 2, Elimination::kHier, 100).validate());
+  TaskGraph zero = build_tiled_qr_graph(6, 2, Elimination::kHier, 0);
+  TaskGraph one = build_tiled_qr_graph(6, 2, Elimination::kHier, 1);
+  ASSERT_EQ(zero.size(), one.size());
+  for (std::size_t t = 0; t < zero.size(); ++t)
+    EXPECT_EQ(zero.task(t).p, one.task(t).p);
+}
+
+TEST(HierDag, CriticalPathBeatsFlatTsChainOnTallGrids) {
+  // The point of the hierarchy on tall-skinny grids: group folds run in
+  // parallel, so the flops-weighted critical path is well below the flat
+  // TS chain's O(M) reflector chain.
+  const auto flops = [](const Task& t) {
+    switch (t.op) {
+      case Op::kGeqrt: return la::flops_geqrt(16);
+      case Op::kUnmqr: return la::flops_unmqr(16);
+      case Op::kTsqrt: return la::flops_tsqrt(16);
+      case Op::kTsmqr: return la::flops_tsmqr(16);
+      case Op::kTtqrt: return la::flops_ttqrt(16);
+      case Op::kTtmqr: return la::flops_ttmqr(16);
+      default: return 0.0;
+    }
+  };
+  TaskGraph ts = build_tiled_qr_graph(32, 2, Elimination::kTs);
+  TaskGraph hier = build_tiled_qr_graph(32, 2, Elimination::kHier, 4);
+  EXPECT_LT(hier.critical_path(flops), 0.8 * ts.critical_path(flops));
 }
 
 TEST(TiledQrDag, RejectsEmptyGrid) {

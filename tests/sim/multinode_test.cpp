@@ -117,6 +117,99 @@ TEST(MultiNode, PlanOnClusterPrefersLocalDevices) {
     EXPECT_EQ(c2.node(dev), 0) << "recruited remote device " << dev;
 }
 
+TEST(MultiNode, PerPairLinkOverridesAreDirectional) {
+  Platform c2 = paper_cluster(2);
+  const LinkParams fallback = c2.link(1, 5);  // node 0 -> node 1, uniform
+  LinkParams fat;
+  fat.latency_us = 2.0;
+  fat.gbytes_per_s = 40.0;
+  c2.set_inter_link(0, 1, fat, /*symmetric=*/false);
+  EXPECT_DOUBLE_EQ(c2.link(1, 5).gbytes_per_s, 40.0);
+  // The reverse direction keeps the uniform fabric parameters.
+  EXPECT_DOUBLE_EQ(c2.link(5, 1).gbytes_per_s, fallback.gbytes_per_s);
+  EXPECT_DOUBLE_EQ(c2.link(5, 1).latency_us, fallback.latency_us);
+  // Symmetric install writes both directions.
+  c2.set_inter_link(1, 0, fat, /*symmetric=*/true);
+  EXPECT_DOUBLE_EQ(c2.link(5, 1).gbytes_per_s, 40.0);
+  EXPECT_DOUBLE_EQ(c2.link(1, 5).gbytes_per_s, 40.0);
+}
+
+TEST(MultiNode, SetInterLinkValidates) {
+  Platform c2 = paper_cluster(2);
+  LinkParams p;
+  p.gbytes_per_s = 1.0;
+  EXPECT_THROW(c2.set_inter_link(0, 0, p), tqr::Error);   // intra pair
+  EXPECT_THROW(c2.set_inter_link(0, 2, p), tqr::Error);   // out of range
+  p.gbytes_per_s = 0;
+  EXPECT_THROW(c2.set_inter_link(0, 1, p), tqr::Error);   // bad bandwidth
+}
+
+TEST(MultiNode, IntraNodePairsIgnoreInterLinkOverrides) {
+  // Regression: an intra-node transfer must never pay inter-node cost, no
+  // matter how the inter-node fabric is configured.
+  Platform c2 = paper_cluster(2);
+  const LinkParams before = c2.link(1, 2);
+  LinkParams awful;
+  awful.latency_us = 1e6;
+  awful.gbytes_per_s = 1e-3;
+  c2.set_inter_link(0, 1, awful, /*symmetric=*/true);
+  const LinkParams after = c2.link(1, 2);   // both node 0
+  EXPECT_DOUBLE_EQ(after.latency_us, before.latency_us);
+  EXPECT_DOUBLE_EQ(after.gbytes_per_s, before.gbytes_per_s);
+  const LinkParams remote = c2.link(5, 6);  // both node 1
+  EXPECT_DOUBLE_EQ(remote.latency_us, before.latency_us);
+  EXPECT_DOUBLE_EQ(remote.gbytes_per_s, before.gbytes_per_s);
+}
+
+TEST(MultiNode, InterNodeBandwidthInvisibleToIntraNodeSchedules) {
+  // A schedule confined to node 0 must simulate to the same makespan
+  // regardless of the inter-node fabric: crippling the network may not
+  // perturb intra-node runs.
+  const int nt = 8;
+  dag::TaskGraph g = dag::build_tiled_qr_graph(nt, nt, dag::Elimination::kTt);
+  core::PlanConfig pc;
+  pc.tile_size = 16;
+  pc.count_policy = core::CountPolicy::kAll;
+  pc.main_policy = core::MainPolicy::kFixed;
+  pc.fixed_main = 1;
+  core::Plan plan(paper_platform(), nt, nt, pc);
+  const auto assign = plan.assignment(g);  // devices 0..3 only
+  const auto fast = simulate(g, assign, paper_cluster(2, 100.0, 1.0), nt, nt,
+                             SimOptions{});
+  const auto slow = simulate(g, assign, paper_cluster(2, 0.001, 1e5), nt, nt,
+                             SimOptions{});
+  EXPECT_DOUBLE_EQ(slow.makespan_s, fast.makespan_s);
+}
+
+TEST(MultiNode, AsymmetricLinkDegradationSlowsCrossNodeSchedule) {
+  // Cross-node schedules move data in both directions; degrading either
+  // direction of the pair must show up in the makespan.
+  const int nt = 8;
+  dag::TaskGraph g = dag::build_tiled_qr_graph(nt, nt, dag::Elimination::kTt);
+  std::vector<std::uint8_t> assign(g.size());
+  for (std::size_t t = 0; t < g.size(); ++t) {
+    const dag::Task& task = g.task(t);
+    const auto step = dag::step_of(task.op);
+    const bool update = step == dag::Step::kUpdateTriangulation ||
+                        step == dag::Step::kUpdateElimination;
+    assign[t] = static_cast<std::uint8_t>(update && task.j % 2 ? 6 : 1);
+  }
+  const Platform base = paper_cluster(2, 4.0, 25.0);
+  LinkParams trickle;
+  trickle.latency_us = 5000.0;
+  trickle.gbytes_per_s = 0.01;
+  Platform fwd = base;   // node 0 -> node 1 degraded
+  fwd.set_inter_link(0, 1, trickle, /*symmetric=*/false);
+  Platform rev = base;   // node 1 -> node 0 degraded
+  rev.set_inter_link(1, 0, trickle, /*symmetric=*/false);
+  const auto opts = SimOptions{};
+  const double t_base = simulate(g, assign, base, nt, nt, opts).makespan_s;
+  const double t_fwd = simulate(g, assign, fwd, nt, nt, opts).makespan_s;
+  const double t_rev = simulate(g, assign, rev, nt, nt, opts).makespan_s;
+  EXPECT_GT(t_fwd, t_base);
+  EXPECT_GT(t_rev, t_base);
+}
+
 TEST(MultiNode, EndToEndClusterSimulationRuns) {
   core::PlanConfig pc;
   pc.tile_size = 16;

@@ -42,10 +42,27 @@ set -e
   | grep -q "6 ok, 0 failed" || fail "serve table"
 "$TQR" serve --jobs 96x96:4 --json | grep -q '"hit_rate"' || fail "serve json"
 
+# factor with the hierarchical elimination tree stays at machine precision.
+"$TQR" factor --in A.mtx --elim hier \
+  | grep -Eq 'Q\^T Q - I.*e-1[4-9]' || fail "hier factor residual"
+
+# cluster: shard a trace across two nodes; routed counts must cover all jobs.
+"$TQR" cluster --jobs 96x96:6 --nodes 2 --trace-out trace.json \
+  | grep -q "6 ok, 0 not ok" || fail "cluster table"
+"$TQR" cluster --jobs 96x96:4 --nodes 2 --policy rr --json \
+  | grep -q '"routed": \[2, 2\]' || fail "cluster rr json"
+grep -q '"node1/svc queue"' trace.json || fail "merged trace node naming"
+
 # usage errors exit 1.
 set +e
 "$TQR" bogus > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "unknown command exit"
 "$TQR" gen > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "missing flag exit"
+"$TQR" cluster --nodes 0 > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "nodes=0 exit"
+"$TQR" cluster --nodes 2 --inter-bw 0 > /dev/null 2>&1
+[[ $? -eq 1 ]] || fail "inter-bw=0 exit"
+"$TQR" cluster --policy bogus > /dev/null 2>&1; [[ $? -eq 1 ]] || fail "policy exit"
+"$TQR" simulate --size 640 --nodes 9 > /dev/null 2>&1
+[[ $? -eq 1 ]] || fail "simulate nodes=9 exit"
 set -e
 
 echo "cli smoke test passed"

@@ -6,6 +6,7 @@
 //   tqr simulate --size 3200 [--tile 16] [--gpus 3] [--nodes 1] [--fixed-p N]
 //   tqr plan     --size 3200 [--tile 16] [--gpus 3]
 //   tqr serve    --jobs 256x256:16,512x256:4 [--lanes 2] [--json]
+//   tqr cluster  --jobs 256x256:16 [--nodes 2] [--inter-bw 1] [--policy cost]
 //
 // Matrix files: *.mtx = MatrixMarket dense array; anything else = tiledqr
 // binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
@@ -18,6 +19,7 @@
 #include <future>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/simulate.hpp"
@@ -36,8 +38,9 @@ dag::Elimination parse_elim(const std::string& name) {
   if (name == "ts") return dag::Elimination::kTs;
   if (name == "tt") return dag::Elimination::kTt;
   if (name == "ttflat") return dag::Elimination::kTtFlat;
+  if (name == "hier") return dag::Elimination::kHier;
   throw InvalidArgument("unknown elimination '" + name +
-                        "' (expected ts|tt|ttflat)");
+                        "' (expected ts|tt|ttflat|hier)");
 }
 
 /// A strictly-positive matrix/tile dimension from a flag. get_int already
@@ -52,6 +55,28 @@ la::index_t checked_dim(const Cli& cli, const std::string& name,
                           std::to_string(std::numeric_limits<la::index_t>::max()) +
                           "] (got " + std::to_string(v) + ")");
   return static_cast<la::index_t>(v);
+}
+
+/// Cluster node count from --nodes: the sim cluster preset models 1-4
+/// nodes, so anything outside that range is a usage error (exit 1), not a
+/// TQR_REQUIRE abort three layers down (exit 2).
+int checked_nodes(const Cli& cli, std::int64_t fallback) {
+  const std::int64_t v = cli.get_int("nodes", fallback);
+  if (v < 1 || v > 4)
+    throw InvalidArgument("--nodes must be in [1, 4] (got " +
+                          std::to_string(v) + ")");
+  return static_cast<int>(v);
+}
+
+/// A strictly-positive double flag (bandwidths, rates). Rejects zero,
+/// negatives, and NaN (NaN fails every comparison, hence the negated form).
+double checked_positive(const Cli& cli, const std::string& name,
+                        double fallback) {
+  const double v = cli.get_double(name, fallback);
+  if (!(v > 0))
+    throw InvalidArgument("--" + name + " must be > 0 (got " +
+                          std::to_string(v) + ")");
+  return v;
 }
 
 /// std::stoll with the exceptions translated: a malformed or out-of-range
@@ -124,7 +149,7 @@ int cmd_factor(int argc, char** argv) {
   cli.flag("in", "input matrix (required)");
   cli.flag("tile", "tile size", "16");
   cli.flag("ib", "inner blocking (0 = off)", "0");
-  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("elim", "elimination: ts|tt|ttflat|hier", "tt");
   cli.flag("q", "write explicit Q here");
   cli.flag("r", "write R here");
   if (!cli.parse(argc, argv)) return 0;
@@ -236,7 +261,7 @@ core::PlanConfig plan_config_from(const Cli& cli) {
 }
 
 sim::Platform platform_from(const Cli& cli) {
-  const int nodes = static_cast<int>(cli.get_int("nodes", 1));
+  const int nodes = checked_nodes(cli, 1);
   if (nodes > 1) return sim::paper_cluster(nodes);
   return sim::paper_platform_with_gpus(
       static_cast<int>(cli.get_int("gpus", 3)));
@@ -246,7 +271,7 @@ int cmd_simulate(int argc, char** argv) {
   Cli cli;
   cli.flag("size", "matrix size", "3200");
   cli.flag("tile", "tile size", "16");
-  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("elim", "elimination: ts|tt|ttflat|hier", "tt");
   cli.flag("gpus", "GPUs in the node (0-3)", "3");
   cli.flag("nodes", "cluster nodes (1-4)", "1");
   cli.flag("fixed-p", "force participating device count");
@@ -277,7 +302,7 @@ int cmd_plan(int argc, char** argv) {
   Cli cli;
   cli.flag("size", "matrix size", "3200");
   cli.flag("tile", "tile size", "16");
-  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("elim", "elimination: ts|tt|ttflat|hier", "tt");
   cli.flag("gpus", "GPUs in the node (0-3)", "3");
   cli.flag("nodes", "cluster nodes (1-4)", "1");
   cli.flag("fixed-p", "force participating device count");
@@ -357,7 +382,7 @@ int cmd_serve(int argc, char** argv) {
   cli.flag("jobs", "trace: ROWSxCOLS:COUNT[,...]", "256x256:16,512x256:4");
   cli.flag("lanes", "concurrent execution lanes", "2");
   cli.flag("tile", "tile size", "16");
-  cli.flag("elim", "elimination: ts|tt|ttflat", "tt");
+  cli.flag("elim", "elimination: ts|tt|ttflat|hier", "tt");
   cli.flag("gpus", "GPUs in the modeled node (0-3)", "3");
   cli.flag("queue", "job queue capacity", "64");
   cli.flag("admission", "block|reject", "block");
@@ -594,6 +619,124 @@ int cmd_serve(int argc, char** argv) {
   return corrupted > 0 || failed > 0 ? 2 : 0;
 }
 
+int cmd_cluster(int argc, char** argv) {
+  Cli cli;
+  cli.flag("jobs", "trace: ROWSxCOLS:COUNT[,...]", "256x256:16,512x256:4");
+  cli.flag("nodes", "cluster nodes (1-4)", "2");
+  cli.flag("inter-bw", "inter-node bandwidth, GB/s", "1");
+  cli.flag("inter-lat", "inter-node latency, us", "25");
+  cli.flag("policy", "router policy: rr|load|cost", "cost");
+  cli.flag("lanes", "execution lanes per node", "2");
+  cli.flag("tile", "tile size", "16");
+  cli.flag("elim", "elimination: ts|tt|ttflat|hier", "tt");
+  cli.flag("seed", "rng seed", "1");
+  cli.flag("json", "emit stats as JSON instead of tables");
+  cli.flag("trace-out",
+           "write the merged per-node Chrome trace-event timeline here "
+           "(one pid block per node; load in Perfetto)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto shapes =
+      parse_trace(cli.get_string("jobs", "256x256:16,512x256:4"));
+  const bool json = cli.get_bool("json", false);
+  const std::string trace_out = cli.get_string("trace-out", "");
+  const dag::Elimination elim = parse_elim(cli.get_string("elim", "tt"));
+
+  cluster::ClusterConfig cfg;
+  cfg.nodes = checked_nodes(cli, 2);
+  cfg.inter_gbytes_per_s = checked_positive(cli, "inter-bw", 1.0);
+  cfg.inter_latency_us = cli.get_double("inter-lat", 25.0);
+  if (cfg.inter_latency_us < 0)
+    throw InvalidArgument("--inter-lat must be >= 0");
+  cfg.policy = cluster::parse_router_policy(cli.get_string("policy", "cost"));
+  cfg.node.lanes = static_cast<int>(checked_dim(cli, "lanes", 2));
+  cfg.node.default_tile = static_cast<int>(checked_dim(cli, "tile", 16));
+  cfg.node.collect_trace = !trace_out.empty();
+
+  cluster::Cluster c(cfg);
+  std::vector<cluster::Cluster::Submission> subs;
+  std::uint64_t job_seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  for (int round = 0;; ++round) {
+    bool any = false;
+    for (const auto& s : shapes) {
+      if (round >= s.count) continue;
+      any = true;
+      svc::JobSpec spec;
+      spec.a = la::Matrix<double>::random(s.rows, s.cols, job_seed++);
+      spec.elim = elim;
+      subs.push_back(c.submit(std::move(spec)));
+    }
+    if (!any) break;
+  }
+  c.drain();
+
+  int ok = 0, bad = 0;
+  for (auto& s : subs) {
+    const auto r = s.future.get();
+    if (r.status == svc::JobStatus::kOk) {
+      ++ok;
+    } else {
+      ++bad;
+      std::fprintf(stderr, "job %llu on node %d %s: %s\n",
+                   static_cast<unsigned long long>(r.id), s.node,
+                   svc::to_string(r.status), r.error.c_str());
+    }
+  }
+
+  const auto cs = c.stats();
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    TQR_REQUIRE(out.good(), "cannot open '" + trace_out + "' for writing");
+    out << c.trace_json();
+    out.flush();
+    TQR_REQUIRE(out.good(), "write to '" + trace_out + "' failed");
+  }
+
+  if (json) {
+    std::printf("{\"nodes\": %d, \"policy\": \"%s\",\n"
+                " \"jobs\": {\"submitted\": %llu, \"completed\": %llu, "
+                "\"failed\": %llu, \"rejected\": %llu, \"corrupted\": %llu},\n"
+                " \"lanes_quarantined\": %d,\n"
+                " \"jobs_per_s\": %.3f,\n \"routed\": [",
+                c.num_nodes(), cluster::router_policy_name(cfg.policy),
+                static_cast<unsigned long long>(cs.jobs_submitted),
+                static_cast<unsigned long long>(cs.jobs_completed),
+                static_cast<unsigned long long>(cs.jobs_failed),
+                static_cast<unsigned long long>(cs.jobs_rejected),
+                static_cast<unsigned long long>(cs.jobs_corrupted),
+                cs.lanes_quarantined, cs.jobs_per_s);
+    for (std::size_t n = 0; n < cs.routed.size(); ++n)
+      std::printf("%s%llu", n ? ", " : "",
+                  static_cast<unsigned long long>(cs.routed[n]));
+    std::printf("]}\n");
+    return bad > 0 ? 2 : 0;
+  }
+
+  std::printf("cluster: %d nodes x %d lanes, %s fabric %.1f GB/s, "
+              "%s routing\n",
+              c.num_nodes(), cfg.node.lanes, "uniform",
+              cfg.inter_gbytes_per_s,
+              cluster::router_policy_name(cfg.policy));
+  std::printf("served %llu jobs: %d ok, %d not ok, %.2f jobs/s\n",
+              static_cast<unsigned long long>(cs.jobs_submitted), ok, bad,
+              cs.jobs_per_s);
+  Table t({"node", "routed", "submitted", "completed", "p50_ms",
+           "cache_hit", "quarantined"});
+  for (std::size_t n = 0; n < cs.nodes.size(); ++n) {
+    const auto& s = cs.nodes[n];
+    t.add_row({fmt(static_cast<std::int64_t>(n)),
+               fmt(static_cast<std::int64_t>(cs.routed[n])),
+               fmt(static_cast<std::int64_t>(s.jobs_submitted)),
+               fmt(static_cast<std::int64_t>(s.jobs_completed)),
+               fmt(s.p50_ms, 2), fmt(s.plan_cache.hit_rate(), 2),
+               fmt(static_cast<std::int64_t>(s.lanes_quarantined))});
+  }
+  t.print();
+  if (!trace_out.empty())
+    std::printf("wrote merged trace to %s\n", trace_out.c_str());
+  return bad > 0 ? 2 : 0;
+}
+
 void usage() {
   std::printf(
       "usage: tqr <command> [flags]\n"
@@ -604,6 +747,7 @@ void usage() {
       "  simulate  simulate a factorization on the modeled platform\n"
       "  plan      show scheduling decisions (Algorithms 2-4) and memory\n"
       "  serve     run a QR job trace through the resident service\n"
+      "  cluster   shard a QR job trace across a multi-node cluster\n"
       "run `tqr <command> --help` for per-command flags\n");
 }
 
@@ -622,6 +766,7 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (cmd == "plan") return cmd_plan(argc - 1, argv + 1);
     if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (cmd == "cluster") return cmd_cluster(argc - 1, argv + 1);
     usage();
     return 1;
   } catch (const tqr::InvalidArgument& e) {
