@@ -2,7 +2,7 @@
 //
 //   bench_diff --baseline BENCH_kernels.json --current fresh.json \
 //              [--tolerance 0.35] [--anchor gflops.gemm_naive.t128] \
-//              [--only gflops] [--require-all]
+//              [--only geqrt,tsqrt] [--require-all]
 //   bench_diff --current fresh.json --write-baseline BENCH_kernels.json
 //   bench_diff --current fresh.json --list
 //
@@ -58,7 +58,9 @@ int main(int argc, char** argv) {
   cli.flag("anchor",
            "metric id used to rescale the baseline for machine-speed "
            "differences (must exist on both sides)");
-  cli.flag("only", "compare only metric ids containing this substring");
+  cli.flag("only",
+           "compare only metric ids containing one of these comma-separated "
+           "substrings (e.g. geqrt,tsqrt)");
   cli.flag("require-all",
            "baseline metrics missing from the current run are fatal");
   cli.flag("list", "print the metrics extracted from --current and exit");
@@ -99,7 +101,13 @@ int main(int argc, char** argv) {
     obs::CompareOptions opts;
     opts.tolerance = cli.get_double("tolerance", 0.35);
     opts.require_all = cli.get_bool("require-all", false);
-    opts.only = cli.get_string("only", "");
+    const std::string only = cli.get_string("only", "");
+    for (std::size_t pos = 0; pos < only.size();) {
+      std::size_t comma = only.find(',', pos);
+      if (comma == std::string::npos) comma = only.size();
+      if (comma > pos) opts.only.push_back(only.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
     opts.anchor = cli.get_string("anchor", "");
 
     const obs::CompareResult result = obs::compare(baseline, current, opts);

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "core/autotune.hpp"
 #include "core/simulate.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +19,10 @@ int main(int argc, char** argv) {
   cli.flag("bw", "bus bandwidth (GB/s)", "3.0");
   cli.flag("sizes", "sizes to probe",
            "160,320,480,640,960,1280,1920,2240,2560,2880,3200,3840");
+  cli.flag("host", "also measure this host's step profile (Fig. 4 style)");
+  cli.flag("host-tiles", "tile sizes for the --host profile", "16,32,64,128");
+  cli.flag("ib", "inner blocking for the --host factor kernels (0 = off)",
+           "0");
   if (!cli.parse(argc, argv)) return 0;
   const double scale = cli.get_double("update-scale", 1.0);
 
@@ -56,5 +61,26 @@ int main(int argc, char** argv) {
                    fmt(share * 100, 1) + "%"});
   }
   table.print();
+
+  // Host cross-check: measure the *deployed* kernels (including the inner
+  // blocking execution will use) so the fitted model can be sanity-checked
+  // against real step times produced by the same configuration. The profile
+  // carries its ib stamp — consumers must execute with the same value.
+  if (cli.get_bool("host", false)) {
+    core::MeasureOptions mo;
+    mo.inner_block = static_cast<la::index_t>(cli.get_int("ib", 0));
+    std::printf("\nmeasured host step profile (us per tile, ib=%d)\n",
+                static_cast<int>(mo.inner_block));
+    Table host({"tile", "T(geqrt)", "E(elim)", "UT(unmqr)", "UE(update)"});
+    for (auto b : cli.get_int_list("host-tiles", {16, 32, 64, 128})) {
+      mo.tile_size = static_cast<int>(b);
+      const auto profile = core::measure_host_profile(0, mo);
+      host.add_row({fmt(b), fmt(profile.kernel.t * 1e6, 1),
+                    fmt(profile.kernel.e * 1e6, 1),
+                    fmt(profile.kernel.ut * 1e6, 1),
+                    fmt(profile.kernel.ue * 1e6, 1)});
+    }
+    host.print();
+  }
   return 0;
 }

@@ -16,7 +16,9 @@ namespace tqr {
 namespace {
 
 /// Median-of-5 measured host time for one functional kernel, microseconds.
-double measured_host_us(dag::Op op, int b) {
+/// `ib` is the factor-kernel inner block size (0 = library default) — the
+/// same knob execution uses, so the table reflects the deployed kernels.
+double measured_host_us(dag::Op op, int b, la::index_t ib) {
   using namespace la;
   double best = 1e300;
   for (int rep = 0; rep < 5; ++rep) {
@@ -31,22 +33,22 @@ double measured_host_us(dag::Op op, int b) {
       for (index_t i = 0; i <= j; ++i)
         tri(i, j) = a(i, j) + (i == j ? 2.0 : 0.0);
     Matrix<double> vfac = a, tfac(b, b);
-    geqrt<double>(vfac.view(), tfac.view());
+    geqrt<double>(vfac.view(), tfac.view(), ib);
 
     Timer timer;
     switch (op) {
       case dag::Op::kGeqrt:
-        geqrt<double>(a.view(), t.view());
+        geqrt<double>(a.view(), t.view(), ib);
         break;
       case dag::Op::kUnmqr:
         unmqr<double>(vfac.view(), tfac.view(), c1.view(), Trans::kTrans);
         break;
       case dag::Op::kTsqrt:
-        tsqrt<double>(tri.view(), a2.view(), t.view());
+        tsqrt<double>(tri.view(), a2.view(), t.view(), ib);
         break;
       case dag::Op::kTsmqr: {
         Matrix<double> r1 = tri, v2 = a2, tf(b, b);
-        tsqrt<double>(r1.view(), v2.view(), tf.view());
+        tsqrt<double>(r1.view(), v2.view(), tf.view(), ib);
         timer.reset();
         tsmqr<double>(v2.view(), tf.view(), c1.view(), c2.view(),
                       Trans::kTrans);
@@ -67,8 +69,10 @@ int main(int argc, char** argv) {
   using namespace tqr;
   Cli cli;
   cli.flag("tiles", "comma-separated tile sizes", "4,8,12,16,20,24,28");
+  cli.flag("ib", "inner blocking for measured factor kernels (0 = off)", "0");
   cli.flag("csv", "write results as CSV to this path");
   if (!cli.parse(argc, argv)) return 0;
+  const auto ib = static_cast<la::index_t>(cli.get_int("ib", 0));
 
   const sim::Platform platform = sim::paper_platform();
   bench::print_environment(platform);
@@ -95,14 +99,15 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  std::printf("\nmeasured host kernels on this machine (sanity reference, us)\n");
+  std::printf("\nmeasured host kernels on this machine (sanity reference, us;"
+              " ib=%d)\n", static_cast<int>(ib));
   Table host({"tile", "T(geqrt)", "E(tsqrt)", "UT(unmqr)", "UE(tsmqr)"});
   for (auto b : tiles) {
     const int bi = static_cast<int>(b);
-    host.add_row({fmt(b), fmt(measured_host_us(dag::Op::kGeqrt, bi), 1),
-                  fmt(measured_host_us(dag::Op::kTsqrt, bi), 1),
-                  fmt(measured_host_us(dag::Op::kUnmqr, bi), 1),
-                  fmt(measured_host_us(dag::Op::kTsmqr, bi), 1)});
+    host.add_row({fmt(b), fmt(measured_host_us(dag::Op::kGeqrt, bi, ib), 1),
+                  fmt(measured_host_us(dag::Op::kTsqrt, bi, ib), 1),
+                  fmt(measured_host_us(dag::Op::kUnmqr, bi, ib), 1),
+                  fmt(measured_host_us(dag::Op::kTsmqr, bi, ib), 1)});
   }
   host.print();
   bench::maybe_write_csv(cli, table);

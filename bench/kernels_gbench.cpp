@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -257,7 +258,8 @@ void bench_gemm_pair(int b, double min_s, std::vector<JsonResult>& out) {
   out.push_back({"gemm_packed", b, flops / packed * 1e-9, packed});
 }
 
-void bench_tile_kernels(int b, double min_s, std::vector<JsonResult>& out) {
+void bench_tile_kernels(int b, double min_s, int ib,
+                        std::vector<JsonResult>& out) {
   // geqrt (copy cost included in both modes, as in the gbench suite).
   {
     const auto src = Matrix<double>::random(b, b, 1);
@@ -265,7 +267,7 @@ void bench_tile_kernels(int b, double min_s, std::vector<JsonResult>& out) {
     const double s = seconds_per_call(
         [&] {
           Matrix<double> w = src;
-          la::geqrt<double>(w.view(), t.view());
+          la::geqrt<double>(w.view(), t.view(), ib);
         },
         min_s);
     out.push_back({"geqrt", b, la::flops_geqrt(b) / s * 1e-9, s});
@@ -274,7 +276,7 @@ void bench_tile_kernels(int b, double min_s, std::vector<JsonResult>& out) {
   {
     Matrix<double> v = Matrix<double>::random(b, b, 2);
     Matrix<double> t(b, b);
-    la::geqrt<double>(v.view(), t.view());
+    la::geqrt<double>(v.view(), t.view(), ib);
     const auto c_src = Matrix<double>::random(b, b, 3);
     const double s = seconds_per_call(
         [&] {
@@ -296,13 +298,13 @@ void bench_tile_kernels(int b, double min_s, std::vector<JsonResult>& out) {
     const double s = seconds_per_call(
         [&] {
           Matrix<double> r = r1, a2 = a2_src;
-          la::tsqrt<double>(r.view(), a2.view(), t.view());
+          la::tsqrt<double>(r.view(), a2.view(), t.view(), ib);
         },
         min_s);
     out.push_back({"tsqrt", b, la::flops_tsqrt(b) / s * 1e-9, s});
 
     Matrix<double> r = r1, v2 = a2_src;
-    la::tsqrt<double>(r.view(), v2.view(), t.view());
+    la::tsqrt<double>(r.view(), v2.view(), t.view(), ib);
     const auto c1_src = Matrix<double>::random(b, b, 6);
     const auto c2_src = Matrix<double>::random(b, b, 7);
     const double s2 = seconds_per_call(
@@ -326,13 +328,13 @@ void bench_tile_kernels(int b, double min_s, std::vector<JsonResult>& out) {
     const double s = seconds_per_call(
         [&] {
           Matrix<double> x1 = r1, x2 = r2;
-          la::ttqrt<double>(x1.view(), x2.view(), t.view());
+          la::ttqrt<double>(x1.view(), x2.view(), t.view(), ib);
         },
         min_s);
     out.push_back({"ttqrt", b, la::flops_ttqrt(b) / s * 1e-9, s});
 
     Matrix<double> x1 = r1, v2 = r2;
-    la::ttqrt<double>(x1.view(), v2.view(), t.view());
+    la::ttqrt<double>(x1.view(), v2.view(), t.view(), ib);
     const auto c1_src = Matrix<double>::random(b, b, 8);
     const auto c2_src = Matrix<double>::random(b, b, 9);
     const double s2 = seconds_per_call(
@@ -346,13 +348,13 @@ void bench_tile_kernels(int b, double min_s, std::vector<JsonResult>& out) {
   }
 }
 
-int run_json_mode(bool quick, const std::string& out_path) {
+int run_json_mode(bool quick, const std::string& out_path, int ib) {
   const double min_s = quick ? 0.02 : 0.15;
   const std::vector<int> tiles =
       quick ? std::vector<int>{64, 128} : std::vector<int>{64, 128, 192, 256};
   std::vector<JsonResult> results;
   for (int b : tiles) bench_gemm_pair(b, min_s, results);
-  for (int b : tiles) bench_tile_kernels(b, min_s, results);
+  for (int b : tiles) bench_tile_kernels(b, min_s, ib, results);
 
   double naive256 = 0, packed256 = 0;
   for (const auto& r : results) {
@@ -366,9 +368,9 @@ int run_json_mode(bool quick, const std::string& out_path) {
   json += "{\n";
   std::snprintf(buf, sizeof buf,
                 "  \"bench\": \"kernels\",\n  \"isa\": \"%s\",\n"
-                "  \"vectorized\": %s,\n  \"quick\": %s,\n",
+                "  \"vectorized\": %s,\n  \"quick\": %s,\n  \"ib\": %d,\n",
                 la::mk::isa_name(), la::mk::vectorized() ? "true" : "false",
-                quick ? "true" : "false");
+                quick ? "true" : "false", ib);
   json += buf;
   std::snprintf(buf, sizeof buf,
                 "  \"gemm_speedup_at_%d\": %.3f,\n", tiles.back(),
@@ -404,6 +406,7 @@ int run_json_mode(bool quick, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool json = false, quick = false;
+  int ib = 0;
   std::string out_path;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -413,11 +416,23 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ib") == 0 && i + 1 < argc) {
+      // Inner block (recursion leaf width) for the factor kernels; 0 keeps
+      // the library default. Reject junk instead of silently benching with
+      // atoi garbage.
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0 || v > 4096) {
+        std::fprintf(stderr, "invalid --ib '%s' (expect integer in [0, 4096])\n",
+                     argv[i]);
+        return 1;
+      }
+      ib = static_cast<int>(v);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (json) return run_json_mode(quick, out_path);
+  if (json) return run_json_mode(quick, out_path, ib);
 
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

@@ -34,6 +34,7 @@ DeviceProfile measure_host_profile(int device_id,
   TQR_REQUIRE(options.repetitions > 0, "need at least one repetition");
   TQR_REQUIRE(options.slots >= 1, "slots must be >= 1");
   const int b = options.tile_size;
+  const la::index_t ib = options.inner_block;
   const std::uint64_t seed = options.seed;
 
   DeviceProfile p;
@@ -49,7 +50,7 @@ DeviceProfile measure_host_profile(int device_id,
         return GeqrtState{Matrix<double>::random(b, b, seed),
                           Matrix<double>(b, b)};
       },
-      [](GeqrtState& s) { la::geqrt<double>(s.a.view(), s.t.view()); });
+      [&](GeqrtState& s) { la::geqrt<double>(s.a.view(), s.t.view(), ib); });
 
   // Elimination / update kernels need pre-factored inputs; build them once.
   Matrix<double> r1(b, b);
@@ -77,15 +78,15 @@ DeviceProfile measure_host_profile(int device_id,
       },
       [&](ElimState& s) {
         if (tt)
-          la::ttqrt<double>(s.r1.view(), s.a2.view(), s.t.view());
+          la::ttqrt<double>(s.r1.view(), s.a2.view(), s.t.view(), ib);
         else
-          la::tsqrt<double>(s.r1.view(), s.a2.view(), s.t.view());
+          la::tsqrt<double>(s.r1.view(), s.a2.view(), s.t.view(), ib);
       });
 
   // Factored operands for the update kernels.
   Matrix<double> vg = Matrix<double>::random(b, b, seed + 3);
   Matrix<double> tg(b, b);
-  la::geqrt<double>(vg.view(), tg.view());
+  la::geqrt<double>(vg.view(), tg.view(), ib);
   Matrix<double> re = r1;
   Matrix<double> ve = Matrix<double>::random(b, b, seed + 4);
   if (tt)
@@ -93,9 +94,9 @@ DeviceProfile measure_host_profile(int device_id,
       for (la::index_t i = j + 1; i < b; ++i) ve(i, j) = 0.0;
   Matrix<double> te(b, b);
   if (tt)
-    la::ttqrt<double>(re.view(), ve.view(), te.view());
+    la::ttqrt<double>(re.view(), ve.view(), te.view(), ib);
   else
-    la::tsqrt<double>(re.view(), ve.view(), te.view());
+    la::tsqrt<double>(re.view(), ve.view(), te.view(), ib);
 
   struct UpdateState {
     Matrix<double> c1, c2;
@@ -125,6 +126,7 @@ DeviceProfile measure_host_profile(int device_id,
                             la::Trans::kTrans);
       });
 
+  p.inner_block = ib;
   p.amortized.t = p.kernel.t / p.slots;
   p.amortized.e = p.kernel.e / p.slots;
   p.amortized.ut = p.kernel.ut / p.slots;

@@ -54,6 +54,12 @@ struct PlanConfig {
   /// Row groups for Elimination::kHier (ignored otherwise); 0 = one group
   /// per platform node. Clamped to [1, mt].
   int hier_groups = 0;
+  /// Inner block size (recursion leaf width) the factor kernels will run
+  /// with (0 = library default). Scheduling on the modeled platform is
+  /// ib-agnostic, but the plan records the kernel configuration its timings
+  /// assume so executors can read it back — keeping calibration and
+  /// execution on the same kernel configuration by construction.
+  la::index_t inner_block = 0;
 };
 
 /// A fully-resolved schedule for an mt x nt tile grid on a platform.

@@ -29,13 +29,13 @@ void execute_task(const dag::Task& task, la::TiledMatrix<T>& a,
                       la::Trans::kTrans, inner_block);
       break;
     case Op::kTtqrt:
-      la::ttqrt<T>(a.tile(task.p, task.k), a.tile(task.i, task.k),
-                   te.tile(task.i, task.k));
+      la::ttqrt_ib<T>(a.tile(task.p, task.k), a.tile(task.i, task.k),
+                      te.tile(task.i, task.k), inner_block);
       break;
     case Op::kTtmqr:
-      la::ttmqr<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
-                   a.tile(task.p, task.j), a.tile(task.i, task.j),
-                   la::Trans::kTrans);
+      la::ttmqr_ib<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
+                      a.tile(task.p, task.j), a.tile(task.i, task.j),
+                      la::Trans::kTrans, inner_block);
       break;
     default:
       TQR_ASSERT(false, "non-QR task routed to the QR driver");
@@ -122,8 +122,9 @@ void apply_q_tiles(const dag::TaskGraph& graph, const la::TiledMatrix<T>& a,
                         inner_block);
         break;
       case dag::Op::kTtqrt:
-        la::ttmqr<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
-                     row_block(task.p), row_block(task.i), trans);
+        la::ttmqr_ib<T>(a.tile(task.i, task.k), te.tile(task.i, task.k),
+                        row_block(task.p), row_block(task.i), trans,
+                        inner_block);
         break;
       default:
         break;  // update tasks carry no reflectors
@@ -197,6 +198,75 @@ la::Matrix<T> qr_solve(const la::Matrix<T>& a, const la::Matrix<T>& b,
   typename TiledQrFactorization<T>::Options opts;
   opts.elim = elim;
   return TiledQrFactorization<T>::factor(a, tile_size, opts).solve(b);
+}
+
+namespace {
+
+// Elementwise precision conversions for the mixed solver. Kept local: the
+// solver is the only place the library crosses precisions, and keeping the
+// narrowing explicit here makes that boundary easy to audit.
+la::Matrix<float> to_f32(const la::Matrix<double>& a) {
+  la::Matrix<float> out(a.rows(), a.cols());
+  for (std::int32_t j = 0; j < a.cols(); ++j)
+    for (std::int32_t i = 0; i < a.rows(); ++i)
+      out(i, j) = static_cast<float>(a(i, j));
+  return out;
+}
+
+}  // namespace
+
+MixedSolveResult qr_solve_mixed(const la::Matrix<double>& a,
+                                const la::Matrix<double>& b, int tile_size,
+                                dag::Elimination elim, int max_iterations,
+                                double tolerance, la::index_t inner_block) {
+  TQR_REQUIRE(a.rows() == b.rows(), "qr_solve_mixed: rhs row mismatch");
+  const std::int32_t n = a.cols();
+  if (tolerance <= 0)
+    tolerance = la::verify_tolerance<double>(std::max(a.rows(), n));
+
+  // One fp32 factorization, reused for the initial solve and every
+  // correction solve.
+  typename TiledQrFactorization<float>::Options opts;
+  opts.elim = elim;
+  opts.inner_block = inner_block;
+  const auto f32 =
+      TiledQrFactorization<float>::factor(to_f32(a), tile_size, opts);
+
+  const double a_fro = la::norm_frobenius<double>(a.view());
+  const double b_fro = la::norm_frobenius<double>(b.view());
+
+  MixedSolveResult result;
+  {
+    const la::Matrix<float> x32 = f32.solve(to_f32(b));
+    result.x = la::Matrix<double>(n, b.cols());
+    for (std::int32_t j = 0; j < b.cols(); ++j)
+      for (std::int32_t i = 0; i < n; ++i)
+        result.x(i, j) = static_cast<double>(x32(i, j));
+  }
+
+  for (int it = 0; it <= max_iterations; ++it) {
+    // fp64 residual of the current iterate.
+    la::Matrix<double> resid = b;
+    la::gemm<double>(la::Trans::kNoTrans, la::Trans::kNoTrans, -1.0, a.view(),
+                     result.x.view(), 1.0, resid.view());
+    const double x_fro = la::norm_frobenius<double>(result.x.view());
+    const double denom = a_fro * x_fro + b_fro;
+    result.residual = denom > 0
+                          ? la::norm_frobenius<double>(resid.view()) / denom
+                          : la::norm_frobenius<double>(resid.view());
+    if (result.residual <= tolerance) {
+      result.converged = true;
+      break;
+    }
+    if (it == max_iterations) break;  // budget spent; report unconverged
+    // fp32 correction solve, fp64 accumulation.
+    const la::Matrix<float> dx32 = f32.solve(to_f32(resid));
+    for (std::int32_t j = 0; j < result.x.cols(); ++j)
+      for (std::int32_t i = 0; i < n; ++i)
+        result.x(i, j) += static_cast<double>(dx32(i, j));
+    result.iterations = it + 1;
+  }
+  return result;
 }
 
 // Explicit instantiations.

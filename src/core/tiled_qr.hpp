@@ -118,4 +118,33 @@ template <typename T>
 la::Matrix<T> qr_solve(const la::Matrix<T>& a, const la::Matrix<T>& b, int
                        tile_size, dag::Elimination elim = dag::Elimination::kTt);
 
+/// Outcome of qr_solve_mixed: the fp64 solution plus convergence
+/// diagnostics, so callers can tell whether the cheap factorization was
+/// actually good enough for this system.
+struct MixedSolveResult {
+  la::Matrix<double> x;
+  int iterations = 0;   ///< refinement rounds actually run
+  double residual = 0;  ///< final ||b - A x||_F / (||A||_F ||x||_F + ||b||_F)
+  bool converged = false;  ///< residual fell below the tolerance
+};
+
+/// Mixed-precision least-squares solve of A x = b: factor A once in fp32 —
+/// half the factorization bandwidth, and the vectorized tile kernels run at
+/// twice the lanes — then recover fp64 accuracy by iterative refinement.
+/// Each round computes the residual r = b - A x in fp64, solves the fp32
+/// factorization for the correction, and accumulates x in fp64 (the
+/// classical dsgesv scheme, here on the tiled QR). Converges to fp64-level
+/// backward error whenever kappa(A) is well below 1/eps32 (~1e7); for
+/// systems beyond that the result reports converged = false and callers
+/// should fall back to qr_solve<double>.
+///
+/// `tolerance` <= 0 picks the library's fp64 acceptance threshold
+/// (la::verify_tolerance<double>). `inner_block` is forwarded to the fp32
+/// factor kernels (0 = library default).
+MixedSolveResult qr_solve_mixed(const la::Matrix<double>& a,
+                                const la::Matrix<double>& b, int tile_size,
+                                dag::Elimination elim = dag::Elimination::kTt,
+                                int max_iterations = 8, double tolerance = 0,
+                                la::index_t inner_block = 0);
+
 }  // namespace tqr::core

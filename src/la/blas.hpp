@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 #include <type_traits>
 
 #include "la/blas_types.hpp"
@@ -41,6 +42,12 @@ T dot(ConstMatrixView<T> x, ConstMatrixView<T> y) {
 template <typename T>
 T nrm2(ConstMatrixView<T> x) {
   TQR_REQUIRE(x.cols == 1, "nrm2: expected a column vector");
+  // Fast path: one vectorized sum-of-squares pass. Safe whenever the result
+  // stays in the normal range (no overflow, no accuracy loss to underflow);
+  // extreme inputs fall through to the scaled ordered loop below.
+  const T fast = mk::dot<T>(x.rows, x.data, x.data);
+  if (std::isfinite(fast) && fast >= std::numeric_limits<T>::min())
+    return std::sqrt(fast);
   T scale = T(0), ssq = T(1);
   for (index_t i = 0; i < x.rows; ++i) {
     T xi = std::abs(x(i, 0));
@@ -88,12 +95,11 @@ void gemm_naive(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
         for (index_t i = 0; i < m; ++i) c(i, j) += a(i, p) * bpj;
       }
   } else if (ta == Trans::kTrans && tb == Trans::kNoTrans) {
+    // Columns of A and B are contiguous: each output element is a SIMD dot.
     for (index_t j = 0; j < n; ++j)
-      for (index_t i = 0; i < m; ++i) {
-        T acc = T(0);
-        for (index_t p = 0; p < k; ++p) acc += a(p, i) * b(p, j);
-        c(i, j) += alpha * acc;
-      }
+      for (index_t i = 0; i < m; ++i)
+        c(i, j) +=
+            alpha * mk::dot<T>(k, a.data + i * a.ld, b.data + j * b.ld);
   } else if (ta == Trans::kNoTrans && tb == Trans::kTrans) {
     for (index_t j = 0; j < n; ++j)
       for (index_t p = 0; p < k; ++p) {
@@ -133,12 +139,21 @@ void gemm(Trans ta, Trans tb, T alpha, ConstMatrixView<T> a,
 
 namespace detail {
 
-/// Base-case triangular multiply: the original in-place loops. Only reads
-/// the stored triangle of `a` (plus the diagonal when non-unit).
+/// Largest triangle handled by the base-case trmm loops; the recursive
+/// drivers below split anything bigger, so the axpy temp can live on the
+/// stack.
+inline constexpr index_t kTrmmSmallMax = 32;
+
+/// Base-case triangular multiply, in place. Only reads the stored triangle
+/// of `a` (plus the diagonal when non-unit). Transposed op(A) rows are
+/// stored columns of A, so each output element is a contiguous SIMD dot;
+/// the no-trans cases accumulate column-axpy style into a stack temp so the
+/// inner loops stream down contiguous columns of A.
 template <typename T>
 void trmm_left_small(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
                      MatrixView<T> b) {
   const index_t m = b.rows, n = b.cols;
+  TQR_REQUIRE(m <= kTrmmSmallMax, "trmm_left_small: triangle too large");
   const bool unit = (diag == Diag::kUnit);
 
   // op(A) is effectively lower triangular when (lower, no-trans) or
@@ -146,23 +161,76 @@ void trmm_left_small(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
   // i bottom-up keeps in-place updates correct; upper is the mirror image.
   const bool effective_lower =
       (uplo == UpLo::kLower) == (trans == Trans::kNoTrans);
+
+  if (trans == Trans::kTrans) {
+    for (index_t j = 0; j < n; ++j) {
+      if (effective_lower) {  // A upper, op(A) lower
+        for (index_t i = m - 1; i >= 0; --i) {
+          T acc = unit ? b(i, j) : a(i, i) * b(i, j);
+          acc += mk::dot<T>(i, &a(0, i), &b(0, j));
+          b(i, j) = acc;
+        }
+      } else {  // A lower, op(A) upper
+        for (index_t i = 0; i < m; ++i) {
+          T acc = unit ? b(i, j) : a(i, i) * b(i, j);
+          if (i + 1 < m)
+            acc += mk::dot<T>(m - i - 1, &a(i + 1, i), &b(i + 1, j));
+          b(i, j) = acc;
+        }
+      }
+    }
+    return;
+  }
+
+  T tmp[kTrmmSmallMax];
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) tmp[i] = T(0);
+    if (effective_lower) {  // A lower: column p contributes to rows >= p
+      for (index_t p = 0; p < m; ++p) {
+        const T bpj = b(p, j);
+        tmp[p] += unit ? bpj : a(p, p) * bpj;
+        for (index_t i = p + 1; i < m; ++i) tmp[i] += a(i, p) * bpj;
+      }
+    } else {  // A upper: column p contributes to rows <= p
+      for (index_t p = 0; p < m; ++p) {
+        const T bpj = b(p, j);
+        for (index_t i = 0; i < p; ++i) tmp[i] += a(i, p) * bpj;
+        tmp[p] += unit ? bpj : a(p, p) * bpj;
+      }
+    }
+    for (index_t i = 0; i < m; ++i) b(i, j) = tmp[i];
+  }
+}
+
+/// Base-case right-sided triangular multiply: B = B * op(A), in place.
+/// Only reads the stored triangle of `a` (plus the diagonal when non-unit).
+template <typename T>
+void trmm_right_small(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+                      MatrixView<T> b) {
+  const index_t m = b.rows, n = b.cols;
+  const bool unit = (diag == Diag::kUnit);
+
+  // Column j of B*op(A) reads B columns p with op(A)(p, j) != 0. For an
+  // effective-upper op(A) that is p <= j, so sweeping j right-to-left keeps
+  // the in-place update correct; effective-lower mirrors it left-to-right.
+  const bool effective_upper =
+      (uplo == UpLo::kUpper) == (trans == Trans::kNoTrans);
   auto op_a = [&](index_t i, index_t p) {
     return (trans == Trans::kNoTrans) ? a(i, p) : a(p, i);
   };
 
-  for (index_t j = 0; j < n; ++j) {
-    if (effective_lower) {
-      for (index_t i = m - 1; i >= 0; --i) {
-        T acc = unit ? b(i, j) : op_a(i, i) * b(i, j);
-        for (index_t p = 0; p < i; ++p) acc += op_a(i, p) * b(p, j);
-        b(i, j) = acc;
-      }
-    } else {
-      for (index_t i = 0; i < m; ++i) {
-        T acc = unit ? b(i, j) : op_a(i, i) * b(i, j);
-        for (index_t p = i + 1; p < m; ++p) acc += op_a(i, p) * b(p, j);
-        b(i, j) = acc;
-      }
+  for (index_t jj = 0; jj < n; ++jj) {
+    const index_t j = effective_upper ? n - 1 - jj : jj;
+    if (!unit) {
+      const T ajj = op_a(j, j);
+      for (index_t i = 0; i < m; ++i) b(i, j) *= ajj;
+    }
+    const index_t lo = effective_upper ? 0 : j + 1;
+    const index_t hi = effective_upper ? j : n;
+    for (index_t p = lo; p < hi; ++p) {
+      const T apj = op_a(p, j);
+      if (apj == T(0)) continue;
+      for (index_t i = 0; i < m; ++i) b(i, j) += b(i, p) * apj;
     }
   }
 }
@@ -180,8 +248,7 @@ void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
                MatrixView<T> b) {
   const index_t m = b.rows, n = b.cols;
   TQR_REQUIRE(a.rows == m && a.cols == m, "trmm_left: A must be m x m");
-  constexpr index_t kTrmmBase = 32;
-  if (m <= kTrmmBase || n == 0) {
+  if (m <= detail::kTrmmSmallMax || n == 0) {
     detail::trmm_left_small<T>(uplo, trans, diag, a, b);
     return;
   }
@@ -209,6 +276,49 @@ void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
       gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), a.block(m1, 0, m2, m1),
               b2, T(1), b1);
     trmm_left<T>(uplo, trans, diag, a.block(m1, m1, m2, m2), b2);
+  }
+}
+
+/// B = B * op(A) with A triangular (right side). In-place.
+///
+/// Mirror of trmm_left: above the base size the triangle is split 2x2 and
+/// the off-diagonal rectangular half flows through gemm. For effective-upper
+/// op(A), B2 = B2 op(A)22 + B1 op(A)12 with B1 still unmodified, then
+/// B1 = B1 op(A)11; effective-lower mirrors it.
+template <typename T>
+void trmm_right(UpLo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+                MatrixView<T> b) {
+  const index_t m = b.rows, n = b.cols;
+  TQR_REQUIRE(a.rows == n && a.cols == n, "trmm_right: A must be n x n");
+  if (n <= detail::kTrmmSmallMax || m == 0) {
+    detail::trmm_right_small<T>(uplo, trans, diag, a, b);
+    return;
+  }
+  const index_t n1 = n / 2, n2 = n - n1;
+  auto b1 = b.block(0, 0, m, n1);
+  auto b2 = b.block(0, n1, m, n2);
+  const bool effective_upper =
+      (uplo == UpLo::kUpper) == (trans == Trans::kNoTrans);
+  if (effective_upper) {
+    trmm_right<T>(uplo, trans, diag, a.block(n1, n1, n2, n2), b2);
+    // op(A)12 is A12 (no-trans, upper) or A21^T (trans, lower).
+    if (trans == Trans::kNoTrans)
+      gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), b1,
+              a.block(0, n1, n1, n2), T(1), b2);
+    else
+      gemm<T>(Trans::kNoTrans, Trans::kTrans, T(1), b1,
+              a.block(n1, 0, n2, n1), T(1), b2);
+    trmm_right<T>(uplo, trans, diag, a.block(0, 0, n1, n1), b1);
+  } else {
+    trmm_right<T>(uplo, trans, diag, a.block(0, 0, n1, n1), b1);
+    // op(A)21 is A21 (no-trans, lower) or A12^T (trans, upper).
+    if (trans == Trans::kNoTrans)
+      gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(1), b2,
+              a.block(n1, 0, n2, n1), T(1), b1);
+    else
+      gemm<T>(Trans::kNoTrans, Trans::kTrans, T(1), b2,
+              a.block(0, n1, n1, n2), T(1), b1);
+    trmm_right<T>(uplo, trans, diag, a.block(n1, n1, n2, n2), b2);
   }
 }
 

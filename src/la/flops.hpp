@@ -5,6 +5,20 @@
 // report flop rates. Counts follow the standard PLASMA/LAPACK working notes
 // for square b x b tiles; lower-order terms are kept where they matter for
 // the small tile sizes the paper sweeps (4..28).
+//
+// T-factor accounting: the factor kernels (geqrt/tsqrt/ttqrt) build the FULL
+// upper-triangular compact-WY factor Tf, whatever inner block size (recursion
+// leaf width) `ib` they were run with — the recursive merges assemble exactly
+// the T the unblocked kernel builds incrementally, at the same leading-order
+// cost. The counts below therefore include the full-T work and do not vary
+// with `ib`; the parameter is part of the contract so call sites record the
+// configuration they measured, and so a future PLASMA-style diag-block-T
+// variant (whose T work is only O(b^2 ib)) cannot silently inherit inflated
+// rates. Derivation per b x b tile, reflector k = 0..b-1:
+//   cross products V(:,0:k)^T v_k   geqrt 2k(b-k) -> b^3/3
+//                                   tsqrt 2kb     -> b^3
+//                                   ttqrt ~k^2    -> b^3/3
+//   triangular T update Tf z        ~k^2          -> b^3/3  (all three)
 #pragma once
 
 #include <cstdint>
@@ -13,11 +27,12 @@
 
 namespace tqr::la {
 
-/// GEQRT on a b x b tile, including the block-reflector factor build.
-inline double flops_geqrt(index_t b) {
+/// GEQRT on a b x b tile, including the full block-reflector factor build.
+inline double flops_geqrt(index_t b, index_t /*ib*/ = 0) {
   const double n = b;
-  // Factorization 4/3 n^3 + T-factor build ~ n^3/3.
-  return (4.0 / 3.0) * n * n * n + (1.0 / 3.0) * n * n * n;
+  // Factorization 4/3 n^3 + full-T build (cross dots n^3/3 + triangular
+  // accumulation n^3/3).
+  return (4.0 / 3.0) * n * n * n + (2.0 / 3.0) * n * n * n;
 }
 
 /// UNMQR applying a b-reflector Q to a b x b tile.
@@ -29,10 +44,11 @@ inline double flops_unmqr(index_t b) {
 }
 
 /// TSQRT of [R1; A2] with b x b tiles (dense V2).
-inline double flops_tsqrt(index_t b) {
+inline double flops_tsqrt(index_t b, index_t /*ib*/ = 0) {
   const double n = b;
-  // Per column k: reflector ~2n, trailing update 4n(n-k), T column ~2nk.
-  return 3.0 * n * n * n;
+  // Trailing update 4n(n-k) -> 2n^3, cross dots 2kn -> n^3, triangular T
+  // accumulation -> n^3/3.
+  return 2.0 * n * n * n + n * n * n + (1.0 / 3.0) * n * n * n;
 }
 
 /// TSMQR applying a TS Q to a b x b tile pair.
@@ -43,9 +59,11 @@ inline double flops_tsmqr(index_t b) {
 }
 
 /// TTQRT of [R1; R2] with both triangular (V2 triangular: half the work).
-inline double flops_ttqrt(index_t b) {
+inline double flops_ttqrt(index_t b, index_t /*ib*/ = 0) {
   const double n = b;
-  return 1.5 * n * n * n;
+  // Trailing update over triangular support -> 2n^3/3, cross dots -> n^3/3,
+  // triangular T accumulation -> n^3/3.
+  return (2.0 / 3.0) * n * n * n + (2.0 / 3.0) * n * n * n;
 }
 
 /// TTMQR applying a TT Q (triangular V2) to a tile pair.

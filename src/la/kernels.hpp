@@ -19,6 +19,26 @@
 // upper-triangular, which is what makes tree (TT) elimination cheaper per
 // level. The structured top part of V (identity columns) is always implicit.
 //
+// The factor kernels (geqrt/tsqrt/ttqrt) are recursive-halving
+// (Elmroth/Gustavson style): the column range is split in two, each half is
+// factored recursively, the right half's columns are updated with the left
+// half's compact-WY apply, and the two block reflectors are merged into one
+// FULL upper-triangular Tf via
+//
+//   T12 = -T11 (V1^T V2) T22.
+//
+// That routes all trailing-submatrix and T-assembly work through
+// la::gemm/trmm (micro-kernel eligible) instead of scalar rank-1 loops, and
+// — because the merged Tf is the full one — the apply kernels need not know
+// how the tile was factored: unmqr/tsmqr/ttmqr work unchanged. The recursion
+// leaf width is the `ib` parameter (inner block size); `ib <= 0` selects
+// kPanelBase, `ib >= n` degenerates to the unblocked reference kernels
+// (geqrt_unblocked & co.), which double as the recursion base case. The TS
+// merge exploits the implicit-identity tops (V1^T V2 is a plain gemm of the
+// dense blocks); the TT recursion works on pentagonal V sub-blocks (dense
+// top + non-unit upper-triangular bottom) and never touches R2 below its
+// diagonal.
+//
 // Numerical contract (asserted by the test suite): for random tiles,
 // reconstruction and orthogonality residuals are O(eps * n).
 #pragma once
@@ -50,14 +70,35 @@ T larfg(T& alpha, MatrixView<T> x, T& beta) {
   return tau;
 }
 
+/// t(0:k, k) = scale * T(0:k, 0:k) * z with T upper triangular. Swept down
+/// T's contiguous columns (axpy form) so the inner loop vectorizes, instead
+/// of the strided row-dot form.
+template <typename T>
+void scaled_triu_matvec(MatrixView<T> t, index_t k, const T* z, T scale) {
+  T* out = t.data + k * t.ld;
+  for (index_t p = 0; p < k; ++p) out[p] = T(0);
+  for (index_t q = 0; q < k; ++q) {
+    const T zq = z[q] * scale;
+    const T* tq = t.data + q * t.ld;
+    for (index_t p = 0; p <= q; ++p) out[p] += tq[p] * zq;
+  }
+}
+
 }  // namespace detail
 
-/// QR factorization of an m x n tile (m >= n), in place.
-/// On exit: upper triangle of `a` holds R; below-diagonal holds the
-/// Householder vectors V (unit diagonal implicit); `t` (n x n) holds the
-/// upper-triangular block reflector factor.
+/// Default recursion leaf width for the factor kernels (the `ib` used when
+/// callers pass ib <= 0). The unblocked leaves run SIMD column dots/axpys,
+/// so they stay competitive up to a full 64-wide panel; the recursion (and
+/// its gemm-bound merges) only pays off above that. Swept on avx512f:
+/// 64 beats 8/16/32/48 at tile 64-128 and ties 32 at 192-256.
+inline constexpr index_t kPanelBase = 64;
+
+/// Unblocked QR of an m x n tile (m >= n), in place: the scalar reference
+/// kernel and the recursion base case. On exit: upper triangle of `a` holds
+/// R; below-diagonal holds the Householder vectors V (unit diagonal
+/// implicit); `t` (n x n) holds the upper-triangular block reflector factor.
 template <typename T>
-void geqrt(MatrixView<T> a, MatrixView<T> t) {
+void geqrt_unblocked(MatrixView<T> a, MatrixView<T> t) {
   const index_t m = a.rows, n = a.cols;
   TQR_REQUIRE(m >= n, "geqrt: require rows >= cols");
   TQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T factor too small");
@@ -71,27 +112,24 @@ void geqrt(MatrixView<T> a, MatrixView<T> t) {
     t(k, k) = tau;
     if (tau == T(0)) continue;
 
-    // Trailing update: A(k:m, k+1:n) <- H_k * A(k:m, k+1:n).
+    // Trailing update: A(k:m, k+1:n) <- H_k * A(k:m, k+1:n). Columns are
+    // contiguous, so the reductions run through the SIMD dot.
+    T* vk = a.data + (k + 1) + k * a.ld;  // tail of v_k (may be empty)
     for (index_t j = k + 1; j < n; ++j) {
-      T w = a(k, j);
-      for (index_t i = k + 1; i < m; ++i) w += a(i, k) * a(i, j);
+      T* aj = a.data + (k + 1) + j * a.ld;
+      T w = a(k, j) + mk::dot<T>(m - k - 1, vk, aj);
       w *= tau;
       a(k, j) -= w;
-      for (index_t i = k + 1; i < m; ++i) a(i, j) -= w * a(i, k);
+      mk::axpy<T>(m - k - 1, -w, vk, aj);
     }
 
-    // Tf(0:k, k) = -tau * Tf(0:k, 0:k) * (V(:, 0:k)^T v_k).
+    // Tf(0:k, k) = -tau * Tf(0:k, 0:k) * (V(:, 0:k)^T v_k). The triangular
+    // product sweeps Tf's contiguous columns (axpy form).
     if (k > 0) {
-      for (index_t p = 0; p < k; ++p) {
-        T acc = a(k, p);  // row k of V column p (v_k has 1 at row k)
-        for (index_t i = k + 1; i < m; ++i) acc += a(i, p) * a(i, k);
-        z[p] = acc;
-      }
-      for (index_t p = 0; p < k; ++p) {
-        T acc = T(0);
-        for (index_t q = p; q < k; ++q) acc += t(p, q) * z[q];
-        t(p, k) = -tau * acc;
-      }
+      for (index_t p = 0; p < k; ++p)
+        z[p] = a(k, p) +  // row k of V column p (v_k has 1 at row k)
+               mk::dot<T>(m - k - 1, a.data + (k + 1) + p * a.ld, vk);
+      detail::scaled_triu_matvec<T>(t, k, z.data(), -tau);
     }
   }
 }
@@ -100,7 +138,7 @@ void geqrt(MatrixView<T> a, MatrixView<T> t) {
 /// fused element loops: the structured (trmm/gemm) formulation pays extra
 /// temporaries and copies that only amortize once the products are big
 /// enough for the packed micro-kernel to dominate.
-inline constexpr index_t kWyFusedMax = 32;
+inline constexpr index_t kWyFusedMax = 16;
 
 /// Applies the Q of a geqrt-factored tile to C from the left.
 /// `v` is the factored tile (m x k, reflectors below the diagonal),
@@ -130,11 +168,10 @@ void unmqr(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
     // above the diagonal of the stored tile must be ignored).
     Matrix<T> w(k, n);
     for (index_t j = 0; j < n; ++j)
-      for (index_t p = 0; p < k; ++p) {
-        T acc = c(p, j);
-        for (index_t i = p + 1; i < m; ++i) acc += v(i, p) * c(i, j);
-        w(p, j) = acc;
-      }
+      for (index_t p = 0; p < k; ++p)
+        w(p, j) = c(p, j) +
+                  mk::dot<T>(m - p - 1, v.data + (p + 1) + p * v.ld,
+                             c.data + (p + 1) + j * c.ld);
     trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
                                                         : Trans::kTrans,
                  Diag::kNonUnit, t.block(0, 0, k, k), w.view());
@@ -143,7 +180,8 @@ void unmqr(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
         const T wpj = w(p, j);
         if (wpj == T(0)) continue;
         c(p, j) -= wpj;
-        for (index_t i = p + 1; i < m; ++i) c(i, j) -= v(i, p) * wpj;
+        mk::axpy<T>(m - p - 1, -wpj, v.data + (p + 1) + p * v.ld,
+                    c.data + (p + 1) + j * c.ld);
       }
     return;
   }
@@ -175,13 +213,14 @@ void unmqr(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
             w.view(), T(1), c.block(k, 0, m - k, n));
 }
 
-/// TS (triangle-on-top-of-square) QR: factors [R1; A2] where R1 (b x b) is
-/// upper triangular and A2 (m2 x b) is dense. On exit R1 holds the new R
-/// (only its upper triangle is read or written, so the V of a geqrt-factored
-/// diagonal tile survives underneath), A2 holds the dense reflector block V2,
-/// and `t` the block reflector factor.
+/// Unblocked TS (triangle-on-top-of-square) QR of [R1; A2]: the scalar
+/// reference kernel and the recursion base case. R1 (b x b) is upper
+/// triangular and A2 (m2 x b) dense. On exit R1 holds the new R (only its
+/// upper triangle is read or written, so the V of a geqrt-factored diagonal
+/// tile survives underneath), A2 holds the dense reflector block V2, and `t`
+/// the block reflector factor.
 template <typename T>
-void tsqrt(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t) {
+void tsqrt_unblocked(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t) {
   const index_t b = r1.cols, m2 = a2.rows;
   TQR_REQUIRE(r1.rows >= b, "tsqrt: R1 must be at least b x b");
   TQR_REQUIRE(a2.cols == b, "tsqrt: A2 column mismatch");
@@ -196,27 +235,21 @@ void tsqrt(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t) {
     if (tau == T(0)) continue;
 
     // Trailing update: rows touched are row k of R1 and all of A2.
+    T* vk = a2.data + k * a2.ld;
     for (index_t j = k + 1; j < b; ++j) {
-      T w = r1(k, j);
-      for (index_t i = 0; i < m2; ++i) w += a2(i, k) * a2(i, j);
+      T* aj = a2.data + j * a2.ld;
+      T w = r1(k, j) + mk::dot<T>(m2, vk, aj);
       w *= tau;
       r1(k, j) -= w;
-      for (index_t i = 0; i < m2; ++i) a2(i, j) -= w * a2(i, k);
+      mk::axpy<T>(m2, -w, vk, aj);
     }
 
     // Tf column; the structured identity top of V contributes nothing
     // (e_p . e_k = 0 for p != k).
     if (k > 0) {
-      for (index_t p = 0; p < k; ++p) {
-        T acc = T(0);
-        for (index_t i = 0; i < m2; ++i) acc += a2(i, p) * a2(i, k);
-        z[p] = acc;
-      }
-      for (index_t p = 0; p < k; ++p) {
-        T acc = T(0);
-        for (index_t q = p; q < k; ++q) acc += t(p, q) * z[q];
-        t(p, k) = -tau * acc;
-      }
+      for (index_t p = 0; p < k; ++p)
+        z[p] = mk::dot<T>(m2, a2.data + p * a2.ld, vk);
+      detail::scaled_triu_matvec<T>(t, k, z.data(), -tau);
     }
   }
 }
@@ -247,13 +280,13 @@ void tsmqr(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
   gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(-1), v2, w.view(), T(1), c2);
 }
 
-/// TT (triangle-on-top-of-triangle) QR: factors [R1; R2] with both tiles
-/// upper triangular. On exit R1 holds the new R, R2 holds the
-/// upper-triangular reflector block V2, `t` the block reflector factor.
-/// Column k of V2 has support rows 0..k, which is what the update kernel
-/// exploits relative to the dense TS case.
+/// Unblocked TT (triangle-on-top-of-triangle) QR of [R1; R2], both upper
+/// triangular: the scalar reference kernel and the recursion base case. On
+/// exit R1 holds the new R, R2 the upper-triangular reflector block V2, `t`
+/// the block reflector factor. Column k of V2 has support rows 0..k, which
+/// is what the update kernel exploits relative to the dense TS case.
 template <typename T>
-void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
+void ttqrt_unblocked(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
   const index_t b = r1.cols;
   TQR_REQUIRE(r1.rows >= b && r2.rows >= b && r2.cols == b,
               "ttqrt: tiles must be b x b");
@@ -267,25 +300,19 @@ void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
     t(k, k) = tau;
     if (tau == T(0)) continue;
 
+    T* vk = r2.data + k * r2.ld;
     for (index_t j = k + 1; j < b; ++j) {
-      T w = r1(k, j);
-      for (index_t i = 0; i <= k; ++i) w += r2(i, k) * r2(i, j);
+      T* rj = r2.data + j * r2.ld;
+      T w = r1(k, j) + mk::dot<T>(k + 1, vk, rj);
       w *= tau;
       r1(k, j) -= w;
-      for (index_t i = 0; i <= k; ++i) r2(i, j) -= w * r2(i, k);
+      mk::axpy<T>(k + 1, -w, vk, rj);
     }
 
     if (k > 0) {
-      for (index_t p = 0; p < k; ++p) {
-        T acc = T(0);
-        for (index_t i = 0; i <= p; ++i) acc += r2(i, p) * r2(i, k);
-        z[p] = acc;
-      }
-      for (index_t p = 0; p < k; ++p) {
-        T acc = T(0);
-        for (index_t q = p; q < k; ++q) acc += t(p, q) * z[q];
-        t(p, k) = -tau * acc;
-      }
+      for (index_t p = 0; p < k; ++p)
+        z[p] = mk::dot<T>(p + 1, r2.data + p * r2.ld, vk);
+      detail::scaled_triu_matvec<T>(t, k, z.data(), -tau);
     }
   }
 }
@@ -304,20 +331,20 @@ void ttmqr(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
     // Fused small path over V2's triangular support (rows 0..j in col j).
     Matrix<T> w(b, n);
     for (index_t j = 0; j < n; ++j)
-      for (index_t p = 0; p < b; ++p) {
-        T acc = c1(p, j);
-        for (index_t i = 0; i <= p; ++i) acc += v2(i, p) * c2(i, j);
-        w(p, j) = acc;
-      }
+      for (index_t p = 0; p < b; ++p)
+        w(p, j) = c1(p, j) +
+                  mk::dot<T>(p + 1, v2.data + p * v2.ld, c2.data + j * c2.ld);
     trmm_left<T>(UpLo::kUpper, trans == Trans::kNoTrans ? Trans::kNoTrans
                                                         : Trans::kTrans,
                  Diag::kNonUnit, t.block(0, 0, b, b), w.view());
     for (index_t j = 0; j < n; ++j) {
       for (index_t i = 0; i < b; ++i) c1(i, j) -= w(i, j);
-      for (index_t i = 0; i < b; ++i) {
-        T acc = T(0);
-        for (index_t p = i; p < b; ++p) acc += v2(i, p) * w(p, j);
-        c2(i, j) -= acc;
+      // C2 -= V2 W column-axpy style so the inner loop streams down V2's
+      // contiguous columns.
+      for (index_t p = 0; p < b; ++p) {
+        const T wpj = w(p, j);
+        if (wpj == T(0)) continue;
+        mk::axpy<T>(p + 1, -wpj, v2.data + p * v2.ld, c2.data + j * c2.ld);
       }
     }
     return;
@@ -344,6 +371,255 @@ void ttmqr(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
     for (index_t i = 0; i < b; ++i) c1(i, j) -= w(i, j);
     for (index_t i = 0; i < b; ++i) c2(i, j) -= v2w(i, j);
   }
+}
+
+namespace detail {
+
+/// Resolves a caller-supplied inner block size to the recursion leaf width.
+inline index_t resolve_panel(index_t ib) {
+  return ib <= 0 ? kPanelBase : ib;
+}
+
+/// Left-half width for a recursive split of n columns: half of n rounded up
+/// to a multiple of the leaf width so the leaves stay uniform.
+inline index_t split_cols(index_t n, index_t base) {
+  const index_t half = (n + 1) / 2;
+  index_t n1 = (half + base - 1) / base * base;
+  if (n1 >= n) n1 = half;
+  return n1;
+}
+
+/// Recursive geqrt: factor the left half, apply its Q^T to the right
+/// columns, factor the bottom-right, then merge the two block reflectors
+/// into the full Tf via T12 = -T11 (V1^T V2) T22.
+template <typename T>
+void geqrt_rec(MatrixView<T> a, MatrixView<T> t, index_t base) {
+  const index_t m = a.rows, n = a.cols;
+  if (n <= base) {
+    geqrt_unblocked<T>(a, t);
+    return;
+  }
+  const index_t n1 = split_cols(n, base), n2 = n - n1;
+  auto a1 = a.block(0, 0, m, n1);
+  auto t11 = t.block(0, 0, n1, n1);
+  geqrt_rec<T>(a1, t11, base);
+  unmqr<T>(a1, t11, a.block(0, n1, m, n2), Trans::kTrans);
+  geqrt_rec<T>(a.block(n1, n1, m - n1, n2), t.block(n1, n1, n2, n2), base);
+
+  // X = V2^T V1b over the shared support rows n1..m (V1's rows above n1 meet
+  // only implicit zeros of V2): unit-lower trmm against V2's triangle plus a
+  // gemm over the dense remainder. W = V1^T V2 is then X^T.
+  Matrix<T> x(n2, n1);
+  copy<T>(a.block(n1, 0, n2, n1), x.view());
+  trmm_left<T>(UpLo::kLower, Trans::kTrans, Diag::kUnit,
+               a.block(n1, n1, n2, n2), x.view());
+  if (m > n1 + n2)
+    gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1),
+            a.block(n1 + n2, n1, m - n1 - n2, n2),
+            a.block(n1 + n2, 0, m - n1 - n2, n1), T(1), x.view());
+  auto t12 = t.block(0, n1, n1, n2);
+  for (index_t j = 0; j < n2; ++j)
+    for (index_t i = 0; i < n1; ++i) t12(i, j) = -x(j, i);
+  trmm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, t11, t12);
+  trmm_right<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit,
+                t.block(n1, n1, n2, n2), t12);
+}
+
+/// Recursive tsqrt. The implicit-identity tops make the merge cross product
+/// V1^T V2 a plain gemm of the dense A2 column blocks.
+template <typename T>
+void tsqrt_rec(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t,
+               index_t base) {
+  const index_t b = r1.cols, m2 = a2.rows;
+  if (b <= base) {
+    tsqrt_unblocked<T>(r1, a2, t);
+    return;
+  }
+  const index_t n1 = split_cols(b, base), n2 = b - n1;
+  auto v1 = a2.block(0, 0, m2, n1);
+  auto t11 = t.block(0, 0, n1, n1);
+  tsqrt_rec<T>(r1.block(0, 0, n1, n1), v1, t11, base);
+  tsmqr<T>(v1, t11, r1.block(0, n1, n1, n2), a2.block(0, n1, m2, n2),
+           Trans::kTrans);
+  tsqrt_rec<T>(r1.block(n1, n1, n2, n2), a2.block(0, n1, m2, n2),
+               t.block(n1, n1, n2, n2), base);
+
+  auto t12 = t.block(0, n1, n1, n2);
+  gemm<T>(Trans::kTrans, Trans::kNoTrans, T(-1), v1,
+          a2.block(0, n1, m2, n2), T(0), t12);
+  trmm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, t11, t12);
+  trmm_right<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit,
+                t.block(n1, n1, n2, n2), t12);
+}
+
+/// Pentagonal ttqrt base case: factors global columns [s, s+w), eliminating
+/// R2 rows 0..s+w-1. Column c of V2 has support rows 0..c (the dense top s
+/// rows come from reflectors of earlier recursion levels having filled the
+/// columns). These are the original ttqrt loops generalized to a column
+/// range; trailing updates stay inside the range (outer levels update the
+/// rest via the structured pentagon apply).
+template <typename T>
+void ttqrt_pent_base(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t,
+                     index_t s, index_t w) {
+  std::vector<T> z(w);
+  for (index_t kk = 0; kk < w; ++kk) {
+    const index_t k = s + kk;
+    T beta;
+    const T tau = larfg(r1(k, k), r2.block(0, k, k + 1, 1), beta);
+    t(k, k) = tau;
+    if (tau == T(0)) continue;
+
+    T* vk = r2.data + k * r2.ld;
+    for (index_t j = k + 1; j < s + w; ++j) {
+      T* rj = r2.data + j * r2.ld;
+      T acc = r1(k, j) + mk::dot<T>(k + 1, vk, rj);
+      acc *= tau;
+      r1(k, j) -= acc;
+      mk::axpy<T>(k + 1, -acc, vk, rj);
+    }
+
+    if (kk > 0) {
+      for (index_t p = s; p < k; ++p)
+        z[p - s] = mk::dot<T>(p + 1, r2.data + p * r2.ld, vk);
+      scaled_triu_matvec<T>(t.block(s, s, w, w), kk, z.data(), -tau);
+    }
+  }
+}
+
+/// Applies Q^T of the pentagonal reflector block at columns [s, s+w1) to the
+/// nc trailing columns starting at s+w1. The V2 sub-block is a pentagon:
+/// dense top s rows D plus a non-unit upper-triangular w1 x w1 part U, so
+/// the apply is gemm over D and trmm over U — the zero block below U is
+/// never touched.
+template <typename T>
+void ttqrt_pent_apply_qt(MatrixView<T> r1, MatrixView<T> r2,
+                         ConstMatrixView<T> t, index_t s, index_t w1,
+                         index_t nc) {
+  const index_t j0 = s + w1;
+  auto c1 = r1.block(s, j0, w1, nc);
+  auto c2t = r2.block(0, j0, s, nc);   // rows hit by D (empty when s == 0)
+  auto c2m = r2.block(s, j0, w1, nc);  // rows hit by U
+  auto d = r2.block(0, s, s, w1);
+  auto u = r2.block(s, s, w1, w1);
+
+  // W = C1 + D^T C2top + U^T C2mid.
+  Matrix<T> w(w1, nc);
+  copy<T>(c2m, w.view());
+  trmm_left<T>(UpLo::kUpper, Trans::kTrans, Diag::kNonUnit, u, w.view());
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < w1; ++i) w(i, j) += c1(i, j);
+  if (s > 0)
+    gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), d, c2t, T(1), w.view());
+
+  // W = Tf^T W (factor direction only ever needs Q^T).
+  trmm_left<T>(UpLo::kUpper, Trans::kTrans, Diag::kNonUnit,
+               t.block(s, s, w1, w1), w.view());
+
+  // [C1; C2] -= [I; V2] W over the pentagon's support.
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < w1; ++i) c1(i, j) -= w(i, j);
+  if (s > 0)
+    gemm<T>(Trans::kNoTrans, Trans::kNoTrans, T(-1), d, w.view(), T(1), c2t);
+  Matrix<T> uw(w1, nc);
+  copy<T>(w.view(), uw.view());
+  trmm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit, u, uw.view());
+  for (index_t j = 0; j < nc; ++j)
+    for (index_t i = 0; i < w1; ++i) c2m(i, j) -= uw(i, j);
+}
+
+/// Recursive ttqrt on global columns [s, s+w). Both halves are pentagons in
+/// R2 (the right one with dense depth s+w1); the T merge runs the cross
+/// product over V1's support rows 0..s+w1-1 as trmm + gemm.
+template <typename T>
+void ttqrt_rec(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t,
+               index_t s, index_t w, index_t base) {
+  if (w <= base) {
+    ttqrt_pent_base<T>(r1, r2, t, s, w);
+    return;
+  }
+  const index_t w1 = split_cols(w, base), w2 = w - w1;
+  ttqrt_rec<T>(r1, r2, t, s, w1, base);
+  ttqrt_pent_apply_qt<T>(r1, r2, t, s, w1, w2);
+  ttqrt_rec<T>(r1, r2, t, s + w1, w2, base);
+
+  // V1^T V2 over rows 0..s+w1-1 of R2 (V1's support; the right block is
+  // dense there): U1^T M2 via trmm on a copy, plus D1^T D2 via gemm.
+  Matrix<T> y(w1, w2);
+  copy<T>(r2.block(s, s + w1, w1, w2), y.view());
+  trmm_left<T>(UpLo::kUpper, Trans::kTrans, Diag::kNonUnit,
+               r2.block(s, s, w1, w1), y.view());
+  if (s > 0)
+    gemm<T>(Trans::kTrans, Trans::kNoTrans, T(1), r2.block(0, s, s, w1),
+            r2.block(0, s + w1, s, w2), T(1), y.view());
+  auto t12 = t.block(s, s + w1, w1, w2);
+  for (index_t j = 0; j < w2; ++j)
+    for (index_t i = 0; i < w1; ++i) t12(i, j) = -y(i, j);
+  trmm_left<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit,
+               t.block(s, s, w1, w1), t12);
+  trmm_right<T>(UpLo::kUpper, Trans::kNoTrans, Diag::kNonUnit,
+                t.block(s + w1, s + w1, w2, w2), t12);
+}
+
+}  // namespace detail
+
+/// QR factorization of an m x n tile (m >= n), in place, via recursive
+/// halving with leaf width `ib` (<= 0 selects kPanelBase, >= n runs the
+/// unblocked reference kernel). On exit: upper triangle of `a` holds R;
+/// below-diagonal the Householder vectors V (unit diagonal implicit); `t`
+/// (n x n) the FULL upper-triangular block reflector factor — applies never
+/// need to know `ib`.
+template <typename T>
+void geqrt(MatrixView<T> a, MatrixView<T> t, index_t ib = 0) {
+  const index_t m = a.rows, n = a.cols;
+  TQR_REQUIRE(m >= n, "geqrt: require rows >= cols");
+  TQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T factor too small");
+  const index_t base = detail::resolve_panel(ib);
+  if (n <= base) {
+    geqrt_unblocked<T>(a, t);
+    return;
+  }
+  t.block(0, 0, n, n).fill(T(0));
+  detail::geqrt_rec<T>(a, t, base);
+}
+
+/// TS (triangle-on-top-of-square) QR of [R1; A2], recursive with leaf width
+/// `ib` (same conventions as geqrt). Storage contract matches
+/// tsqrt_unblocked: R in R1's upper triangle (nothing else of R1 touched),
+/// dense V2 in A2, full Tf in `t`.
+template <typename T>
+void tsqrt(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t,
+           index_t ib = 0) {
+  const index_t b = r1.cols;
+  TQR_REQUIRE(r1.rows >= b, "tsqrt: R1 must be at least b x b");
+  TQR_REQUIRE(a2.cols == b, "tsqrt: A2 column mismatch");
+  TQR_REQUIRE(t.rows >= b && t.cols >= b, "tsqrt: T factor too small");
+  const index_t base = detail::resolve_panel(ib);
+  if (b <= base) {
+    tsqrt_unblocked<T>(r1, a2, t);
+    return;
+  }
+  t.block(0, 0, b, b).fill(T(0));
+  detail::tsqrt_rec<T>(r1, a2, t, base);
+}
+
+/// TT (triangle-on-top-of-triangle) QR of [R1; R2], recursive with leaf
+/// width `ib` (same conventions as geqrt). Storage contract matches
+/// ttqrt_unblocked: V2 stays upper triangular (column k has support rows
+/// 0..k, entries below R2's diagonal are never written), full Tf in `t`.
+template <typename T>
+void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t,
+           index_t ib = 0) {
+  const index_t b = r1.cols;
+  TQR_REQUIRE(r1.rows >= b && r2.rows >= b && r2.cols == b,
+              "ttqrt: tiles must be b x b");
+  TQR_REQUIRE(t.rows >= b && t.cols >= b, "ttqrt: T factor too small");
+  const index_t base = detail::resolve_panel(ib);
+  if (b <= base) {
+    ttqrt_unblocked<T>(r1, r2, t);
+    return;
+  }
+  t.block(0, 0, b, b).fill(T(0));
+  detail::ttqrt_rec<T>(r1, r2, t, 0, b, base);
 }
 
 }  // namespace tqr::la

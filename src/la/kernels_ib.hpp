@@ -1,117 +1,70 @@
-// Inner-blocked (ib) tile kernels, PLASMA-style.
+// Inner-blocked (ib) tile kernel entry points.
 //
-// Production tile kernels split each b-wide tile factorization into ib-wide
-// column blocks: reflectors are generated per block and the trailing columns
-// of the tile are updated with the compact-WY apply of that block. This caps
-// the O(b^3) T-factor work at O(b^2 ib) and keeps the working set cache
-// sized — on real hardware the win is locality; numerically the result is an
-// equally valid QR whose block-reflector factors are stored as ib x ib
-// (here: w x w) triangles on the diagonal of the T tile.
+// Since the factor kernels in kernels.hpp became recursive, `ib` is the
+// recursion leaf width: the column range splits in half down to ib-wide
+// panels, trailing updates run through the compact-WY applies (gemm/trmm
+// bound), and the per-half block reflectors are merged into one FULL upper
+// triangular T via T12 = -T11 (V1^T V2) T22. That differs from the classic
+// PLASMA scheme (ib x ib T blocks on the diagonal) in one load-bearing way:
+// because the merged T is the full one, the apply kernels are independent of
+// how the tile was factored — unmqr/tsmqr/ttmqr need no ib and any ib can
+// apply what another ib factored. The `_ib` apply wrappers below keep their
+// historical signatures for call-site stability and simply forward.
 //
-// These are layered on the verified unblocked kernels in kernels.hpp: block
-// s is factored with geqrt/tsqrt on a sub-view and applied with
-// unmqr/tsmqr, so the numerical guarantees carry over. Since the compact-WY
-// applies in kernels.hpp route their bulk work through la::gemm (and the
-// triangular parts through trmm_left), the per-block updates here inherit
-// the packed micro-kernel path from la/microkernel.hpp for free once the
-// trailing sub-tile clears the mk::use_packed size threshold. Inner blocking is
-// implemented for the GEQRT/UNMQR and TS kernel families (as in PLASMA);
-// the TT kernels operate on triangles whose blocked reflectors become
-// pentagonal and stay unblocked here.
+// ib <= 0 selects the tuned default leaf width (kPanelBase); ib >= b runs
+// the unblocked reference kernels. All three factor families (GEQRT, TS,
+// TT) are blocked; the TT recursion handles the pentagonal V sub-blocks the
+// triangular storage induces.
 #pragma once
-
-#include <algorithm>
 
 #include "la/kernels.hpp"
 
 namespace tqr::la {
 
-/// Blocked QR of an m x n tile (m >= n), reflectors in place, per-block
-/// T factors on the diagonal of `t`. ib <= 0 means unblocked.
+/// Blocked QR of an m x n tile (m >= n): recursive halving with leaf width
+/// ib, reflectors in place, full T factor.
 template <typename T>
 void geqrt_ib(MatrixView<T> a, MatrixView<T> t, index_t ib) {
-  const index_t m = a.rows, n = a.cols;
-  if (ib <= 0 || ib >= n) {
-    geqrt<T>(a, t);
-    return;
-  }
-  TQR_REQUIRE(m >= n, "geqrt_ib: require rows >= cols");
-  t.block(0, 0, n, n).fill(T(0));
-  for (index_t s = 0; s < n; s += ib) {
-    const index_t w = std::min(ib, n - s);
-    auto panel = a.block(s, s, m - s, w);
-    auto tf = t.block(s, s, w, w);
-    geqrt<T>(panel, tf);
-    if (s + w < n) {
-      unmqr<T>(panel, tf, a.block(s, s + w, m - s, n - s - w),
-               Trans::kTrans);
-    }
-  }
+  geqrt<T>(a, t, ib);
 }
 
-/// Applies the Q of a geqrt_ib-factored tile. Blocks compose as
-/// Q = Q_0 Q_1 ... so Q^T applies blocks forward, Q in reverse.
+/// Applies the Q of a geqrt_ib-factored tile. The merged T factor is full,
+/// so this is exactly unmqr; ib is accepted for signature stability.
 template <typename T>
 void unmqr_ib(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
-              Trans trans, index_t ib) {
-  const index_t m = c.rows, k = v.cols;
-  if (ib <= 0 || ib >= k) {
-    unmqr<T>(v, t, c, trans);
-    return;
-  }
-  TQR_REQUIRE(v.rows == m, "unmqr_ib: V/C row mismatch");
-  const index_t blocks = (k + ib - 1) / ib;
-  for (index_t bi = 0; bi < blocks; ++bi) {
-    const index_t s = (trans == Trans::kTrans) ? bi * ib
-                                               : (blocks - 1 - bi) * ib;
-    const index_t w = std::min(ib, k - s);
-    unmqr<T>(v.block(s, s, m - s, w), t.block(s, s, w, w),
-             c.block(s, 0, m - s, c.cols), trans);
-  }
+              Trans trans, index_t /*ib*/) {
+  unmqr<T>(v, t, c, trans);
 }
 
-/// Blocked TS QR of [R1; A2]: per column block, tsqrt on the block and a
-/// tsmqr update of the trailing columns. T factors on the diagonal of `t`.
+/// Blocked TS QR of [R1; A2] with leaf width ib, full T factor.
 template <typename T>
 void tsqrt_ib(MatrixView<T> r1, MatrixView<T> a2, MatrixView<T> t,
               index_t ib) {
-  const index_t b = r1.cols, m2 = a2.rows;
-  if (ib <= 0 || ib >= b) {
-    tsqrt<T>(r1, a2, t);
-    return;
-  }
-  t.block(0, 0, b, b).fill(T(0));
-  for (index_t s = 0; s < b; s += ib) {
-    const index_t w = std::min(ib, b - s);
-    auto r_blk = r1.block(s, s, w, w);
-    auto v_blk = a2.block(0, s, m2, w);
-    auto t_blk = t.block(s, s, w, w);
-    tsqrt<T>(r_blk, v_blk, t_blk);
-    if (s + w < b) {
-      tsmqr<T>(v_blk, t_blk, r1.block(s, s + w, w, b - s - w),
-               a2.block(0, s + w, m2, b - s - w), Trans::kTrans);
-    }
-  }
+  tsqrt<T>(r1, a2, t, ib);
 }
 
-/// Applies the Q of a tsqrt_ib factorization to [C1; C2].
+/// Applies the Q of a tsqrt_ib factorization to [C1; C2]. Forwards to tsmqr
+/// (full T); ib is accepted for signature stability.
 template <typename T>
 void tsmqr_ib(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
-              MatrixView<T> c2, Trans trans, index_t ib) {
-  const index_t b = v2.cols, m2 = v2.rows;
-  if (ib <= 0 || ib >= b) {
-    tsmqr<T>(v2, t, c1, c2, trans);
-    return;
-  }
-  TQR_REQUIRE(c1.rows == b, "tsmqr_ib: C1 must have b rows");
-  const index_t blocks = (b + ib - 1) / ib;
-  for (index_t bi = 0; bi < blocks; ++bi) {
-    const index_t s = (trans == Trans::kTrans) ? bi * ib
-                                               : (blocks - 1 - bi) * ib;
-    const index_t w = std::min(ib, b - s);
-    tsmqr<T>(v2.block(0, s, m2, w), t.block(s, s, w, w),
-             c1.block(s, 0, w, c1.cols), c2, trans);
-  }
+              MatrixView<T> c2, Trans trans, index_t /*ib*/) {
+  tsmqr<T>(v2, t, c1, c2, trans);
+}
+
+/// Blocked TT QR of [R1; R2] (both upper triangular) with leaf width ib,
+/// full T factor. V2 stays upper triangular.
+template <typename T>
+void ttqrt_ib(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t,
+              index_t ib) {
+  ttqrt<T>(r1, r2, t, ib);
+}
+
+/// Applies the Q of a ttqrt_ib factorization to [C1; C2]. Forwards to ttmqr
+/// (full T); ib is accepted for signature stability.
+template <typename T>
+void ttmqr_ib(ConstMatrixView<T> v2, ConstMatrixView<T> t, MatrixView<T> c1,
+              MatrixView<T> c2, Trans trans, index_t /*ib*/) {
+  ttmqr<T>(v2, t, c1, c2, trans);
 }
 
 }  // namespace tqr::la

@@ -346,4 +346,111 @@ extern template void gemm_packed<double>(Trans, Trans, double,
                                          ConstMatrixView<double>, double,
                                          MatrixView<double>, const Blocking&);
 
+#if TQR_MK_VECTORIZED
+namespace detail {
+
+/// Element-aligned variant of VecOf: loads through it compile to unaligned
+/// vector moves, so it can read from any offset inside a column (matrix
+/// columns are only guaranteed element-aligned once a view offsets into
+/// them).
+template <typename T>
+struct UnalignedVecOf {
+  static constexpr index_t lanes = kVecBytes / static_cast<index_t>(sizeof(T));
+  typedef T type __attribute__((vector_size(kVecBytes), may_alias,
+                                aligned(alignof(T))));
+};
+
+}  // namespace detail
+#endif  // TQR_MK_VECTORIZED
+
+/// SIMD dot product over contiguous arrays. The panel factor kernels and the
+/// small-triangle BLAS base cases are built out of column dots that the
+/// compiler cannot auto-vectorize (FP reduction reassociation is not allowed
+/// without fast-math); this helper makes the reduction order explicitly
+/// vectorized, matching the packed engine's unordered-accumulation
+/// semantics. Scalar builds (TQR_MICROKERNEL_SCALAR) fall back to the plain
+/// ordered loop.
+template <typename T>
+inline T dot(index_t n, const T* __restrict x, const T* __restrict y) {
+#if TQR_MK_VECTORIZED
+  if constexpr (std::is_floating_point_v<T>) {
+    using V = typename detail::UnalignedVecOf<T>::type;
+    constexpr index_t L = detail::UnalignedVecOf<T>::lanes;
+    if (n >= 2 * L) {
+      V a0{}, a1{}, a2{}, a3{};
+      index_t i = 0;
+      for (; i + 4 * L <= n; i += 4 * L) {
+        a0 += *reinterpret_cast<const V*>(x + i) *
+              *reinterpret_cast<const V*>(y + i);
+        a1 += *reinterpret_cast<const V*>(x + i + L) *
+              *reinterpret_cast<const V*>(y + i + L);
+        a2 += *reinterpret_cast<const V*>(x + i + 2 * L) *
+              *reinterpret_cast<const V*>(y + i + 2 * L);
+        a3 += *reinterpret_cast<const V*>(x + i + 3 * L) *
+              *reinterpret_cast<const V*>(y + i + 3 * L);
+      }
+      for (; i + 2 * L <= n; i += 2 * L) {
+        a0 += *reinterpret_cast<const V*>(x + i) *
+              *reinterpret_cast<const V*>(y + i);
+        a1 += *reinterpret_cast<const V*>(x + i + L) *
+              *reinterpret_cast<const V*>(y + i + L);
+      }
+      if (i + L <= n) {
+        a0 += *reinterpret_cast<const V*>(x + i) *
+              *reinterpret_cast<const V*>(y + i);
+        i += L;
+      }
+      a0 += a1 + a2 + a3;
+      T acc = T(0);
+      for (index_t l = 0; l < L; ++l) acc += a0[l];
+      for (; i < n; ++i) acc += x[i] * y[i];
+      return acc;
+    }
+    if (n >= L) {  // one vector + scalar tail: still beats the scalar chain
+      V a0 = *reinterpret_cast<const V*>(x) * *reinterpret_cast<const V*>(y);
+      T acc = T(0);
+      for (index_t l = 0; l < L; ++l) acc += a0[l];
+      for (index_t i = L; i < n; ++i) acc += x[i] * y[i];
+      return acc;
+    }
+  }
+#endif  // TQR_MK_VECTORIZED
+  T acc = T(0);
+  for (index_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+/// y += alpha * x over contiguous arrays. Unlike dot this is not a
+/// reduction, but making the vectorization explicit spares the compiler's
+/// runtime alias versioning between two columns of the same matrix (the
+/// dominant pattern in the panel kernels' rank-1 updates).
+template <typename T>
+inline void axpy(index_t n, T alpha, const T* __restrict x, T* __restrict y) {
+#if TQR_MK_VECTORIZED
+  if constexpr (std::is_floating_point_v<T>) {
+    using V = typename detail::UnalignedVecOf<T>::type;
+    constexpr index_t L = detail::UnalignedVecOf<T>::lanes;
+    if (n >= L) {
+      V va{};
+      va += alpha;  // broadcast
+      index_t i = 0;
+      for (; i + 2 * L <= n; i += 2 * L) {
+        *reinterpret_cast<V*>(y + i) +=
+            va * *reinterpret_cast<const V*>(x + i);
+        *reinterpret_cast<V*>(y + i + L) +=
+            va * *reinterpret_cast<const V*>(x + i + L);
+      }
+      if (i + L <= n) {
+        *reinterpret_cast<V*>(y + i) +=
+            va * *reinterpret_cast<const V*>(x + i);
+        i += L;
+      }
+      for (; i < n; ++i) y[i] += alpha * x[i];
+      return;
+    }
+  }
+#endif  // TQR_MK_VECTORIZED
+  for (index_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
 }  // namespace tqr::la::mk

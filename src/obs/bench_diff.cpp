@@ -71,7 +71,11 @@ CompareResult compare(const std::map<std::string, Metric>& baseline,
   }
 
   auto selected = [&](const std::string& id) {
-    return opts.only.empty() || id.find(opts.only) != std::string::npos;
+    if (opts.only.empty()) return true;
+    return std::any_of(opts.only.begin(), opts.only.end(),
+                       [&](const std::string& sub) {
+                         return id.find(sub) != std::string::npos;
+                       });
   };
 
   for (const auto& [id, base] : baseline) {

@@ -48,8 +48,9 @@ struct CompareOptions {
   /// Baseline metrics absent from the current run are fatal (default: the
   /// comparison covers the intersection).
   bool require_all = false;
-  /// When non-empty, compare only metric ids containing this substring.
-  std::string only;
+  /// When non-empty, compare only metric ids containing at least one of
+  /// these substrings ("geqrt", "tsqrt" selects the factor-kernel rates).
+  std::vector<std::string> only;
   /// Metric id used to rescale the baseline for machine-speed differences;
   /// must be present on both sides. Empty = absolute comparison.
   std::string anchor;

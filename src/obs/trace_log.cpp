@@ -131,20 +131,21 @@ std::string TraceLog::to_json() const {
          "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 
-double task_flops(dag::Op op, int tile) {
+double task_flops(dag::Op op, int tile, int ib) {
   const auto b = static_cast<la::index_t>(tile);
+  const auto bib = static_cast<la::index_t>(ib);
   const double n = tile;
   switch (op) {
     case dag::Op::kGeqrt:
-      return la::flops_geqrt(b);
+      return la::flops_geqrt(b, bib);
     case dag::Op::kUnmqr:
       return la::flops_unmqr(b);
     case dag::Op::kTsqrt:
-      return la::flops_tsqrt(b);
+      return la::flops_tsqrt(b, bib);
     case dag::Op::kTsmqr:
       return la::flops_tsmqr(b);
     case dag::Op::kTtqrt:
-      return la::flops_ttqrt(b);
+      return la::flops_ttqrt(b, bib);
     case dag::Op::kTtmqr:
       return la::flops_ttmqr(b);
     // Cholesky kernels: standard counts for b x b tiles.
@@ -163,7 +164,7 @@ double task_flops(dag::Op op, int tile) {
 void append_task_events(TraceLog& log,
                         const std::vector<runtime::TraceEvent>& events,
                         const dag::TaskGraph& graph, int tile_size, int pid,
-                        double offset_s) {
+                        double offset_s, int ib) {
   for (const runtime::TraceEvent& e : events) {
     const double dur = e.end_s - e.start_s;
     TraceArgs args;
@@ -178,8 +179,14 @@ void append_task_events(TraceLog& log,
       if (t.op != dag::Op::kGeqrt && t.op != dag::Op::kUnmqr)
         args.add("p", static_cast<std::int64_t>(t.p));
       if (t.j >= 0) args.add("j", static_cast<std::int64_t>(t.j));
+      // Record the kernel configuration on the factor spans; verifying that
+      // execution traces carry the configured ib is how the service tests
+      // pin calibration and execution to the same kernel shape.
+      if (ib > 0 && (t.op == dag::Op::kGeqrt || t.op == dag::Op::kTsqrt ||
+                     t.op == dag::Op::kTtqrt))
+        args.add("ib", static_cast<std::int64_t>(ib));
       if (tile_size > 0 && dur > 0)
-        args.add("gflops", task_flops(t.op, tile_size) / dur * 1e-9);
+        args.add("gflops", task_flops(t.op, tile_size, ib) / dur * 1e-9);
     }
     log.complete(e.task >= 0 && static_cast<std::size_t>(e.task) < graph.size()
                      ? dag::op_name(graph.task(e.task).op)

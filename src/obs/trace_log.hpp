@@ -100,15 +100,19 @@ class TraceLog {
 
 /// Nominal flop count for one tile kernel on a b x b tile (the la/flops
 /// model, extended to the Cholesky ops scheduled by the same framework).
-double task_flops(dag::Op op, int tile);
+/// `ib` is the inner block size the factor kernels ran with, forwarded to
+/// the la/flops model so derived GFLOP/s stay honest for every kernel
+/// configuration; 0 means the library default.
+double task_flops(dag::Op op, int tile, int ib = 0);
 
 /// Appends one complete span per executor trace event: name = kernel op,
 /// cat = paper step (T/E/UT/UE), tid = 1 + device, args = task id, tile
 /// coordinates, and derived GFLOP/s. `offset_s` shifts the run-relative
-/// executor timestamps onto the log's clock (the service clock).
+/// executor timestamps onto the log's clock (the service clock); `ib` is
+/// the factor kernels' inner block size (see task_flops).
 void append_task_events(TraceLog& log,
                         const std::vector<runtime::TraceEvent>& events,
                         const dag::TaskGraph& graph, int tile_size, int pid,
-                        double offset_s);
+                        double offset_s, int ib = 0);
 
 }  // namespace tqr::obs

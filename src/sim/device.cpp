@@ -6,17 +6,23 @@ namespace tqr::sim {
 
 double kernel_flops(dag::Op op, int b) {
   using dag::Op;
+  const double n = b;
   switch (op) {
+    // Factor kernels use the classical counts the devices' flops_per_us
+    // rates were calibrated against, NOT la::flops_* — those now include
+    // the full compact-WY T build (la/flops.hpp) and switching the work
+    // proxy without re-fitting the rates would skew every simulated
+    // factor-kernel time by 10-20%.
     case Op::kGeqrt:
-      return la::flops_geqrt(b);
+      return (5.0 / 3.0) * n * n * n;
     case Op::kUnmqr:
       return la::flops_unmqr(b);
     case Op::kTsqrt:
-      return la::flops_tsqrt(b);
+      return 3.0 * n * n * n;
     case Op::kTsmqr:
       return la::flops_tsmqr(b);
     case Op::kTtqrt:
-      return la::flops_ttqrt(b);
+      return 1.5 * n * n * n;
     case Op::kTtmqr:
       return la::flops_ttmqr(b);
     case Op::kPotrf:

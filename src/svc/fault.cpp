@@ -104,7 +104,17 @@ bool FaultInjector::maybe_corrupt(dag::task_id t, const dag::Task& task,
   return true;
 }
 
-void FaultInjector::poison(la::MatrixView<double> tile) {
+bool FaultInjector::maybe_corrupt(dag::task_id t, const dag::Task& task,
+                                  int lane, la::MatrixView<float> tile) {
+  if (config_.mode != FaultConfig::Mode::kCorrupt) return false;
+  if (tile.rows <= 0 || tile.cols <= 0) return false;
+  if (!should_fire(t, task, lane)) return false;
+  poison(tile);
+  return true;
+}
+
+template <typename T>
+void FaultInjector::poison(la::MatrixView<T> tile) {
   // Target the largest-magnitude element of the upper triangle: for every QR
   // op's primary output (R factor or updated block) that region is live data
   // a successor or the final extraction reads, so the corruption can never
@@ -114,15 +124,15 @@ void FaultInjector::poison(la::MatrixView<double> tile) {
   double best = -1.0;
   for (la::index_t j = 0; j < tile.cols; ++j)
     for (la::index_t i = 0; i <= j && i < tile.rows; ++i) {
-      const double mag = std::fabs(tile(i, j));
+      const double mag = std::fabs(static_cast<double>(tile(i, j)));
       if (mag > best) {
         best = mag;
         bi = i;
         bj = j;
       }
     }
-  double& elem = tile(bi, bj);
-  if (elem == 0.0) elem = 1.0;
+  T& elem = tile(bi, bj);
+  if (elem == T(0)) elem = T(1);
 
   FaultConfig::Corrupt kind = config_.corrupt;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -136,29 +146,41 @@ void FaultInjector::poison(la::MatrixView<double> tile) {
   switch (kind) {
     case FaultConfig::Corrupt::kNaN:
       switch (rng_.next_below(3)) {
-        case 0: elem = std::numeric_limits<double>::quiet_NaN(); break;
-        case 1: elem = std::numeric_limits<double>::infinity(); break;
-        default: elem = -std::numeric_limits<double>::infinity(); break;
+        case 0: elem = std::numeric_limits<T>::quiet_NaN(); break;
+        case 1: elem = std::numeric_limits<T>::infinity(); break;
+        default: elem = -std::numeric_limits<T>::infinity(); break;
       }
       break;
     case FaultConfig::Corrupt::kBitFlip: {
-      // Bits 44..63: sign, exponent, or the top 8 mantissa bits — every such
-      // flip changes the value by a relative factor of at least 2^-9, far
-      // above verification tolerance, which keeps the detection-rate tests
-      // deterministic (low-mantissa flips would be legitimately invisible).
-      const int bit = 44 + static_cast<int>(rng_.next_below(20));
-      std::uint64_t raw;
-      std::memcpy(&raw, &elem, sizeof raw);
-      raw ^= std::uint64_t{1} << bit;
-      std::memcpy(&elem, &raw, sizeof raw);
+      // Sign, exponent, or the top 8 mantissa bits — every such flip changes
+      // the value by a relative factor of at least 2^-9, far above the
+      // verification tolerance of the matching precision, which keeps the
+      // detection-rate tests deterministic (low-mantissa flips would be
+      // legitimately invisible). double: bits 44..63; float: bits 15..31.
+      if constexpr (sizeof(T) == 8) {
+        const int bit = 44 + static_cast<int>(rng_.next_below(20));
+        std::uint64_t raw;
+        std::memcpy(&raw, &elem, sizeof raw);
+        raw ^= std::uint64_t{1} << bit;
+        std::memcpy(&elem, &raw, sizeof raw);
+      } else {
+        const int bit = 15 + static_cast<int>(rng_.next_below(17));
+        std::uint32_t raw;
+        std::memcpy(&raw, &elem, sizeof raw);
+        raw ^= std::uint32_t{1} << bit;
+        std::memcpy(&elem, &raw, sizeof raw);
+      }
       break;
     }
     case FaultConfig::Corrupt::kPerturb:
-      elem *= 1.0 + config_.corrupt_scale;
+      elem *= T(1.0 + config_.corrupt_scale);
       break;
     case FaultConfig::Corrupt::kAny:
       break;  // unreachable: resolved above
   }
 }
+
+template void FaultInjector::poison<float>(la::MatrixView<float>);
+template void FaultInjector::poison<double>(la::MatrixView<double>);
 
 }  // namespace tqr::svc

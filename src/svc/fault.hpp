@@ -105,6 +105,11 @@ class FaultInjector {
   /// and returns true. No-op (false) in every other mode.
   bool maybe_corrupt(dag::task_id t, const dag::Task& task, int lane,
                      la::MatrixView<double> tile);
+  /// fp32 jobs factor into float tiles; corruption poisons those directly
+  /// (same element selection, flip window shifted to float's high bits so
+  /// the relative change stays >= 2^-9, above float verify tolerance).
+  bool maybe_corrupt(dag::task_id t, const dag::Task& task, int lane,
+                     la::MatrixView<float> tile);
 
   /// Faults delivered so far (thrown + stalled + corrupted).
   std::uint64_t injected() const {
@@ -113,7 +118,8 @@ class FaultInjector {
 
  private:
   bool should_fire(dag::task_id t, const dag::Task& task, int lane);
-  void poison(la::MatrixView<double> tile);
+  template <typename T>
+  void poison(la::MatrixView<T> tile);
 
   const FaultConfig config_;
   std::mutex mutex_;  // guards rng_ (lanes share one injector)

@@ -13,4 +13,12 @@ Verify parse_verify(const std::string& name) {
                         "' (expected none|scan|probe|full)");
 }
 
+Precision parse_precision(const std::string& name) {
+  if (name == "fp64" || name == "double") return Precision::kFp64;
+  if (name == "fp32" || name == "single" || name == "float")
+    return Precision::kFp32;
+  throw InvalidArgument("unknown precision '" + name +
+                        "' (expected fp64|fp32)");
+}
+
 }  // namespace tqr::svc

@@ -65,6 +65,31 @@ inline const char* to_string(Verify v) {
 /// otherwise.
 Verify parse_verify(const std::string& name);
 
+/// Arithmetic precision of the factorization itself. The service API stays
+/// fp64 either way — input and the returned R are double — but under kFp32
+/// the tile kernels run in single precision: half the tile bandwidth, and
+/// the vectorized kernels get twice the SIMD lanes. Verification tiers
+/// switch to the float tolerance, so the tier ladder keeps its zero-false-
+/// positive / guaranteed-detection properties at the reduced precision.
+/// For fp64-accurate solutions from an fp32 factorization see
+/// core::qr_solve_mixed (fp32 factor + fp64 iterative refinement).
+enum class Precision : std::uint8_t {
+  kFp64,  // double-precision kernels (the default)
+  kFp32,  // single-precision kernels; R returned rounded to double
+};
+
+inline const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp64: return "fp64";
+    case Precision::kFp32: return "fp32";
+  }
+  return "?";
+}
+
+/// Parses "fp64" | "fp32" (also "double" | "single" | "float"); throws
+/// InvalidArgument otherwise.
+Precision parse_precision(const std::string& name);
+
 struct JobSpec {
   /// Matrix to factor (rows >= cols; padded to the tile grid internally).
   la::Matrix<double> a;
@@ -92,6 +117,8 @@ struct JobSpec {
   /// Result-verification tier; failures retry under max_attempts and
   /// exhaust to kCorrupted. See svc::Verify for the cost ladder.
   Verify verify = Verify::kNone;
+  /// Kernel precision for this job (see svc::Precision).
+  Precision precision = Precision::kFp64;
   /// Opaque caller tag, echoed in the result.
   std::uint64_t tag = 0;
 };
@@ -104,6 +131,7 @@ struct JobResult {
 
   la::index_t rows = 0, cols = 0;  // original (unpadded) shape
   int tile_size = 0;
+  Precision precision = Precision::kFp64;  // echoed from the spec
 
   /// Upper-triangular R factor, cols x cols (leading block of the padded
   /// factorization). Empty unless status == kOk.

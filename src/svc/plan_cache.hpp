@@ -31,6 +31,11 @@ struct PlanKey {
   la::index_t cols = 0;
   int tile_size = 0;
   dag::Elimination elim = dag::Elimination::kTt;
+  /// Factor-kernel inner block size the plan's execution assumes. Part of
+  /// the key so services configured with different kernel shapes never
+  /// share a cached plan (the plan's config records ib; execution reads it
+  /// back from there).
+  la::index_t inner_block = 0;
   std::uint64_t platform_hash = 0;
 
   bool operator==(const PlanKey&) const = default;
@@ -47,6 +52,7 @@ struct PlanKeyHash {
     mix(static_cast<std::uint64_t>(k.cols));
     mix(static_cast<std::uint64_t>(k.tile_size));
     mix(static_cast<std::uint64_t>(k.elim));
+    mix(static_cast<std::uint64_t>(k.inner_block));
     mix(k.platform_hash);
     return static_cast<std::size_t>(h);
   }

@@ -496,16 +496,20 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   const int b = job.spec.tile_size > 0 ? job.spec.tile_size
                                        : config_.default_tile;
   result.tile_size = b;
+  result.precision = job.spec.precision;
+  const bool fp32 = job.spec.precision == Precision::kFp32;
   const la::index_t pr = round_up(a.rows(), b);
   const la::index_t pc = round_up(a.cols(), b);
 
   // Plan + DAG: cached per shape.
-  PlanKey key{pr, pc, b, job.spec.elim, platform_hash_};
+  PlanKey key{pr, pc, b, job.spec.elim, config_.inner_block,
+              platform_hash_};
   auto build = [&]() -> PlanEntry {
     core::PlanConfig pc_cfg;
     pc_cfg.tile_size = b;
     pc_cfg.element_bytes = sizeof(double);
     pc_cfg.elim = job.spec.elim;
+    pc_cfg.inner_block = config_.inner_block;
     core::Plan plan(platform_, pr / b, pc / b, pc_cfg);
     dag::TaskGraph graph = dag::build_tiled_qr_graph(
         pr / b, pc / b, job.spec.elim, plan.hier_groups());
@@ -528,6 +532,25 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   WorkspacePool::Lease ws = workspace_pool_.acquire(pr, pc, b);
   ws.scrub_on_release(true);
   load_padded(ws->a, a.view());
+
+  // fp32 jobs factor into dedicated float planes (the pooled workspace is
+  // fp64) and the factored planes are widened back into the lease after
+  // execution. float -> double is exact, so every downstream consumer — R
+  // extraction, the verification replays — sees precisely the reflectors
+  // the fp32 kernels wrote, just applied in fp64 arithmetic.
+  struct FloatPlanes {
+    la::TiledMatrix<float> a, tg, te;
+  };
+  std::unique_ptr<FloatPlanes> f32;
+  if (fp32) {
+    f32 = std::make_unique<FloatPlanes>(
+        FloatPlanes{la::TiledMatrix<float>(pr, pc, b),
+                    la::TiledMatrix<float>(pr, pc, b),
+                    la::TiledMatrix<float>(pr, pc, b)});
+    for (la::index_t j = 0; j < pc; ++j)
+      for (la::index_t i = 0; i < pr; ++i)
+        f32->a.at(i, j) = static_cast<float>(ws->a.at(i, j));
+  }
 
   const Verify verify = job.spec.verify;
   // Tier-1 baseline: orthogonal transforms preserve column 2-norms, so each
@@ -558,7 +581,11 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   // aborts without releasing successors), and runs fault injection ahead
   // of the real tile kernel.
   const core::Plan& plan = entry->plan;
-  const la::index_t ib = config_.inner_block;
+  // Kernel configuration comes from the plan, not the service config: the
+  // plan's timings (and its cache key) were made for this ib, so reading it
+  // back here keeps calibration and execution on the same configuration
+  // even if the service knob changes between planning and running.
+  const la::index_t ib = plan.config().inner_block;
   const double deadline_s = job.spec.exec_deadline_s;
   const int lane = result.lane;
 
@@ -569,16 +596,27 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   // the bad tile. Cost: O(b^2) per written tile, a few percent of the O(b^3)
   // kernel it follows.
   const runtime::DagExecutor::Kernel scan_written_tiles =
-      [&ws](dag::task_id t, const dag::Task& task, int) {
+      [&ws, &f32](dag::task_id t, const dag::Task& task, int) {
         dag::TileAccess acc[5];
         const int n_acc = dag::tile_accesses(task, acc);
         for (int idx = 0; idx < n_acc; ++idx) {
           if (!acc[idx].write) continue;
-          const la::TiledMatrix<double>& plane =
-              acc[idx].plane == dag::Plane::kA
-                  ? ws->a
-                  : (acc[idx].plane == dag::Plane::kTg ? ws->tg : ws->te);
-          if (!la::all_finite<double>(plane.tile(acc[idx].i, acc[idx].j)))
+          bool ok;
+          if (f32) {
+            const la::TiledMatrix<float>& plane =
+                acc[idx].plane == dag::Plane::kA
+                    ? f32->a
+                    : (acc[idx].plane == dag::Plane::kTg ? f32->tg
+                                                         : f32->te);
+            ok = la::all_finite<float>(plane.tile(acc[idx].i, acc[idx].j));
+          } else {
+            const la::TiledMatrix<double>& plane =
+                acc[idx].plane == dag::Plane::kA
+                    ? ws->a
+                    : (acc[idx].plane == dag::Plane::kTg ? ws->tg : ws->te);
+            ok = la::all_finite<double>(plane.tile(acc[idx].i, acc[idx].j));
+          }
+          if (!ok)
             throw VerificationError(
                 "verification: non-finite value in output of " +
                 dag::to_string(task) + " (task " + std::to_string(t) + ")");
@@ -597,8 +635,8 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
       [&plan](dag::task_id, const dag::Task& task) {
         return plan.device_for(task);
       },
-      [this, &ws, ib, &control, picked_up_s, deadline_s, lane, corrupting](
-          dag::task_id t, const dag::Task& task, int) {
+      [this, &ws, &f32, ib, &control, picked_up_s, deadline_s, lane,
+       corrupting](dag::task_id t, const dag::Task& task, int) {
         auto past_deadline = [&] {
           return deadline_s > 0 &&
                  clock_.seconds() - picked_up_s > deadline_s;
@@ -617,7 +655,10 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
           if (past_deadline()) control.request(JobControl::kDeadline);
           if (control.token.cancelled()) return;
         }
-        core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
+        if (f32)
+          core::execute_task<float>(task, f32->a, f32->tg, f32->te, ib);
+        else
+          core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
         if (corrupting) {
           // Silent-corruption injection: poison the task's primary output
           // tile *after* the kernel ran — exactly what flaky silicon does.
@@ -626,8 +667,12 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
           const int n_acc = dag::tile_accesses(task, acc);
           for (int idx = 0; idx < n_acc; ++idx) {
             if (acc[idx].plane == dag::Plane::kA && acc[idx].write) {
-              fault_->maybe_corrupt(t, task, lane,
-                                    ws->a.tile(acc[idx].i, acc[idx].j));
+              if (f32)
+                fault_->maybe_corrupt(t, task, lane,
+                                      f32->a.tile(acc[idx].i, acc[idx].j));
+              else
+                fault_->maybe_corrupt(t, task, lane,
+                                      ws->a.tile(acc[idx].i, acc[idx].j));
               break;
             }
           }
@@ -637,9 +682,20 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
       verify >= Verify::kScan ? &scan_written_tiles : nullptr);
   result.exec_s = exec_clock.seconds();
   metrics_.exec_s.observe(result.exec_s);
+  if (fp32) {
+    // Widen the factored planes back into the pooled workspace (exactly);
+    // extraction and verification below run unchanged against the lease.
+    for (la::index_t j = 0; j < pc; ++j)
+      for (la::index_t i = 0; i < pr; ++i) {
+        ws->a.at(i, j) = static_cast<double>(f32->a.at(i, j));
+        ws->tg.at(i, j) = static_cast<double>(f32->tg.at(i, j));
+        ws->te.at(i, j) = static_cast<double>(f32->te.at(i, j));
+      }
+  }
   if (trace_)
     obs::append_task_events(*trace_, task_trace.events(), entry->graph, b,
-                            lane_pid(lane), exec_start_s);
+                            lane_pid(lane), exec_start_s,
+                            static_cast<int>(ib));
 
   // Extract the caller-shaped R (leading block; identity padding keeps it
   // equal to R of the unpadded matrix).
@@ -648,7 +704,8 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   for (la::index_t j = 0; j < n; ++j)
     for (la::index_t i = 0; i <= j; ++i) result.r(i, j) = ws->a.at(i, j);
 
-  const double tol = la::verify_tolerance<double>(std::max(pr, pc));
+  const double tol = fp32 ? la::verify_tolerance<float>(std::max(pr, pc))
+                          : la::verify_tolerance<double>(std::max(pr, pc));
   if (verify >= Verify::kScan) {
     // End-of-job tier 1: column-norm drift of R against the input norms
     // captured above, normalized by ||A||_F (per-column normalization would

@@ -71,6 +71,33 @@ TEST(Autotune, MeasuredProfileDrivesSelectionAlgorithms) {
   EXPECT_EQ(count.predicted_time.size(), profiles.size());
 }
 
+TEST(Autotune, ProfileCarriesKernelConfigurationThroughPlanning) {
+  // The regression this pins: calibration and execution must agree on the
+  // factor kernels' inner block size. The measured profile is stamped with
+  // the ib it ran, and a PlanConfig built from it carries the same ib to
+  // the executor (which reads plan.config().inner_block — see svc).
+  MeasureOptions opts;
+  opts.tile_size = 32;
+  opts.repetitions = 1;
+  opts.inner_block = 8;
+  const DeviceProfile p = measure_host_profile(0, opts);
+  EXPECT_EQ(p.inner_block, 8);
+
+  PlanConfig pc;
+  pc.tile_size = opts.tile_size;
+  pc.inner_block = p.inner_block;
+  const sim::Platform platform = sim::paper_platform();
+  Plan plan(platform, 4, 4, pc);
+  EXPECT_EQ(plan.config().inner_block, 8);
+
+  // Default-constructed options keep the library-default marker (0), so a
+  // consumer can tell "unspecified" apart from an explicit width.
+  MeasureOptions plain;
+  plain.tile_size = 16;
+  plain.repetitions = 1;
+  EXPECT_EQ(measure_host_profile(0, plain).inner_block, 0);
+}
+
 TEST(Autotune, InvalidOptionsRejected) {
   MeasureOptions opts;
   opts.tile_size = 0;

@@ -8,6 +8,7 @@
 #include "la/blocked_qr.hpp"
 #include "la/checks.hpp"
 #include "la/cholesky.hpp"
+#include "la/generators.hpp"
 #include "la/reference_qr.hpp"
 
 namespace tqr::la {
@@ -130,6 +131,84 @@ TEST(FloatPaths, TiledCholeskyFloatSolve) {
   auto x = f.solve(rhs);
   for (index_t i = 0; i < n; ++i)
     EXPECT_NEAR(x(i, 0), x_true(i, 0), 5e-3f);
+}
+
+TEST(FloatPaths, FloatRecursiveFactorHoldsBoundAcrossInnerBlocks) {
+  // The recursive kernels must hold the float backward-error bound at every
+  // leaf width, including through the full tiled factorization.
+  const index_t n = 96, b = 48;
+  auto a = random_f(n, n, 4300);
+  for (index_t ib : {index_t{1}, index_t{4}, index_t{24}, index_t{48}}) {
+    typename core::TiledQrFactorization<float>::Options opts;
+    opts.inner_block = ib;
+    auto f = core::TiledQrFactorization<float>::factor(a, b, opts);
+    auto q = f.form_q();
+    EXPECT_LT(orthogonality_residual<float>(q.view()),
+              residual_tolerance<float>(n))
+        << "ib=" << ib;
+    auto r = f.r();
+    Matrix<float> r_full(n, n);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i <= j; ++i) r_full(i, j) = r(i, j);
+    EXPECT_LT(
+        reconstruction_residual<float>(a.view(), q.view(), r_full.view()),
+        residual_tolerance<float>(n))
+        << "ib=" << ib;
+  }
+}
+
+TEST(FloatPaths, MixedSolveReachesDoubleAccuracy) {
+  // fp32 factor + fp64 refinement must land at fp64-level accuracy on a
+  // well-conditioned system — the whole point of the mixed mode.
+  const index_t n = 64, b = 16;
+  auto a = Matrix<double>::random(n, n, 4400);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 4.0;
+  auto x_true = Matrix<double>::random(n, 2, 4401);
+  Matrix<double> rhs(n, 2);
+  gemm<double>(Trans::kNoTrans, Trans::kNoTrans, 1.0, a.view(),
+               x_true.view(), 0.0, rhs.view());
+
+  const auto mixed = core::qr_solve_mixed(a, rhs, b);
+  EXPECT_TRUE(mixed.converged);
+  EXPECT_LE(mixed.residual, verify_tolerance<double>(n));
+  // Refinement must actually have run (a raw fp32 solve cannot hit fp64
+  // tolerance) but converge quickly on a benign system.
+  EXPECT_GE(mixed.iterations, 1);
+  EXPECT_LE(mixed.iterations, 4);
+  double err = 0;
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i)
+      err = std::max(err, std::abs(mixed.x(i, j) - x_true(i, j)));
+  EXPECT_LT(err, 1e-10);
+
+  // A plain fp32 solve of the same system is orders of magnitude worse —
+  // the refinement is what buys the accuracy.
+  Matrix<float> af(n, n), bf(n, 2);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) af(i, j) = static_cast<float>(a(i, j));
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i) bf(i, j) = static_cast<float>(rhs(i, j));
+  auto xf = core::qr_solve<float>(af, bf, b);
+  double err_f = 0;
+  for (index_t j = 0; j < 2; ++j)
+    for (index_t i = 0; i < n; ++i)
+      err_f = std::max(err_f, std::abs(static_cast<double>(xf(i, j)) -
+                                       x_true(i, j)));
+  EXPECT_GT(err_f, err * 100);
+}
+
+TEST(FloatPaths, MixedSolveReportsNonConvergenceWhenIllConditioned) {
+  // kappa near 1/eps32: fp32 factors cannot drive the refinement, and the
+  // result must say so instead of silently returning a bad x.
+  const index_t n = 32, b = 8;
+  // Genuine spectral conditioning (not column grading, which Householder QR
+  // absorbs): kappa_2 = 1e10, past 1/eps32 ~ 1e7 but benign for double.
+  auto a = random_with_condition<double>(n, 1e10, 4500);
+  auto rhs = Matrix<double>::random(n, 1, 4501);
+  const auto mixed = core::qr_solve_mixed(a, rhs, b, dag::Elimination::kTt,
+                                          /*max_iterations=*/3);
+  EXPECT_FALSE(mixed.converged);
+  EXPECT_GT(mixed.residual, 0.0);
 }
 
 }  // namespace

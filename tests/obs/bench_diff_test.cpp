@@ -140,10 +140,27 @@ TEST(BenchDiff, OnlyFilterNarrowsTheComparison) {
   auto current = base;
   current["gemm_speedup_at_128"].value = 0.1;  // would regress
   CompareOptions opts;
-  opts.only = "gflops.";
+  opts.only = {"gflops."};
   const auto r = compare(base, current, opts);
   EXPECT_TRUE(r.pass());
   EXPECT_EQ(r.lines.size(), 4u);
+}
+
+TEST(BenchDiff, OnlyFilterAcceptsMultipleSubstrings) {
+  // The CI factor-kernel gate selects geqrt and tsqrt rates together; a
+  // metric matches when it contains *any* of the substrings.
+  const auto base = metrics_of(kernels_doc(1.0));
+  auto current = base;
+  CompareOptions opts;
+  opts.only = {"gemm_naive", "gemm_packed"};
+  const auto both = compare(base, current, opts);
+  EXPECT_TRUE(both.pass());
+  EXPECT_EQ(both.lines.size(), 4u);
+  // A regression inside the selection still fails; one outside it cannot.
+  current["gflops.gemm_naive.t64"].value *= 0.1;
+  EXPECT_FALSE(compare(base, current, opts).pass());
+  opts.only = {"gemm_packed"};
+  EXPECT_TRUE(compare(base, current, opts).pass());
 }
 
 TEST(BenchDiff, AnchorMustExistOnBothSides) {

@@ -96,6 +96,16 @@ TEST(TaskFlops, MatchesKernelModel) {
   EXPECT_DOUBLE_EQ(task_flops(dag::Op::kGemm, 10), 2000.0);
   EXPECT_DOUBLE_EQ(task_flops(dag::Op::kTrsm, 10), 1000.0);
   EXPECT_DOUBLE_EQ(task_flops(dag::Op::kTsmqr, 10), 5000.0);
+  // Factor kernels charge the full compact-WY T build (la/flops.hpp):
+  // geqrt 2 b^3, tsqrt 10/3 b^3, ttqrt 4/3 b^3 — and are ib-independent
+  // (the recursion assembles the same full T the unblocked kernel builds).
+  EXPECT_DOUBLE_EQ(task_flops(dag::Op::kGeqrt, 10), 2000.0);
+  EXPECT_DOUBLE_EQ(task_flops(dag::Op::kTsqrt, 10), 10000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(task_flops(dag::Op::kTtqrt, 10), 4000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(task_flops(dag::Op::kGeqrt, 10, 4),
+                   task_flops(dag::Op::kGeqrt, 10));
+  EXPECT_DOUBLE_EQ(task_flops(dag::Op::kTsqrt, 10, 4),
+                   task_flops(dag::Op::kTsqrt, 10));
 }
 
 TEST(AppendTaskEvents, AnnotatesKernelClassTileAndRate) {

@@ -92,8 +92,14 @@ TEST(DeviceModel, AmortizedIsKernelOverSlots) {
 }
 
 TEST(KernelFlops, MatchesFlopTables) {
-  EXPECT_DOUBLE_EQ(kernel_flops(dag::Op::kGeqrt, 16), la::flops_geqrt(16));
+  // Apply kernels share the la/flops counts; factor kernels keep the
+  // classical calibration proxy (see kernel_flops), which excludes the
+  // full-T build la::flops_* now charges.
   EXPECT_DOUBLE_EQ(kernel_flops(dag::Op::kTtmqr, 16), la::flops_ttmqr(16));
+  EXPECT_DOUBLE_EQ(kernel_flops(dag::Op::kTsmqr, 16), la::flops_tsmqr(16));
+  EXPECT_DOUBLE_EQ(kernel_flops(dag::Op::kGeqrt, 16),
+                   (5.0 / 3.0) * 16.0 * 16.0 * 16.0);
+  EXPECT_LT(kernel_flops(dag::Op::kGeqrt, 16), la::flops_geqrt(16));
 }
 
 TEST(Platform, PaperPlatformShape) {

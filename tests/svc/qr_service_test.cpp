@@ -204,5 +204,69 @@ TEST(QrService, ExplicitTileSizeOverridesDefault) {
   EXPECT_LT(result.residual, la::residual_tolerance<double>(96));
 }
 
+TEST(QrService, Fp32JobFactorsToFloatTolerance) {
+  QrService service;
+  JobSpec spec = spec_for(96, 96, 90, true);
+  spec.precision = Precision::kFp32;
+  spec.verify = Verify::kFull;
+  auto result = service.submit(std::move(spec)).get();
+  ASSERT_EQ(result.status, JobStatus::kOk) << result.error;
+  EXPECT_EQ(result.precision, Precision::kFp32);
+  EXPECT_TRUE(upper_triangular(result.r));
+  // Residual sits at float scale: well under the float tolerance the full
+  // verify tier enforced, but way above anything a double factorization
+  // produces — proof the kernels genuinely ran in fp32.
+  EXPECT_LT(result.residual, la::residual_tolerance<float>(96));
+  EXPECT_GT(result.residual, 100.0 * la::residual_tolerance<double>(96));
+}
+
+TEST(QrService, Fp32AndFp64JobsAgreeOnR) {
+  QrService service;
+  JobSpec lo = spec_for(64, 64, 91, false);
+  JobSpec hi;
+  hi.a = lo.a;
+  lo.precision = Precision::kFp32;
+  auto rlo = service.submit(std::move(lo)).get();
+  auto rhi = service.submit(std::move(hi)).get();
+  ASSERT_EQ(rlo.status, JobStatus::kOk) << rlo.error;
+  ASSERT_EQ(rhi.status, JobStatus::kOk) << rhi.error;
+  // Same factorization up to float rounding (sign-fixed via |R| since
+  // reflector signs may differ between precisions).
+  double worst = 0, scale = 0;
+  for (la::index_t j = 0; j < 64; ++j)
+    for (la::index_t i = 0; i <= j; ++i) {
+      worst = std::max(worst, std::abs(std::abs(rlo.r(i, j)) -
+                                       std::abs(rhi.r(i, j))));
+      scale = std::max(scale, std::abs(rhi.r(i, j)));
+    }
+  EXPECT_LT(worst / scale, la::residual_tolerance<float>(64, 5000.0));
+}
+
+TEST(QrService, PrecisionParsesAndPrints) {
+  EXPECT_EQ(parse_precision("fp32"), Precision::kFp32);
+  EXPECT_EQ(parse_precision("float"), Precision::kFp32);
+  EXPECT_EQ(parse_precision("fp64"), Precision::kFp64);
+  EXPECT_EQ(parse_precision("double"), Precision::kFp64);
+  EXPECT_STREQ(to_string(Precision::kFp32), "fp32");
+  EXPECT_STREQ(to_string(Precision::kFp64), "fp64");
+  EXPECT_THROW(parse_precision("fp16"), InvalidArgument);
+}
+
+TEST(QrService, TraceRecordsConfiguredInnerBlock) {
+  // Calibration/execution consistency: the ib the service was configured
+  // with must be the ib the plan records and the one the executed factor
+  // tasks are annotated with in the trace.
+  ServiceConfig config;
+  config.lanes = 1;
+  config.collect_trace = true;
+  config.inner_block = 8;
+  QrService service(config);
+  auto result = service.submit(spec_for(64, 64, 92, false)).get();
+  ASSERT_EQ(result.status, JobStatus::kOk) << result.error;
+  service.drain();
+  const std::string json = service.trace_json();
+  EXPECT_NE(json.find("\"ib\":8"), std::string::npos) << json.substr(0, 400);
+}
+
 }  // namespace
 }  // namespace tqr::svc

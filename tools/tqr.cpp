@@ -57,6 +57,18 @@ la::index_t checked_dim(const Cli& cli, const std::string& name,
   return static_cast<la::index_t>(v);
 }
 
+/// Inner block size from --ib: non-negative (0 = library default), bounded
+/// by index_t like the dimensions. Shared by factor/solve/serve so every
+/// subcommand rejects "--ib -3" or "--ib 1e12" with the same usage error.
+la::index_t checked_ib(const Cli& cli, std::int64_t fallback = 0) {
+  const std::int64_t v = cli.get_int("ib", fallback);
+  if (v < 0 || v > std::numeric_limits<la::index_t>::max())
+    throw InvalidArgument("--ib must be in [0, " +
+                          std::to_string(std::numeric_limits<la::index_t>::max()) +
+                          "] (got " + std::to_string(v) + ")");
+  return static_cast<la::index_t>(v);
+}
+
 /// Cluster node count from --nodes: the sim cluster preset models 1-4
 /// nodes, so anything outside that range is a usage error (exit 1), not a
 /// TQR_REQUIRE abort three layers down (exit 2).
@@ -164,7 +176,7 @@ int cmd_factor(int argc, char** argv) {
 
   typename core::TiledQrFactorization<double>::Options opts;
   opts.elim = parse_elim(cli.get_string("elim", "tt"));
-  opts.inner_block = static_cast<la::index_t>(cli.get_int("ib", 0));
+  opts.inner_block = checked_ib(cli);
   auto f = core::TiledQrFactorization<double>::factor(padded, b, opts);
 
   auto q = f.form_q();
@@ -200,8 +212,13 @@ int cmd_solve(int argc, char** argv) {
   cli.flag("rhs", "right-hand side b (required)");
   cli.flag("out", "solution output path");
   cli.flag("tile", "tile size", "16");
+  cli.flag("ib", "factor-kernel inner blocking (0 = off)", "0");
   cli.flag("refine", "iterative refinement steps", "0");
   cli.flag("method", "qr (least squares) or chol (SPD systems)", "qr");
+  cli.flag("precision",
+           "fp64, or fp32 for a single-precision factorization with "
+           "double-precision iterative refinement (qr only)",
+           "fp64");
   if (!cli.parse(argc, argv)) return 0;
   const std::string in = cli.get_string("in", "");
   const std::string rhs_path = cli.get_string("rhs", "");
@@ -218,13 +235,32 @@ int cmd_solve(int argc, char** argv) {
 
   const std::string method = cli.get_string("method", "qr");
   const int refine = static_cast<int>(cli.get_int("refine", 0));
+  const la::index_t ib = checked_ib(cli);
+  const svc::Precision precision =
+      svc::parse_precision(cli.get_string("precision", "fp64"));
   la::Matrix<double> x;
   if (method == "chol") {
+    if (precision != svc::Precision::kFp64)
+      throw InvalidArgument("--precision fp32 requires --method qr");
     auto f = core::TiledCholesky<double>::factor(a, b);
     x = f.solve(rhs);
   } else if (method == "qr") {
-    auto f = core::TiledQrFactorization<double>::factor(a, b);
-    x = refine > 0 ? f.solve_refined(a, rhs, refine) : f.solve(rhs);
+    if (precision == svc::Precision::kFp32) {
+      const auto mixed = core::qr_solve_mixed(
+          a, rhs, b, dag::Elimination::kTt,
+          refine > 0 ? refine : 8, /*tolerance=*/0.0, ib);
+      std::printf(
+          "mixed fp32 factor + fp64 refinement: %d rounds, %s "
+          "(scaled residual %.3e)\n",
+          mixed.iterations, mixed.converged ? "converged" : "NOT converged",
+          mixed.residual);
+      x = mixed.x;
+    } else {
+      typename core::TiledQrFactorization<double>::Options opts;
+      opts.inner_block = ib;
+      auto f = core::TiledQrFactorization<double>::factor(a, b, opts);
+      x = refine > 0 ? f.solve_refined(a, rhs, refine) : f.solve(rhs);
+    }
   } else {
     throw InvalidArgument("unknown --method '" + method + "'");
   }
@@ -382,6 +418,8 @@ int cmd_serve(int argc, char** argv) {
   cli.flag("jobs", "trace: ROWSxCOLS:COUNT[,...]", "256x256:16,512x256:4");
   cli.flag("lanes", "concurrent execution lanes", "2");
   cli.flag("tile", "tile size", "16");
+  cli.flag("ib", "factor-kernel inner blocking (0 = library default)", "0");
+  cli.flag("precision", "kernel precision for every job: fp64|fp32", "fp64");
   cli.flag("elim", "elimination: ts|tt|ttflat|hier", "tt");
   cli.flag("gpus", "GPUs in the modeled node (0-3)", "3");
   cli.flag("queue", "job queue capacity", "64");
@@ -435,6 +473,7 @@ int cmd_serve(int argc, char** argv) {
   svc::ServiceConfig config;
   config.lanes = static_cast<int>(cli.get_int("lanes", 2));
   config.default_tile = static_cast<int>(checked_dim(cli, "tile", 16));
+  config.inner_block = checked_ib(cli);
   config.gpus = static_cast<int>(cli.get_int("gpus", 3));
   config.quarantine_after =
       static_cast<int>(cli.get_int("quarantine-after", 0));
@@ -474,6 +513,8 @@ int cmd_serve(int argc, char** argv) {
   const int retries = static_cast<int>(cli.get_int("retries", 1));
   const double retry_backoff_s = cli.get_double("retry-backoff-ms", 0) * 1e-3;
   const dag::Elimination elim = parse_elim(cli.get_string("elim", "tt"));
+  const svc::Precision precision =
+      svc::parse_precision(cli.get_string("precision", "fp64"));
 
   svc::QrService service(config);
   std::vector<std::future<svc::JobResult>> futures;
@@ -490,6 +531,7 @@ int cmd_serve(int argc, char** argv) {
       spec.elim = elim;
       spec.compute_residual = residual;
       spec.verify = verify;
+      spec.precision = precision;
       spec.queue_deadline_s = queue_deadline_s;
       spec.exec_deadline_s = exec_deadline_s;
       spec.max_attempts = retries;
