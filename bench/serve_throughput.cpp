@@ -11,9 +11,18 @@
 // independent ground truth, and the JSON reports the outcome mix (detected /
 // retried-ok / silently-wrong / quarantined lanes); with verification on,
 // any silently-wrong job makes the bench exit 3 — the CI chaos smoke gate.
+// --sweep adds a submitter-scaling section: S client threads race submit()
+// against one warm service for S in a sweep (1..256 by default), reporting
+// per-level throughput and submit-to-pickup latency p99. This is the
+// acceptance driver for the lock-free admission queue + work-stealing
+// executor: the scaling curve must flatten later than the committed
+// baseline (gated via bench_diff; jobs_per_s higher-is-better,
+// submit_pick_p99_ms lower-is-better).
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -152,6 +161,80 @@ RunMetrics replay(svc::QrService& service, const std::vector<TraceShape>& trace,
   return m;
 }
 
+struct SweepPoint {
+  int submitters = 0;
+  int jobs = 0;
+  double jobs_per_s = 0;
+  double submit_pick_p99_ms = 0;  // submit() return -> lane pickup
+};
+
+/// One sweep level: `submitters` threads each push `per_submitter` jobs of
+/// one small shape into a fresh warm service, back to back (admission
+/// backpressure included in the measured wall time), then harvest results.
+/// The p99 is over JobResult::queue_s — the submit-to-pick path whose
+/// serialization this sweep exists to measure.
+SweepPoint sweep_level(const svc::ServiceConfig& cfg, la::index_t n,
+                       int submitters, int per_submitter,
+                       std::uint64_t seed) {
+  svc::QrService service(cfg);
+  {
+    // Prime the plan cache and workspace pool so every measured job runs at
+    // steady state.
+    svc::JobSpec warmup;
+    warmup.a = la::Matrix<double>::random(n, n, seed);
+    service.submit(std::move(warmup)).get();
+  }
+  std::vector<std::vector<double>> queue_s(
+      static_cast<std::size_t>(submitters));
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < submitters; ++s) {
+    threads.emplace_back([&, s] {
+      std::vector<std::future<svc::JobResult>> futures;
+      futures.reserve(static_cast<std::size_t>(per_submitter));
+      for (int j = 0; j < per_submitter; ++j) {
+        svc::JobSpec spec;
+        spec.a = la::Matrix<double>::random(
+            n, n, seed + 1 + static_cast<std::uint64_t>(s) * 1000 +
+                      static_cast<std::uint64_t>(j));
+        futures.push_back(service.submit(std::move(spec)));
+      }
+      auto& mine = queue_s[static_cast<std::size_t>(s)];
+      for (auto& f : futures) {
+        const auto r = f.get();
+        TQR_REQUIRE(r.status == svc::JobStatus::kOk,
+                    "sweep job failed: " + r.error);
+        mine.push_back(r.queue_s);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SweepPoint p;
+  p.submitters = submitters;
+  p.jobs = submitters * per_submitter;
+  p.jobs_per_s = p.jobs / wall.seconds();
+  std::vector<double> all;
+  for (const auto& q : queue_s) all.insert(all.end(), q.begin(), q.end());
+  std::sort(all.begin(), all.end());
+  const std::size_t idx =
+      all.empty() ? 0 : (all.size() * 99 + 99) / 100 - 1;
+  p.submit_pick_p99_ms =
+      all.empty() ? 0 : all[std::min(idx, all.size() - 1)] * 1e3;
+  return p;
+}
+
+std::vector<int> parse_int_list(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(static_cast<int>(std::stol(spec.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 void print_metrics(const char* name, const RunMetrics& m, bool last) {
   std::printf(
       " \"%s\": {\"jobs\": %d, \"wall_s\": %.4f, \"jobs_per_s\": %.2f,\n"
@@ -196,6 +279,11 @@ int main(int argc, char** argv) try {
            "0");
   cli.flag("retries", "max attempts per job in the faulted replay", "2");
   cli.flag("retry-backoff-ms", "pause before retry attempts", "0");
+  cli.flag("sweep", "add a submitter-scaling sweep section");
+  cli.flag("sweep-submitters", "submitter counts for --sweep",
+           "1,4,16,64,256");
+  cli.flag("sweep-jobs", "jobs per submitter at each sweep level", "8");
+  cli.flag("sweep-size", "square job size in the sweep", "64");
   if (!cli.parse(argc, argv)) return 0;
   const int repeats = static_cast<int>(cli.get_int("repeats", 3));
   TQR_REQUIRE(repeats > 0, "--repeats must be >= 1");
@@ -274,10 +362,38 @@ int main(int argc, char** argv) try {
     faulted = replay(service, trace, seed + 2000, proto, /*strict=*/false);
   }
 
+  // Submitter-scaling sweep over one warm service per level. Quick mode
+  // (the CI perf-gate contended smoke) trims the level list and per-level
+  // job count but keeps the most contended point.
+  std::vector<SweepPoint> sweep;
+  if (cli.get_bool("sweep", false)) {
+    std::string levels = cli.get_string("sweep-submitters", "1,4,16,64,256");
+    int per = static_cast<int>(cli.get_int("sweep-jobs", 8));
+    if (cli.get_bool("quick", false)) {
+      levels = "1,16,64";
+      per = 3;
+    }
+    const auto n =
+        static_cast<la::index_t>(cli.get_int("sweep-size", 64));
+    for (int s : parse_int_list(levels)) {
+      TQR_REQUIRE(s > 0, "--sweep-submitters entries must be >= 1");
+      sweep.push_back(sweep_level(base, n, s, per, seed + 3000));
+    }
+  }
+
   std::printf("{\"trace\": \"%s\", \"lanes\": %d, \"tile\": %d,\n",
               spec.c_str(), base.lanes, base.default_tile);
   print_metrics("cold", cold, false);
   print_metrics("warm", warm, false);
+  if (!sweep.empty()) {
+    std::printf(" \"sweep\": {");
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+      std::printf("%s\"s%d\": {\"jobs\": %d, \"jobs_per_s\": %.2f, "
+                  "\"submit_pick_p99_ms\": %.3f}",
+                  i ? ", " : "", sweep[i].submitters, sweep[i].jobs,
+                  sweep[i].jobs_per_s, sweep[i].submit_pick_p99_ms);
+    std::printf("},\n");
+  }
   if (faulted_run)
     std::printf(
         " \"faulted\": {\"jobs\": %d, \"ok\": %d, \"failed\": %d, "

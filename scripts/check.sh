@@ -46,11 +46,18 @@ if [[ "$MODE" == "perf" ]]; then
     --tolerance "${PERF_TOLERANCE:-0.35}" \
     --anchor gflops.gemm_naive.t128
 
-  echo "== service throughput (quick) =="
-  "$BUILD_DIR/bench/serve_throughput" --quick --repeats 1 \
+  echo "== service throughput (quick, contended sweep) =="
+  "$BUILD_DIR/bench/serve_throughput" --quick --repeats 1 --sweep \
     > "$OUT_DIR/serve_current.json"
   "$BUILD_DIR/bench/bench_diff" --list \
     --current "$OUT_DIR/serve_current.json"
+  echo "== bench_diff sweep gate (jobs_per_s + submit-to-pick p99) =="
+  "$BUILD_DIR/bench/bench_diff" \
+    --baseline "$REPO_DIR/BENCH_kernels.json" \
+    --current "$OUT_DIR/serve_current.json" \
+    --tolerance "${SWEEP_TOLERANCE:-0.60}" \
+    --anchor sweep.s1.jobs_per_s \
+    --only sweep
 
   echo "== serve trace smoke =="
   "$BUILD_DIR/tools/tqr" serve --jobs 128x128:8 --lanes 2 \

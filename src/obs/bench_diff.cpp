@@ -17,6 +17,14 @@ bool rate_like(const std::string& leaf) {
          leaf.find("hit_rate") != std::string::npos;
 }
 
+// Latency leaves (e.g. the serve sweep's submit_pick_p99_ms) gate in the
+// opposite direction: a regression is the number going UP.
+bool latency_like(const std::string& leaf) {
+  return leaf.find("p99_ms") != std::string::npos ||
+         leaf.find("p95_ms") != std::string::npos ||
+         leaf.find("p50_ms") != std::string::npos;
+}
+
 std::string leaf_of(const std::string& path) {
   const auto dot = path.rfind('.');
   return dot == std::string::npos ? path : path.substr(dot + 1);
@@ -47,7 +55,11 @@ std::map<std::string, Metric> extract_metrics(const Json& doc) {
 
   for (const auto& [path, value] : doc.flatten_numbers()) {
     if (path.rfind("results.", 0) == 0) continue;  // handled above
-    if (rate_like(leaf_of(path))) out[path] = Metric{value, true};
+    const std::string leaf = leaf_of(path);
+    if (rate_like(leaf))
+      out[path] = Metric{value, true};
+    else if (latency_like(leaf))
+      out[path] = Metric{value, false};
   }
   return out;
 }

@@ -170,6 +170,20 @@ void append_task_events(TraceLog& log,
     TraceArgs args;
     args.add("task", static_cast<std::int64_t>(e.task));
     args.add("device", static_cast<std::int64_t>(e.device));
+    if (e.kind != runtime::TraceEvent::Kind::kTask) {
+      // A task dropped without executing (cancel at the dispatch boundary,
+      // or drained from a ready queue when the run aborted) becomes an
+      // instant, so the merged timeline still accounts for every dispatched
+      // task: spans + drop instants == tasks handed to the executor.
+      const bool cancelled = e.kind == runtime::TraceEvent::Kind::kCancelled;
+      std::string name = cancelled ? "cancelled " : "drained ";
+      name += e.task >= 0 && static_cast<std::size_t>(e.task) < graph.size()
+                  ? dag::op_name(graph.task(e.task).op)
+                  : "task";
+      log.instant(name, "drop", pid, 1 + e.device, offset_s + e.start_s,
+                  std::move(args));
+      continue;
+    }
     const char* cat = "task";
     if (e.task >= 0 && static_cast<std::size_t>(e.task) < graph.size()) {
       const dag::Task& t = graph.task(e.task);

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "runtime/mpmc_ring.hpp"
+#include "runtime/work_steal_deque.hpp"
 
 namespace tqr::runtime {
 
@@ -15,6 +17,17 @@ namespace {
 /// bookkeeping safely; the caller-owned graph/affinity/kernel references are
 /// only dereferenced while tasks remain, and execute() quiesces (waits for
 /// workers_inside == 0) before returning.
+///
+/// Ready-task plumbing (the lock-free redesign): each worker thread owns a
+/// Chase-Lev deque — it pushes tasks it releases for its own device at the
+/// bottom and pops them LIFO (depth-first, cache-warm); idle siblings of the
+/// same device steal from the top. Tasks released for *another* device (and
+/// the seed tasks, pushed by the execute() caller) go through that device's
+/// bounded MPMC inbox ring. A worker that finds all three sources empty
+/// spins a bounded backoff, then parks on the device's futex-backed
+/// EventCount; every push_ready bumps the target device's eventcount, so a
+/// publication can never race a worker to sleep (see mpmc_ring.hpp for the
+/// epoch argument). No mutex is taken anywhere on the dispatch path.
 struct RunState {
   const dag::TaskGraph& graph;
   const DagExecutor::Affinity& affinity;
@@ -23,20 +36,27 @@ struct RunState {
   CancelToken* cancel = nullptr;
   /// Post-kernel hook (result verification); failures are kernel failures.
   const DagExecutor::Kernel* post_task = nullptr;
+  ExecCounters* counters = nullptr;
 
   std::uint64_t seq = 0;  // engine run sequence number
 
   std::vector<std::atomic<std::int32_t>> remaining;  // per-task deps left
   std::atomic<std::int64_t> tasks_left;
 
-  // Per-device ready queues. With panel_priority the deque is kept sorted
-  // ascending by task id (panel-major order); otherwise FIFO.
-  struct DeviceQueue {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<dag::task_id> ready;
+  /// Per-device-group scheduling state: the cross-thread inbox and the park
+  /// point. Workers of the group are deques[w] for w in [first_worker,
+  /// first_worker + num_workers).
+  struct DeviceState {
+    std::unique_ptr<MpmcRing<std::int32_t>> inbox;
+    EventCount ec;
+    int first_worker = 0;
+    int num_workers = 0;
   };
-  std::vector<DeviceQueue> queues;
+  std::vector<DeviceState> devices;
+  /// One work-stealing deque per worker thread, indexed by global worker id.
+  std::vector<std::unique_ptr<WorkStealDeque>> deques;
+  /// Global worker id -> device group (thief candidates are same-device).
+  std::vector<int> device_of_worker;
   bool panel_priority = false;
 
   std::atomic<bool> failed{false};
@@ -47,6 +67,11 @@ struct RunState {
   std::mutex error_mutex;
   std::exception_ptr error;
 
+  /// Tasks dropped without executing (popped-then-cancelled, or left in the
+  /// queues when an aborted/failed run drains). Keeps merged traces and
+  /// ServiceStats balanced: executed + drained == dispatched.
+  std::atomic<std::int64_t> drained{0};
+
   /// Workers currently inside worker(); execute() returns only once this is
   /// back to zero so caller-owned callbacks cannot be used after return.
   std::atomic<int> workers_inside{0};
@@ -54,43 +79,69 @@ struct RunState {
   Timer clock;
 
   RunState(const dag::TaskGraph& g, const DagExecutor::Affinity& a,
-           const DagExecutor::Kernel& k, Trace* t, int num_devices)
+           const DagExecutor::Kernel& k, Trace* t, int num_devices,
+           const std::vector<int>& threads_per_device)
       : graph(g),
         affinity(a),
         kernel(k),
         trace(t),
         remaining(g.size()),
         tasks_left(static_cast<std::int64_t>(g.size())),
-        queues(num_devices) {}
-
-  void push_ready(dag::task_id t) {
-    const int dev = affinity(t, graph.task(t));
-    TQR_ASSERT(dev >= 0 && dev < static_cast<int>(queues.size()),
-               "affinity returned an out-of-range device");
-    {
-      std::lock_guard<std::mutex> lock(queues[dev].mutex);
-      auto& q = queues[dev].ready;
-      if (panel_priority) {
-        q.insert(std::upper_bound(q.begin(), q.end(), t), t);
-      } else {
-        q.push_back(t);
+        devices(static_cast<std::size_t>(num_devices)) {
+    // Inboxes sized to the whole graph: every task is enqueued at most once,
+    // so a push can never find the ring full (asserted in push_ready).
+    int wid = 0;
+    for (int dev = 0; dev < num_devices; ++dev) {
+      devices[static_cast<std::size_t>(dev)].inbox =
+          std::make_unique<MpmcRing<std::int32_t>>(g.size());
+      devices[static_cast<std::size_t>(dev)].first_worker = wid;
+      devices[static_cast<std::size_t>(dev)].num_workers =
+          threads_per_device[static_cast<std::size_t>(dev)];
+      for (int s = 0; s < threads_per_device[static_cast<std::size_t>(dev)];
+           ++s, ++wid) {
+        deques.push_back(std::make_unique<WorkStealDeque>(g.size()));
+        device_of_worker.push_back(dev);
       }
     }
-    queues[dev].cv.notify_one();
   }
 
-  /// Wakes every worker parked on a ready queue. The empty critical section
-  /// before each notify is load-bearing: the wake flags (failed / aborted /
-  /// tasks_left) are atomics written *outside* the queue mutex, so a worker
-  /// can evaluate its wait predicate false, then — before it blocks — the
-  /// flag flips and the bare notify is lost, and the worker sleeps forever.
-  /// Taking the queue mutex first orders the notify after the worker either
-  /// saw the flag or went to sleep.
-  void wake_all_queues() {
-    for (auto& q : queues) {
-      { std::lock_guard<std::mutex> lock(q.mutex); }
-      q.cv.notify_all();
+  /// Routes one ready task. `from_wid` is the releasing worker's global id
+  /// (-1 when the execute() caller seeds the run): a task for the releasing
+  /// worker's own device goes on its own deque (no shared state touched
+  /// beyond the deque bottom), anything else through the target device's
+  /// inbox ring.
+  void push_ready(dag::task_id t, int from_wid) {
+    enqueue(t, affinity(t, graph.task(t)), from_wid);
+  }
+
+  void enqueue(dag::task_id t, int dev, int from_wid) {
+    TQR_ASSERT(dev >= 0 && dev < static_cast<int>(devices.size()),
+               "affinity returned an out-of-range device");
+    bool queued = false;
+    if (from_wid >= 0 &&
+        device_of_worker[static_cast<std::size_t>(from_wid)] == dev) {
+      queued = deques[static_cast<std::size_t>(from_wid)]->push(
+          static_cast<std::int32_t>(t));
+      if (queued && counters)
+        counters->local_pushes.fetch_add(1, std::memory_order_relaxed);
     }
+    if (!queued) {
+      const bool ok =
+          devices[static_cast<std::size_t>(dev)].inbox->try_push(
+              static_cast<std::int32_t>(t));
+      TQR_ASSERT(ok, "device inbox overflow (task enqueued twice?)");
+      if (counters)
+        counters->inbox_pushes.fetch_add(1, std::memory_order_relaxed);
+    }
+    devices[static_cast<std::size_t>(dev)].ec.notify_all();
+  }
+
+  /// Wakes every worker parked on a device eventcount. The epoch bump in
+  /// notify_all() orders after the flag stores that precede this call, so a
+  /// worker either sees the flag on its re-check or gets an immediate
+  /// wakeup — the futex analogue of the old empty-critical-section trick.
+  void wake_all_queues() {
+    for (auto& d : devices) d.ec.notify_all();
   }
 
   void record_failure(std::exception_ptr e) {
@@ -115,27 +166,103 @@ struct RunState {
            aborted.load(std::memory_order_acquire);
   }
 
-  /// Serves device `dev`'s queue until the run completes, fails, or aborts.
-  void worker(int dev) {
-    auto& q = queues[dev];
+  /// Accounts one task dropped without executing: a trace instant (so
+  /// merged Perfetto timelines balance — every dispatched task is either a
+  /// span or an instant) plus the drained counters.
+  void note_dropped(dag::task_id t, int dev, TraceEvent::Kind kind) {
+    drained.fetch_add(1, std::memory_order_relaxed);
+    if (counters)
+      counters->drained_tasks.fetch_add(1, std::memory_order_relaxed);
+    if (trace) {
+      TraceEvent ev;
+      ev.task = t;
+      ev.op = graph.task(t).op;
+      ev.device = dev;
+      ev.start_s = ev.end_s = clock.seconds();
+      ev.kind = kind;
+      trace->record(ev);
+    }
+  }
+
+  /// Empties every inbox and deque after the workers quiesced (abort/failure
+  /// paths), accounting each leftover as kDrained. Caller must guarantee no
+  /// worker is inside worker() — execute() runs this after the quiesce wait.
+  void drain_leftovers() {
+    for (std::size_t dev = 0; dev < devices.size(); ++dev)
+      while (auto t = devices[dev].inbox->try_pop())
+        note_dropped(*t, static_cast<int>(dev), TraceEvent::Kind::kDrained);
+    for (std::size_t w = 0; w < deques.size(); ++w) {
+      std::int32_t t;
+      while (deques[w]->steal(t))
+        note_dropped(t, device_of_worker[w], TraceEvent::Kind::kDrained);
+    }
+  }
+
+  /// One attempt to obtain a task for worker `wid`: own deque (LIFO), then
+  /// the device inbox, then stealing from same-device siblings.
+  bool try_get(int wid, const DeviceState& ds, std::int32_t& t) {
+    if (deques[static_cast<std::size_t>(wid)]->pop(t)) return true;
+    if (auto v = ds.inbox->try_pop()) {
+      t = *v;
+      return true;
+    }
+    for (int i = 1; i < ds.num_workers; ++i) {
+      // Start at our right-hand neighbour so thieves spread instead of all
+      // hammering worker 0's deque.
+      const int other = ds.first_worker +
+                        (wid - ds.first_worker + i) % ds.num_workers;
+      if (deques[static_cast<std::size_t>(other)]->steal(t)) {
+        if (counters) counters->steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when a re-check before parking sees anything dispatchable.
+  bool maybe_has_work(int wid, const DeviceState& ds) const {
+    if (ds.inbox->in_flight() != 0) return true;
+    for (int i = 0; i < ds.num_workers; ++i)
+      if (deques[static_cast<std::size_t>(ds.first_worker + i)]
+              ->maybe_nonempty())
+        return true;
+    (void)wid;
+    return false;
+  }
+
+  /// Serves device `dev`'s ready tasks until the run completes, fails, or
+  /// aborts. `wid` is this thread's global worker id.
+  void worker(int dev, int wid) {
+    DeviceState& ds = devices[static_cast<std::size_t>(dev)];
+    Backoff idle;
     for (;;) {
-      dag::task_id t = -1;
-      {
-        std::unique_lock<std::mutex> lock(q.mutex);
-        q.cv.wait(lock, [&] { return !q.ready.empty() || done() || stopping(); });
-        if (stopping()) return;
-        if (q.ready.empty()) {
-          if (done()) return;
+      if (stopping()) return;
+      std::int32_t t = -1;
+      if (!try_get(wid, ds, t)) {
+        if (done()) return;
+        if (!idle.exhausted()) {
+          idle.pause();
           continue;
         }
-        t = q.ready.front();
-        q.ready.pop_front();
+        // Park. prepare() before the re-checks: any push_ready or flag
+        // store that lands after them bumps the epoch and wait() returns
+        // immediately, so no publication can be slept through.
+        const std::uint32_t e = ds.ec.prepare();
+        if (maybe_has_work(wid, ds) || done() || stopping()) continue;
+        if (counters) counters->parks.fetch_add(1, std::memory_order_relaxed);
+        ds.ec.wait(e);
+        idle.reset();
+        continue;
       }
+      idle.reset();
 
       // Task-dispatch boundary: honor an external cancellation request
-      // before starting the kernel. The per-run ready queues die with the
-      // RunState, so anything left in them is implicitly drained.
+      // before starting the kernel. This task was already popped, so it is
+      // accounted as dropped (trace instant + drained counter) instead of
+      // vanishing between the queues and the kernel; whatever is still
+      // queued is accounted when execute() drains the leftovers.
       if (cancel && cancel->cancelled()) {
+        note_dropped(t, dev, TraceEvent::Kind::kCancelled);
         abort_run();
         return;
       }
@@ -167,16 +294,38 @@ struct RunState {
         return;
       }
 
-      // Release successors.
+      // Release successors. Collect the batch first so the panel-priority
+      // hint can order simultaneously-released tasks: own-device tasks are
+      // pushed bottom-first in *descending* id order (the LIFO pop then
+      // dispatches ascending), cross-device tasks stream to inboxes in
+      // ascending (FIFO) order.
+      thread_local std::vector<dag::task_id> batch;
+      batch.clear();
       for (auto it = graph.successors_begin(t); it != graph.successors_end(t);
            ++it) {
         if (remaining[*it].fetch_sub(1, std::memory_order_acq_rel) == 1)
-          push_ready(*it);
+          batch.push_back(*it);
       }
+      if (panel_priority && batch.size() > 1)
+        std::sort(batch.begin(), batch.end());
+      // Cross-device tasks go out first, ascending — the FIFO inbox
+      // dispatches them in push order. Own-device tasks are kept and then
+      // pushed in *descending* order, so the owner's LIFO pop dispatches
+      // them ascending too.
+      std::size_t own = 0;
+      for (dag::task_id s : batch) {
+        const int sdev = affinity(s, graph.task(s));
+        if (sdev == dev)
+          batch[own++] = s;
+        else
+          enqueue(s, sdev, wid);
+      }
+      for (std::size_t i = own; i-- > 0;) enqueue(batch[i], dev, wid);
       if (tasks_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last task: wake every device so idle workers can exit. Must go
-        // through wake_all_queues() — a bare notify can race a worker that
-        // read tasks_left just before this decrement and is about to block.
+        // through wake_all_queues() — its epoch bumps cannot race a worker
+        // that read tasks_left just before this decrement and is about to
+        // park.
         wake_all_queues();
       }
     }
@@ -189,6 +338,7 @@ struct DagExecutor::Impl {
   int num_devices = 1;
   bool panel_priority = false;
   std::vector<int> threads_per_device;
+  ExecCounters* counters = nullptr;
 
   std::mutex mutex;                 // guards current/seq/stop
   std::condition_variable cv_run;   // workers wait here for a new run
@@ -201,7 +351,7 @@ struct DagExecutor::Impl {
   std::mutex execute_mutex;  // serializes concurrent execute() callers
   std::vector<std::thread> threads;
 
-  void thread_main(int dev) {
+  void thread_main(int dev, int wid) {
     std::uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<RunState> run;
@@ -215,7 +365,7 @@ struct DagExecutor::Impl {
         seen = run->seq;
         run->workers_inside.fetch_add(1, std::memory_order_acq_rel);
       }
-      run->worker(dev);
+      run->worker(dev, wid);
       {
         // Under the engine mutex so execute()'s cv_done wait cannot miss the
         // final transition to workers_inside == 0. The worker's RunState
@@ -247,10 +397,12 @@ DagExecutor::DagExecutor(const Options& options)
   impl_->num_devices = options.num_devices;
   impl_->panel_priority = options.panel_priority;
   impl_->threads_per_device = threads;
+  impl_->counters = options.counters;
+  int wid = 0;
   for (int dev = 0; dev < options.num_devices; ++dev)
-    for (int s = 0; s < threads[dev]; ++s)
+    for (int s = 0; s < threads[dev]; ++s, ++wid)
       impl_->threads.emplace_back(
-          [impl = impl_.get(), dev] { impl->thread_main(dev); });
+          [impl = impl_.get(), dev, wid] { impl->thread_main(dev, wid); });
 }
 
 DagExecutor::~DagExecutor() {
@@ -279,16 +431,20 @@ double DagExecutor::execute(const dag::TaskGraph& graph,
     throw Cancelled("run cancelled before dispatch");
 
   auto run = std::make_shared<RunState>(graph, affinity, kernel, trace,
-                                        impl_->num_devices);
+                                        impl_->num_devices,
+                                        impl_->threads_per_device);
   run->panel_priority = impl_->panel_priority;
   run->cancel = cancel;
+  run->counters = impl_->counters;
   run->post_task = post_task && *post_task ? post_task : nullptr;
   for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
     run->remaining[t].store(graph.indegree(t), std::memory_order_relaxed);
 
   // Seed initially-ready tasks before publishing the run to the workers.
+  // The caller is not a worker (from_wid = -1), so seeds stream through the
+  // device inboxes in ascending task order — the panel-priority seed order.
   for (dag::task_id t = 0; t < static_cast<dag::task_id>(graph.size()); ++t)
-    if (graph.indegree(t) == 0) run->push_ready(t);
+    if (graph.indegree(t) == 0) run->push_ready(t, -1);
   run->clock.reset();
 
   {
@@ -320,6 +476,10 @@ double DagExecutor::execute(const dag::TaskGraph& graph,
   }
   if (cancel) cancel->clear_waker();  // blocks out in-flight waker calls
   const double secs = run->clock.seconds();
+  // Aborted/failed runs leave ready tasks behind; account every one (trace
+  // instants + drained counters) now that the workers have quiesced, so
+  // dispatched == executed + drained holds for every run.
+  if (run->stopping()) run->drain_leftovers();
   if (run->error) std::rethrow_exception(run->error);
   if (!run->done()) {
     TQR_ASSERT(run->aborted.load(std::memory_order_acquire),

@@ -23,7 +23,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -36,6 +35,24 @@
 
 namespace tqr::runtime {
 
+/// Scheduler-contention telemetry, aggregated across every run of every
+/// engine pointed at one instance (the service shares one across its lanes).
+/// All relaxed atomics — increments ride the dispatch hot path.
+struct ExecCounters {
+  /// Tasks a worker took from a sibling's deque instead of its own.
+  std::atomic<std::uint64_t> steals{0};
+  /// Times a worker exhausted its spin budget and parked on the futex.
+  std::atomic<std::uint64_t> parks{0};
+  /// Ready tasks routed cross-thread through a device inbox ring.
+  std::atomic<std::uint64_t> inbox_pushes{0};
+  /// Ready tasks the releasing worker kept on its own deque (the free path).
+  std::atomic<std::uint64_t> local_pushes{0};
+  /// Popped-then-dropped plus never-dispatched tasks accounted during an
+  /// aborted or failed run's drain (see the `cancelled`/`drained` trace
+  /// instants).
+  std::atomic<std::uint64_t> drained_tasks{0};
+};
+
 class DagExecutor {
  public:
   /// Routes a task to a device group; must return a value in
@@ -47,7 +64,11 @@ class DagExecutor {
   struct Options {
     int num_devices = 1;
     /// Serve ready queues lowest-task-id-first (panel-major priority, the
-    /// order the simulator uses) instead of FIFO.
+    /// order the simulator uses). With the work-stealing scheduler this is
+    /// a best-effort dispatch *hint* — batches of simultaneously-released
+    /// tasks are ordered, single-thread device groups dispatch in panel
+    /// order, but stealing never re-sorts across workers (a global sort
+    /// under a shared lock is exactly the contention this design removes).
     bool panel_priority = false;
     /// Slave threads per device group (>= 1 each). Size must equal
     /// num_devices; empty means one thread per device.
@@ -55,6 +76,9 @@ class DagExecutor {
     /// Optional trace sink for run() (may be nullptr). execute() takes its
     /// trace per call instead, since one engine serves many runs.
     Trace* trace = nullptr;
+    /// Optional shared telemetry sink (steal/park/drain counters). Must
+    /// outlive the engine. May be shared between engines.
+    ExecCounters* counters = nullptr;
   };
 
   /// Spawns the persistent device thread groups. Throws InvalidArgument on

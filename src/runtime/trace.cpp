@@ -8,7 +8,8 @@ std::vector<double> Trace::busy_per_device(int num_devices) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<double> busy(num_devices, 0.0);
   for (const auto& e : events_)
-    if (e.device >= 0 && e.device < num_devices)
+    if (e.kind == TraceEvent::Kind::kTask && e.device >= 0 &&
+        e.device < num_devices)
       busy[e.device] += e.end_s - e.start_s;
   return busy;
 }
@@ -16,8 +17,10 @@ std::vector<double> Trace::busy_per_device(int num_devices) const {
 std::vector<double> Trace::busy_per_step() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<double> busy(4, 0.0);
-  for (const auto& e : events_)
+  for (const auto& e : events_) {
+    if (e.kind != TraceEvent::Kind::kTask) continue;
     busy[static_cast<std::size_t>(dag::step_of(e.op))] += e.end_s - e.start_s;
+  }
   return busy;
 }
 
@@ -29,11 +32,23 @@ std::string Trace::to_chrome_json() const {
   for (const auto& e : events_) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << dag::op_name(e.op) << "\",\"cat\":\""
-       << dag::step_name(dag::step_of(e.op)) << "\",\"ph\":\"X\",\"ts\":"
-       << e.start_s * 1e6 << ",\"dur\":" << (e.end_s - e.start_s) * 1e6
-       << ",\"pid\":" << e.device << ",\"tid\":" << e.device
-       << ",\"args\":{\"task\":" << e.task << "}}";
+    if (e.kind == TraceEvent::Kind::kTask) {
+      os << "{\"name\":\"" << dag::op_name(e.op) << "\",\"cat\":\""
+         << dag::step_name(dag::step_of(e.op)) << "\",\"ph\":\"X\",\"ts\":"
+         << e.start_s * 1e6 << ",\"dur\":" << (e.end_s - e.start_s) * 1e6
+         << ",\"pid\":" << e.device << ",\"tid\":" << e.device
+         << ",\"args\":{\"task\":" << e.task << "}}";
+    } else {
+      // Dropped tasks render as instants so a cancelled run's timeline
+      // still accounts for every dispatched task.
+      const char* what =
+          e.kind == TraceEvent::Kind::kCancelled ? "cancelled" : "drained";
+      os << "{\"name\":\"" << what << ' ' << dag::op_name(e.op)
+         << "\",\"cat\":\"drop\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+         << e.start_s * 1e6 << ",\"pid\":" << e.device
+         << ",\"tid\":" << e.device << ",\"args\":{\"task\":" << e.task
+         << "}}";
+    }
   }
   os << "]}";
   return os.str();
@@ -44,6 +59,7 @@ std::string Trace::to_csv() const {
   std::ostringstream os;
   os << "task,op,step,device,start_s,end_s\n";
   for (const auto& e : events_) {
+    if (e.kind != TraceEvent::Kind::kTask) continue;
     os << e.task << ',' << dag::op_name(e.op) << ','
        << dag::step_name(dag::step_of(e.op)) << ',' << e.device << ','
        << e.start_s << ',' << e.end_s << '\n';

@@ -13,11 +13,21 @@
 namespace tqr::runtime {
 
 struct TraceEvent {
+  /// What this record is. kTask is a completed kernel span. The other two
+  /// are zero-duration *instants* accounting tasks dropped without running,
+  /// so every dispatched task appears in a merged trace exactly once:
+  /// kCancelled = popped by a worker that then observed cancellation at the
+  /// dispatch boundary; kDrained = still sitting in a ready queue when an
+  /// aborted/failed run drained. Aggregations (busy time, step totals, CSV)
+  /// count only kTask spans.
+  enum class Kind : std::uint8_t { kTask, kCancelled, kDrained };
+
   std::int32_t task = -1;
   dag::Op op = dag::Op::kGeqrt;
   std::int32_t device = -1;
   double start_s = 0;  // seconds since run start (wall or simulated)
   double end_s = 0;
+  Kind kind = Kind::kTask;
 };
 
 /// One consistent copy of a trace's events. Every consumer (analysis, gantt,

@@ -1,66 +1,100 @@
 #include "svc/job_queue.hpp"
 
-#include <algorithm>
-
-#include "common/error.hpp"
-
 namespace tqr::svc {
 
 JobQueue::JobQueue(std::size_t capacity, Admission admission)
-    : capacity_(capacity), admission_(admission) {
-  TQR_REQUIRE(capacity > 0, "job queue needs capacity >= 1");
-}
+    : admission_(admission), ring_(capacity) {}
 
 PushResult JobQueue::push(PendingJob&& job) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (closed_) return PushResult::kClosed;
-  if (queue_.size() >= capacity_) {
+  bool counted_blocked = false;
+  runtime::Backoff backoff;
+  for (;;) {
+    // Closed wins over everything, including a producer woken by close()
+    // while parked on a full queue: it lands in closed_rejects, never in
+    // accepted, so accepted + rejected + closed_rejects == push attempts.
+    if (closed_.load(std::memory_order_acquire)) {
+      closed_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return PushResult::kClosed;
+    }
+    if (ring_.try_push(std::move(job))) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t d = ring_.in_flight();
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (d > hw && !high_water_.compare_exchange_weak(
+                           hw, d, std::memory_order_relaxed)) {
+      }
+      ready_.notify_all();
+      return PushResult::kAccepted;
+    }
+    // Full. try_push only consumes the job on success, so it is still
+    // intact here for the reject path and for the retry below.
     if (admission_ == Admission::kReject) {
-      ++stats_.rejected;
+      rejected_.fetch_add(1, std::memory_order_relaxed);
       return PushResult::kRejected;
     }
-    ++stats_.blocked_pushes;
-    cv_push_.wait(lock,
-                  [this] { return closed_ || queue_.size() < capacity_; });
-    if (closed_) return PushResult::kClosed;
+    if (!counted_blocked) {
+      counted_blocked = true;  // one backpressure event per push, not per spin
+      blocked_pushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!backoff.exhausted()) {
+      backoff.pause();
+      continue;
+    }
+    // Spin budget spent: park until a consumer frees a slot or close().
+    // prepare() before the re-checks, so a wake between re-check and wait
+    // moves the epoch and wait() returns immediately (no lost wakeup).
+    const std::uint32_t e = space_.prepare();
+    if (closed_.load(std::memory_order_acquire)) continue;
+    if (ring_.in_flight() < ring_.capacity()) continue;  // room appeared
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    space_.wait(e);
   }
-  queue_.push_back(std::move(job));
-  ++stats_.accepted;
-  stats_.high_water = std::max(stats_.high_water, queue_.size());
-  lock.unlock();
-  cv_pop_.notify_one();
-  return PushResult::kAccepted;
 }
 
 std::optional<PendingJob> JobQueue::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_pop_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;  // closed and drained
-  PendingJob job = std::move(queue_.front());
-  queue_.pop_front();
-  lock.unlock();
-  cv_push_.notify_one();
-  return job;
+  runtime::Backoff backoff;
+  for (;;) {
+    if (auto v = ring_.try_pop()) {
+      space_.notify_all();
+      return v;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      // Closed: drain to empty. in_flight() > 0 with a failed pop means a
+      // producer claimed a ticket and is mid-publish — spin it in rather
+      // than dropping an accepted job on the floor.
+      if (ring_.in_flight() == 0) return std::nullopt;
+      backoff.pause();
+      continue;
+    }
+    if (!backoff.exhausted()) {
+      backoff.pause();
+      continue;
+    }
+    const std::uint32_t e = ready_.prepare();
+    if (ring_.in_flight() != 0 || closed_.load(std::memory_order_acquire))
+      continue;
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    ready_.wait(e);
+  }
 }
 
 void JobQueue::close() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-  }
-  cv_push_.notify_all();
-  cv_pop_.notify_all();
-}
-
-std::size_t JobQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  closed_.store(true, std::memory_order_release);
+  // Wake everyone: parked producers return kClosed, parked consumers drain
+  // what is published and then return nullopt.
+  space_.notify_all();
+  ready_.notify_all();
 }
 
 JobQueue::Stats JobQueue::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Stats s = stats_;
-  s.depth = queue_.size();
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.closed_rejects = closed_rejects_.load(std::memory_order_relaxed);
+  s.blocked_pushes = blocked_pushes_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.depth = ring_.in_flight();
+  s.high_water = high_water_.load(std::memory_order_relaxed);
   return s;
 }
 

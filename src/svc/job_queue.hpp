@@ -7,15 +7,27 @@
 // caller can shed load. close() stops admissions but lets consumers drain
 // what was already accepted, which is how the service shuts down without
 // dropping accepted work.
+//
+// Internally this is a lock-free Vyukov ring (runtime::MpmcRing): push and
+// pop are a CAS on a ticket plus one release store, so N submitters and M
+// lanes never serialize on a mutex — the old mutex+condvar deque was the
+// service's first scaling ceiling under high client counts. Blocking
+// (kBlock producers, idle consumers) falls back to a futex-backed
+// EventCount only after the lock-free fast path fails, so an uncontended
+// push/pop never touches a kernel primitive.
+//
+// What changed at the API boundary vs the mutex version: nothing for
+// admission/close/drain semantics; FIFO is preserved per the ring's ticket
+// order (pushes that overlap in time may claim tickets in either order,
+// exactly as the mutex admitted overlapping pushes in either order).
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 
+#include "runtime/mpmc_ring.hpp"
 #include "svc/job.hpp"
 
 namespace tqr::svc {
@@ -50,30 +62,43 @@ class JobQueue {
   /// poppable. Idempotent.
   void close();
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const { return ring_.capacity(); }
   Admission admission() const { return admission_; }
 
-  std::size_t depth() const;
+  std::size_t depth() const { return ring_.in_flight(); }
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;
+    /// Pushes bounced because the queue was closed — including a kBlock
+    /// producer that parked on a full queue and was woken by close().
+    /// Every push lands in exactly one of accepted / rejected /
+    /// closed_rejects, so the three always sum to push attempts.
+    std::uint64_t closed_rejects = 0;
     /// Pushes that had to wait for room (kBlock backpressure events).
     std::uint64_t blocked_pushes = 0;
+    /// Producers or consumers that exhausted their spin budget and parked
+    /// on the futex (contention-pressure signal for the obs layer).
+    std::uint64_t parks = 0;
     std::size_t depth = 0;
     std::size_t high_water = 0;
   };
   Stats stats() const;
 
  private:
-  const std::size_t capacity_;
   const Admission admission_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_push_;  // producers wait for room
-  std::condition_variable cv_pop_;   // consumers wait for jobs
-  std::deque<PendingJob> queue_;
-  bool closed_ = false;
-  Stats stats_;
+  runtime::MpmcRing<PendingJob> ring_;
+  std::atomic<bool> closed_{false};
+  runtime::EventCount space_;  // producers park here when full
+  runtime::EventCount ready_;  // consumers park here when empty
+
+  // Relaxed atomic counters; stats() reads are racy-by-design snapshots.
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> closed_rejects_{0};
+  std::atomic<std::uint64_t> blocked_pushes_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::size_t> high_water_{0};
 };
 
 }  // namespace tqr::svc

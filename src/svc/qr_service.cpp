@@ -119,7 +119,8 @@ QrService::QrService(const ServiceConfig& config)
       queue_(config.queue_capacity, config.admission),
       plan_cache_(config.plan_cache_capacity),
       workspace_pool_(config.workspace_max_bytes),
-      metrics_(registry_) {
+      metrics_(registry_),
+      exec_counters_(std::make_unique<runtime::ExecCounters>()) {
   TQR_REQUIRE(config.lanes > 0, "service needs at least one lane");
   TQR_REQUIRE(config.threads_per_device > 0,
               "threads_per_device must be >= 1");
@@ -254,6 +255,7 @@ void QrService::lane_main(int lane) {
   engine.options.threads_per_device.assign(
       static_cast<std::size_t>(platform_.num_devices()),
       config_.threads_per_device);
+  engine.options.counters = exec_counters_.get();
   if (config_.reuse_engines)
     engine.resident =
         std::make_unique<runtime::DagExecutor>(engine.options);
@@ -829,6 +831,14 @@ ServiceStats QrService::stats() const {
   s.p95_ms = lat.quantile(0.95) * 1e3;
   s.mean_ms = lat.mean() * 1e3;
   s.lanes = config_.lanes;
+  s.exec_steals = exec_counters_->steals.load(std::memory_order_relaxed);
+  s.exec_parks = exec_counters_->parks.load(std::memory_order_relaxed);
+  s.exec_local_pushes =
+      exec_counters_->local_pushes.load(std::memory_order_relaxed);
+  s.exec_inbox_pushes =
+      exec_counters_->inbox_pushes.load(std::memory_order_relaxed);
+  s.tasks_drained =
+      exec_counters_->drained_tasks.load(std::memory_order_relaxed);
   s.queue = queue_.stats();
   s.plan_cache = plan_cache_.stats();
   s.workspace = workspace_pool_.stats();
@@ -845,6 +855,13 @@ obs::Registry::Snapshot QrService::metrics() const {
   s.counters["queue.accepted"] = st.queue.accepted;
   s.counters["queue.rejected"] = st.queue.rejected;
   s.counters["queue.blocked_pushes"] = st.queue.blocked_pushes;
+  s.counters["queue.closed_rejects"] = st.queue.closed_rejects;
+  s.counters["queue.parks"] = st.queue.parks;
+  s.counters["exec.steals"] = st.exec_steals;
+  s.counters["exec.parks"] = st.exec_parks;
+  s.counters["exec.local_pushes"] = st.exec_local_pushes;
+  s.counters["exec.inbox_pushes"] = st.exec_inbox_pushes;
+  s.counters["exec.tasks_drained"] = st.tasks_drained;
   s.counters["plan_cache.hits"] = st.plan_cache.hits;
   s.counters["plan_cache.misses"] = st.plan_cache.misses;
   s.counters["plan_cache.evictions"] = st.plan_cache.evictions;

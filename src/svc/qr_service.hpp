@@ -57,6 +57,10 @@
 #include "svc/service_stats.hpp"
 #include "svc/workspace_pool.hpp"
 
+namespace tqr::runtime {
+struct ExecCounters;  // runtime/dag_executor.hpp (kept out of this header)
+}
+
 namespace tqr::svc {
 
 struct ServiceConfig {
@@ -237,6 +241,8 @@ class QrService {
   };
   Metrics metrics_;
   std::unique_ptr<obs::TraceLog> trace_;  // null unless collect_trace
+  /// Shared steal/park/drain telemetry sink; every lane engine points at it.
+  std::unique_ptr<runtime::ExecCounters> exec_counters_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_drained_;

@@ -41,6 +41,17 @@ struct ServiceStats {
   double p95_ms = 0;
   double mean_ms = 0;
 
+  /// Scheduler contention telemetry from the work-stealing executors,
+  /// aggregated across every lane engine (see runtime::ExecCounters).
+  std::uint64_t exec_steals = 0;       // tasks taken from a sibling's deque
+  std::uint64_t exec_parks = 0;        // spin budgets exhausted -> futex park
+  std::uint64_t exec_local_pushes = 0; // ready tasks kept on the owner deque
+  std::uint64_t exec_inbox_pushes = 0; // ready tasks routed cross-thread
+  /// Tasks dropped without executing (cancel at a dispatch boundary or an
+  /// aborted run's queue drain). Balances traces: executed + drained ==
+  /// dispatched for every run.
+  std::uint64_t tasks_drained = 0;
+
   int lanes = 0;
   JobQueue::Stats queue;
   PlanCache::Stats plan_cache;

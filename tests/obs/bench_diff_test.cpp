@@ -42,11 +42,29 @@ TEST(ExtractMetrics, RateLeavesFromNestedObjects) {
   const auto m = metrics_of(
       R"({"cold": {"jobs_per_s": 10, "p50_ms": 3},
           "warm": {"jobs_per_s": 40}, "warm_speedup": 4.0})");
-  ASSERT_EQ(m.size(), 3u);
+  ASSERT_EQ(m.size(), 4u);
   EXPECT_DOUBLE_EQ(m.at("cold.jobs_per_s").value, 10.0);
+  EXPECT_TRUE(m.at("cold.jobs_per_s").higher_is_better);
   EXPECT_DOUBLE_EQ(m.at("warm.jobs_per_s").value, 40.0);
   EXPECT_DOUBLE_EQ(m.at("warm_speedup").value, 4.0);
-  EXPECT_EQ(m.count("cold.p50_ms"), 0u);  // latency: skipped
+  // Latency quantiles extract too, gating in the opposite direction (the
+  // serve sweep's submit_pick_p99_ms rides this).
+  EXPECT_DOUBLE_EQ(m.at("cold.p50_ms").value, 3.0);
+  EXPECT_FALSE(m.at("cold.p50_ms").higher_is_better);
+}
+
+TEST(ExtractMetrics, LatencyLeafRegressesWhenItGoesUp) {
+  const auto base = metrics_of(R"({"sweep": {"s64": {
+      "jobs_per_s": 100, "submit_pick_p99_ms": 10}}})");
+  const auto slow = metrics_of(R"({"sweep": {"s64": {
+      "jobs_per_s": 100, "submit_pick_p99_ms": 25}}})");
+  CompareOptions opts;
+  opts.tolerance = 0.35;
+  const auto r = compare(base, slow, opts);
+  EXPECT_FALSE(r.pass());
+  EXPECT_EQ(r.regressions, 1);  // p99 up 2.5x fails; jobs_per_s flat passes
+  // And the same numbers the other way round improve, not regress.
+  EXPECT_TRUE(compare(slow, base, opts).pass());
 }
 
 TEST(BenchDiff, IdenticalRunsPass) {

@@ -184,6 +184,81 @@ TEST(DagExecutorCancel, KernelFailureStillReportedAsOriginalError) {
   EXPECT_EQ(ran.load(), 6);
 }
 
+dag::TaskGraph independent(int n) {
+  Builder b(static_cast<std::int32_t>(n), 1);
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.op = dag::Op::kGeqrt;
+    t.k = static_cast<std::int16_t>(i);
+    b.add_task(t, {{b.upper(i, 0), Mode::kReadWrite}});
+  }
+  return std::move(b).build();
+}
+
+TEST(DagExecutorCancel, DroppedTasksAreAccountedInTraceAndCounters) {
+  // The silent-drop bug this PR fixes: tasks a cancelled run never executed
+  // used to vanish without a trace, so merged Perfetto timelines didn't
+  // balance. Now every dispatched task is either a kTask span or a
+  // kCancelled/kDrained instant, and the drop count surfaces through
+  // ExecCounters. Eight independent seeds on one worker: the first kernel
+  // latches the token, the other seven are still queued and must drain as
+  // accounted drops.
+  constexpr int kTasks = 8;
+  ExecCounters counters;
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  opts.counters = &counters;
+  DagExecutor engine(opts);
+  dag::TaskGraph g = independent(kTasks);
+  std::atomic<int> ran{0};
+  CancelToken token;
+  Trace trace;
+  EXPECT_THROW(engine.execute(
+                   g, [](task_id, const Task&) { return 0; },
+                   [&](task_id, const Task&, int) {
+                     if (ran.fetch_add(1) == 0) token.request_cancel();
+                   },
+                   &trace, &token),
+               Cancelled);
+  const int executed = ran.load();
+  EXPECT_LT(executed, kTasks);
+
+  const TraceSnapshot events = trace.events();
+  int spans = 0, drops = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kTask) ++spans;
+    else ++drops;
+  }
+  // Every dispatched task is accounted exactly once: span or drop instant.
+  EXPECT_EQ(spans, executed);
+  EXPECT_EQ(spans + drops, kTasks);
+  EXPECT_GE(drops, 1);
+  EXPECT_EQ(counters.drained_tasks.load(), static_cast<std::uint64_t>(drops));
+  // Drop instants are zero-duration and add no busy time.
+  for (const TraceEvent& e : events)
+    if (e.kind != TraceEvent::Kind::kTask) EXPECT_EQ(e.start_s, e.end_s);
+}
+
+TEST(DagExecutorCancel, CleanRunRecordsNoDropInstants) {
+  // TraceRecordsEveryTask pins events().size() == graph size for clean runs;
+  // this pins the complementary property explicitly — drop instants only
+  // ever come from aborted/failed runs.
+  ExecCounters counters;
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  opts.counters = &counters;
+  DagExecutor engine(opts);
+  dag::TaskGraph g = chain(16);
+  Trace trace;
+  engine.execute(
+      g, [](task_id, const Task&) { return 0; },
+      [](task_id, const Task&, int) {}, &trace);
+  for (const TraceEvent& e : trace.events())
+    EXPECT_EQ(e.kind, TraceEvent::Kind::kTask);
+  EXPECT_EQ(counters.drained_tasks.load(), 0u);
+  EXPECT_EQ(trace.events().size(), g.size());
+}
+
 TEST(TraceRace, ConcurrentReadersAndWritersAreSafe) {
   // Regression for the reader-side race: events()/busy_*/dump readers used
   // to walk events_ without the lock while record() could reallocate it.

@@ -314,6 +314,52 @@ TEST(DagExecutorEngine, ThrowingPostTaskHookFailsRunAndBlocksSuccessors) {
   EXPECT_EQ(ran.load(), 6);  // engine healthy without the hook
 }
 
+TEST(DagExecutor, MultiWorkerGroupStealsAndExecutesEveryTaskOnce) {
+  // Several workers share one device group's ready tasks through the
+  // work-stealing deques. Whatever mix of owner pops, inbox pops, and
+  // steals happens, every task runs exactly once — and since every task is
+  // enqueued exactly once, the routing counters must account for all of
+  // them (local deque pushes + inbox pushes == task count).
+  dag::TaskGraph g = dag::build_tiled_qr_graph(5, 5, Elimination::kTs);
+  std::vector<std::atomic<int>> ran(g.size());
+  ExecCounters counters;
+  DagExecutor::Options opts;
+  opts.num_devices = 1;
+  opts.threads_per_device = {3};
+  opts.counters = &counters;
+  DagExecutor engine(opts);
+  engine.execute(
+      g, [](task_id, const Task&) { return 0; },
+      [&](task_id t, const Task&, int) { ran[t].fetch_add(1); });
+  for (std::size_t t = 0; t < g.size(); ++t) EXPECT_EQ(ran[t].load(), 1);
+  EXPECT_EQ(counters.local_pushes.load() + counters.inbox_pushes.load(),
+            g.size());
+  EXPECT_EQ(counters.drained_tasks.load(), 0u);
+}
+
+TEST(DagExecutorEngine, RepeatedRunsExerciseParkUnparkWithoutLostWakeups) {
+  // Lost-wakeup regression against the futex park path: every run ends with
+  // idle workers parking on their device eventcount and the next run must
+  // rouse them. Dozens of tiny back-to-back runs on a multi-worker engine
+  // turn a missed notify into a hang (caught by the test timeout) instead
+  // of a flake.
+  ExecCounters counters;
+  DagExecutor::Options opts;
+  opts.num_devices = 2;
+  opts.threads_per_device = {2, 2};
+  opts.counters = &counters;
+  DagExecutor engine(opts);
+  dag::TaskGraph g = chain(10);
+  for (int run = 0; run < 50; ++run) {
+    std::atomic<int> ran{0};
+    engine.execute(
+        g, [run](task_id t, const Task&) { return (t + run) % 2; },
+        [&](task_id, const Task&, int) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), 10);
+  }
+  EXPECT_EQ(engine.runs_completed(), 50u);
+}
+
 TEST(Trace, BusyAccounting) {
   Trace trace;
   trace.record({0, dag::Op::kGeqrt, 0, 0.0, 1.0});

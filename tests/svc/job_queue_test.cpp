@@ -156,5 +156,99 @@ TEST(JobQueue, ManyProducersManyConsumers) {
   EXPECT_EQ(popped.load(), kProducers * kPerProducer);
 }
 
+TEST(JobQueue, ClosedRejectsCountedSeparatelyFromRejected) {
+  JobQueue q(1, Admission::kReject);
+  EXPECT_EQ(q.push(make_job(1)), PushResult::kAccepted);
+  EXPECT_EQ(q.push(make_job(2)), PushResult::kRejected);  // full
+  q.close();
+  EXPECT_EQ(q.push(make_job(3)), PushResult::kClosed);
+  EXPECT_EQ(q.push(make_job(4)), PushResult::kClosed);
+  const auto s = q.stats();
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.closed_rejects, 2u);
+  // The accounting invariant: every push lands in exactly one bucket.
+  EXPECT_EQ(s.accepted + s.rejected + s.closed_rejects, 4u);
+}
+
+TEST(JobQueue, BlockedProducerWokenByCloseCountsAsClosedReject) {
+  // The shutdown-accounting bug this PR fixes: a kBlock producer parked on
+  // a full queue and then woken by close() used to be indistinguishable
+  // from a load-shed rejection in the stats.
+  JobQueue q(1, Admission::kBlock);
+  EXPECT_EQ(q.push(make_job(1)), PushResult::kAccepted);
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(make_job(2)), PushResult::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  const auto s = q.stats();
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.rejected, 0u);  // never a load-shed: admission is kBlock
+  EXPECT_EQ(s.closed_rejects, 1u);
+  EXPECT_GE(s.blocked_pushes, 1u);
+  EXPECT_EQ(s.accepted + s.rejected + s.closed_rejects, 2u);
+}
+
+// Concurrent producers race a close() while consumers drain: whatever the
+// interleaving, the three admission buckets must sum to the push attempts
+// and every accepted job must be popped exactly once (close() drains).
+TEST(JobQueue, PushAccountingInvariantSurvivesCloseStorm) {
+  constexpr int kProducers = 4, kPerProducer = 200;
+  JobQueue q(2, Admission::kReject);
+  std::atomic<int> attempts{0}, popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.push(make_job(p * kPerProducer + i));
+        attempts.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c)
+    consumers.emplace_back([&] {
+      while (q.pop().has_value())
+        popped.fetch_add(1, std::memory_order_relaxed);
+    });
+  // Close mid-storm so pushes land in all three buckets.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  q.close();
+  for (auto& t : threads) t.join();
+  for (auto& t : consumers) t.join();
+  const auto s = q.stats();
+  EXPECT_EQ(s.accepted + s.rejected + s.closed_rejects,
+            static_cast<std::uint64_t>(attempts.load()));
+  EXPECT_EQ(static_cast<std::uint64_t>(popped.load()), s.accepted);
+  EXPECT_EQ(s.depth, 0u);
+}
+
+TEST(JobQueue, CloseWhileProducersParkedOnFullQueue) {
+  // Several kBlock producers parked on a capacity-1 queue, then close():
+  // all must return kClosed promptly (no lost wakeup on the futex path)
+  // and the single accepted job must still drain.
+  JobQueue q(1, Admission::kBlock);
+  EXPECT_EQ(q.push(make_job(0)), PushResult::kAccepted);
+  constexpr int kBlocked = 3;
+  std::atomic<int> closed_results{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kBlocked; ++p)
+    producers.emplace_back([&, p] {
+      if (q.push(make_job(1 + p)) == PushResult::kClosed)
+        closed_results.fetch_add(1);
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(closed_results.load(), kBlocked);
+  EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+  const auto s = q.stats();
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.closed_rejects, static_cast<std::uint64_t>(kBlocked));
+  EXPECT_EQ(s.accepted + s.rejected + s.closed_rejects, 1u + kBlocked);
+}
+
 }  // namespace
 }  // namespace tqr::svc
