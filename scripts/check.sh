@@ -12,7 +12,15 @@
 # CI's perf-gate job). Also smoke-tests `tqr serve --trace-out` by parsing
 # the emitted Chrome trace back.
 #
-# Usage: scripts/check.sh [--perf] [build-dir]
+# --chaos mode — cluster fault-tolerance gate: Release-builds the chaos
+# drivers and runs cluster_chaos --quick, which exits 3 unless the
+# failover-enabled cluster completes 100% of accepted jobs through a
+# seeded mid-batch node crash while the failover-disabled baseline loses
+# jobs (plus the brownout-hedging and flaky-link invariants). Also
+# smoke-tests `tqr cluster` chaos flags end to end: the run's failovers
+# must surface in the merged Perfetto trace and the metrics registry.
+#
+# Usage: scripts/check.sh [--perf | --chaos] [build-dir]
 # Extra cmake cache flags (e.g. -DTQR_MICROKERNEL_SCALAR=ON for the scalar
 # micro-kernel leg in CI) can be passed via CMAKE_EXTRA_FLAGS.
 set -euo pipefail
@@ -23,6 +31,45 @@ MODE="tsan"
 if [[ "${1:-}" == "--perf" ]]; then
   MODE="perf"
   shift
+elif [[ "${1:-}" == "--chaos" ]]; then
+  MODE="chaos"
+  shift
+fi
+
+if [[ "$MODE" == "chaos" ]]; then
+  BUILD_DIR="${1:-$REPO_DIR/build-perf}"
+  OUT_DIR="$BUILD_DIR/chaos-check"
+  mkdir -p "$OUT_DIR"
+
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
+    -DCMAKE_BUILD_TYPE=Release \
+    ${CMAKE_EXTRA_FLAGS:-} > /dev/null
+  cmake --build "$BUILD_DIR" -j --target cluster_chaos bench_diff tqr
+
+  echo "== cluster chaos sweep (quick, failover-gated) =="
+  "$BUILD_DIR/bench/cluster_chaos" --quick \
+    > "$OUT_DIR/chaos_current.json"
+  "$BUILD_DIR/bench/bench_diff" --list \
+    --current "$OUT_DIR/chaos_current.json"
+
+  echo "== tqr cluster failover trace + metrics smoke =="
+  "$BUILD_DIR/tools/tqr" cluster --jobs 192x192:12 --policy rr --lanes 1 \
+    --fault-kind crash --fault-at 0.03 --failover 3 \
+    --trace-out "$OUT_DIR/chaos_trace.json" \
+    --metrics-out "$OUT_DIR/chaos_metrics.json" --json
+  python3 -c "import json, sys; \
+    d = json.load(open(sys.argv[1])); \
+    inst = [e for e in d['traceEvents'] if e.get('name') == 'failover']; \
+    assert inst, 'no failover instants in the merged trace'; \
+    m = json.load(open(sys.argv[2])); \
+    assert m['counters']['cluster.failovers'] >= 1, m; \
+    print(len(inst), 'failover instants,', \
+          m['counters']['cluster.failovers'], 'failovers')" \
+    "$OUT_DIR/chaos_trace.json" "$OUT_DIR/chaos_metrics.json"
+
+  echo "check.sh --chaos: cluster fault-tolerance gate passed" \
+    "(artifacts in $OUT_DIR)"
+  exit 0
 fi
 
 if [[ "$MODE" == "perf" ]]; then

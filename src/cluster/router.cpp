@@ -18,22 +18,29 @@ RouterPolicy parse_router_policy(const std::string& name) {
 double Router::cost(const NodeState& n) {
   // A job landing behind `depth` queued jobs on `lanes` active lanes waits
   // roughly depth/lanes job-times before its own exec time starts; the ship
-  // term is the link-aware Tcomm it pays regardless.
+  // term is the link-aware Tcomm it pays regardless. The EWMA failure rate
+  // inflates the whole score: a failed job costs a full round trip plus a
+  // failover, so a sick node has to be *much* cheaper to be worth the risk.
   const int lanes = std::max(1, n.active_lanes);
   const double backlog =
       static_cast<double>(n.queue_depth) / static_cast<double>(lanes);
-  return n.ship_s + n.est_exec_s * (1.0 + backlog);
+  return (n.ship_s + n.est_exec_s * (1.0 + backlog)) *
+         (1.0 + kFailurePenalty * n.failure_rate);
 }
 
 int Router::pick(const std::vector<NodeState>& nodes) {
   TQR_REQUIRE(!nodes.empty(), "router needs at least one node");
   const auto healthy = [&](std::size_t i) {
-    return nodes[i].active_lanes > 0;
+    return nodes[i].active_lanes > 0 && !nodes[i].quarantined;
   };
   bool any_healthy = false;
   for (std::size_t i = 0; i < nodes.size(); ++i) any_healthy |= healthy(i);
+  // Every node down or quarantined: refuse to route. The caller turns this
+  // into an explicit kRejected (counted, observable) instead of queueing
+  // the job on a node that is known to lose it.
+  if (!any_healthy) return -1;
 
-  if (policy_ == RouterPolicy::kRoundRobin && any_healthy) {
+  if (policy_ == RouterPolicy::kRoundRobin) {
     for (std::size_t tries = 0; tries < nodes.size(); ++tries) {
       const auto i = static_cast<std::size_t>(rr_next_++ % nodes.size());
       if (healthy(i)) return static_cast<int>(i);
@@ -41,12 +48,10 @@ int Router::pick(const std::vector<NodeState>& nodes) {
   }
 
   // kLeastLoaded and kCostModel share the scan; they differ in the score.
-  // With no healthy node (or as the round-robin fallback) the same scan
-  // runs over all nodes, so the least-bad node still takes the job.
   int best = -1;
   double best_score = 0;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (any_healthy && !healthy(i)) continue;
+    if (!healthy(i)) continue;
     const double score =
         policy_ == RouterPolicy::kLeastLoaded
             ? static_cast<double>(nodes[i].queue_depth) /
@@ -58,6 +63,71 @@ int Router::pick(const std::vector<NodeState>& nodes) {
     }
   }
   return best;
+}
+
+NodeHealthTracker::NodeHealthTracker(int nodes,
+                                     const NodeHealthConfig& config)
+    : config_(config) {
+  TQR_REQUIRE(nodes > 0, "health tracker needs at least one node");
+  TQR_REQUIRE(config.ewma_alpha >= 0 && config.ewma_alpha <= 1,
+              "health ewma_alpha must be in [0, 1]");
+  TQR_REQUIRE(config.breaker_after >= 0,
+              "health breaker_after must be >= 0");
+  TQR_REQUIRE(config.probation_s >= 0, "health probation_s must be >= 0");
+  states_.resize(static_cast<std::size_t>(nodes));
+}
+
+void NodeHealthTracker::record(int node, bool bad, double now_s) {
+  State& s = states_.at(static_cast<std::size_t>(node));
+  s.ewma = config_.ewma_alpha * (bad ? 1.0 : 0.0) +
+           (1.0 - config_.ewma_alpha) * s.ewma;
+  const bool was_probing = s.probing;
+  s.probing = false;
+  if (!bad) {
+    // Success closes everything: a good probe re-admits the node fully, and
+    // any good outcome resets the consecutive-failure streak.
+    s.open = false;
+    s.streak = 0;
+    return;
+  }
+  ++s.streak;
+  if (config_.breaker_after == 0) return;
+  // A failed probe re-opens immediately; otherwise the streak must reach
+  // the threshold while the breaker is still closed (late stragglers from
+  // jobs routed before the trip just feed the EWMA).
+  if (!was_probing && (s.open || s.streak < config_.breaker_after)) return;
+  s.open = true;
+  s.streak = 0;
+  s.retry_at_s = now_s + config_.probation_s;
+  ++quarantines_;
+}
+
+bool NodeHealthTracker::quarantined(int node, double now_s) const {
+  const State& s = states_.at(static_cast<std::size_t>(node));
+  if (!s.open) return false;
+  if (s.probing) return true;  // one probe at a time
+  // probation_s == 0: permanently open, mirroring the lane breaker.
+  if (config_.probation_s == 0) return true;
+  return now_s < s.retry_at_s;
+}
+
+void NodeHealthTracker::note_routed(int node, double now_s) {
+  State& s = states_.at(static_cast<std::size_t>(node));
+  if (!s.open || s.probing) return;
+  if (config_.probation_s == 0 || now_s < s.retry_at_s) return;
+  s.probing = true;
+  ++probations_;
+}
+
+double NodeHealthTracker::failure_rate(int node) const {
+  return states_.at(static_cast<std::size_t>(node)).ewma;
+}
+
+int NodeHealthTracker::open_count(double now_s) const {
+  int n = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    if (quarantined(static_cast<int>(i), now_s)) ++n;
+  return n;
 }
 
 }  // namespace tqr::cluster

@@ -109,4 +109,34 @@ void Platform::set_inter_link(int src_node, int dst_node,
     inter_links[static_cast<std::size_t>(dst_node) * nn + src_node] = params;
 }
 
+LinkParams Platform::inter_link(int src_node, int dst_node) const {
+  const int nn = num_nodes();
+  TQR_REQUIRE(src_node >= 0 && src_node < nn && dst_node >= 0 &&
+                  dst_node < nn,
+              "inter_link: node index out of range");
+  TQR_REQUIRE(src_node != dst_node,
+              "inter_link: intra-node links are fixed by CommModel");
+  if (!inter_links.empty())
+    return inter_links[static_cast<std::size_t>(src_node) * nn + dst_node];
+  return LinkParams{comm.inter_latency_us, comm.inter_gbytes_per_s,
+                    comm.inter_sync_overhead_us};
+}
+
+void Platform::degrade_inter_link(int src_node, int dst_node,
+                                  double bw_divisor, double extra_latency_us,
+                                  bool symmetric) {
+  TQR_REQUIRE(bw_divisor >= 1, "degrade_inter_link: divisor must be >= 1");
+  TQR_REQUIRE(extra_latency_us >= 0,
+              "degrade_inter_link: extra latency must be >= 0");
+  LinkParams fwd = inter_link(src_node, dst_node);
+  fwd.gbytes_per_s /= bw_divisor;
+  fwd.latency_us += extra_latency_us;
+  set_inter_link(src_node, dst_node, fwd, /*symmetric=*/false);
+  if (!symmetric) return;
+  LinkParams back = inter_link(dst_node, src_node);
+  back.gbytes_per_s /= bw_divisor;
+  back.latency_us += extra_latency_us;
+  set_inter_link(dst_node, src_node, back, /*symmetric=*/false);
+}
+
 }  // namespace tqr::sim

@@ -89,6 +89,21 @@ struct Platform {
   void set_inter_link(int src_node, int dst_node, const LinkParams& params,
                       bool symmetric = true);
 
+  /// Parameters of the src_node -> dst_node inter-node link (per-pair
+  /// override when installed, CommModel inter_* defaults otherwise).
+  /// Node-indexed counterpart of link(), which takes device indices.
+  LinkParams inter_link(int src_node, int dst_node) const;
+
+  /// Chaos helper: degrades the src_node <-> dst_node link in place by
+  /// dividing its bandwidth by `bw_divisor` (>= 1) and adding
+  /// `extra_latency_us`, both directions unless `symmetric` is false.
+  /// Built on set_inter_link, so the first call materializes the per-pair
+  /// table; repeated calls compound. Used by the flaky-fabric simulation
+  /// sweeps (bench/cluster_chaos) to model a sick link without rebuilding
+  /// the platform.
+  void degrade_inter_link(int src_node, int dst_node, double bw_divisor,
+                          double extra_latency_us, bool symmetric = true);
+
   /// Parameters of the link a (src -> dst) transfer rides on.
   LinkParams link(int src, int dst) const {
     const int sn = node(src), dn = node(dst);

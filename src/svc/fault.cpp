@@ -39,6 +39,78 @@ FaultConfig::Corrupt parse_corrupt_kind(const std::string& name) {
                         "' (expected any|nan|bitflip|perturb)");
 }
 
+NodeFaultConfig::Kind parse_node_fault_kind(const std::string& name) {
+  if (name == "none") return NodeFaultConfig::Kind::kNone;
+  if (name == "crash") return NodeFaultConfig::Kind::kCrash;
+  if (name == "brownout") return NodeFaultConfig::Kind::kBrownout;
+  if (name == "reject-storm" || name == "reject")
+    return NodeFaultConfig::Kind::kRejectStorm;
+  if (name == "flaky-link" || name == "link")
+    return NodeFaultConfig::Kind::kFlakyLink;
+  throw InvalidArgument(
+      "unknown node fault kind '" + name +
+      "' (expected none|crash|brownout|reject-storm|flaky-link)");
+}
+
+NodeFaultInjector::NodeFaultInjector(const NodeFaultConfig& config)
+    : config_(config), rng_(config.seed) {
+  TQR_REQUIRE(config.at_s >= 0, "node fault at_s must be non-negative");
+  TQR_REQUIRE(config.duration_s >= 0,
+              "node fault duration must be non-negative");
+  TQR_REQUIRE(config.period_s == 0 || config.period_s > config.duration_s,
+              "node fault period must be 0 or exceed duration");
+  TQR_REQUIRE(config.stall_factor >= 1,
+              "node fault stall_factor must be >= 1");
+  TQR_REQUIRE(
+      config.drop_probability >= 0 && config.drop_probability <= 1,
+      "node fault drop probability must be in [0, 1]");
+  TQR_REQUIRE(config.delay_s >= 0, "node fault delay must be non-negative");
+}
+
+bool NodeFaultInjector::active(double now_s) const {
+  if (!armed()) return false;
+  double t = now_s - config_.at_s;
+  if (t < 0) return false;
+  // duration 0 = the fault never clears once it starts, period or not.
+  if (config_.duration_s == 0) return true;
+  if (config_.period_s > 0) t = std::fmod(t, config_.period_s);
+  return t < config_.duration_s;
+}
+
+bool NodeFaultInjector::crashed(double now_s) const {
+  return config_.kind == NodeFaultConfig::Kind::kCrash && active(now_s);
+}
+
+bool NodeFaultInjector::rejecting(double now_s) const {
+  return (config_.kind == NodeFaultConfig::Kind::kCrash ||
+          config_.kind == NodeFaultConfig::Kind::kRejectStorm) &&
+         active(now_s);
+}
+
+double NodeFaultInjector::stall_factor(double now_s) const {
+  if (config_.kind != NodeFaultConfig::Kind::kBrownout || !active(now_s))
+    return 1.0;
+  return config_.stall_factor;
+}
+
+bool NodeFaultInjector::drop_ship(double now_s) {
+  if (config_.kind != NodeFaultConfig::Kind::kFlakyLink || !active(now_s))
+    return false;
+  bool drop;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop = rng_.next_double() < config_.drop_probability;
+  }
+  if (drop) count_injection();
+  return drop;
+}
+
+double NodeFaultInjector::ship_delay_s(double now_s) const {
+  if (config_.kind != NodeFaultConfig::Kind::kFlakyLink || !active(now_s))
+    return 0;
+  return config_.delay_s;
+}
+
 FaultInjector::FaultInjector(const FaultConfig& config)
     : config_(config), rng_(config.seed) {
   TQR_REQUIRE(config.probability >= 0 && config.probability <= 1,

@@ -81,6 +81,82 @@ int parse_fault_op(const std::string& name);
 /// otherwise.
 FaultConfig::Corrupt parse_corrupt_kind(const std::string& name);
 
+/// Node-scoped fault schedule — the cluster-tier analogue of FaultConfig.
+/// Where FaultConfig fails individual *tasks*, a node fault takes a whole
+/// QrService (one cluster node) out: crash, brownout, reject-storm, or a
+/// flaky inter-node link. Episodes are driven by the owning service's clock
+/// and a fixed seed, so chaos runs are reproducible: the fault activates at
+/// `at_s`, lasts `duration_s` (0 = never recovers), and with `period_s` set
+/// repeats every period (a flapping node).
+struct NodeFaultConfig {
+  enum class Kind : std::uint8_t {
+    kNone,         // disarmed
+    kCrash,        // node stops accepting; in-flight jobs fail at the next
+                   // task boundary with a permanent (non-retryable) error
+    kBrownout,     // every task takes ~stall_factor x its normal time
+    kRejectStorm,  // submissions bounce with kRejected; running jobs finish
+    kFlakyLink,    // inter-node ship path drops / delays jobs (cluster-side)
+  };
+  Kind kind = Kind::kNone;
+  /// Episode start, in seconds on the owning service's clock.
+  double at_s = 0;
+  /// Episode length; 0 = the fault never clears (crash with no recovery).
+  double duration_s = 0;
+  /// Repeat the episode every period_s (> duration_s); 0 = one-shot.
+  double period_s = 0;
+  /// kBrownout: multiplier on every task's execution time (>= 1).
+  double stall_factor = 4.0;
+  /// kFlakyLink: chance a shipped job is dropped outright, in [0, 1].
+  double drop_probability = 0.5;
+  /// kFlakyLink: extra shipping delay for jobs that do get through.
+  double delay_s = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Parses "none" | "crash" | "brownout" | "reject-storm" ("reject") |
+/// "flaky-link" ("link"); throws InvalidArgument otherwise.
+NodeFaultConfig::Kind parse_node_fault_kind(const std::string& name);
+
+/// Evaluates a NodeFaultConfig schedule against a clock. Pure apart from the
+/// seeded drop RNG and the delivered-fault counter, so the service can ask
+/// "is the node crashed *now*?" from any lane without coordination.
+class NodeFaultInjector {
+ public:
+  explicit NodeFaultInjector(const NodeFaultConfig& config);
+
+  bool armed() const { return config_.kind != NodeFaultConfig::Kind::kNone; }
+  const NodeFaultConfig& config() const { return config_; }
+
+  /// True while the configured episode covers `now_s`.
+  bool active(double now_s) const;
+  /// kCrash episode covering now: the node is down.
+  bool crashed(double now_s) const;
+  /// True when submissions should bounce (crash or reject-storm episode).
+  bool rejecting(double now_s) const;
+  /// Task-time multiplier: config().stall_factor during a brownout episode,
+  /// 1.0 otherwise.
+  double stall_factor(double now_s) const;
+  /// kFlakyLink: rolls the seeded drop gate for one shipped job; true means
+  /// the ship is lost. Counts a delivered fault on every drop.
+  bool drop_ship(double now_s);
+  /// kFlakyLink: extra shipping delay while the episode is active.
+  double ship_delay_s(double now_s) const;
+
+  /// Records one delivered fault (crash throw, brownout stall, injected
+  /// rejection); drop_ship counts its own.
+  void count_injection() { injected_.fetch_add(1, std::memory_order_relaxed); }
+  /// Node faults delivered so far.
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const NodeFaultConfig config_;
+  std::mutex mutex_;  // guards rng_ (the cluster rolls drops from any thread)
+  Rng rng_;
+  std::atomic<std::uint64_t> injected_{0};
+};
+
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultConfig& config);

@@ -58,6 +58,7 @@ QrService::Metrics::Metrics(obs::Registry& r)
       verify_failures(r.counter("verify.failures")),
       lane_quarantines(r.counter("lane.quarantines")),
       lane_probations(r.counter("lane.probations")),
+      node_rejects(r.counter("node.rejects")),
       // 10 us .. 2 min covers a one-tile job through a deadline-length
       // stall; doubling edges give ~12% worst-case interpolation error.
       job_s(r.histogram("job.latency_s",
@@ -96,6 +97,8 @@ struct QrService::JobControl {
 
   runtime::CancelToken token;
   std::atomic<int> reason{0};
+  /// Latched by the lane that pops the job; started() reads it.
+  std::atomic<bool> picked{false};
 
   void request(int r) {
     int expected = 0;
@@ -132,6 +135,9 @@ QrService::QrService(const ServiceConfig& config)
   lane_health_.resize(static_cast<std::size_t>(config.lanes));
   if (config.fault.mode != FaultConfig::Mode::kNone)
     fault_ = std::make_unique<FaultInjector>(config.fault);
+  if (config.node_fault.kind != NodeFaultConfig::Kind::kNone &&
+      config.node_fault.kind != NodeFaultConfig::Kind::kFlakyLink)
+    node_fault_ = std::make_unique<NodeFaultInjector>(config.node_fault);
   if (config.collect_trace) {
     trace_ = std::make_unique<obs::TraceLog>(config.trace_capacity);
     // Name the viewer tracks up front: pid trace_pid_base is the shared
@@ -173,6 +179,34 @@ QrService::~QrService() {
 
 std::future<JobResult> QrService::submit(JobSpec spec,
                                          std::uint64_t* id_out) {
+  // A crashed or reject-storming node bounces at the door: the job never
+  // enters the queue, the future resolves immediately, and the caller (the
+  // cluster's failover layer, a load generator) can route elsewhere.
+  if (node_fault_ && node_fault_->rejecting(clock_.seconds())) {
+    JobResult bounced;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) throw Error("QrService::submit after shutdown");
+      bounced.id = next_id_++;
+      metrics_.submitted.inc();
+    }
+    if (id_out) *id_out = bounced.id;
+    bounced.tag = spec.tag;
+    bounced.rows = spec.a.rows();
+    bounced.cols = spec.a.cols();
+    bounced.status = JobStatus::kRejected;
+    bounced.error = node_fault_->crashed(clock_.seconds())
+                        ? "node down: injected crash"
+                        : "node rejecting: injected reject storm";
+    node_fault_->count_injection();
+    metrics_.rejected.inc();
+    metrics_.node_rejects.inc();
+    std::promise<JobResult> promise;
+    std::future<JobResult> future = promise.get_future();
+    promise.set_value(std::move(bounced));
+    return future;
+  }
+
   PendingJob job;
   auto control = std::make_shared<JobControl>();
   {
@@ -244,6 +278,15 @@ std::size_t QrService::cancel_all() {
   return outstanding.size();
 }
 
+bool QrService::started(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = controls_.find(id);
+  // An unknown id is a job that already resolved (or never existed); either
+  // way it is past the point where cloning it elsewhere could double work.
+  if (it == controls_.end()) return true;
+  return it->second->picked.load(std::memory_order_relaxed);
+}
+
 void QrService::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_drained_.wait(lock, [this] { return in_flight_ == 0; });
@@ -273,6 +316,7 @@ void QrService::lane_main(int lane) {
       std::lock_guard<std::mutex> lock(mutex_);
       control = controls_.at(id);  // registered by submit, erased only here
     }
+    control->picked.store(true, std::memory_order_relaxed);
     std::promise<JobResult> promise = std::move(job->promise);
     JobResult result = process(engine, lane, std::move(*job), *control);
     const JobStatus status = result.status;
@@ -411,6 +455,17 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
     // Cancelled while queued: never factored.
     result.status = JobStatus::kCancelled;
     result.error = control.reason_text();
+    result.total_s = clock_.seconds() - job.submit_s;
+    return result;
+  }
+  if (node_fault_ && node_fault_->crashed(clock_.seconds())) {
+    // Popped on a crashed node: fail fast without planning or factoring —
+    // a down node loses its queue, it doesn't slowly chew through it. The
+    // failure is permanent (no retry loop), so the owning cluster's
+    // failover sees it as soon as possible.
+    node_fault_->count_injection();
+    result.status = JobStatus::kFailed;
+    result.error = "node down: injected crash";
     result.total_s = clock_.seconds() - job.submit_s;
     return result;
   }
@@ -657,10 +712,40 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
           if (past_deadline()) control.request(JobControl::kDeadline);
           if (control.token.cancelled()) return;
         }
+        if (node_fault_ && node_fault_->crashed(clock_.seconds())) {
+          // Node crash: in-flight jobs die at the next task boundary with a
+          // permanent error (plain tqr::Error, not TransientError), so the
+          // retry loop does not resurrect work on a dead node.
+          node_fault_->count_injection();
+          throw Error("node down: injected crash at " + dag::to_string(task));
+        }
+        const double task_start_s = clock_.seconds();
         if (f32)
           core::execute_task<float>(task, f32->a, f32->tg, f32->te, ib);
         else
           core::execute_task<double>(task, ws->a, ws->tg, ws->te, ib);
+        const double brown =
+            node_fault_ ? node_fault_->stall_factor(clock_.seconds()) : 1.0;
+        if (brown > 1.0) {
+          // Brownout: stretch the task to ~brown x its measured time by
+          // sleeping the difference, in token-aware slices capped by the
+          // time left on the exec deadline (same contract as injected
+          // stalls: a browned-out job dies at the deadline, not later).
+          node_fault_->count_injection();
+          constexpr double kSliceS = 1e-4;
+          double remaining =
+              (clock_.seconds() - task_start_s) * (brown - 1.0);
+          if (deadline_s > 0)
+            remaining = std::min(
+                remaining, std::max(0.0, deadline_s - (clock_.seconds() -
+                                                       picked_up_s)));
+          while (remaining > 0 && !control.token.cancelled()) {
+            const double slice = std::min(remaining, kSliceS);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(slice));
+            remaining -= slice;
+          }
+        }
         if (corrupting) {
           // Silent-corruption injection: poison the task's primary output
           // tile *after* the kernel ran — exactly what flaky silicon does.
@@ -822,6 +907,9 @@ ServiceStats QrService::stats() const {
       if (h.quarantined) ++s.lanes_quarantined;
   }
   s.faults_injected = fault_ ? fault_->injected() : 0;
+  s.node_faults_injected = node_fault_ ? node_fault_->injected() : 0;
+  s.node_rejects = metrics_.node_rejects.value();
+  s.node_down = node_fault_ && node_fault_->crashed(clock_.seconds());
   s.uptime_s = clock_.seconds();
   s.jobs_per_s = s.uptime_s > 0
                      ? static_cast<double>(s.jobs_completed) / s.uptime_s
@@ -852,6 +940,8 @@ obs::Registry::Snapshot QrService::metrics() const {
   // queue, cache, and pool keep their own counters (they predate the
   // registry and are useful standalone), so the snapshot adopts them here.
   s.counters["faults.injected"] = st.faults_injected;
+  s.counters["node.faults_injected"] = st.node_faults_injected;
+  s.gauges["node.down"] = st.node_down ? 1.0 : 0.0;
   s.counters["queue.accepted"] = st.queue.accepted;
   s.counters["queue.rejected"] = st.queue.rejected;
   s.counters["queue.blocked_pushes"] = st.queue.blocked_pushes;

@@ -114,6 +114,13 @@ struct ServiceConfig {
   /// Mode kNone (the default) disarms it entirely.
   FaultConfig fault;
 
+  /// Node-scale fault schedule: crash (submissions bounce, in-flight jobs
+  /// fail permanently at the next task boundary), brownout (every task
+  /// stretched by stall_factor), or reject-storm (submissions bounce while
+  /// running jobs finish). Kind kNone (the default) disarms it. kFlakyLink
+  /// belongs to the owning cluster's ship path and is ignored here.
+  NodeFaultConfig node_fault;
+
   /// Collect a Chrome trace-event timeline of every job: queued spans and
   /// queue-depth samples on one track, per-lane job lifecycle spans with
   /// retry/verify/quarantine markers, and per-task kernel events annotated
@@ -159,6 +166,11 @@ class QrService {
 
   /// Cancels every outstanding job; returns how many were signalled.
   std::size_t cancel_all();
+
+  /// True once a lane has picked the job up (or the job already resolved);
+  /// false while it still sits in the queue. The cluster's hedging policy
+  /// uses this: a job no lane has started is safe to clone elsewhere.
+  bool started(std::uint64_t id) const;
 
   /// Blocks until every accepted job has completed.
   void drain();
@@ -218,6 +230,7 @@ class QrService {
   PlanCache plan_cache_;
   WorkspacePool workspace_pool_;
   std::unique_ptr<FaultInjector> fault_;  // null when disarmed
+  std::unique_ptr<NodeFaultInjector> node_fault_;  // null when disarmed
 
   /// Every service counter and latency histogram lives here; lanes resolve
   /// their metrics once (Metrics below) and update them lock-free.
@@ -235,6 +248,7 @@ class QrService {
     obs::Counter& verify_failures;
     obs::Counter& lane_quarantines;
     obs::Counter& lane_probations;
+    obs::Counter& node_rejects;
     obs::Histogram& job_s;    // submit -> resolve, kOk jobs
     obs::Histogram& queue_s;  // submit -> lane pickup, all popped jobs
     obs::Histogram& exec_s;   // executor time per successful attempt

@@ -32,6 +32,11 @@ struct ServiceStats {
   std::uint64_t lane_probations = 0;   // half-open re-admissions attempted
   int lanes_quarantined = 0;           // currently quarantined lanes
 
+  /// Node-scoped fault injection (ServiceConfig::node_fault).
+  std::uint64_t node_faults_injected = 0;  // delivered node-scale faults
+  std::uint64_t node_rejects = 0;  // submissions bounced by crash/reject-storm
+  bool node_down = false;          // a crash episode covers "now"
+
   double uptime_s = 0;
   /// Completed jobs per second of uptime.
   double jobs_per_s = 0;

@@ -67,22 +67,147 @@ TEST(Router, CostModelTradesShipAgainstQueue) {
   EXPECT_EQ(r.pick(both_idle), 0);
 }
 
-TEST(Router, QuarantinedNodesSkippedUnlessAllDown) {
+TEST(Router, DownNodesSkippedAndAllDownIsExplicitRejection) {
   Router r(RouterPolicy::kCostModel);
   // Node 0 is cheapest but has no active lanes: rerouted to node 1.
   const std::vector<NodeState> one_down = {node(0, 0, 1.0, 0.0),
                                            node(2, 1, 1.0, 0.5)};
   EXPECT_EQ(r.pick(one_down), 1);
-  // Every node down: pick still returns a valid index rather than failing.
+  // Every node down: pick refuses (-1) instead of silently feeding a node
+  // known to lose the job — the cluster turns this into kRejected.
   const std::vector<NodeState> all_down = {node(0, 0, 1.0, 0.0),
                                            node(2, 0, 1.0, 0.5)};
-  const int p = r.pick(all_down);
-  EXPECT_TRUE(p == 0 || p == 1);
+  EXPECT_EQ(r.pick(all_down), -1);
+  // Same for every policy, including a breaker-quarantined (but lane-alive)
+  // node set.
+  for (auto policy : {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+                      RouterPolicy::kCostModel}) {
+    Router rp(policy);
+    std::vector<NodeState> quarantined = {node(0, 1, 1.0, 0.0),
+                                          node(0, 1, 1.0, 0.5)};
+    quarantined[0].quarantined = true;
+    quarantined[1].quarantined = true;
+    EXPECT_EQ(rp.pick(quarantined), -1) << router_policy_name(policy);
+    quarantined[1].quarantined = false;
+    EXPECT_EQ(rp.pick(quarantined), 1) << router_policy_name(policy);
+  }
+}
+
+TEST(Router, CostPenalizesFailureRate) {
+  // Identical nodes except node 0 fails 50% of its jobs: the EWMA penalty
+  // makes it (1 + kFailurePenalty * 0.5)x as expensive, so node 1 wins even
+  // though it pays a ship cost.
+  NodeState sick = node(0, 1, 1.0, 0.0);
+  sick.failure_rate = 0.5;
+  const NodeState healthy = node(0, 1, 1.0, 0.5);
+  EXPECT_GT(Router::cost(sick), Router::cost(healthy));
+  Router r(RouterPolicy::kCostModel);
+  EXPECT_EQ(r.pick({sick, healthy}), 1);
 }
 
 TEST(Router, EmptyStateListThrows) {
   Router r;
   EXPECT_THROW(r.pick({}), tqr::Error);
+}
+
+TEST(NodeHealth, EwmaDecaysGeometricallyOnSuccess) {
+  NodeHealthConfig cfg;
+  cfg.ewma_alpha = 0.2;
+  cfg.breaker_after = 0;  // EWMA only
+  NodeHealthTracker h(2, cfg);
+  h.record(0, true, 0.0);
+  h.record(0, true, 0.0);
+  // rate = 0.2 + 0.8 * 0.2 = 0.36 after two failures.
+  EXPECT_NEAR(h.failure_rate(0), 0.36, 1e-12);
+  // Each success multiplies by (1 - alpha).
+  double expect = 0.36;
+  for (int i = 0; i < 5; ++i) {
+    h.record(0, false, 0.0);
+    expect *= 0.8;
+    EXPECT_NEAR(h.failure_rate(0), expect, 1e-12);
+  }
+  // The untouched node stays clean, and the breaker never opened.
+  EXPECT_DOUBLE_EQ(h.failure_rate(1), 0.0);
+  EXPECT_EQ(h.quarantines(), 0u);
+  EXPECT_FALSE(h.quarantined(0, 100.0));
+}
+
+TEST(NodeHealth, BreakerTripsAfterConsecutiveFailures) {
+  NodeHealthConfig cfg;
+  cfg.breaker_after = 3;
+  cfg.probation_s = 10.0;
+  NodeHealthTracker h(1, cfg);
+  h.record(0, true, 0.0);
+  h.record(0, true, 0.0);
+  EXPECT_FALSE(h.quarantined(0, 0.0));  // streak 2 < 3
+  h.record(0, false, 0.0);              // success resets the streak
+  h.record(0, true, 1.0);
+  h.record(0, true, 1.0);
+  EXPECT_FALSE(h.quarantined(0, 1.0));
+  h.record(0, true, 1.0);  // third consecutive: trip
+  EXPECT_TRUE(h.quarantined(0, 1.0));
+  EXPECT_EQ(h.quarantines(), 1u);
+  // Held out until probation_s elapses.
+  EXPECT_TRUE(h.quarantined(0, 10.9));
+  EXPECT_FALSE(h.quarantined(0, 11.1));
+}
+
+TEST(NodeHealth, HalfOpenProbationAdmitsOneProbe) {
+  NodeHealthConfig cfg;
+  cfg.breaker_after = 2;
+  cfg.probation_s = 5.0;
+  NodeHealthTracker h(1, cfg);
+  h.record(0, true, 0.0);
+  h.record(0, true, 0.0);
+  ASSERT_TRUE(h.quarantined(0, 0.0));
+  // Past the deadline the node is pickable; routing it latches half-open,
+  // which holds everyone else out until the probe's verdict.
+  ASSERT_FALSE(h.quarantined(0, 6.0));
+  h.note_routed(0, 6.0);
+  EXPECT_EQ(h.probations(), 1u);
+  EXPECT_TRUE(h.quarantined(0, 6.0));
+  EXPECT_TRUE(h.quarantined(0, 60.0));  // probing: time alone cannot re-admit
+  // A good probe closes the breaker fully.
+  h.record(0, false, 7.0);
+  EXPECT_FALSE(h.quarantined(0, 7.0));
+  EXPECT_EQ(h.quarantines(), 1u);
+}
+
+TEST(NodeHealth, FailedProbeReopensForAFreshProbation) {
+  NodeHealthConfig cfg;
+  cfg.breaker_after = 2;
+  cfg.probation_s = 5.0;
+  NodeHealthTracker h(1, cfg);
+  h.record(0, true, 0.0);
+  h.record(0, true, 0.0);
+  ASSERT_TRUE(h.quarantined(0, 1.0));
+  h.note_routed(0, 6.0);
+  // One bad probe re-opens immediately (no need for a fresh streak).
+  h.record(0, true, 6.5);
+  EXPECT_TRUE(h.quarantined(0, 6.6));
+  EXPECT_EQ(h.quarantines(), 2u);
+  // New probation window counts from the re-open.
+  EXPECT_TRUE(h.quarantined(0, 11.0));
+  EXPECT_FALSE(h.quarantined(0, 11.6));
+}
+
+TEST(NodeHealth, ZeroProbationIsPermanentAndZeroBreakerDisables) {
+  NodeHealthConfig permanent;
+  permanent.breaker_after = 1;
+  permanent.probation_s = 0;
+  NodeHealthTracker h(1, permanent);
+  h.record(0, true, 0.0);
+  EXPECT_TRUE(h.quarantined(0, 1e9));
+  h.note_routed(0, 1e9);  // never half-opens
+  EXPECT_EQ(h.probations(), 0u);
+
+  NodeHealthConfig disabled;
+  disabled.breaker_after = 0;
+  NodeHealthTracker d(1, disabled);
+  for (int i = 0; i < 50; ++i) d.record(0, true, 0.0);
+  EXPECT_FALSE(d.quarantined(0, 0.0));
+  EXPECT_EQ(d.quarantines(), 0u);
+  EXPECT_GT(d.failure_rate(0), 0.9);  // EWMA still tracks
 }
 
 }  // namespace

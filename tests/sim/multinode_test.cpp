@@ -221,5 +221,32 @@ TEST(MultiNode, EndToEndClusterSimulationRuns) {
   EXPECT_EQ(run.plan.participants().size(), 8u);
 }
 
+TEST(MultiNode, DegradeInterLinkCompoundsOnTheFabric) {
+  Platform p = paper_cluster(2, 4.0, 25.0);
+  // The getter reports the uniform CommModel fabric before any override.
+  LinkParams l = p.inter_link(0, 1);
+  EXPECT_DOUBLE_EQ(l.gbytes_per_s, 4.0);
+  EXPECT_DOUBLE_EQ(l.latency_us, 25.0);
+
+  p.degrade_inter_link(0, 1, 4.0, 100.0);
+  l = p.inter_link(0, 1);
+  EXPECT_DOUBLE_EQ(l.gbytes_per_s, 1.0);
+  EXPECT_DOUBLE_EQ(l.latency_us, 125.0);
+  // Symmetric by default; further degradation compounds, and an asymmetric
+  // call leaves the reverse direction alone.
+  EXPECT_DOUBLE_EQ(p.inter_link(1, 0).gbytes_per_s, 1.0);
+  p.degrade_inter_link(0, 1, 2.0, 0.0, /*symmetric=*/false);
+  EXPECT_DOUBLE_EQ(p.inter_link(0, 1).gbytes_per_s, 0.5);
+  EXPECT_DOUBLE_EQ(p.inter_link(1, 0).gbytes_per_s, 1.0);
+
+  // Device-level transfers ride the degraded fabric.
+  const int per_node = p.num_devices() / 2;
+  EXPECT_DOUBLE_EQ(p.link(0, per_node).gbytes_per_s, 0.5);
+  EXPECT_DOUBLE_EQ(p.link(per_node, 0).gbytes_per_s, 1.0);
+
+  EXPECT_THROW(p.inter_link(0, 0), tqr::InvalidArgument);
+  EXPECT_THROW(p.degrade_inter_link(0, 1, 0.5, 0.0), tqr::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace tqr::sim

@@ -260,5 +260,163 @@ TEST(ServiceReject, RejectedFutureCarriesIdAndTag) {
   service.drain();
 }
 
+TEST(NodeFaultSchedule, ParseKindsAndEpisodeWindows) {
+  EXPECT_EQ(parse_node_fault_kind("none"), NodeFaultConfig::Kind::kNone);
+  EXPECT_EQ(parse_node_fault_kind("crash"), NodeFaultConfig::Kind::kCrash);
+  EXPECT_EQ(parse_node_fault_kind("brownout"),
+            NodeFaultConfig::Kind::kBrownout);
+  EXPECT_EQ(parse_node_fault_kind("reject-storm"),
+            NodeFaultConfig::Kind::kRejectStorm);
+  EXPECT_EQ(parse_node_fault_kind("flaky-link"),
+            NodeFaultConfig::Kind::kFlakyLink);
+  EXPECT_THROW(parse_node_fault_kind("meltdown"), InvalidArgument);
+
+  // Periodic episode: [1, 3) every 10s.
+  NodeFaultConfig cfg;
+  cfg.kind = NodeFaultConfig::Kind::kBrownout;
+  cfg.at_s = 1.0;
+  cfg.duration_s = 2.0;
+  cfg.period_s = 10.0;
+  cfg.stall_factor = 8.0;
+  NodeFaultInjector inj(cfg);
+  EXPECT_FALSE(inj.active(0.5));
+  EXPECT_TRUE(inj.active(1.5));
+  EXPECT_FALSE(inj.active(3.5));
+  EXPECT_TRUE(inj.active(11.5));  // repeats each period
+  EXPECT_FALSE(inj.active(13.5));
+  EXPECT_DOUBLE_EQ(inj.stall_factor(1.5), 8.0);
+  EXPECT_DOUBLE_EQ(inj.stall_factor(0.5), 1.0);
+  EXPECT_FALSE(inj.crashed(1.5));  // brownouts degrade, never kill
+
+  // duration 0 = the fault never clears once it starts.
+  NodeFaultConfig crash;
+  crash.kind = NodeFaultConfig::Kind::kCrash;
+  crash.at_s = 0.25;
+  NodeFaultInjector ci(crash);
+  EXPECT_FALSE(ci.crashed(0.1));
+  EXPECT_TRUE(ci.crashed(0.3));
+  EXPECT_TRUE(ci.crashed(1e9));
+  EXPECT_TRUE(ci.rejecting(0.3));  // a crashed node also rejects
+
+  // Invalid schedules are rejected up front.
+  NodeFaultConfig bad = cfg;
+  bad.period_s = 1.0;  // shorter than the episode itself
+  EXPECT_THROW(NodeFaultInjector{bad}, InvalidArgument);
+}
+
+TEST(NodeFaultSchedule, FlakyLinkRollsAreSeededDeterministic) {
+  NodeFaultConfig cfg;
+  cfg.kind = NodeFaultConfig::Kind::kFlakyLink;
+  cfg.drop_probability = 0.5;
+  cfg.delay_s = 0.002;
+  cfg.seed = 7;
+  NodeFaultInjector a(cfg), b(cfg);
+  std::vector<bool> ra, rb;
+  int drops = 0;
+  for (int i = 0; i < 64; ++i) {
+    ra.push_back(a.drop_ship(1.0));
+    rb.push_back(b.drop_ship(1.0));
+    drops += ra.back() ? 1 : 0;
+  }
+  EXPECT_EQ(ra, rb);  // same seed => same chaos, reproducible runs
+  EXPECT_GT(drops, 0);
+  EXPECT_LT(drops, 64);
+  EXPECT_EQ(a.injected(), static_cast<std::uint64_t>(drops));
+  EXPECT_DOUBLE_EQ(a.ship_delay_s(1.0), 0.002);
+  // Outside the episode the link behaves: no drops, no delay.
+  NodeFaultConfig later = cfg;
+  later.at_s = 100.0;
+  NodeFaultInjector off(later);
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(off.drop_ship(1.0));
+  EXPECT_DOUBLE_EQ(off.ship_delay_s(1.0), 0.0);
+}
+
+TEST(NodeFault, CrashedNodeBouncesSubmissionsAtTheDoor) {
+  ServiceConfig config = one_lane();
+  config.node_fault.kind = NodeFaultConfig::Kind::kCrash;
+  config.node_fault.at_s = 0;
+  QrService service(config);
+  JobSpec spec = spec_for(64, 64, 50);
+  spec.tag = 0xC4A5;
+  auto f = service.submit(std::move(spec));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const auto r = f.get();
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_EQ(r.tag, 0xC4A5u);
+  EXPECT_NE(r.error.find("node down"), std::string::npos) << r.error;
+  const auto s = service.stats();
+  EXPECT_TRUE(s.node_down);
+  EXPECT_EQ(s.node_rejects, 1u);
+  EXPECT_EQ(s.jobs_rejected, 1u);
+  EXPECT_EQ(s.jobs_completed, 0u);
+  service.drain();
+}
+
+TEST(NodeFault, MidRunCrashFailsInFlightJobsPermanently) {
+  ServiceConfig config = one_lane();
+  // The stall holds the first task past the crash time; retries are armed
+  // to prove a crash failure is permanent (no retry on a dead node).
+  config.fault.mode = FaultConfig::Mode::kStall;
+  config.fault.stall_s = 0.4;
+  config.fault.max_injections = 1;
+  config.node_fault.kind = NodeFaultConfig::Kind::kCrash;
+  config.node_fault.at_s = 0.1;
+  QrService service(config);
+  JobSpec spec = spec_for(64, 64, 51);
+  spec.max_attempts = 3;
+  const auto r = service.submit(std::move(spec)).get();
+  EXPECT_EQ(r.status, JobStatus::kFailed);
+  EXPECT_EQ(r.attempts, 1);  // permanent: the retry loop must not re-run it
+  EXPECT_NE(r.error.find("node down: injected crash"), std::string::npos)
+      << r.error;
+  const auto s = service.stats();
+  EXPECT_TRUE(s.node_down);
+  EXPECT_EQ(s.jobs_failed, 1u);
+  EXPECT_EQ(s.jobs_retried, 0u);
+  EXPECT_GE(s.node_faults_injected, 1u);
+  service.drain();
+}
+
+TEST(NodeFault, RejectStormWindowClosesAndServiceRecovers) {
+  ServiceConfig config = one_lane();
+  config.node_fault.kind = NodeFaultConfig::Kind::kRejectStorm;
+  config.node_fault.at_s = 0;
+  config.node_fault.duration_s = 1.0;
+  QrService service(config);
+  const auto bounced = service.submit(spec_for(64, 64, 52)).get();
+  EXPECT_EQ(bounced.status, JobStatus::kRejected);
+  EXPECT_NE(bounced.error.find("reject storm"), std::string::npos)
+      << bounced.error;
+  EXPECT_FALSE(service.stats().node_down);  // rejecting, not crashed
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  const auto r = service.submit(spec_for(64, 64, 53)).get();
+  EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+  const auto s = service.stats();
+  EXPECT_EQ(s.node_rejects, 1u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  service.drain();
+}
+
+TEST(NodeFault, BrownoutStretchesExecutionButJobsStillComplete) {
+  ServiceConfig clean = one_lane();
+  ServiceConfig browned = one_lane();
+  browned.node_fault.kind = NodeFaultConfig::Kind::kBrownout;
+  browned.node_fault.at_s = 0;
+  browned.node_fault.stall_factor = 20.0;
+  QrService fast(clean), slow(browned);
+  const auto rf = fast.submit(spec_for(128, 128, 54)).get();
+  const auto rs = slow.submit(spec_for(128, 128, 54)).get();
+  ASSERT_EQ(rf.status, JobStatus::kOk);
+  ASSERT_EQ(rs.status, JobStatus::kOk) << rs.error;
+  // Every task is stretched to ~20x its measured time, so the browned run
+  // is far slower than the clean one (2x leaves sanitizer-sized noise room)
+  // and the factors still verify identical.
+  EXPECT_GT(rs.exec_s, rf.exec_s * 2);
+  EXPECT_GE(slow.stats().node_faults_injected, 4u);  // per-task injections
+  EXPECT_EQ(fast.stats().node_faults_injected, 0u);
+  fast.drain();
+  slow.drain();
+}
+
 }  // namespace
 }  // namespace tqr::svc

@@ -7,6 +7,8 @@
 //   tqr plan     --size 3200 [--tile 16] [--gpus 3]
 //   tqr serve    --jobs 256x256:16,512x256:4 [--lanes 2] [--json]
 //   tqr cluster  --jobs 256x256:16 [--nodes 2] [--inter-bw 1] [--policy cost]
+//                [--failover 3] [--hedge-after 0.05] [--fault-kind crash]
+//                [--fault-node 0] [--fault-at 0.05] [--metrics-out m.json]
 //
 // Matrix files: *.mtx = MatrixMarket dense array; anything else = tiledqr
 // binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
@@ -676,12 +678,28 @@ int cmd_cluster(int argc, char** argv) {
   cli.flag("trace-out",
            "write the merged per-node Chrome trace-event timeline here "
            "(one pid block per node; load in Perfetto)");
+  cli.flag("metrics-out", "write the cluster metrics registry JSON here");
+  cli.flag("failover", "node attempts per job (>= 2 arms failover)", "1");
+  cli.flag("failover-backoff", "pause before each failover resubmit, s", "0");
+  cli.flag("hedge-after",
+           "clone a job unpicked after this many seconds (0 = off)", "0");
+  cli.flag("fault-node", "node the injected fault afflicts", "0");
+  cli.flag("fault-kind",
+           "none|crash|brownout|reject-storm|flaky-link", "none");
+  cli.flag("fault-at", "fault schedule start, s", "0");
+  cli.flag("fault-duration", "fault episode length, s (0 = forever)", "0");
+  cli.flag("fault-period", "episode repeat period, s (0 = one-shot)", "0");
+  cli.flag("fault-stall-factor", "brownout task-stretch factor", "4");
+  cli.flag("fault-drop-p", "flaky-link ship drop probability", "0.5");
+  cli.flag("fault-delay", "flaky-link ship delay, s", "0");
+  cli.flag("fault-seed", "chaos schedule seed", "42");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto shapes =
       parse_trace(cli.get_string("jobs", "256x256:16,512x256:4"));
   const bool json = cli.get_bool("json", false);
   const std::string trace_out = cli.get_string("trace-out", "");
+  const std::string metrics_out = cli.get_string("metrics-out", "");
   const dag::Elimination elim = parse_elim(cli.get_string("elim", "tt"));
 
   cluster::ClusterConfig cfg;
@@ -694,6 +712,26 @@ int cmd_cluster(int argc, char** argv) {
   cfg.node.lanes = static_cast<int>(checked_dim(cli, "lanes", 2));
   cfg.node.default_tile = static_cast<int>(checked_dim(cli, "tile", 16));
   cfg.node.collect_trace = !trace_out.empty();
+  cfg.max_node_attempts = static_cast<int>(cli.get_int("failover", 1));
+  cfg.failover_backoff_s = cli.get_double("failover-backoff", 0);
+  cfg.hedge_after_s = cli.get_double("hedge-after", 0);
+  const auto fault_kind =
+      svc::parse_node_fault_kind(cli.get_string("fault-kind", "none"));
+  if (fault_kind != svc::NodeFaultConfig::Kind::kNone) {
+    cluster::ClusterConfig::NodeFault f;
+    f.node = static_cast<int>(cli.get_int("fault-node", 0));
+    TQR_REQUIRE(f.node >= 0 && f.node < cfg.nodes,
+                "--fault-node out of range");
+    f.fault.kind = fault_kind;
+    f.fault.at_s = cli.get_double("fault-at", 0);
+    f.fault.duration_s = cli.get_double("fault-duration", 0);
+    f.fault.period_s = cli.get_double("fault-period", 0);
+    f.fault.stall_factor = cli.get_double("fault-stall-factor", 4.0);
+    f.fault.drop_probability = cli.get_double("fault-drop-p", 0.5);
+    f.fault.delay_s = cli.get_double("fault-delay", 0);
+    f.fault.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 42));
+    cfg.faults.push_back(f);
+  }
 
   cluster::Cluster c(cfg);
   std::vector<cluster::Cluster::Submission> subs;
@@ -733,12 +771,23 @@ int cmd_cluster(int argc, char** argv) {
     out.flush();
     TQR_REQUIRE(out.good(), "write to '" + trace_out + "' failed");
   }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    TQR_REQUIRE(out.good(), "cannot open '" + metrics_out + "' for writing");
+    out << c.metrics_json();
+    out.flush();
+    TQR_REQUIRE(out.good(), "write to '" + metrics_out + "' failed");
+  }
 
   if (json) {
     std::printf("{\"nodes\": %d, \"policy\": \"%s\",\n"
                 " \"jobs\": {\"submitted\": %llu, \"completed\": %llu, "
                 "\"failed\": %llu, \"rejected\": %llu, \"corrupted\": %llu},\n"
                 " \"lanes_quarantined\": %d,\n"
+                " \"failovers\": %llu, \"hedges\": %llu, "
+                "\"hedge_wins\": %llu,\n"
+                " \"link_drops\": %llu, \"routed_rejections\": %llu, "
+                "\"node_quarantines\": %llu,\n"
                 " \"jobs_per_s\": %.3f,\n \"routed\": [",
                 c.num_nodes(), cluster::router_policy_name(cfg.policy),
                 static_cast<unsigned long long>(cs.jobs_submitted),
@@ -746,10 +795,20 @@ int cmd_cluster(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.jobs_failed),
                 static_cast<unsigned long long>(cs.jobs_rejected),
                 static_cast<unsigned long long>(cs.jobs_corrupted),
-                cs.lanes_quarantined, cs.jobs_per_s);
+                cs.lanes_quarantined,
+                static_cast<unsigned long long>(cs.failovers),
+                static_cast<unsigned long long>(cs.hedges),
+                static_cast<unsigned long long>(cs.hedge_wins),
+                static_cast<unsigned long long>(cs.link_drops),
+                static_cast<unsigned long long>(cs.routed_rejections),
+                static_cast<unsigned long long>(cs.node_quarantines),
+                cs.jobs_per_s);
     for (std::size_t n = 0; n < cs.routed.size(); ++n)
       std::printf("%s%llu", n ? ", " : "",
                   static_cast<unsigned long long>(cs.routed[n]));
+    std::printf("],\n \"node_failure_rate\": [");
+    for (std::size_t n = 0; n < cs.node_failure_rate.size(); ++n)
+      std::printf("%s%.4f", n ? ", " : "", cs.node_failure_rate[n]);
     std::printf("]}\n");
     return bad > 0 ? 2 : 0;
   }
@@ -762,6 +821,16 @@ int cmd_cluster(int argc, char** argv) {
   std::printf("served %llu jobs: %d ok, %d not ok, %.2f jobs/s\n",
               static_cast<unsigned long long>(cs.jobs_submitted), ok, bad,
               cs.jobs_per_s);
+  if (cs.failovers || cs.hedges || cs.link_drops || cs.routed_rejections ||
+      cs.node_quarantines)
+    std::printf("chaos: %llu failovers, %llu hedges (%llu wins), %llu link "
+                "drops, %llu routed rejections, %llu node quarantines\n",
+                static_cast<unsigned long long>(cs.failovers),
+                static_cast<unsigned long long>(cs.hedges),
+                static_cast<unsigned long long>(cs.hedge_wins),
+                static_cast<unsigned long long>(cs.link_drops),
+                static_cast<unsigned long long>(cs.routed_rejections),
+                static_cast<unsigned long long>(cs.node_quarantines));
   Table t({"node", "routed", "submitted", "completed", "p50_ms",
            "cache_hit", "quarantined"});
   for (std::size_t n = 0; n < cs.nodes.size(); ++n) {
