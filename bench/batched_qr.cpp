@@ -1,0 +1,188 @@
+// Batched small-QR throughput: problems/sec for N tiny same-shape QRs
+// executed as ONE svc batched job (chunk-interleaved SIMD engine) versus the
+// same N problems replayed as a loop of single jobs through the same warm
+// service — the "millions of tiny problems" workload where per-job service
+// overhead, not flops, dominates.
+//
+// JSON schema (consumed by bench_diff; rates only, no ratio keys — the
+// anchor rescale in bench_diff would distort a committed speedup):
+//
+//   {"bench": "batched_qr", "isa": ..., "batch": N,
+//    "batched": {"s8":  {"problems_per_s": ..., "loop_problems_per_s": ...},
+//                "s16": {...}, ...}}
+//
+// The batched-beats-loop margin is gated HERE, not in bench_diff: with
+// --quick (the CI lane), any size <= 32 where batched fails to beat the
+// loop baseline by --margin (default 1.25x) exits 3. Sizes above 32 are
+// reported but not margin-gated — per-problem flops start to amortize the
+// loop's overhead there and the two paths legitimately converge.
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "la/batch_qr.hpp"
+#include "la/matrix.hpp"
+#include "la/microkernel.hpp"
+#include "svc/qr_service.hpp"
+
+namespace tqr {
+namespace {
+
+std::vector<int> parse_int_list(const std::string& spec) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(static_cast<int>(std::stol(spec.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<la::Matrix<double>> make_problems(la::index_t n, int count,
+                                              std::uint64_t seed) {
+  std::vector<la::Matrix<double>> problems;
+  problems.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p)
+    problems.push_back(la::Matrix<double>::random(
+        n, n, seed + static_cast<std::uint64_t>(p)));
+  return problems;
+}
+
+struct SizePoint {
+  int size = 0;
+  double problems_per_s = 0;       // one batched job
+  double loop_problems_per_s = 0;  // N single jobs, same warm service
+};
+
+/// One size level against one warm service. The loop baseline submits all N
+/// singles back to back then drains (the same admission pattern a client
+/// replaying tiny problems one-by-one would produce); the batched run is a
+/// single submit carrying all N. Both are best-of-`repeats` wall clock.
+SizePoint measure_size(svc::QrService& service, la::index_t n, int count,
+                       int repeats, std::uint64_t seed) {
+  // Prime the plan cache / workspace pool / engine for this shape so both
+  // measured paths run at steady state.
+  {
+    svc::JobSpec warm;
+    warm.batch = make_problems(n, 1, seed);
+    const auto r = service.submit(std::move(warm)).get();
+    TQR_REQUIRE(r.status == svc::JobStatus::kOk,
+                "batched warmup failed: " + r.error);
+  }
+  const auto problems = make_problems(n, count, seed + 1);
+
+  SizePoint point;
+  point.size = static_cast<int>(n);
+  for (int rep = 0; rep < repeats; ++rep) {
+    {
+      Timer wall;
+      std::vector<std::future<svc::JobResult>> futures;
+      futures.reserve(problems.size());
+      for (const auto& a : problems) {
+        svc::JobSpec spec;
+        spec.a = a;
+        futures.push_back(service.submit(std::move(spec)));
+      }
+      for (auto& f : futures) {
+        const auto r = f.get();
+        TQR_REQUIRE(r.status == svc::JobStatus::kOk,
+                    "loop-baseline job failed: " + r.error);
+      }
+      point.loop_problems_per_s =
+          std::max(point.loop_problems_per_s, count / wall.seconds());
+    }
+    {
+      Timer wall;
+      svc::JobSpec spec;
+      spec.batch = problems;
+      const auto r = service.submit(std::move(spec)).get();
+      TQR_REQUIRE(r.status == svc::JobStatus::kOk,
+                  "batched job failed: " + r.error);
+      TQR_REQUIRE(r.problems_ok == count, "batched job dropped problems");
+      point.problems_per_s =
+          std::max(point.problems_per_s, count / wall.seconds());
+    }
+  }
+  return point;
+}
+
+}  // namespace
+}  // namespace tqr
+
+int main(int argc, char** argv) try {
+  using namespace tqr;
+  Cli cli;
+  cli.flag("sizes", "comma-separated square problem sizes", "8,16,32,64");
+  cli.flag("batch", "problems per batch (0 = pick by mode)", "0");
+  cli.flag("lanes", "service execution lanes", "2");
+  cli.flag("repeats", "measurements per size (best wall-clock wins)", "3");
+  cli.flag("seed", "rng seed", "1");
+  cli.flag("quick", "smaller batch; enables the margin gate (exit 3)");
+  cli.flag("margin",
+           "min batched/loop speedup required at sizes <= 32 under --quick",
+           "1.25");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_bool("quick", false);
+  int count = static_cast<int>(cli.get_int("batch", 0));
+  if (count <= 0) count = quick ? 256 : 1024;
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  TQR_REQUIRE(repeats > 0, "--repeats must be >= 1");
+  const double margin = cli.get_double("margin", 1.25);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  svc::ServiceConfig cfg;
+  cfg.lanes = static_cast<int>(cli.get_int("lanes", 2));
+  svc::QrService service(cfg);
+
+  std::vector<SizePoint> points;
+  for (int s : parse_int_list(cli.get_string("sizes", "8,16,32,64"))) {
+    TQR_REQUIRE(s >= 2, "--sizes entries must be >= 2");
+    points.push_back(measure_size(service, static_cast<la::index_t>(s),
+                                  count, repeats, seed + 100 * points.size()));
+  }
+
+  std::printf("{\"bench\": \"batched_qr\", \"isa\": \"%s\", "
+              "\"vectorized\": %s, \"quick\": %s,\n"
+              " \"batch\": %d, \"lanes\": %d, \"batch_width\": %d,\n"
+              " \"batched\": {",
+              la::mk::isa_name(), la::mk::vectorized() ? "true" : "false",
+              quick ? "true" : "false", count, cfg.lanes,
+              static_cast<int>(la::batch_width<double>()));
+  for (std::size_t i = 0; i < points.size(); ++i)
+    std::printf("%s\"s%d\": {\"problems_per_s\": %.1f, "
+                "\"loop_problems_per_s\": %.1f}",
+                i ? ", " : "", points[i].size, points[i].problems_per_s,
+                points[i].loop_problems_per_s);
+  std::printf("}}\n");
+
+  // The committed margin: at small sizes the batched path must beat the
+  // loop-of-jobs baseline. Gated only under --quick so exploratory full
+  // runs always emit their JSON.
+  if (quick) {
+    bool fail = false;
+    for (const auto& p : points) {
+      if (p.size > 32) continue;
+      const double speedup = p.problems_per_s / p.loop_problems_per_s;
+      if (!(speedup >= margin)) {
+        std::fprintf(stderr,
+                     "batched_qr: size %d batched/loop speedup %.2fx is "
+                     "below the committed %.2fx margin\n",
+                     p.size, speedup, margin);
+        fail = true;
+      }
+    }
+    if (fail) return 3;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "batched_qr: %s\n", e.what());
+  return 1;
+}

@@ -59,8 +59,8 @@ int main(int argc, char** argv) {
            "metric id used to rescale the baseline for machine-speed "
            "differences (must exist on both sides)");
   cli.flag("only",
-           "compare only metric ids containing one of these comma-separated "
-           "substrings (e.g. geqrt,tsqrt)");
+           "compare only metric ids with a dot-separated segment equal to "
+           "one of these comma-separated tokens (e.g. geqrt,tsqrt)");
   cli.flag("require-all",
            "baseline metrics missing from the current run are fatal");
   cli.flag("list", "print the metrics extracted from --current and exit");

@@ -81,7 +81,7 @@ if [[ "$MODE" == "perf" ]]; then
     -DCMAKE_BUILD_TYPE=Release \
     ${CMAKE_EXTRA_FLAGS:-} > /dev/null
   cmake --build "$BUILD_DIR" -j \
-    --target kernels_gbench serve_throughput bench_diff tqr
+    --target kernels_gbench serve_throughput batched_qr bench_diff tqr
 
   echo "== kernel micro-bench (quick) =="
   "$BUILD_DIR/bench/kernels_gbench" --json --quick \
@@ -106,6 +106,19 @@ if [[ "$MODE" == "perf" ]]; then
     --anchor sweep.s1.jobs_per_s \
     --only sweep
 
+  echo "== batched small-QR (quick, margin-gated) =="
+  # --quick self-gates (exit 3) unless batched beats the loop-of-jobs
+  # baseline by the committed margin at sizes <= 32; bench_diff then gates
+  # the absolute problems/sec rates against the committed baseline.
+  "$BUILD_DIR/bench/batched_qr" --quick \
+    > "$OUT_DIR/batched_current.json"
+  "$BUILD_DIR/bench/bench_diff" \
+    --baseline "$REPO_DIR/BENCH_kernels.json" \
+    --current "$OUT_DIR/batched_current.json" \
+    --tolerance "${BATCHED_TOLERANCE:-0.40}" \
+    --anchor batched.s8.loop_problems_per_s \
+    --only batched
+
   echo "== serve trace smoke =="
   "$BUILD_DIR/tools/tqr" serve --jobs 128x128:8 --lanes 2 \
     --trace-out "$OUT_DIR/serve_trace.json" \
@@ -126,7 +139,8 @@ cmake -B "$BUILD_DIR" -S "$REPO_DIR" \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   ${CMAKE_EXTRA_FLAGS:-} > /dev/null
-cmake --build "$BUILD_DIR" -j --target test_runtime test_svc test_cluster
+cmake --build "$BUILD_DIR" -j \
+  --target test_runtime test_svc test_cluster test_batched
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 # Per-binary timeout: the cancellation tests park threads on condition
@@ -139,4 +153,6 @@ echo "== test_svc (TSan) =="
 timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_svc"
 echo "== test_cluster (TSan) =="
 timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_cluster"
+echo "== test_batched (TSan) =="
+timeout "$TEST_TIMEOUT" "$BUILD_DIR/tests/test_batched"
 echo "check.sh: all concurrency tests passed under ThreadSanitizer"

@@ -75,4 +75,54 @@ else
   echo "skipping kernels_gbench (not built)" | tee -a "$SUMMARY"
 fi
 
+# The committed baseline also carries the serve sweep and batched small-QR
+# rate families, which live in their own bench JSONs. They are hand-merged
+# into BENCH_kernels.json as top-level objects ("sweep", "batched") rather
+# than blessed wholesale — bench_diff --write-baseline copies its input
+# verbatim, so re-blessing from either driver alone would silently drop the
+# other families from the gate.
+merge_into_baseline() {
+  local key="$1" src="$2"
+  python3 - "$REPO_DIR/BENCH_kernels.json" "$key" "$src" <<'PY'
+import json, sys
+baseline_path, key, src = sys.argv[1:4]
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(src) as f:
+    fresh = json.load(f)
+if key not in fresh:
+    sys.exit(f"no '{key}' object in {src}")
+baseline[key] = fresh[key]
+with open(baseline_path, "w") as f:
+    json.dump(baseline, f, indent=1)
+    f.write("\n")
+print(f"merged '{key}' from {src} into {baseline_path}")
+PY
+}
+
+ST="$REPO_DIR/$BUILD_DIR/bench/serve_throughput"
+if [[ -x "$ST" ]]; then
+  echo "=== serve_throughput (sweep json) ===" | tee -a "$SUMMARY"
+  "$ST" $QUICK --sweep > "$OUT_DIR/serve_current.json" 2>> "$SUMMARY" || {
+    echo "(serve_throughput exited nonzero)" >> "$SUMMARY"
+  }
+  [[ -s "$OUT_DIR/serve_current.json" ]] && \
+    merge_into_baseline sweep "$OUT_DIR/serve_current.json" | tee -a "$SUMMARY"
+else
+  echo "skipping serve_throughput (not built)" | tee -a "$SUMMARY"
+fi
+
+BQ="$REPO_DIR/$BUILD_DIR/bench/batched_qr"
+if [[ -x "$BQ" ]]; then
+  echo "=== batched_qr (json) ===" | tee -a "$SUMMARY"
+  "$BQ" $QUICK > "$OUT_DIR/batched_current.json" 2>> "$SUMMARY" || {
+    echo "(batched_qr exited nonzero)" >> "$SUMMARY"
+  }
+  [[ -s "$OUT_DIR/batched_current.json" ]] && \
+    merge_into_baseline batched "$OUT_DIR/batched_current.json" \
+      | tee -a "$SUMMARY"
+else
+  echo "skipping batched_qr (not built)" | tee -a "$SUMMARY"
+fi
+
 echo "wrote $SUMMARY, BENCH_kernels.json, and per-bench CSVs in $OUT_DIR/"

@@ -1,0 +1,57 @@
+// Batched small-QR entry points: factor/solve N same-shape tiny problems
+// through the chunk-interleaved engine in la/batch_qr.hpp.
+//
+// This is the compute core the service's batched job kind (svc::JobSpec
+// ::batch), `tqr solve --batch`, and bench/batched_qr all share. One
+// factor() call packs the whole batch into interleaved chunks, runs the
+// lane-parallel Householder sweep chunk by chunk, and keeps the factors
+// resident for R extraction, least-squares solves, and per-problem
+// reconstruction residuals. fp32 and fp64 are both instantiated; at these
+// sizes no T factor is formed — Q is applied by direct reflector replay.
+#pragma once
+
+#include <vector>
+
+#include "la/batch_qr.hpp"
+#include "la/matrix.hpp"
+
+namespace tqr::core {
+
+template <typename T>
+class BatchedQr {
+ public:
+  /// Factors every problem (all must share one rows x cols shape with
+  /// rows >= cols >= 1). Throws InvalidArgument on shape violations.
+  static BatchedQr factor(const std::vector<la::Matrix<T>>& problems);
+
+  la::index_t problems() const { return vr_.problems(); }
+  la::index_t rows() const { return vr_.rows(); }
+  la::index_t cols() const { return vr_.cols(); }
+
+  /// Problem p's R factor (cols x cols, upper triangular).
+  la::Matrix<T> r(la::index_t p) const;
+
+  /// Least-squares solve min ||A_p x - b_p|| for every problem. Each rhs
+  /// must be rows x nrhs; each returned solution is cols x nrhs. Solves are
+  /// batched through the same interleaved layout as the factorization.
+  std::vector<la::Matrix<T>> solve(const std::vector<la::Matrix<T>>& rhs)
+      const;
+
+  /// ||A_p - Q_p R_p||_F / ||A_p||_F reconstructed by reflector replay.
+  double residual(la::index_t p, const la::Matrix<T>& a) const;
+
+  /// Factored storage: R in each lane's upper triangle, reflector vectors V
+  /// below the diagonal; tau is cols x 1 per lane.
+  const la::BatchMatrix<T>& factors() const { return vr_; }
+  const la::BatchMatrix<T>& tau() const { return tau_; }
+
+ private:
+  BatchedQr() = default;
+  la::BatchMatrix<T> vr_;
+  la::BatchMatrix<T> tau_;
+};
+
+extern template class BatchedQr<double>;
+extern template class BatchedQr<float>;
+
+}  // namespace tqr::core

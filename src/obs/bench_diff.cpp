@@ -13,6 +13,7 @@ namespace {
 bool rate_like(const std::string& leaf) {
   return leaf.find("gflops") != std::string::npos ||
          leaf.find("jobs_per_s") != std::string::npos ||
+         leaf.find("problems_per_s") != std::string::npos ||
          leaf.find("speedup") != std::string::npos ||
          leaf.find("hit_rate") != std::string::npos;
 }
@@ -28,6 +29,22 @@ bool latency_like(const std::string& leaf) {
 std::string leaf_of(const std::string& path) {
   const auto dot = path.rfind('.');
   return dot == std::string::npos ? path : path.substr(dot + 1);
+}
+
+/// True when `token` equals one whole dot-separated segment of `id`.
+/// Segment (not substring) matching is what keeps gates from silently
+/// widening as new metrics land: "--only geqrt" selects
+/// gflops.geqrt.t64 but NOT a batched_geqrt-style key, and "--only batched"
+/// selects batched.s8.problems_per_s without touching anything else.
+bool matches_segment(const std::string& id, const std::string& token) {
+  std::size_t pos = 0;
+  while (pos <= id.size()) {
+    std::size_t dot = id.find('.', pos);
+    if (dot == std::string::npos) dot = id.size();
+    if (id.compare(pos, dot - pos, token) == 0) return true;
+    pos = dot + 1;
+  }
+  return false;
 }
 
 }  // namespace
@@ -85,8 +102,8 @@ CompareResult compare(const std::map<std::string, Metric>& baseline,
   auto selected = [&](const std::string& id) {
     if (opts.only.empty()) return true;
     return std::any_of(opts.only.begin(), opts.only.end(),
-                       [&](const std::string& sub) {
-                         return id.find(sub) != std::string::npos;
+                       [&](const std::string& token) {
+                         return matches_segment(id, token);
                        });
   };
 

@@ -48,8 +48,10 @@ struct CompareOptions {
   /// Baseline metrics absent from the current run are fatal (default: the
   /// comparison covers the intersection).
   bool require_all = false;
-  /// When non-empty, compare only metric ids containing at least one of
-  /// these substrings ("geqrt", "tsqrt" selects the factor-kernel rates).
+  /// When non-empty, compare only metric ids with at least one
+  /// dot-separated segment equal to one of these tokens ("geqrt", "tsqrt"
+  /// selects the factor-kernel rates; "batched" selects batched.* without
+  /// also matching look-alike substrings in other keys).
   std::vector<std::string> only;
   /// Metric id used to rescale the baseline for machine-speed differences;
   /// must be present on both sides. Empty = absolute comparison.

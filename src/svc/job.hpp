@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dag/task.hpp"
 #include "la/matrix.hpp"
@@ -121,6 +122,20 @@ struct JobSpec {
   Precision precision = Precision::kFp64;
   /// Opaque caller tag, echoed in the result.
   std::uint64_t tag = 0;
+
+  /// Batched job kind: N small matrices (one shared rows x cols shape,
+  /// 8-64 typical) factored by the chunk-interleaved engine
+  /// (core::BatchedQr) instead of the tiled DAG path. Non-empty `batch`
+  /// makes this a batched job; `a` must then stay empty. The whole batch is
+  /// one unit of service work — one queue slot, one PlanCache entry, one
+  /// WorkspacePool lease, one queued→picked→done span set — while
+  /// cancellation, verification, and corruption quarantine act at problem
+  /// granularity (JobResult::problem_status). Batched jobs honor
+  /// queue/exec deadlines, verify tiers, and precision; max_attempts is
+  /// ignored (members never retry — a corrupted member quarantines alone).
+  std::vector<la::Matrix<double>> batch;
+
+  bool is_batch() const { return !batch.empty(); }
 };
 
 struct JobResult {
@@ -148,6 +163,20 @@ struct JobResult {
   bool plan_cache_hit = false;
   int lane = -1;      // lane that ran the job
   int attempts = 0;   // execution attempts consumed (0 if never started)
+
+  // --- batched jobs only (JobSpec::batch non-empty) ---
+  /// Per-problem R factors, aligned with spec.batch. batch_r[p] is valid
+  /// (cols x cols upper triangular) iff problem_status[p] == kOk — partial
+  /// results survive a mid-batch cancel or a quarantined member.
+  std::vector<la::Matrix<double>> batch_r;
+  /// Per-problem terminal status: kOk, kCorrupted (that member failed its
+  /// verify tier), or kCancelled (cancel/deadline hit before its chunk ran).
+  std::vector<JobStatus> problem_status;
+  int problems = 0;     // batch size (0 for single-matrix jobs)
+  int problems_ok = 0;  // members whose R is valid
+  /// problems / (chunks * lanes): SIMD-lane fill of the interleaved engine
+  /// for this batch (1.0 when the batch size is a multiple of the width).
+  double batch_occupancy = 0;
 };
 
 }  // namespace tqr::svc

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/batched_qr.hpp"
 #include "core/tiled_qr.hpp"
 #include "dag/task_accesses.hpp"
 #include "dag/tiled_qr_dag.hpp"
@@ -44,6 +45,25 @@ std::string sci(double v) {
   return buf;
 }
 
+/// Scalar Q replay against one batch member's extracted dense factor
+/// (R upper / V lower, unit diagonal implied): c <- Q c. Verification-only;
+/// O(m n) per column of c, so batching it buys nothing.
+void batch_apply_q(const la::Matrix<double>& fac,
+                   const la::AlignedVector<double>& tau,
+                   la::Matrix<double>& c) {
+  const la::index_t m = fac.rows();
+  const la::index_t n = fac.cols();
+  for (la::index_t k = n - 1; k >= 0; --k) {
+    for (la::index_t j = 0; j < c.cols(); ++j) {
+      double w = c(k, j);
+      for (la::index_t i = k + 1; i < m; ++i) w += fac(i, k) * c(i, j);
+      w *= tau[static_cast<std::size_t>(k)];
+      c(k, j) -= w;
+      for (la::index_t i = k + 1; i < m; ++i) c(i, j) -= w * fac(i, k);
+    }
+  }
+}
+
 }  // namespace
 
 QrService::Metrics::Metrics(obs::Registry& r)
@@ -59,6 +79,9 @@ QrService::Metrics::Metrics(obs::Registry& r)
       lane_quarantines(r.counter("lane.quarantines")),
       lane_probations(r.counter("lane.probations")),
       node_rejects(r.counter("node.rejects")),
+      batched_jobs(r.counter("svc.batched_jobs")),
+      batched_problems(r.counter("svc.batched_problems")),
+      batch_occupancy(r.gauge("exec.batch_occupancy")),
       // 10 us .. 2 min covers a one-tile job through a deadline-length
       // stall; doubling edges give ~12% worst-case interpolation error.
       job_s(r.histogram("job.latency_s",
@@ -408,8 +431,14 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
   result.id = job.id;
   result.tag = job.spec.tag;
   result.lane = lane;
-  result.rows = job.spec.a.rows();
-  result.cols = job.spec.a.cols();
+  if (job.spec.is_batch()) {
+    result.rows = job.spec.batch.front().rows();
+    result.cols = job.spec.batch.front().cols();
+    result.problems = static_cast<int>(job.spec.batch.size());
+  } else {
+    result.rows = job.spec.a.rows();
+    result.cols = job.spec.a.cols();
+  }
   const double picked_up_s = clock_.seconds();
   result.queue_s = picked_up_s - job.submit_s;
   metrics_.queue_s.observe(result.queue_s);
@@ -466,6 +495,32 @@ JobResult QrService::process(LaneEngine& engine, int lane, PendingJob job,
     node_fault_->count_injection();
     result.status = JobStatus::kFailed;
     result.error = "node down: injected crash";
+    result.total_s = clock_.seconds() - job.submit_s;
+    return result;
+  }
+
+  if (job.spec.is_batch()) {
+    // Batched jobs skip the retry loop: members never retry — a member that
+    // fails its verify tier is quarantined alone (kCorrupted in
+    // problem_status) while the rest of the batch stays valid, and a
+    // whole-batch exception (bad spec) is terminal. The tail of the single
+    // path must not run either: it clears result.r wholesale, whereas a
+    // non-kOk batch keeps every member the per-problem statuses vouch for.
+    result.attempts = 1;
+    try {
+      run_batch(job, picked_up_s, control, result);
+    } catch (const Cancelled&) {
+      result.status = JobStatus::kCancelled;
+      result.error = control.reason_text();
+    } catch (const std::exception& e) {
+      // Spec validation or an engine failure poisons the whole batch: no
+      // member result is trustworthy, so none are handed out.
+      result.status = JobStatus::kFailed;
+      result.error = e.what();
+      result.batch_r.clear();
+      result.problem_status.clear();
+      result.problems_ok = 0;
+    }
     result.total_s = clock_.seconds() - job.submit_s;
     return result;
   }
@@ -888,6 +943,289 @@ void QrService::run_attempt(LaneEngine& engine, const PendingJob& job,
   ws.scrub_on_release(false);
 }
 
+void QrService::run_batch(const PendingJob& job, double picked_up_s,
+                          JobControl& control, JobResult& result) {
+  const std::vector<la::Matrix<double>>& batch = job.spec.batch;
+  TQR_REQUIRE(job.spec.a.rows() == 0 && job.spec.a.cols() == 0,
+              "batched job must not also carry a single matrix");
+  const la::index_t m = batch.front().rows();
+  const la::index_t n = batch.front().cols();
+  TQR_REQUIRE(m > 0 && n > 0, "batched job problems must be non-empty");
+  TQR_REQUIRE(m >= n, "batched QR requires rows >= cols");
+  for (const la::Matrix<double>& a : batch)
+    TQR_REQUIRE(a.rows() == m && a.cols() == n,
+                "batched job problems must share one shape");
+  const la::index_t count = static_cast<la::index_t>(batch.size());
+  const bool fp32 = job.spec.precision == Precision::kFp32;
+  const int b = job.spec.tile_size > 0 ? job.spec.tile_size
+                                       : config_.default_tile;
+  result.tile_size = b;
+  result.precision = job.spec.precision;
+  result.problems = static_cast<int>(count);
+  // Members start kCancelled: exactly the problems whose chunk completes
+  // (and survives verification) are promoted below, so a mid-batch cancel
+  // needs no status fixup for the un-reached tail.
+  result.problem_status.assign(static_cast<std::size_t>(count),
+                               JobStatus::kCancelled);
+  result.batch_r.assign(static_cast<std::size_t>(count),
+                        la::Matrix<double>());
+
+  // One PlanCache touch per batch — the same (shape, tile, elim, platform)
+  // key a single job of this shape uses. The interleaved engine needs no
+  // task graph, but resolving the entry here (a) makes plan_cache_hit mean
+  // the same thing for both job kinds, (b) amortizes to one lookup per
+  // *batch* where the loop-of-jobs baseline pays one per problem, and (c)
+  // pre-warms the entry any same-shape single job (e.g. a caller
+  // re-checking one member) would otherwise build.
+  const la::index_t pr = round_up(m, b);
+  const la::index_t pc = round_up(n, b);
+  PlanKey key{pr, pc, b, job.spec.elim, config_.inner_block, platform_hash_};
+  auto build = [&]() -> PlanEntry {
+    core::PlanConfig pc_cfg;
+    pc_cfg.tile_size = b;
+    pc_cfg.element_bytes = sizeof(double);
+    pc_cfg.elim = job.spec.elim;
+    pc_cfg.inner_block = config_.inner_block;
+    core::Plan plan(platform_, pr / b, pc / b, pc_cfg);
+    dag::TaskGraph graph = dag::build_tiled_qr_graph(
+        pr / b, pc / b, job.spec.elim, plan.hier_groups());
+    return PlanEntry{std::move(plan), std::move(graph)};
+  };
+  if (config_.plan_cache_enabled)
+    plan_cache_.get_or_build(key, build, &result.plan_cache_hit);
+
+  // One WorkspacePool lease per batch: pooled fp64 interleaved factor
+  // storage. fp32 batches factor into transient float planes (the batched
+  // analogue of the single path's FloatPlanes) and widen back into the
+  // lease, so extraction and verification below read fp64 either way.
+  // The scrub stays armed until the batch finishes with every member
+  // accounted for, same contract as the tiled lease.
+  WorkspacePool::BatchLease ws = workspace_pool_.acquire_batch(m, n, count);
+  ws.scrub_on_release(true);
+  struct FloatBatch {
+    la::BatchMatrix<float> vr, tau;
+  };
+  std::unique_ptr<FloatBatch> f32;
+  if (fp32)
+    f32 = std::make_unique<FloatBatch>(
+        FloatBatch{la::BatchMatrix<float>(m, n, count),
+                   la::BatchMatrix<float>(n, 1, count)});
+
+  const double deadline_s = job.spec.exec_deadline_s;
+  auto deadline_hit = [&] {
+    return deadline_s > 0 && clock_.seconds() - picked_up_s > deadline_s;
+  };
+
+  // Factor chunk by chunk. The chunk boundary is the batch path's task
+  // boundary: cancellation and the exec deadline are honored between
+  // chunks, so a cancelled batch keeps every already-factored member and
+  // abandons the rest at problem granularity. Loading happens per chunk
+  // (members are scattered into their lanes, pad lanes zeroed so recycled
+  // pool storage never feeds stale factors into the sweep).
+  Timer exec_clock;
+  la::index_t done = 0;  // members whose chunk fully factored
+  auto factor_chunks = [&](auto& vr, auto& tau) {
+    using Plane = std::decay_t<decltype(vr)>;
+    using T = std::decay_t<decltype(*vr.data())>;
+    constexpr la::index_t width = Plane::kWidth;
+    for (la::index_t c = 0; c < vr.chunks(); ++c) {
+      if (deadline_hit()) control.request(JobControl::kDeadline);
+      if (control.token.cancelled()) return;
+      const la::index_t begin = c * width;
+      const la::index_t end = std::min<la::index_t>(begin + width, count);
+      for (la::index_t p = begin; p < end; ++p)
+        vr.load(p, batch[static_cast<std::size_t>(p)].view());
+      for (la::index_t p = end; p < begin + width; ++p) vr.clear(p);
+      la::batch::qr_factor_chunk<T>(m, n, vr.chunk(c), tau.chunk(c));
+      done = end;
+    }
+  };
+  if (fp32)
+    factor_chunks(f32->vr, f32->tau);
+  else
+    factor_chunks(ws->vr, ws->tau);
+  result.exec_s = exec_clock.seconds();
+  metrics_.exec_s.observe(result.exec_s);
+
+  const la::index_t width =
+      fp32 ? la::batch_width<float>() : la::batch_width<double>();
+  const la::index_t chunks = (count + width - 1) / width;
+  result.batch_occupancy =
+      static_cast<double>(count) / static_cast<double>(chunks * width);
+  metrics_.batch_occupancy.set(result.batch_occupancy);
+
+  if (fp32) {
+    // Widen the factored members into the pooled lease (float -> double is
+    // exact): downstream consumers see precisely the factors the fp32
+    // sweep wrote, applied in fp64 arithmetic, like the single fp32 path.
+    for (la::index_t p = 0; p < done; ++p) {
+      for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i < m; ++i)
+          ws->vr.at(i, j, p) = static_cast<double>(f32->vr.at(i, j, p));
+      for (la::index_t k = 0; k < n; ++k)
+        ws->tau.at(k, 0, p) = static_cast<double>(f32->tau.at(k, 0, p));
+    }
+  }
+
+  // Per-member epilogue: extract, optionally inject silent corruption,
+  // verify, and promote. Verification and quarantine act on one member at
+  // a time — a corrupted member costs exactly its own result.
+  const Verify verify = job.spec.verify;
+  const double tol = fp32 ? la::verify_tolerance<float>(std::max(m, n))
+                          : la::verify_tolerance<double>(std::max(m, n));
+  const bool corrupting =
+      fault_ && fault_->config().mode == FaultConfig::Mode::kCorrupt;
+  la::Matrix<double> fac(m, n);
+  la::AlignedVector<double> tau_p(static_cast<std::size_t>(n));
+  la::index_t bad = 0;
+  for (la::index_t p = 0; p < done; ++p) {
+    ws->vr.extract(p, fac.view());
+    for (la::index_t k = 0; k < n; ++k) tau_p[static_cast<std::size_t>(k)] =
+        ws->tau.at(k, 0, p);
+    if (corrupting) {
+      // Member-granular SDC model: the injector sees one synthetic GEQRT
+      // "task" per member (task id = member index), so FaultConfig::task
+      // pins the corruption to a single problem and max_injections bounds
+      // it. The poison lands in the member's extracted factors — upper
+      // triangle, i.e. its R — exactly the data handed out below.
+      const dag::Task task{dag::Op::kGeqrt, 0, 0, 0, -1};
+      fault_->maybe_corrupt(static_cast<dag::task_id>(p), task, result.lane,
+                            fac.view());
+    }
+
+    std::string fail;
+    if (verify >= Verify::kScan && !la::all_finite<double>(fac.view()))
+      fail = "non-finite value in factors";
+    if (fail.empty() && verify >= Verify::kScan) {
+      // Tier 1 per member: column norms of R must reproduce the member's
+      // input column norms (orthogonal invariance), normalized by ||A||_F.
+      const la::Matrix<double>& a = batch[static_cast<std::size_t>(p)];
+      double fro2 = 0, worst = 0;
+      for (la::index_t j = 0; j < n; ++j) {
+        double col2 = 0, rcol2 = 0;
+        for (la::index_t i = 0; i < m; ++i) {
+          const double v = a(i, j);
+          col2 += v * v;
+        }
+        for (la::index_t i = 0; i <= j; ++i) {
+          const double v = fac(i, j);
+          rcol2 += v * v;
+        }
+        worst = std::max(worst,
+                         std::abs(std::sqrt(rcol2) - std::sqrt(col2)));
+        fro2 += col2;
+      }
+      const double a_fro = std::sqrt(fro2);
+      const double drift = a_fro > 0 ? worst / a_fro : worst;
+      if (!(drift <= tol))
+        fail = "column-norm drift " + sci(drift) + " exceeds tolerance " +
+               sci(tol);
+    }
+    if (fail.empty() && verify == Verify::kProbe) {
+      // Tier 2 per member: z = Q ([R; 0] x) by reflector replay vs A x.
+      const std::uint64_t probe_seed =
+          job.id * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(p);
+      la::Matrix<double> x = la::probe_vector<double>(n, probe_seed);
+      la::Matrix<double> z(m, 1);
+      for (la::index_t i = 0; i < n; ++i) {
+        double s = 0;
+        for (la::index_t j = i; j < n; ++j) s += fac(i, j) * x(j, 0);
+        z(i, 0) = s;
+      }
+      batch_apply_q(fac, tau_p, z);
+      const la::Matrix<double>& a = batch[static_cast<std::size_t>(p)];
+      la::Matrix<double> ax(m, 1);
+      for (la::index_t i = 0; i < m; ++i) {
+        double s = 0;
+        for (la::index_t j = 0; j < n; ++j) s += a(i, j) * x(j, 0);
+        ax(i, 0) = s;
+      }
+      const double rel = la::relative_error<double>(z.view(), ax.view());
+      result.verify_residual = std::max(result.verify_residual, rel);
+      if (!(rel <= tol))
+        fail = "probe residual " + sci(rel) + " exceeds tolerance " +
+               sci(tol);
+    }
+    if (fail.empty() &&
+        (verify == Verify::kFull || job.spec.compute_residual)) {
+      // Tier 3 / report-only: ||A - Q R||_F / ||A||_F by full replay.
+      la::Matrix<double> qr(m, n);
+      for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i <= j; ++i) qr(i, j) = fac(i, j);
+      batch_apply_q(fac, tau_p, qr);
+      const la::Matrix<double>& a = batch[static_cast<std::size_t>(p)];
+      double diff2 = 0, norm2 = 0;
+      for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i < m; ++i) {
+          const double d = qr(i, j) - a(i, j);
+          diff2 += d * d;
+          norm2 += a(i, j) * a(i, j);
+        }
+      const double rel =
+          std::sqrt(diff2) / (norm2 > 0 ? std::sqrt(norm2) : 1);
+      result.residual = std::max(result.residual, rel);
+      if (verify == Verify::kFull) {
+        result.verify_residual = std::max(result.verify_residual, rel);
+        if (!(rel <= tol))
+          fail = "reconstruction residual " + sci(rel) +
+                 " exceeds tolerance " + sci(tol);
+      }
+    }
+
+    if (!fail.empty()) {
+      ++bad;
+      result.problem_status[static_cast<std::size_t>(p)] =
+          JobStatus::kCorrupted;
+      metrics_.verify_failures.inc();
+      if (trace_)
+        trace_->instant("verify_fail", "job", lane_pid(result.lane), 0,
+                        clock_.seconds(),
+                        obs::TraceArgs()
+                            .add("job", static_cast<std::int64_t>(job.id))
+                            .add("problem", static_cast<std::int64_t>(p))
+                            .add("error", fail));
+    } else {
+      result.problem_status[static_cast<std::size_t>(p)] = JobStatus::kOk;
+      la::Matrix<double> r(n, n);
+      for (la::index_t j = 0; j < n; ++j)
+        for (la::index_t i = 0; i <= j; ++i) r(i, j) = fac(i, j);
+      result.batch_r[static_cast<std::size_t>(p)] = std::move(r);
+      ++result.problems_ok;
+    }
+  }
+
+  // One terminal status for the whole batch; the per-member truth is
+  // problem_status. Cancellation dominates (the caller asked for it), then
+  // corruption (at least one member quarantined), then clean.
+  if (done < count) {
+    result.status = JobStatus::kCancelled;
+    result.error = control.reason_text();
+  } else if (bad > 0) {
+    result.status = JobStatus::kCorrupted;
+    result.error = std::to_string(bad) + " of " + std::to_string(count) +
+                   " problems failed verification";
+  } else {
+    result.status = JobStatus::kOk;
+    // Every member verified clean, so the lease holds nothing a scrub
+    // would need to hide. (A corrupted batch keeps the scrub armed: the
+    // injected poison only ever touched the extracted copy, but the
+    // conservative contract is cheap.)
+    ws.scrub_on_release(false);
+  }
+  metrics_.batched_jobs.inc();
+  metrics_.batched_problems.inc(
+      static_cast<std::uint64_t>(result.problems_ok));
+  if (trace_)
+    trace_->instant("batch", "job", lane_pid(result.lane), 0,
+                    clock_.seconds(),
+                    obs::TraceArgs()
+                        .add("job", static_cast<std::int64_t>(job.id))
+                        .add("problems", static_cast<std::int64_t>(count))
+                        .add("ok", static_cast<std::int64_t>(
+                                       result.problems_ok))
+                        .add("occupancy", result.batch_occupancy));
+}
+
 ServiceStats QrService::stats() const {
   ServiceStats s;
   s.jobs_submitted = metrics_.submitted.value();
@@ -901,6 +1239,9 @@ ServiceStats QrService::stats() const {
   s.verify_failures = metrics_.verify_failures.value();
   s.lane_quarantines = metrics_.lane_quarantines.value();
   s.lane_probations = metrics_.lane_probations.value();
+  s.batched_jobs = metrics_.batched_jobs.value();
+  s.batched_problems = metrics_.batched_problems.value();
+  s.batch_occupancy = metrics_.batch_occupancy.value();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const LaneHealth& h : lane_health_)

@@ -220,6 +220,11 @@ class QrService {
                     JobControl& control);
   void run_attempt(LaneEngine& engine, const PendingJob& job,
                    double picked_up_s, JobControl& control, JobResult& result);
+  /// Batched jobs (JobSpec::batch): factors the whole batch through the
+  /// chunk-interleaved engine — one plan-cache touch, one pooled batch
+  /// lease, cancellation at chunk boundaries, verify/quarantine per member.
+  void run_batch(const PendingJob& job, double picked_up_s,
+                 JobControl& control, JobResult& result);
 
   ServiceConfig config_;
   sim::Platform platform_;
@@ -249,6 +254,9 @@ class QrService {
     obs::Counter& lane_quarantines;
     obs::Counter& lane_probations;
     obs::Counter& node_rejects;
+    obs::Counter& batched_jobs;      // whole batches processed
+    obs::Counter& batched_problems;  // batch members with a valid R
+    obs::Gauge& batch_occupancy;     // lane fill of the latest batch
     obs::Histogram& job_s;    // submit -> resolve, kOk jobs
     obs::Histogram& queue_s;  // submit -> lane pickup, all popped jobs
     obs::Histogram& exec_s;   // executor time per successful attempt

@@ -37,6 +37,12 @@ struct ServiceStats {
   std::uint64_t node_rejects = 0;  // submissions bounced by crash/reject-storm
   bool node_down = false;          // a crash episode covers "now"
 
+  /// Batched jobs (JobSpec::batch): whole batches run, members whose R
+  /// came back valid, and the SIMD-lane fill of the most recent batch.
+  std::uint64_t batched_jobs = 0;
+  std::uint64_t batched_problems = 0;
+  double batch_occupancy = 0;
+
   double uptime_s = 0;
   /// Completed jobs per second of uptime.
   double jobs_per_s = 0;

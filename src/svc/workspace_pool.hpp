@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 
+#include "la/batch_qr.hpp"
 #include "la/tiled_matrix.hpp"
 
 namespace tqr::svc {
@@ -103,6 +104,69 @@ class WorkspacePool {
   /// recycled when a matching one is parked, freshly allocated otherwise.
   Lease acquire(la::index_t rows, la::index_t cols, la::index_t b);
 
+  /// Chunk-interleaved storage for one batched job (la/batch_qr.hpp): the
+  /// factor plane (R upper / V lower per lane) plus the tau plane. fp64 —
+  /// fp32 batched jobs build transient float planes the way single fp32
+  /// jobs build FloatPlanes, and skip the pool.
+  struct BatchWorkspace {
+    la::BatchMatrix<double> vr;   // rows x cols x problems
+    la::BatchMatrix<double> tau;  // cols x 1 x problems
+
+    la::index_t rows() const { return vr.rows(); }
+    la::index_t cols() const { return vr.cols(); }
+    la::index_t problems() const { return vr.problems(); }
+    std::size_t bytes() const {
+      return (vr.size() + tau.size()) * sizeof(double);
+    }
+  };
+
+  /// RAII handle for a BatchWorkspace; same parking/scrub contract as Lease.
+  class BatchLease {
+   public:
+    BatchLease() = default;
+    BatchLease(WorkspacePool* pool, std::unique_ptr<BatchWorkspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~BatchLease() { release(); }
+    BatchLease(BatchLease&& other) noexcept
+        : pool_(other.pool_),
+          ws_(std::move(other.ws_)),
+          scrub_(other.scrub_) {
+      other.pool_ = nullptr;
+      other.scrub_ = false;
+    }
+    BatchLease& operator=(BatchLease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        ws_ = std::move(other.ws_);
+        scrub_ = other.scrub_;
+        other.pool_ = nullptr;
+        other.scrub_ = false;
+      }
+      return *this;
+    }
+    BatchLease(const BatchLease&) = delete;
+    BatchLease& operator=(const BatchLease&) = delete;
+
+    BatchWorkspace& operator*() { return *ws_; }
+    BatchWorkspace* operator->() { return ws_.get(); }
+    explicit operator bool() const { return ws_ != nullptr; }
+
+    void scrub_on_release(bool scrub) { scrub_ = scrub; }
+
+   private:
+    void release();
+    WorkspacePool* pool_ = nullptr;
+    std::unique_ptr<BatchWorkspace> ws_;
+    bool scrub_ = false;
+  };
+
+  /// One lease per batched job: rows x cols x problems interleaved factor
+  /// storage, recycled by exact shape. Shares the retained-byte cap and
+  /// Stats counters with the tiled workspaces.
+  BatchLease acquire_batch(la::index_t rows, la::index_t cols,
+                           la::index_t problems);
+
   struct Stats {
     std::uint64_t allocated = 0;  // fresh workspace builds
     std::uint64_t reused = 0;     // acquires served from the free list
@@ -118,6 +182,7 @@ class WorkspacePool {
 
  private:
   friend class Lease;
+  friend class BatchLease;
   struct ShapeKey {
     la::index_t rows, cols, b;
     auto operator<=>(const ShapeKey&) const = default;
@@ -126,14 +191,25 @@ class WorkspacePool {
     ShapeKey key;
     std::unique_ptr<Workspace> ws;
   };
+  struct BatchFreeEntry {
+    ShapeKey key;  // b slot carries the problem count
+    std::unique_ptr<BatchWorkspace> ws;
+  };
 
   void release(std::unique_ptr<Workspace> ws, bool scrub);
+  void release_batch(std::unique_ptr<BatchWorkspace> ws, bool scrub);
+  /// Drops least-recently-returned parked storage (own-kind list first)
+  /// until retained bytes fit the cap again; mutex_ held.
+  void evict_over_cap_locked(bool batch_first);
 
   const std::size_t max_retained_bytes_;
   mutable std::mutex mutex_;
   /// Front = most recently returned; eviction pops from the back.
   std::list<FreeEntry> free_;
   std::map<ShapeKey, std::list<std::list<FreeEntry>::iterator>> by_shape_;
+  std::list<BatchFreeEntry> batch_free_;
+  std::map<ShapeKey, std::list<std::list<BatchFreeEntry>::iterator>>
+      batch_by_shape_;
   Stats stats_;
 };
 

@@ -158,15 +158,15 @@ TEST(BenchDiff, OnlyFilterNarrowsTheComparison) {
   auto current = base;
   current["gemm_speedup_at_128"].value = 0.1;  // would regress
   CompareOptions opts;
-  opts.only = {"gflops."};
+  opts.only = {"gflops"};
   const auto r = compare(base, current, opts);
   EXPECT_TRUE(r.pass());
   EXPECT_EQ(r.lines.size(), 4u);
 }
 
-TEST(BenchDiff, OnlyFilterAcceptsMultipleSubstrings) {
+TEST(BenchDiff, OnlyFilterAcceptsMultipleTokens) {
   // The CI factor-kernel gate selects geqrt and tsqrt rates together; a
-  // metric matches when it contains *any* of the substrings.
+  // metric matches when any token equals one of its key segments.
   const auto base = metrics_of(kernels_doc(1.0));
   auto current = base;
   CompareOptions opts;
@@ -179,6 +179,37 @@ TEST(BenchDiff, OnlyFilterAcceptsMultipleSubstrings) {
   EXPECT_FALSE(compare(base, current, opts).pass());
   opts.only = {"gemm_packed"};
   EXPECT_TRUE(compare(base, current, opts).pass());
+}
+
+TEST(BenchDiff, OnlyFilterMatchesWholeSegmentsNotSubstrings) {
+  // A "geqrt" gate must not silently widen to batched_geqrt-style keys as
+  // new benches land; tokens match whole dot-separated segments only.
+  std::map<std::string, Metric> base;
+  base["gflops.geqrt.t64"] = Metric{10.0, true};
+  base["gflops.batched_geqrt.t8"] = Metric{50.0, true};
+  auto current = base;
+  current["gflops.batched_geqrt.t8"].value = 1.0;  // 50x regression
+  CompareOptions opts;
+  opts.tolerance = 0.35;
+  opts.only = {"geqrt"};
+  const auto r = compare(base, current, opts);
+  EXPECT_TRUE(r.pass());  // the batched key is outside the gate
+  ASSERT_EQ(r.lines.size(), 1u);
+  EXPECT_EQ(r.lines[0].id, "gflops.geqrt.t64");
+  // The batched key is reachable by its own exact segment.
+  opts.only = {"batched_geqrt"};
+  EXPECT_FALSE(compare(base, current, opts).pass());
+}
+
+TEST(ExtractMetrics, BatchedProblemRatesExtractAsRates) {
+  const auto m = metrics_of(
+      R"({"batched": {"s8": {"problems_per_s": 5e6,
+                             "loop_problems_per_s": 1e6}},
+          "batch": 256})");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.at("batched.s8.problems_per_s").higher_is_better);
+  EXPECT_TRUE(m.at("batched.s8.loop_problems_per_s").higher_is_better);
+  EXPECT_EQ(m.count("batch"), 0u);  // config scalar, not a gated metric
 }
 
 TEST(BenchDiff, AnchorMustExistOnBothSides) {

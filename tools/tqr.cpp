@@ -3,6 +3,7 @@
 //   tqr gen      --out A.mtx --rows 512 --cols 512 [--class uniform] [--seed 1]
 //   tqr factor   --in A.mtx [--tile 16] [--elim tt] [--q Q.bin] [--r R.mtx]
 //   tqr solve    --in A.mtx --rhs b.mtx --out x.mtx [--tile 16] [--refine 1]
+//                (or --batch N --rows 16 --cols 16 for the batched engine)
 //   tqr simulate --size 3200 [--tile 16] [--gpus 3] [--nodes 1] [--fixed-p N]
 //   tqr plan     --size 3200 [--tile 16] [--gpus 3]
 //   tqr serve    --jobs 256x256:16,512x256:4 [--lanes 2] [--json]
@@ -12,6 +13,7 @@
 //
 // Matrix files: *.mtx = MatrixMarket dense array; anything else = tiledqr
 // binary. Exit code 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +26,8 @@
 #include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/batched_qr.hpp"
 #include "core/simulate.hpp"
 #include "core/tiled_cholesky.hpp"
 #include "core/tiled_qr.hpp"
@@ -208,10 +212,59 @@ int cmd_factor(int argc, char** argv) {
   return 0;
 }
 
+/// `tqr solve --batch N`: factor-and-solve N random tiny same-shape systems
+/// through the chunk-interleaved engine, report problems/sec and the worst
+/// per-problem reconstruction residual. The CLI face of core::BatchedQr.
+int solve_batched(const Cli& cli, int count) {
+  if (!cli.get_string("in", "").empty() || !cli.get_string("rhs", "").empty())
+    throw InvalidArgument(
+        "solve: --batch generates random problems; drop --in/--rhs");
+  const la::index_t rows = checked_dim(cli, "rows", 16);
+  const la::index_t cols = checked_dim(cli, "cols", rows);
+  if (rows < cols)
+    throw InvalidArgument("--rows must be >= --cols for a batched QR");
+  const svc::Precision precision =
+      svc::parse_precision(cli.get_string("precision", "fp64"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  auto run = [&](auto tag) {
+    using T = decltype(tag);
+    std::vector<la::Matrix<T>> problems, rhs;
+    for (int p = 0; p < count; ++p) {
+      const auto s = seed + static_cast<std::uint64_t>(p);
+      problems.push_back(la::Matrix<T>::random(rows, cols, s));
+      rhs.push_back(la::Matrix<T>::random(rows, 1, s + 777));
+    }
+    Timer wall;
+    const auto f = core::BatchedQr<T>::factor(problems);
+    const auto xs = f.solve(rhs);
+    const double factor_solve_s = wall.seconds();
+    double worst = 0;
+    for (int p = 0; p < count; ++p)
+      worst = std::max(
+          worst, f.residual(static_cast<la::index_t>(p),
+                            problems[static_cast<std::size_t>(p)]));
+    TQR_REQUIRE(xs.size() == static_cast<std::size_t>(count),
+                "batched solve dropped problems");
+    std::printf(
+        "batched %s: %d problems of %d x %d (width %d) in %.4f s "
+        "= %.0f problems/s\n",
+        svc::to_string(precision), count, rows, cols,
+        static_cast<int>(la::batch_width<T>()), factor_solve_s,
+        count / factor_solve_s);
+    std::printf("worst ||A - Q R||_F / ||A||_F = %.3e\n", worst);
+  };
+  if (precision == svc::Precision::kFp32)
+    run(float{});
+  else
+    run(double{});
+  return 0;
+}
+
 int cmd_solve(int argc, char** argv) {
   Cli cli;
-  cli.flag("in", "matrix A (required)");
-  cli.flag("rhs", "right-hand side b (required)");
+  cli.flag("in", "matrix A (required unless --batch)");
+  cli.flag("rhs", "right-hand side b (required unless --batch)");
   cli.flag("out", "solution output path");
   cli.flag("tile", "tile size", "16");
   cli.flag("ib", "factor-kernel inner blocking (0 = off)", "0");
@@ -219,9 +272,21 @@ int cmd_solve(int argc, char** argv) {
   cli.flag("method", "qr (least squares) or chol (SPD systems)", "qr");
   cli.flag("precision",
            "fp64, or fp32 for a single-precision factorization with "
-           "double-precision iterative refinement (qr only)",
+           "double-precision iterative refinement (qr only; with --batch, "
+           "fp32 runs the whole batch in single precision)",
            "fp64");
+  cli.flag("batch",
+           "solve this many random --rows x --cols problems through the "
+           "batched small-QR engine instead of reading --in/--rhs", "0");
+  cli.flag("rows", "problem rows for --batch", "16");
+  cli.flag("cols", "problem cols for --batch (default: --rows)");
+  cli.flag("seed", "rng seed for --batch problem generation", "1");
   if (!cli.parse(argc, argv)) return 0;
+  const std::int64_t batch = cli.get_int("batch", 0);
+  if (batch < 0 || batch > 100000000)
+    throw InvalidArgument("--batch must be in [0, 100000000] (got " +
+                          std::to_string(batch) + ")");
+  if (batch > 0) return solve_batched(cli, static_cast<int>(batch));
   const std::string in = cli.get_string("in", "");
   const std::string rhs_path = cli.get_string("rhs", "");
   if (in.empty() || rhs_path.empty())
@@ -453,6 +518,10 @@ int cmd_serve(int argc, char** argv) {
   cli.flag("probation-ms",
            "quarantine sits out this long before a one-job probation "
            "re-admit (0 = permanent)", "0");
+  cli.flag("batch",
+           "batched mode: every trace entry submits jobs carrying this many "
+           "random ROWSxCOLS problems each through the chunk-interleaved "
+           "engine (0 = ordinary single-matrix jobs)", "0");
   cli.flag("residual", "report ||A - Q R||/||A|| per job (slower)");
   cli.flag("no-cache", "disable the plan cache");
   cli.flag("no-reuse", "tear down executors between jobs");
@@ -471,6 +540,10 @@ int cmd_serve(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool residual = cli.get_bool("residual", false);
   const bool json = cli.get_bool("json", false);
+  const std::int64_t batch = cli.get_int("batch", 0);
+  if (batch < 0 || batch > 1000000)
+    throw InvalidArgument("--batch must be in [0, 1000000] (got " +
+                          std::to_string(batch) + ")");
 
   svc::ServiceConfig config;
   config.lanes = static_cast<int>(cli.get_int("lanes", 2));
@@ -529,7 +602,14 @@ int cmd_serve(int argc, char** argv) {
       if (round >= s.count) continue;
       any = true;
       svc::JobSpec spec;
-      spec.a = la::Matrix<double>::random(s.rows, s.cols, job_seed++);
+      if (batch > 0) {
+        spec.batch.reserve(static_cast<std::size_t>(batch));
+        for (std::int64_t p = 0; p < batch; ++p)
+          spec.batch.push_back(
+              la::Matrix<double>::random(s.rows, s.cols, job_seed++));
+      } else {
+        spec.a = la::Matrix<double>::random(s.rows, s.cols, job_seed++);
+      }
       spec.elim = elim;
       spec.compute_residual = residual;
       spec.verify = verify;
@@ -546,9 +626,12 @@ int cmd_serve(int argc, char** argv) {
 
   int ok = 0, failed = 0, rejected = 0, expired = 0, cancelled = 0,
       corrupted = 0;
+  long long problems_ok = 0, problems_total = 0;
   double worst_residual = -1;
   for (auto& f : futures) {
     const auto r = f.get();
+    problems_ok += r.problems_ok;
+    problems_total += r.problems;
     switch (r.status) {
       case svc::JobStatus::kOk: ++ok; break;
       case svc::JobStatus::kFailed: ++failed; break;
@@ -599,6 +682,8 @@ int cmd_serve(int argc, char** argv) {
         " \"workspace\": {\"allocated\": %llu, \"reused\": %llu, "
         "\"scrubbed\": %llu},\n"
         " \"queue\": {\"high_water\": %llu, \"blocked_pushes\": %llu},\n"
+        " \"batched\": {\"jobs\": %llu, \"problems\": %llu, "
+        "\"problems_ok\": %lld, \"occupancy\": %.4f},\n"
         " \"worst_residual\": %.3e}\n",
         static_cast<unsigned long long>(s.jobs_submitted), ok, failed,
         rejected, expired, cancelled, corrupted,
@@ -618,7 +703,9 @@ int cmd_serve(int argc, char** argv) {
         static_cast<unsigned long long>(s.workspace.scrubbed),
         static_cast<unsigned long long>(s.queue.high_water),
         static_cast<unsigned long long>(s.queue.blocked_pushes),
-        worst_residual);
+        static_cast<unsigned long long>(s.batched_jobs),
+        static_cast<unsigned long long>(s.batched_problems), problems_ok,
+        s.batch_occupancy, worst_residual);
     return corrupted > 0 || failed > 0 ? 2 : 0;
   }
 
@@ -658,6 +745,11 @@ int cmd_serve(int argc, char** argv) {
               static_cast<unsigned long long>(s.queue.high_water),
               config.queue_capacity,
               static_cast<unsigned long long>(s.queue.blocked_pushes));
+  if (s.batched_jobs > 0)
+    std::printf("batched         %llu jobs, %lld/%lld problems ok, "
+                "occupancy %.2f\n",
+                static_cast<unsigned long long>(s.batched_jobs), problems_ok,
+                problems_total, s.batch_occupancy);
   if (residual && worst_residual >= 0)
     std::printf("worst residual  %.3e\n", worst_residual);
   return corrupted > 0 || failed > 0 ? 2 : 0;
@@ -854,7 +946,8 @@ void usage() {
       "commands:\n"
       "  gen       generate a test matrix file\n"
       "  factor    tiled QR factorization of a matrix file\n"
-      "  solve     least-squares solve A x = b\n"
+      "  solve     least-squares solve A x = b (--batch N for the batched\n"
+      "            small-QR engine over N random tiny problems)\n"
       "  simulate  simulate a factorization on the modeled platform\n"
       "  plan      show scheduling decisions (Algorithms 2-4) and memory\n"
       "  serve     run a QR job trace through the resident service\n"
